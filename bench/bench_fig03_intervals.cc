@@ -1,0 +1,58 @@
+// Figure 3 + §3.1.1 — Histogram of inter-file-operation times, the
+// two-component Gaussian mixture over log10 intervals, the τ = 1 h valley,
+// and the resulting session-type split (store-only / retrieve-only / mixed).
+#include "bench_util.h"
+
+#include "analysis/interval_model.h"
+#include "analysis/session_stats.h"
+#include "analysis/sessionizer.h"
+#include "model/paper_params.h"
+#include "trace/filters.h"
+
+int main(int argc, char** argv) {
+  using namespace mcloud;
+  bench::Header("Figure 3 / §3.1.1",
+                "inter-operation intervals, GMM fit, session identification");
+  const auto w = bench::StandardWorkload(argc, argv);
+  const auto mobile = MobileOnly(w.trace);
+
+  const auto intervals = analysis::InterOpIntervals(mobile);
+  const auto model = analysis::FitIntervalModel(intervals);
+
+  std::printf("\nHistogram of log10(inter-op seconds), %zu intervals:\n",
+              intervals.size());
+  const auto& h = model.log10_histogram;
+  for (std::size_t i = 0; i < h.bins(); i += 2) {
+    const int bar = static_cast<int>(h.Fraction(i) * 400);
+    std::printf("  10^%4.1f s %8.4f |%s\n", h.BinCenter(i), h.Fraction(i),
+                std::string(static_cast<std::size_t>(bar), '#').c_str());
+  }
+
+  std::printf("\nTwo-component Gaussian mixture over log10 intervals:\n");
+  for (const auto& c : model.gmm.mixture.components()) {
+    std::printf("  weight=%.3f mean=10^%.2f (~%.3gs) stddev(log10)=%.2f\n",
+                c.weight, c.mean, std::pow(10.0, c.mean), c.stddev);
+  }
+  bench::PaperVsMeasured("intra-session mean (s)", 10.0,
+                         model.intra_mean_seconds, "s");
+  bench::PaperVsMeasured("inter-session mean (days)", 1.0,
+                         model.inter_mean_seconds / kDay, "days");
+  bench::PaperVsMeasured("valley tau (minutes)", 60.0,
+                         model.valley_tau / kMinute, "min");
+  bench::PaperVsMeasured("GMM equal-likelihood crossover (minutes)", 60.0,
+                         model.gmm_tau / kMinute, "min");
+
+  // Session identification with tau = 1 h, as the paper settles on.
+  const auto sessions = analysis::Sessionizer().Sessionize(mobile);
+  const auto split = analysis::ClassifySessions(sessions);
+  std::printf("\nSession classification at tau = 1 h (%zu sessions):\n",
+              split.total);
+  bench::PaperVsMeasured("store-only share", paper::kStoreOnlySessionShare,
+                         split.StoreShare());
+  bench::PaperVsMeasured("retrieve-only share",
+                         paper::kRetrieveOnlySessionShare,
+                         split.RetrieveShare());
+  bench::PaperVsMeasured("mixed share", paper::kMixedSessionShare,
+                         split.MixedShare());
+  return 0;
+}

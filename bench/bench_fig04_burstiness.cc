@@ -1,0 +1,44 @@
+// Figure 4 — CDF of the user operating time (first to last file operation),
+// normalized by session length, for sessions with >1, >10 and >20 file
+// operations. Paper: >80% of multi-op sessions stay below 0.1, and the more
+// operations a session has, the earlier they are all issued.
+#include "bench_util.h"
+
+#include "analysis/burstiness.h"
+#include "analysis/sessionizer.h"
+#include "model/paper_params.h"
+#include "trace/filters.h"
+
+int main(int argc, char** argv) {
+  using namespace mcloud;
+  bench::Header("Figure 4", "burstiness: normalized user operating time");
+  const auto w = bench::StandardWorkload(argc, argv);
+  const auto sessions =
+      analysis::Sessionizer().Sessionize(MobileOnly(w.trace));
+  const auto groups = analysis::NormalizedOperatingTimes(sessions);
+
+  const auto grid = LinGrid(0.0, 0.4, 17);
+  for (const auto& g : groups) {
+    std::string label =
+        "#files > " + std::to_string(g.min_ops_exclusive);
+    bench::PrintCdf(label.c_str(), g.normalized_times, grid, "norm. time");
+  }
+
+  std::printf("\nHeadline observations:\n");
+  for (const auto& g : groups) {
+    const double below =
+        analysis::FractionBelow(g, paper::kBurstyOperatingTimeBound);
+    std::string what = "share below 0.1 for >" +
+                       std::to_string(g.min_ops_exclusive) + " ops (>0.8)";
+    bench::PaperVsMeasured(what.c_str(), paper::kBurstyOperatingTimeQuantile,
+                           below);
+  }
+  // Paper: sessions with >20 ops issue all requests within 3% of the
+  // session length (median).
+  const auto& many = groups.back();
+  if (!many.normalized_times.empty()) {
+    bench::PaperVsMeasured("median normalized time, >20 ops (~0.03)", 0.03,
+                           Percentile(many.normalized_times, 50));
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 5 — Session size: (a) CDF of file operations per session;
+// (b) store-only session volume vs stored-file count (linear at ~1.5 MB per
+// file); (c) retrieve-only session volume vs retrieved-file count (average
+// above the 75th percentile; single-file sessions averaging ~70 MB).
+#include "bench_util.h"
+
+#include "analysis/session_stats.h"
+#include "analysis/sessionizer.h"
+#include "model/paper_params.h"
+#include "stats/regression.h"
+#include "trace/filters.h"
+
+int main(int argc, char** argv) {
+  using namespace mcloud;
+  bench::Header("Figure 5", "session size vs file-operation count");
+  const auto w = bench::StandardWorkload(argc, argv);
+  const auto sessions =
+      analysis::Sessionizer().Sessionize(MobileOnly(w.trace));
+
+  // (a) CDF of operations per session.
+  const auto store_ops =
+      analysis::OpCountSample(sessions, analysis::Session::Type::kStoreOnly);
+  const auto retrieve_ops = analysis::OpCountSample(
+      sessions, analysis::Session::Type::kRetrieveOnly);
+  const std::vector<double> grid = {1, 2, 3, 5, 10, 20, 50, 100, 200};
+  std::printf("\n(a) file operations per session\n");
+  bench::PrintCdf("store-only", store_ops, grid, "ops");
+  bench::PrintCdf("retrieve-only", retrieve_ops, grid, "ops");
+  {
+    const Ecdf se(std::vector<double>(store_ops.begin(), store_ops.end()));
+    bench::PaperVsMeasured("share of single-op sessions (~0.4)",
+                           paper::kSingleOpSessionShare, se.Evaluate(1.0));
+    bench::PaperVsMeasured("share of >20-op sessions (~0.1)",
+                           paper::kOver20OpSessionShare, se.Ccdf(20.0));
+  }
+
+  // (b) and (c): binned session volumes.
+  const auto print_bins = [](const char* title,
+                             const std::vector<analysis::SessionSizeBin>&
+                                 bins) {
+    std::printf("\n%s\n", title);
+    std::printf("  %6s %9s %10s %10s %10s %10s\n", "#files", "sessions",
+                "avg MB", "median MB", "p25 MB", "p75 MB");
+    for (const auto& b : bins) {
+      if (b.file_ops > 10 && b.file_ops % 10 != 0) continue;
+      std::printf("  %6zu %9zu %10.1f %10.1f %10.1f %10.1f\n", b.file_ops,
+                  b.sessions, b.avg_mb, b.median_mb, b.p25_mb, b.p75_mb);
+    }
+  };
+  const auto store_bins = analysis::SessionSizeByOpCount(
+      sessions, analysis::Session::Type::kStoreOnly);
+  const auto retrieve_bins = analysis::SessionSizeByOpCount(
+      sessions, analysis::Session::Type::kRetrieveOnly);
+  print_bins("(b) store-only session volume", store_bins);
+  print_bins("(c) retrieve-only session volume", retrieve_bins);
+
+  // Linear coefficient of the store-only relationship.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const auto& b : store_bins) {
+    if (b.sessions < 5) continue;
+    xs.push_back(static_cast<double>(b.file_ops));
+    ys.push_back(b.avg_mb);
+  }
+  std::printf("\nHeadline observations:\n");
+  if (xs.size() >= 2) {
+    const LinearFit fit = FitLinear(xs, ys);
+    bench::PaperVsMeasured("store volume slope (MB/file, ~1.5)",
+                           paper::kStoreLinearCoefficientMB, fit.slope,
+                           "MB/file");
+  }
+  for (const auto& b : retrieve_bins) {
+    if (b.file_ops == 1) {
+      bench::PaperVsMeasured("avg volume of 1-file retrieve sessions (~70)",
+                             paper::kRetrieveSingleFileAvgMB, b.avg_mb, "MB");
+      bench::PaperVsMeasured("  ... average exceeds p75 (1 = yes)", 1.0,
+                             b.avg_mb > b.p75_mb ? 1.0 : 0.0);
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 6 + Table 2 — CCDF of the per-session average file size for
+// store-only and retrieve-only sessions, the mixture-exponential model
+// selection (components added until a weight falls below 0.001), the fitted
+// α/µ parameters against Table 2, and the chi-square goodness of fit.
+#include "bench_util.h"
+
+#include "analysis/file_size_model.h"
+#include "analysis/session_stats.h"
+#include "analysis/sessionizer.h"
+#include "model/paper_params.h"
+#include "trace/filters.h"
+
+namespace {
+
+void Run(const char* name, std::span<const double> sizes,
+         const mcloud::paper::MixtureExpParams& paper_params) {
+  using namespace mcloud;
+  std::printf("\n--- %s sessions (%zu samples) ---\n", name, sizes.size());
+  const auto model = analysis::FitFileSizeModel(sizes);
+
+  std::printf("selected n = %zu components (stop rule: negligible added "
+              "weight / overlapping means)\n",
+              model.selection.selected_n);
+  const auto& comps = model.selection.fit.mixture.components();
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    std::printf("  component %zu: alpha=%.3f mu=%.1f MB\n", i + 1,
+                comps[i].weight, comps[i].mean);
+  }
+  std::printf("  paper (Table 2):");
+  for (std::size_t i = 0; i < paper_params.weights.size(); ++i) {
+    std::printf("  alpha=%.2f mu=%.1f MB", paper_params.weights[i],
+                paper_params.means_mb[i]);
+  }
+  std::printf("\n  (the extra sub-1 MB component is the synthetic "
+              "occasional class; the paper's\n  three regimes map onto the "
+              "remaining components)\n");
+  if (model.chi_square_valid) {
+    std::printf("chi-square: stat=%.1f dof=%.0f p=%.3f (paper: passes at "
+                "5%% significance)\n",
+                model.chi_square.statistic, model.chi_square.dof,
+                model.chi_square.p_value);
+  } else {
+    std::printf("chi-square: skipped (sample too small)\n");
+  }
+
+  std::printf("CCDF (empirical vs model), log-spaced sizes:\n");
+  std::printf("  %10s  %10s  %10s\n", "MB", "empirical", "model");
+  for (std::size_t i = 0; i < model.grid_mb.size(); i += 4) {
+    std::printf("  %10.3g  %10.4g  %10.4g\n", model.grid_mb[i],
+                model.empirical_ccdf[i], model.model_ccdf[i]);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcloud;
+  bench::Header("Figure 6 / Table 2",
+                "mixture-exponential models of per-session avg file size");
+  const auto w = bench::StandardWorkload(argc, argv);
+  const auto sessions =
+      analysis::Sessionizer().Sessionize(MobileOnly(w.trace));
+
+  const auto store_sizes = analysis::AvgFileSizeSample(
+      sessions, analysis::Session::Type::kStoreOnly);
+  const auto retrieve_sizes = analysis::AvgFileSizeSample(
+      sessions, analysis::Session::Type::kRetrieveOnly);
+
+  Run("store-only", store_sizes, paper::kStoreFileSizeParams);
+  Run("retrieve-only", retrieve_sizes, paper::kRetrieveFileSizeParams);
+
+  std::printf("\nNote: the synthetic occasional-user class (volume < 1 MB, "
+              "Table 3) contributes a\nsmall-payload regime that the EM "
+              "resolves as extra sub-1.5MB structure in the\nstore model; "
+              "see EXPERIMENTS.md for the discussion.\n");
+  return 0;
+}

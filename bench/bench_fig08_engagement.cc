@@ -1,0 +1,42 @@
+// Figure 8 — User engagement: of the users active on the first observation
+// day, the fraction active again on each following day, per device-profile
+// group. Paper: a bimodal pattern — users either return within a day or two
+// or stay away all week; about half of single-device users never return,
+// under 20% of multi-device users.
+#include "bench_util.h"
+
+#include "analysis/engagement.h"
+#include "analysis/sessionizer.h"
+#include "model/paper_params.h"
+
+int main(int argc, char** argv) {
+  using namespace mcloud;
+  bench::Header("Figure 8", "user engagement: returns after the first day");
+  const auto w = bench::StandardWorkload(argc, argv);
+  const auto sessions = analysis::Sessionizer().Sessionize(w.trace);
+  const auto usage = analysis::BuildUserUsage(w.trace);
+  const auto curves = analysis::ReturnCurves(sessions, usage, kTraceStart);
+
+  std::printf("\nfraction of day-1 users active on day x:\n");
+  std::printf("  %-16s %8s", "group", "users");
+  for (int d = 1; d <= 6; ++d) std::printf("  day %d", d);
+  std::printf("   >6 (never)\n");
+  for (const auto& c : curves) {
+    std::printf("  %-16s %8zu",
+                std::string(analysis::ToString(c.group)).c_str(),
+                c.day1_users);
+    for (double v : c.active_on_day) std::printf("  %5.2f", v);
+    std::printf("   %5.2f\n", c.never_returned);
+  }
+
+  std::printf("\nHeadline observations:\n");
+  bench::PaperVsMeasured("1-device never-return share (~0.5)",
+                         paper::kSingleDeviceNoReturnShare,
+                         curves[0].never_returned);
+  bench::PaperVsMeasured(">1-device never-return share (<0.2)",
+                         paper::kMultiDeviceNoReturnShare,
+                         curves[1].never_returned);
+  bench::PaperVsMeasured("mobile&PC never-return share (<0.2)", 0.15,
+                         curves[3].never_returned);
+  return 0;
+}

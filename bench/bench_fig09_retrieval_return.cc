@@ -1,0 +1,47 @@
+// Figure 9 — Upper bound on uploads being retrieved: of the users with a
+// storage session on the first day, the cumulative fraction with any later
+// retrieval session by day x, per device-profile group. Paper: >80% of
+// mobile-only uploaders never retrieve within the week regardless of device
+// count; mobile&PC users retrieve soon, often the same day.
+#include "bench_util.h"
+
+#include "analysis/engagement.h"
+#include "analysis/sessionizer.h"
+#include "model/paper_params.h"
+
+int main(int argc, char** argv) {
+  using namespace mcloud;
+  bench::Header("Figure 9",
+                "probability of retrieving after a first-day upload");
+  const auto w = bench::StandardWorkload(argc, argv);
+  const auto sessions = analysis::Sessionizer().Sessionize(w.trace);
+  const auto usage = analysis::BuildUserUsage(w.trace);
+  const auto curves =
+      analysis::RetrievalReturns(sessions, usage, kTraceStart);
+
+  std::printf("\ncumulative P(retrieval by day x | upload on day 1):\n");
+  std::printf("  %-16s %9s", "group", "uploaders");
+  for (int d = 0; d <= 6; ++d) std::printf("  day %d", d);
+  std::printf("   never\n");
+  for (const auto& c : curves) {
+    std::printf("  %-16s %9zu",
+                std::string(analysis::ToString(c.group)).c_str(),
+                c.day1_uploaders);
+    for (double v : c.retrieved_by_day) std::printf("  %5.2f", v);
+    std::printf("   %5.2f\n", c.never_retrieved);
+  }
+
+  std::printf("\nHeadline observations:\n");
+  bench::PaperVsMeasured("mobile-only (1 dev) never-retrieve (~0.8+)",
+                         paper::kMobileOnlyNoRetrievalShare,
+                         curves[0].never_retrieved);
+  bench::PaperVsMeasured("mobile-only (>1 dev) never-retrieve (~0.8)",
+                         paper::kMobileOnlyNoRetrievalShare,
+                         curves[1].never_retrieved);
+  std::printf("  %-46s measured=%.2f (paper: far below mobile-only, "
+              "same-day sync visible)\n",
+              "mobile&PC never-retrieve", curves[3].never_retrieved);
+  std::printf("\nImplication: most uploads can be deferred off-peak — see "
+              "bench_whatif_deferral.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 10 — Rank distribution of per-user stored (a) and retrieved (b)
+// file counts: the stretched-exponential fit (store c=0.2, retrieve c=0.15,
+// R² ≈ 0.999) versus the power-law model the paper rejects.
+#include "bench_util.h"
+
+#include "analysis/activity_model.h"
+#include "stats/bootstrap.h"
+#include "analysis/usage_patterns.h"
+#include "model/paper_params.h"
+#include "trace/filters.h"
+
+namespace {
+
+void Run(const char* name, const mcloud::analysis::ActivityModelResult& r,
+         const mcloud::paper::SeParams& paper_params) {
+  using namespace mcloud;
+  std::printf("\n--- %s activity (%zu active users) ---\n", name,
+              r.active_users);
+
+  std::printf("rank curve (log-spaced ranks) vs SE model:\n");
+  std::printf("  %8s %12s %12s\n", "rank", "data", "SE fit");
+  for (std::size_t rank = 1; rank <= r.ranked.size();
+       rank = rank < 4 ? rank + 1 : rank * 3) {
+    std::printf("  %8zu %12.0f %12.1f\n", rank, r.ranked[rank - 1],
+                StretchedExponentialRankValue(r.se, rank));
+  }
+
+  // Bootstrap 95% confidence intervals for the fitted SE parameters.
+  std::vector<double> counts(r.ranked.begin(), r.ranked.end());
+  const auto cis = BootstrapPercentileCi(
+      counts,
+      [](std::span<const double> sample) {
+        const auto fit = FitStretchedExponentialRank(sample);
+        return std::vector<double>{fit.c, fit.a};
+      },
+      100, 0.95, 7);
+  std::printf("  %-46s paper=%-10.4g measured=%-10.4g [%.2f, %.2f] 95%% CI\n",
+              "stretch factor c", paper_params.c, r.se.c, cis[0].lo,
+              cis[0].hi);
+  std::printf("  %-46s paper=%-10.4g measured=%-10.4g [%.2f, %.2f] 95%% CI\n",
+              "slope a (= x0^c)", paper_params.a, r.se.a, cis[1].lo,
+              cis[1].hi);
+  std::printf("  %-46s paper=%-10.4g measured=%-10.4g (population-size "
+              "dependent)\n",
+              "intercept b", paper_params.b, r.se.b);
+  bench::PaperVsMeasured("SE R^2", paper_params.r2, r.se.r_squared);
+  std::printf("  %-46s measured=%.4f  ->  SE wins: %s\n",
+              "power-law R^2 (rejected model)", r.power_law.r_squared,
+              r.se.r_squared > r.power_law.r_squared ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcloud;
+  bench::Header("Figure 10",
+                "stretched-exponential user activity vs power law");
+  // The retrieve-side fit needs >= ~3000 active retrievers to escape
+  // small-sample bias in the stretch factor, hence the larger default
+  // population for this bench.
+  auto cfg = bench::StandardConfig(argc, argv);
+  if (argc <= 1) cfg.population.mobile_users = 20000;
+  std::printf("# workload: %zu mobile users, seed %llu\n",
+              cfg.population.mobile_users,
+              static_cast<unsigned long long>(cfg.seed));
+  const auto w = workload::WorkloadGenerator(cfg).Generate();
+  const auto usage = analysis::BuildUserUsage(MobileOnly(w.trace));
+
+  Run("stored-files", analysis::FitActivity(usage, Direction::kStore),
+      paper::kStoreActivitySe);
+  Run("retrieved-files", analysis::FitActivity(usage, Direction::kRetrieve),
+      paper::kRetrieveActivitySe);
+
+  std::printf("\nImplication: the SE law means \"core\" users dominate less "
+              "than a power law\nwould predict — caching/prefetching must "
+              "cover more users (Table 4).\n");
+  return 0;
+}

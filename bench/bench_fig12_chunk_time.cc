@@ -1,0 +1,49 @@
+// Figure 12 — CDF of the time to upload (a) / download (b) one chunk
+// (t_tran = T_chunk − T_srv), by device type. Paper: median upload 1.6 s on
+// iOS vs 4.1 s on Android; the retrieval gap is smaller.
+#include "bench_util.h"
+
+#include "analysis/perf_analysis.h"
+#include "model/paper_params.h"
+
+int main(int argc, char** argv) {
+  using namespace mcloud;
+  bench::Header("Figure 12", "per-chunk transfer time by device type");
+  const auto result = bench::Section4Result(argc, argv);
+
+  const auto grid = LinGrid(0.0, 20.0, 21);
+  std::printf("\n(a) storage (upload) time per chunk\n");
+  const auto android_up = analysis::PerfTransferTimes(
+      result.chunk_perf, DeviceType::kAndroid, Direction::kStore);
+  const auto ios_up = analysis::PerfTransferTimes(
+      result.chunk_perf, DeviceType::kIos, Direction::kStore);
+  bench::PrintCdf("Android", android_up, grid, "s");
+  bench::PrintCdf("iOS", ios_up, grid, "s");
+
+  std::printf("\n(b) retrieval (download) time per chunk\n");
+  const auto android_down = analysis::PerfTransferTimes(
+      result.chunk_perf, DeviceType::kAndroid, Direction::kRetrieve);
+  const auto ios_down = analysis::PerfTransferTimes(
+      result.chunk_perf, DeviceType::kIos, Direction::kRetrieve);
+  bench::PrintCdf("Android", android_down, grid, "s");
+  bench::PrintCdf("iOS", ios_down, grid, "s");
+
+  std::printf("\nHeadline observations:\n");
+  bench::PaperVsMeasured("median Android upload chunk (s)",
+                         paper::kMedianUploadTimeAndroid,
+                         Percentile(android_up, 50), "s");
+  bench::PaperVsMeasured("median iOS upload chunk (s)",
+                         paper::kMedianUploadTimeIos,
+                         Percentile(ios_up, 50), "s");
+  bench::PaperVsMeasured(
+      "Android/iOS upload slowdown (~2.6x)",
+      paper::kMedianUploadTimeAndroid / paper::kMedianUploadTimeIos,
+      Percentile(android_up, 50) / Percentile(ios_up, 50), "x");
+  bench::PaperVsMeasured(
+      "retrieval gap smaller than upload gap (1 = yes)", 1.0,
+      (Percentile(android_down, 50) / Percentile(ios_down, 50) <
+       Percentile(android_up, 50) / Percentile(ios_up, 50))
+          ? 1.0
+          : 0.0);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 13 — Sequence number (a) and in-flight size (b) over time for one
+// Android and one iOS storage flow uploading the same file. Paper: the iPad
+// holds its ~64 KB sending window across chunks while the Android pad idles
+// between chunks, restarts slow start, and repeatedly collapses its
+// in-flight size.
+#include "bench_util.h"
+
+#include "cloud/storage_service.h"
+
+int main(int argc, char** argv) {
+  using namespace mcloud;
+  bench::Header("Figure 13",
+                "sequence number and in-flight size of one storage flow");
+
+  const Bytes file_size =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) * kMiB : 4 * kMiB;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+  std::printf("# one %.0f MB upload per device, identical RTT=100ms, "
+              "seed %llu\n",
+              ToMB(file_size), static_cast<unsigned long long>(seed));
+
+  const cloud::StorageService service{cloud::ServiceConfig{}};
+  const auto android = service.SimulateFlow(
+      DeviceType::kAndroid, Direction::kStore, file_size, seed, 0.1);
+  const auto ios = service.SimulateFlow(DeviceType::kIos, Direction::kStore,
+                                        file_size, seed, 0.1);
+
+  const auto print_trace = [](const char* name,
+                              const tcp::FlowResult& flow) {
+    std::printf("\n%s flow: duration=%.1fs, slow-start restarts=%llu\n",
+                name, flow.duration,
+                static_cast<unsigned long long>(flow.restarts));
+    std::printf("  %8s %12s %12s\n", "t (s)", "seq (bytes)", "inflight");
+    // Subsample the trace to ~40 lines.
+    const std::size_t step = std::max<std::size_t>(1, flow.trace.size() / 40);
+    for (std::size_t i = 0; i < flow.trace.size(); i += step) {
+      const auto& p = flow.trace[i];
+      std::printf("  %8.2f %12llu %12llu\n", p.t,
+                  static_cast<unsigned long long>(p.seq),
+                  static_cast<unsigned long long>(p.inflight));
+    }
+  };
+  print_trace("iOS (iPad)", ios);
+  print_trace("Android (pad)", android);
+
+  std::printf("\nHeadline observations:\n");
+  bench::PaperVsMeasured("Android slower than iOS (ratio > 1)", 2.0,
+                         android.duration / ios.duration, "x");
+  bench::PaperVsMeasured("Android restarts >> iOS restarts", 3.0,
+                         ios.restarts > 0 ? static_cast<double>(
+                                                android.restarts) /
+                                                static_cast<double>(
+                                                    ios.restarts)
+                                          : static_cast<double>(
+                                                android.restarts),
+                         "x");
+  // The 64 KB cap: neither flow's inflight exceeds the server's window.
+  Bytes max_inflight = 0;
+  for (const auto& p : android.trace)
+    max_inflight = std::max(max_inflight, p.inflight);
+  for (const auto& p : ios.trace)
+    max_inflight = std::max(max_inflight, p.inflight);
+  bench::PaperVsMeasured("max inflight (bytes; 64KB rwnd cap)",
+                         static_cast<double>(64 * kKiB),
+                         static_cast<double>(max_inflight), "B");
+  return 0;
+}

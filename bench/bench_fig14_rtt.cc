@@ -1,0 +1,22 @@
+// Figure 14 — CDF of the average RTT measured on chunk-carrying TCP
+// connections. Paper: median around 100 ms with a heavy tail into seconds.
+#include "bench_util.h"
+
+#include "analysis/perf_analysis.h"
+#include "model/paper_params.h"
+
+int main(int argc, char** argv) {
+  using namespace mcloud;
+  bench::Header("Figure 14", "RTT of chunk transfers");
+  const auto result = bench::Section4Result(argc, argv);
+
+  const auto rtts = analysis::RttSamples(result.logs);
+  const auto grid = LogGrid(0.01, 10.0, 16);
+  bench::PrintCdf("chunk RTT", rtts, grid, "s");
+  bench::PrintPercentiles("chunk RTT", rtts, "s");
+
+  std::printf("\nHeadline observations:\n");
+  bench::PaperVsMeasured("median RTT (s)", paper::kMedianRtt,
+                         Percentile(rtts, 50), "s");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 15 — Distribution of the estimated average sending window of
+// storage flows, swnd = reqsize·RTT/t_tran. Paper: the distribution is
+// bounded by — and concentrates toward — the 64 KB receive window that the
+// front-ends advertise with window scaling disabled.
+#include "bench_util.h"
+
+#include "analysis/perf_analysis.h"
+#include "model/paper_params.h"
+#include "util/histogram.h"
+
+int main(int argc, char** argv) {
+  using namespace mcloud;
+  bench::Header("Figure 15", "estimated sending window of storage flows");
+  const auto result = bench::Section4Result(argc, argv);
+
+  const auto swnd = analysis::SendingWindowEstimates(result.logs);
+  std::printf("\nprobability distribution over log-spaced window sizes:\n");
+  Histogram hist(std::log2(1024.0), std::log2(128.0 * 1024), 28);
+  for (double s : swnd) {
+    if (s > 0) hist.Add(std::log2(s));
+  }
+  for (std::size_t i = 0; i < hist.bins(); ++i) {
+    const double kb = std::pow(2.0, hist.BinCenter(i)) / 1024.0;
+    const int bar = static_cast<int>(hist.Fraction(i) * 300);
+    std::printf("  %7.1f KB %7.4f |%s\n", kb, hist.Fraction(i),
+                std::string(static_cast<std::size_t>(bar), '#').c_str());
+  }
+
+  bench::PrintPercentiles("swnd (bytes)", swnd, "B");
+  std::printf("\nHeadline observations:\n");
+  std::size_t above_cap = 0;
+  for (double s : swnd) {
+    if (s > static_cast<double>(paper::kServerReceiveWindow) * 1.1)
+      ++above_cap;
+  }
+  bench::PaperVsMeasured(
+      "share of estimates above the 64KB cap (~0)", 0.0,
+      swnd.empty() ? 0.0
+                   : static_cast<double>(above_cap) /
+                         static_cast<double>(swnd.size()));
+  bench::PaperVsMeasured("p99 swnd vs 64KB cap (bytes)",
+                         static_cast<double>(paper::kServerReceiveWindow),
+                         Percentile(swnd, 99), "B");
+  std::printf("\nNote: the estimator divides by t_tran, which includes "
+              "Android's client-side\nstalls, so the bulk of the mass sits "
+              "below the cap; the upper edge of the\ndistribution pinning "
+              "at 64KB is the fingerprint of the disabled window\nscaling "
+              "(compare bench_whatif_chunking's window-scaling scenario).\n");
+  return 0;
+}

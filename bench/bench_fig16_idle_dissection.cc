@@ -1,0 +1,82 @@
+// Figure 16 — Dissecting the idle time between consecutive chunks:
+// (a) T_clt / T_srv CDFs for storage flows, (b) for retrieval flows,
+// (c) CDF of idle/RTO. Paper: T_srv ≈ 100 ms regardless of device; Android
+// T_clt is far larger; ~60% of Android storage gaps exceed the RTO and
+// restart slow start, vs ~18% on iOS.
+#include "bench_util.h"
+
+#include "analysis/perf_analysis.h"
+#include "model/paper_params.h"
+
+int main(int argc, char** argv) {
+  using namespace mcloud;
+  bench::Header("Figure 16", "idle time between chunks: T_clt, T_srv, RTO");
+  const auto result = bench::Section4Result(argc, argv);
+  const auto& perf = result.chunk_perf;
+
+  const auto grid = LogGrid(0.001, 30.0, 14);
+  for (auto [dir, title] :
+       {std::pair{Direction::kStore, "(a) storage flows"},
+        std::pair{Direction::kRetrieve, "(b) retrieval flows"}}) {
+    std::printf("\n%s\n", title);
+    bench::PrintCdf("android T_clt",
+                    analysis::TcltSamples(perf, DeviceType::kAndroid, dir),
+                    grid, "s");
+    bench::PrintCdf("iOS T_clt",
+                    analysis::TcltSamples(perf, DeviceType::kIos, dir), grid,
+                    "s");
+    bench::PrintCdf("android T_srv",
+                    analysis::TsrvSamples(perf, DeviceType::kAndroid, dir),
+                    grid, "s");
+    bench::PrintCdf("iOS T_srv",
+                    analysis::TsrvSamples(perf, DeviceType::kIos, dir), grid,
+                    "s");
+  }
+
+  std::printf("\n(c) idle time / RTO\n");
+  const auto ratio_grid = LinGrid(0.0, 5.0, 21);
+  bench::PrintCdf("android storage",
+                  analysis::IdleToRtoRatios(perf, DeviceType::kAndroid,
+                                            Direction::kStore),
+                  ratio_grid, "idle/RTO");
+  bench::PrintCdf("iOS storage",
+                  analysis::IdleToRtoRatios(perf, DeviceType::kIos,
+                                            Direction::kStore),
+                  ratio_grid, "idle/RTO");
+  bench::PrintCdf("android retrieval",
+                  analysis::IdleToRtoRatios(perf, DeviceType::kAndroid,
+                                            Direction::kRetrieve),
+                  ratio_grid, "idle/RTO");
+  bench::PrintCdf("iOS retrieval",
+                  analysis::IdleToRtoRatios(perf, DeviceType::kIos,
+                                            Direction::kRetrieve),
+                  ratio_grid, "idle/RTO");
+
+  std::printf("\nHeadline observations:\n");
+  bench::PaperVsMeasured(
+      "Android storage gaps restarting slow start",
+      paper::kAndroidIdleOverRtoShare,
+      analysis::SlowStartRestartShare(perf, DeviceType::kAndroid,
+                                      Direction::kStore));
+  bench::PaperVsMeasured(
+      "iOS storage gaps restarting slow start",
+      paper::kIosIdleOverRtoShare,
+      analysis::SlowStartRestartShare(perf, DeviceType::kIos,
+                                      Direction::kStore));
+  const auto srv_a = analysis::TsrvSamples(perf, DeviceType::kAndroid,
+                                           Direction::kStore);
+  const auto srv_i =
+      analysis::TsrvSamples(perf, DeviceType::kIos, Direction::kStore);
+  bench::PaperVsMeasured("median T_srv Android (device-blind, ~0.1)",
+                         paper::kMedianServerTime, Percentile(srv_a, 50),
+                         "s");
+  bench::PaperVsMeasured("median T_srv iOS (device-blind, ~0.1)",
+                         paper::kMedianServerTime, Percentile(srv_i, 50),
+                         "s");
+  const auto clt_a = analysis::TcltSamples(perf, DeviceType::kAndroid,
+                                           Direction::kRetrieve);
+  bench::PaperVsMeasured("Android retrieval T_clt p90 (~1s)",
+                         paper::kAndroidRetrievalP90Tclt,
+                         Percentile(clt_a, 90), "s");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark): throughput of the building blocks —
+// MD5 hashing, log (de)serialization, sessionization, workload generation,
+// EM fitting, and the TCP flow simulator.
+#include <benchmark/benchmark.h>
+
+#include "analysis/sessionizer.h"
+#include "cloud/chunker.h"
+#include "stats/em_gaussian.h"
+#include "tcp/flow.h"
+#include "trace/log_io.h"
+#include "util/md5.h"
+#include "workload/generator.h"
+
+namespace mcloud {
+namespace {
+
+void BM_Md5Hash(benchmark::State& state) {
+  const std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Md5::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Md5Hash)->Arg(512)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_ChunkerManifest(benchmark::State& state) {
+  const cloud::Chunker chunker;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        chunker.Manifest(seed++, static_cast<Bytes>(state.range(0))));
+  }
+}
+BENCHMARK(BM_ChunkerManifest)->Arg(1 << 20)->Arg(64 << 20);
+
+void BM_CsvRoundTrip(benchmark::State& state) {
+  LogRecord r;
+  r.timestamp = kTraceStart;
+  r.user_id = 123456;
+  r.device_id = 654321;
+  r.data_volume = kChunkSize;
+  r.processing_time = 1.234567;
+  r.server_time = 0.1;
+  r.avg_rtt = 0.089;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FromCsvLine(ToCsvLine(r)));
+  }
+}
+BENCHMARK(BM_CsvRoundTrip);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  workload::WorkloadConfig cfg;
+  cfg.population.mobile_users = static_cast<std::size_t>(state.range(0));
+  cfg.population.pc_only_users = cfg.population.mobile_users / 3;
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    cfg.seed++;
+    const auto w = workload::WorkloadGenerator(cfg).Generate();
+    records += w.trace.size();
+    benchmark::DoNotOptimize(w.trace.data());
+  }
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(records), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WorkloadGeneration)->Arg(500)->Arg(2000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_Sessionize(benchmark::State& state) {
+  workload::WorkloadConfig cfg;
+  cfg.population.mobile_users = 2000;
+  const auto w = workload::WorkloadGenerator(cfg).Generate();
+  const analysis::Sessionizer sessionizer;
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sessionizer.Sessionize(w.trace));
+    records += w.trace.size();
+  }
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(records), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Sessionize)->Unit(benchmark::kMillisecond);
+
+void BM_EmGaussian(benchmark::State& state) {
+  Rng rng(1);
+  const GaussianMixture truth({{0.8, 0.5, 0.5}, {0.2, 4.9, 0.5}});
+  std::vector<double> xs;
+  for (std::int64_t i = 0; i < state.range(0); ++i)
+    xs.push_back(truth.Sample(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitGaussianMixture(xs, 2));
+  }
+}
+BENCHMARK(BM_EmGaussian)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_TcpFlow(benchmark::State& state) {
+  tcp::FlowConfig cfg;
+  cfg.rtt = 0.1;
+  cfg.bandwidth_bps = 16e6;
+  const tcp::FlowSimulator sim(cfg);
+  const std::vector<Bytes> chunks(
+      static_cast<std::size_t>(state.range(0)), kChunkSize);
+  const auto tsrv = [](Rng&) { return 0.1; };
+  const auto tclt = [](Rng&) { return 0.3; };
+  Rng rng(2);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Run(chunks, tsrv, tclt, {}, rng));
+    bytes += chunks.size() * kChunkSize;
+  }
+  state.counters["simulated_B/s"] = benchmark::Counter(
+      static_cast<double>(bytes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TcpFlow)->Arg(8)->Arg(128);
+
+}  // namespace
+}  // namespace mcloud
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Table 3 — The four user classes (occasional / upload-only / download-only
+// / mixed) per device profile: user shares and their shares of stored and
+// retrieved volume.
+#include "bench_util.h"
+
+#include "analysis/usage_patterns.h"
+#include "model/paper_params.h"
+
+namespace {
+
+struct PaperColumn {
+  const char* name;
+  double occ, up, down, mixed;          // user shares
+  double up_store, down_retrieve;       // headline volume shares
+};
+
+void PrintColumn(const mcloud::analysis::UserTypeColumn& col,
+                 const PaperColumn& paper_col) {
+  using mcloud::paper::UserClass;
+  static const char* kNames[] = {"occasional", "upload-only",
+                                 "download-only", "mixed"};
+  std::printf("\n%s column (%zu users):\n", paper_col.name, col.users);
+  std::printf("  %-14s %10s %10s %10s %10s\n", "class", "users",
+              "paper", "store v.", "retr. v.");
+  const double paper_shares[] = {paper_col.occ, paper_col.up, paper_col.down,
+                                 paper_col.mixed};
+  for (std::size_t k :
+       {static_cast<std::size_t>(UserClass::kOccasional),
+        static_cast<std::size_t>(UserClass::kUploadOnly),
+        static_cast<std::size_t>(UserClass::kDownloadOnly),
+        static_cast<std::size_t>(UserClass::kMixed)}) {
+    std::printf("  %-14s %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n", kNames[k],
+                100 * col.user_share[k], 100 * paper_shares[k],
+                100 * col.store_share[k], 100 * col.retrieve_share[k]);
+  }
+  const auto up = static_cast<std::size_t>(UserClass::kUploadOnly);
+  const auto down = static_cast<std::size_t>(UserClass::kDownloadOnly);
+  mcloud::bench::PaperVsMeasured("upload-only share of store volume",
+                                 paper_col.up_store, col.store_share[up]);
+  mcloud::bench::PaperVsMeasured("download-only share of retrieve volume",
+                                 paper_col.down_retrieve,
+                                 col.retrieve_share[down]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcloud;
+  bench::Header("Table 3", "user classes per device profile");
+  const auto w = bench::StandardWorkload(argc, argv);
+  const auto usage = analysis::BuildUserUsage(w.trace);
+
+  PrintColumn(analysis::BuildUserTypeColumn(
+                  usage, analysis::DeviceProfile::kMobileOnly),
+              {"mobile only", paper::kMobileOccasionalShare,
+               paper::kMobileUploadOnlyShare, paper::kMobileDownloadOnlyShare,
+               paper::kMobileMixedShare, paper::kMobileUploadOnlyStoreVolume,
+               paper::kMobileDownloadOnlyRetrieveVolume});
+  PrintColumn(analysis::BuildUserTypeColumn(
+                  usage, analysis::DeviceProfile::kMobileAndPc),
+              {"mobile & PC", paper::kBothOccasionalShare,
+               paper::kBothUploadOnlyShare, paper::kBothDownloadOnlyShare,
+               paper::kBothMixedShare, 0.813, 0.665});
+  PrintColumn(analysis::BuildUserTypeColumn(usage,
+                                            analysis::DeviceProfile::kPcOnly),
+              {"PC only", paper::kPcOccasionalShare,
+               paper::kPcUploadOnlyShare, paper::kPcDownloadOnlyShare,
+               paper::kPcMixedShare, 0.748, 0.755});
+  return 0;
+}

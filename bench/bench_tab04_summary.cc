@@ -1,0 +1,15 @@
+// Table 4 — Summary of major findings and implications: the full §3
+// analysis pipeline over a generated week, rendered as the paper-vs-measured
+// findings report.
+#include "bench_util.h"
+
+#include "core/report.h"
+
+int main(int argc, char** argv) {
+  using namespace mcloud;
+  bench::Header("Table 4", "summary of major findings and implications");
+  const auto w = bench::StandardWorkload(argc, argv);
+  const core::FullReport report = core::AnalysisPipeline().Run(w.trace);
+  std::fputs(core::RenderFindings(report).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// §3.2.2 implication — "smart auto backup": defer evening uploads of users
+// who will not retrieve them into the early-morning trough, and measure the
+// storage-load peak reduction.
+#include "bench_util.h"
+
+#include "core/deferral.h"
+
+int main(int argc, char** argv) {
+  using namespace mcloud;
+  bench::Header("§3.2.2 what-if",
+                "smart auto backup: deferring evening uploads");
+  const auto w = bench::StandardWorkload(argc, argv);
+
+  const auto run = [&](const char* name, const core::DeferralPolicy& p) {
+    const auto r = core::SimulateDeferral(w.trace, p, kTraceStart);
+    std::printf("  %-44s peak %6.2f -> %6.2f GB/h  (%+5.1f%%), deferred "
+                "%4.1f%% of volume (%llu chunks)\n",
+                name, r.peak_before_gb, r.peak_after_gb,
+                -100 * r.peak_reduction, 100 * r.deferred_share,
+                static_cast<unsigned long long>(r.deferred_chunks));
+    return r;
+  };
+
+  std::printf("\nhourly storage load before/after (policy: defer 19-24h "
+              "uploads of non-retrievers\nto 1-8h next morning):\n");
+  core::DeferralPolicy standard;
+  const auto result = core::SimulateDeferral(w.trace, standard, kTraceStart);
+  std::printf("  %-10s %12s %12s\n", "hour", "before GB", "after GB");
+  for (std::size_t i = 0; i < result.before.hours.size() && i < 48; i += 2) {
+    std::printf("  %-3s %02d:00  %12.2f %12.2f\n",
+                DayLabel(static_cast<int>(i) / 24).c_str(),
+                static_cast<int>(i) % 24, result.before.hours[i].store_volume_gb,
+                result.after.hours[i].store_volume_gb);
+  }
+
+  std::printf("\npolicy comparison:\n");
+  run("standard (non-retrievers, full opt-in)", standard);
+
+  core::DeferralPolicy half;
+  half.opt_in = 0.5;
+  run("50% opt-in", half);
+
+  core::DeferralPolicy aggressive;
+  aggressive.only_non_retrievers = false;
+  run("defer everyone (QoE risk: same-week readers)", aggressive);
+
+  core::DeferralPolicy narrow;
+  narrow.defer_begin_hour = 3;
+  narrow.defer_end_hour = 5;
+  run("narrow 3-5h window (re-peaks in the morning)", narrow);
+
+  std::printf("\nPaper's argument: ~80%% of mobile uploaders never retrieve "
+              "within the week\n(Fig 9), so deferral is safe for most uploads "
+              "and cuts the provisioning peak.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Transfer tuner — an app developer's view of §4.
+//
+// Given a device type and a file size, run the upload through the simulated
+// service under each §4.3 optimization (bigger chunks, batching, server
+// window scaling, SSAI off) and report what actually helps. This is the
+// "should we change our chunk size?" question the paper answers for the
+// provider, as a runnable tool.
+//
+//   ./transfer_tuner [android|ios] [file_mb]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/whatif.h"
+
+int main(int argc, char** argv) {
+  using namespace mcloud;
+
+  core::WhatIfConfig config;
+  config.device = (argc > 1 && std::strcmp(argv[1], "ios") == 0)
+                      ? DeviceType::kIos
+                      : DeviceType::kAndroid;
+  config.file_size =
+      (argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 12) * kMiB;
+  config.flows = 250;
+
+  std::printf("Tuning uploads of a %.0f MB file from an %s device "
+              "(%zu simulated flows per scenario)...\n\n",
+              ToMB(config.file_size),
+              config.device == DeviceType::kIos ? "iOS" : "Android",
+              config.flows);
+
+  const auto outcomes = core::RunWhatIf(config, core::StandardScenarios());
+  const double baseline = outcomes.front().median_file_time;
+
+  std::printf("%-44s %10s %9s %10s %9s\n", "scenario", "median s",
+              "speedup", "restarts", "Mbps");
+  for (const auto& o : outcomes) {
+    std::printf("%-44s %10.2f %8.2fx %9.0f%% %9.2f\n", o.name.c_str(),
+                o.median_file_time, baseline / o.median_file_time,
+                100 * o.restart_share, o.goodput_mbps);
+  }
+
+  std::printf("\nReading the table (paper §4.3):\n"
+              " * larger chunks / batching shrink the number of inter-chunk "
+              "idles, the main\n   Android penalty;\n"
+              " * window scaling lifts the server's 64 KB cap and helps "
+              "every device;\n"
+              " * disabling slow-start-after-idle removes restarts but "
+              "risks post-idle\n   bursts — the paper recommends pacing "
+              "instead.\n");
+  return 0;
+}

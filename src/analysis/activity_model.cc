@@ -1,0 +1,35 @@
+#include "analysis/activity_model.h"
+
+#include <algorithm>
+
+namespace mcloud::analysis {
+
+ActivityModelResult FitActivity(std::span<const UserUsage> usage,
+                                Direction direction) {
+  std::vector<double> counts;
+  counts.reserve(usage.size());
+  for (const UserUsage& u : usage) {
+    const auto c = (direction == Direction::kStore) ? u.stored_files
+                                                    : u.retrieved_files;
+    if (c > 0) counts.push_back(static_cast<double>(c));
+  }
+
+  ActivityModelResult result;
+  result.active_users = counts.size();
+  result.se = FitStretchedExponentialRank(counts);
+  result.power_law = FitPowerLawRank(counts);
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  result.ranked = std::move(counts);
+  return result;
+}
+
+std::vector<double> SePredictedCurve(const StretchedExponentialFit& fit,
+                                     std::span<const std::size_t> ranks) {
+  std::vector<double> out;
+  out.reserve(ranks.size());
+  for (std::size_t r : ranks)
+    out.push_back(StretchedExponentialRankValue(fit, r));
+  return out;
+}
+
+}  // namespace mcloud::analysis

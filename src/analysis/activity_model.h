@@ -1,0 +1,32 @@
+// User activity modeling (§3.2.3, Fig 10): rank users by the number of
+// stored (retrieved) files, fit the stretched-exponential rank law, and
+// compare against the power law the paper rejects.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/usage_patterns.h"
+#include "stats/stretched_exponential.h"
+
+namespace mcloud::analysis {
+
+struct ActivityModelResult {
+  StretchedExponentialFit se;    ///< the paper's model
+  LinearFit power_law;           ///< log-log comparison fit
+  std::size_t active_users = 0;  ///< users with a positive count
+  /// Ranked positive activity values, descending (Fig 10's blue series).
+  std::vector<double> ranked;
+};
+
+/// Fit both models to per-user stored (direction = kStore) or retrieved
+/// file counts.
+[[nodiscard]] ActivityModelResult FitActivity(
+    std::span<const UserUsage> usage, Direction direction);
+
+/// The SE model's predicted rank curve on selected ranks, for printing
+/// alongside the data (Fig 10's red dashed line).
+[[nodiscard]] std::vector<double> SePredictedCurve(
+    const StretchedExponentialFit& fit, std::span<const std::size_t> ranks);
+
+}  // namespace mcloud::analysis

@@ -1,0 +1,35 @@
+#include "analysis/burstiness.h"
+
+namespace mcloud::analysis {
+
+std::vector<BurstinessGroup> NormalizedOperatingTimes(
+    std::span<const Session> sessions,
+    std::span<const std::size_t> group_mins) {
+  std::vector<BurstinessGroup> groups;
+  groups.reserve(group_mins.size());
+  for (std::size_t m : group_mins)
+    groups.push_back(BurstinessGroup{m, {}});
+
+  for (const Session& s : sessions) {
+    const std::size_t ops = s.FileOps();
+    const Seconds length = s.Length();
+    if (length <= 0) continue;
+    const double normalized = s.OperatingTime() / length;
+    for (auto& g : groups) {
+      if (ops > g.min_ops_exclusive) g.normalized_times.push_back(normalized);
+    }
+  }
+  return groups;
+}
+
+double FractionBelow(const BurstinessGroup& group, double bound) {
+  if (group.normalized_times.empty()) return 0;
+  std::size_t below = 0;
+  for (double v : group.normalized_times) {
+    if (v < bound) ++below;
+  }
+  return static_cast<double>(below) /
+         static_cast<double>(group.normalized_times.size());
+}
+
+}  // namespace mcloud::analysis

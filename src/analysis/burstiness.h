@@ -1,0 +1,30 @@
+// Burstiness within sessions (§3.1.2, Fig 4): users issue all file
+// operations at the beginning of a session, then wait for the transfers.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "analysis/sessionizer.h"
+
+namespace mcloud::analysis {
+
+struct BurstinessGroup {
+  std::size_t min_ops_exclusive = 1;     ///< group = sessions with > this
+  std::vector<double> normalized_times;  ///< operating time / session length
+};
+
+/// Normalized user-operating-time samples for the Fig 4 op-count groups
+/// (> 1, > 10, > 20 by default). Sessions of zero length are skipped.
+[[nodiscard]] std::vector<BurstinessGroup> NormalizedOperatingTimes(
+    std::span<const Session> sessions,
+    std::span<const std::size_t> group_mins = std::array<std::size_t, 3>{
+        1, 10, 20});
+
+/// Fraction of a group's sessions with normalized operating time below
+/// `bound` (the paper's ">80% below 0.1" headline).
+[[nodiscard]] double FractionBelow(const BurstinessGroup& group,
+                                   double bound);
+
+}  // namespace mcloud::analysis

@@ -1,0 +1,143 @@
+#include "analysis/engagement.h"
+
+#include <unordered_map>
+
+#include "util/error.h"
+#include "util/timeutil.h"
+
+namespace mcloud::analysis {
+namespace {
+
+bool InGroup(const UserUsage& u, EngagementGroup g) {
+  switch (g) {
+    case EngagementGroup::kOneDevice:
+      return u.MobileOnly() && u.mobile_devices == 1;
+    case EngagementGroup::kMultiDevice:
+      return u.MobileOnly() && u.mobile_devices > 1;
+    case EngagementGroup::kThreePlusDevice:
+      return u.MobileOnly() && u.mobile_devices > 2;
+    case EngagementGroup::kMobileAndPc:
+      return u.MobileAndPc();
+  }
+  throw Error("invalid EngagementGroup");
+}
+
+}  // namespace
+
+std::string_view ToString(EngagementGroup g) {
+  switch (g) {
+    case EngagementGroup::kOneDevice:
+      return "1 mobile dev";
+    case EngagementGroup::kMultiDevice:
+      return ">1 mobile dev";
+    case EngagementGroup::kThreePlusDevice:
+      return ">2 mobile dev";
+    case EngagementGroup::kMobileAndPc:
+      return "mobile & PC";
+  }
+  throw Error("invalid EngagementGroup");
+}
+
+std::vector<EngagementCurve> ReturnCurves(std::span<const Session> sessions,
+                                          std::span<const UserUsage> usage,
+                                          UnixSeconds trace_start, int days) {
+  MCLOUD_REQUIRE(days >= 2, "need at least two days");
+
+  // Per-user bitmap of active days.
+  std::unordered_map<std::uint64_t, std::uint32_t> active_days;
+  for (const Session& s : sessions) {
+    const int day = DayIndex(s.begin, trace_start);
+    if (day >= 0 && day < days)
+      active_days[s.user_id] |= (1u << day);
+  }
+
+  std::vector<EngagementCurve> out;
+  for (EngagementGroup g : kEngagementGroups) {
+    EngagementCurve curve;
+    curve.group = g;
+    curve.active_on_day.assign(static_cast<std::size_t>(days) - 1, 0.0);
+    std::size_t never = 0;
+
+    for (const UserUsage& u : usage) {
+      if (!InGroup(u, g)) continue;
+      const auto it = active_days.find(u.user_id);
+      if (it == active_days.end() || !(it->second & 1u)) continue;
+      ++curve.day1_users;
+      bool returned = false;
+      for (int d = 1; d < days; ++d) {
+        if (it->second & (1u << d)) {
+          curve.active_on_day[static_cast<std::size_t>(d) - 1] += 1.0;
+          returned = true;
+        }
+      }
+      if (!returned) ++never;
+    }
+    if (curve.day1_users > 0) {
+      for (auto& v : curve.active_on_day)
+        v /= static_cast<double>(curve.day1_users);
+      curve.never_returned =
+          static_cast<double>(never) / static_cast<double>(curve.day1_users);
+    }
+    out.push_back(std::move(curve));
+  }
+  return out;
+}
+
+std::vector<RetrievalReturnCurve> RetrievalReturns(
+    std::span<const Session> sessions, std::span<const UserUsage> usage,
+    UnixSeconds trace_start, int days) {
+  MCLOUD_REQUIRE(days >= 1, "need at least one day");
+
+  // For each user: did they upload on day 0, and what is the day of the
+  // first retrieval session at or after that upload?
+  struct UploaderState {
+    bool uploaded_day1 = false;
+    UnixSeconds first_upload = 0;
+    int first_retrieval_day = -1;  // relative to trace start
+  };
+  std::unordered_map<std::uint64_t, UploaderState> state;
+
+  for (const Session& s : sessions) {
+    const int day = DayIndex(s.begin, trace_start);
+    if (day < 0 || day >= days) continue;
+    auto& st = state[s.user_id];
+    if (day == 0 && s.store_ops > 0 && !st.uploaded_day1) {
+      st.uploaded_day1 = true;
+      st.first_upload = s.begin;
+    }
+    // Any retrieval session after the first-day upload counts toward the
+    // upper bound (the dataset cannot link retrievals to specific files).
+    if (s.retrieve_ops > 0 && st.uploaded_day1 &&
+        s.begin >= st.first_upload && st.first_retrieval_day < 0) {
+      st.first_retrieval_day = day;
+    }
+  }
+
+  std::vector<RetrievalReturnCurve> out;
+  for (EngagementGroup g : kEngagementGroups) {
+    RetrievalReturnCurve curve;
+    curve.group = g;
+    curve.retrieved_by_day.assign(static_cast<std::size_t>(days), 0.0);
+
+    for (const UserUsage& u : usage) {
+      if (!InGroup(u, g)) continue;
+      const auto it = state.find(u.user_id);
+      if (it == state.end() || !it->second.uploaded_day1) continue;
+      ++curve.day1_uploaders;
+      const int rd = it->second.first_retrieval_day;
+      if (rd >= 0) {
+        for (int d = rd; d < days; ++d)
+          curve.retrieved_by_day[static_cast<std::size_t>(d)] += 1.0;
+      }
+    }
+    if (curve.day1_uploaders > 0) {
+      for (auto& v : curve.retrieved_by_day)
+        v /= static_cast<double>(curve.day1_uploaders);
+      curve.never_retrieved = 1.0 - curve.retrieved_by_day.back();
+    }
+    out.push_back(std::move(curve));
+  }
+  return out;
+}
+
+}  // namespace mcloud::analysis

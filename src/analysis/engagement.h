@@ -1,0 +1,58 @@
+// User engagement (§3.2.2, Fig 8 and Fig 9): of the users active on the
+// first observation day, who comes back, when, and do uploaders ever return
+// to retrieve what they stored?
+#pragma once
+
+#include <array>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "analysis/sessionizer.h"
+#include "analysis/usage_patterns.h"
+
+namespace mcloud::analysis {
+
+/// User grouping of Fig 8/9: mobile-only by device count, and mobile&PC.
+enum class EngagementGroup {
+  kOneDevice,        ///< mobile-only, exactly 1 device
+  kMultiDevice,      ///< mobile-only, > 1 device
+  kThreePlusDevice,  ///< mobile-only, > 2 devices
+  kMobileAndPc,
+};
+inline constexpr std::array<EngagementGroup, 4> kEngagementGroups = {
+    EngagementGroup::kOneDevice, EngagementGroup::kMultiDevice,
+    EngagementGroup::kThreePlusDevice, EngagementGroup::kMobileAndPc};
+
+[[nodiscard]] std::string_view ToString(EngagementGroup g);
+
+struct EngagementCurve {
+  EngagementGroup group{};
+  std::size_t day1_users = 0;        ///< users active on the first day
+  /// index d (1-based days after the first day, 1..days-1): fraction of
+  /// day-1 users with any session on that day (Fig 8's bars).
+  std::vector<double> active_on_day;
+  double never_returned = 0;         ///< Fig 8's ">6" bar
+};
+
+/// Fig 8: per-group return curves. `days` is the observation length.
+[[nodiscard]] std::vector<EngagementCurve> ReturnCurves(
+    std::span<const Session> sessions, std::span<const UserUsage> usage,
+    UnixSeconds trace_start, int days = 7);
+
+struct RetrievalReturnCurve {
+  EngagementGroup group{};
+  std::size_t day1_uploaders = 0;  ///< users with a store session on day 1
+  /// index d (0-based days after the first day, 0..days-1): fraction of
+  /// day-1 uploaders whose first later retrieval session happens on day d
+  /// or earlier — the cumulative upper bound of Fig 9.
+  std::vector<double> retrieved_by_day;
+  double never_retrieved = 0;
+};
+
+/// Fig 9: upper bound on uploaders returning to retrieve, per group.
+[[nodiscard]] std::vector<RetrievalReturnCurve> RetrievalReturns(
+    std::span<const Session> sessions, std::span<const UserUsage> usage,
+    UnixSeconds trace_start, int days = 7);
+
+}  // namespace mcloud::analysis

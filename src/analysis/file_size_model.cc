@@ -1,0 +1,50 @@
+#include "analysis/file_size_model.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/summary.h"
+
+namespace mcloud::analysis {
+
+FileSizeModel FitFileSizeModel(std::span<const double> avg_sizes_mb,
+                               const FileSizeModelOptions& options) {
+  MCLOUD_REQUIRE(!avg_sizes_mb.empty(), "no sizes to fit");
+
+  FileSizeModel out;
+  out.selection = SelectMixtureExponential(
+      avg_sizes_mb, options.max_components, options.weight_floor);
+
+  const MixtureExponential& mixture = out.selection.fit.mixture;
+  const std::size_t n_params = 2 * mixture.size() - 1;  // α's + µ's, Σα = 1
+
+  const auto cdf = [&mixture](double x) { return mixture.Cdf(x); };
+  double hi = *std::max_element(avg_sizes_mb.begin(), avg_sizes_mb.end());
+  const auto quantile = [&](double q) {
+    return InvertCdf(cdf, q, 0.0, std::max(hi * 4.0, 1.0));
+  };
+  // Scale the bin count down for small samples (>= 5 expected per bin);
+  // below ~10 usable bins the test carries no power and is skipped.
+  const std::size_t bins =
+      std::min<std::size_t>(options.chi_square_bins, avg_sizes_mb.size() / 50);
+  if (bins > n_params + 1 && bins >= 10) {
+    out.chi_square =
+        ChiSquareGoodnessOfFit(avg_sizes_mb, cdf, quantile, bins, n_params);
+    out.chi_square_valid = true;
+  }
+
+  // Fig 6 series: empirical vs model CCDF on a log grid.
+  const Ecdf ecdf(std::vector<double>(avg_sizes_mb.begin(),
+                                      avg_sizes_mb.end()));
+  const double lo = std::max(ecdf.sorted().front(), 1e-3);
+  out.grid_mb = LogGrid(lo, hi, options.grid_points);
+  out.empirical_ccdf.reserve(out.grid_mb.size());
+  out.model_ccdf.reserve(out.grid_mb.size());
+  for (double x : out.grid_mb) {
+    out.empirical_ccdf.push_back(ecdf.Ccdf(x));
+    out.model_ccdf.push_back(mixture.Ccdf(x));
+  }
+  return out;
+}
+
+}  // namespace mcloud::analysis

@@ -1,0 +1,40 @@
+// Average-file-size modeling (§3.1.4, Fig 6, Table 2): fit mixture-
+// exponential models to the per-session average file size of store-only and
+// retrieve-only sessions, with the paper's model-selection loop and
+// chi-square validation.
+#pragma once
+
+#include <span>
+
+#include "stats/chi_square.h"
+#include "stats/em_exponential.h"
+
+namespace mcloud::analysis {
+
+struct FileSizeModel {
+  MixtureSelection selection;     ///< EM fit with the selected n
+  ChiSquareResult chi_square;     ///< GoF of the selected model
+  bool chi_square_valid = false;  ///< false when the sample is too small
+  /// CCDF of the fitted model on a log grid, paired with the empirical CCDF
+  /// (the two series of Fig 6).
+  std::vector<double> grid_mb;
+  std::vector<double> empirical_ccdf;
+  std::vector<double> model_ccdf;
+};
+
+struct FileSizeModelOptions {
+  std::size_t max_components = 6;
+  /// Stop threshold for added-component weight. The paper uses α < 0.001;
+  /// 0.002 additionally absorbs the boundary-weight phantom component the
+  /// synthetic data sometimes admits.
+  double weight_floor = 2e-3;
+  std::size_t chi_square_bins = 40;
+  std::size_t grid_points = 48;
+};
+
+/// Fit the full Fig 6 pipeline to per-session average file sizes (MB).
+[[nodiscard]] FileSizeModel FitFileSizeModel(
+    std::span<const double> avg_sizes_mb,
+    const FileSizeModelOptions& options = {});
+
+}  // namespace mcloud::analysis

@@ -1,0 +1,71 @@
+#include "analysis/interval_model.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/error.h"
+
+namespace mcloud::analysis {
+
+double MixtureCrossover(const GaussianMixture& mixture) {
+  MCLOUD_REQUIRE(mixture.size() == 2, "crossover needs exactly 2 components");
+  const auto& lo = mixture.components()[0];
+  const auto& hi = mixture.components()[1];
+  MCLOUD_REQUIRE(lo.mean < hi.mean, "components must be ordered by mean");
+
+  // Bisection on the responsibility of component 0 between the two means.
+  double a = lo.mean;
+  double b = hi.mean;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (a + b);
+    if (mixture.Responsibility(0, mid) > 0.5) {
+      a = mid;
+    } else {
+      b = mid;
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+IntervalModel FitIntervalModel(std::span<const double> intervals_seconds,
+                               const IntervalModelOptions& options) {
+  MCLOUD_REQUIRE(!intervals_seconds.empty(), "no intervals to model");
+
+  // Log timestamps are quantized to one second (Table 1); de-quantize with
+  // uniform jitter before taking logs, or the point mass at exactly 1 s
+  // collapses an EM component into a zero-variance singularity.
+  Rng rng(0x1f1f1f);
+  std::vector<double> log_intervals;
+  log_intervals.reserve(intervals_seconds.size());
+  for (double s : intervals_seconds) {
+    if (s <= 0) continue;
+    const double dequantized =
+        s >= 1.0 ? std::max(0.5, s + rng.Uniform(-0.5, 0.5)) : s;
+    log_intervals.push_back(std::log10(dequantized));
+  }
+  if (log_intervals.size() < 10)
+    throw FitError("too few positive intervals for the Fig 3 pipeline");
+
+  IntervalModel model{
+      Histogram(options.log10_min, options.log10_max,
+                options.histogram_bins),
+      {}, 0, 0, 0, 0};
+  for (double x : log_intervals) model.log10_histogram.Add(x);
+
+  // Valley → τ.
+  const std::size_t valley = model.log10_histogram.DeepestValley();
+  if (valley < model.log10_histogram.bins()) {
+    model.valley_tau =
+        std::pow(10.0, model.log10_histogram.BinCenter(valley));
+  }
+
+  // Two-component GMM over log10 intervals.
+  model.gmm = FitGaussianMixture(log_intervals, 2);
+  const auto& comps = model.gmm.mixture.components();
+  model.intra_mean_seconds = std::pow(10.0, comps[0].mean);
+  model.inter_mean_seconds = std::pow(10.0, comps[1].mean);
+  model.gmm_tau = std::pow(10.0, MixtureCrossover(model.gmm.mixture));
+  return model;
+}
+
+}  // namespace mcloud::analysis

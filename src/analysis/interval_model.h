@@ -1,0 +1,46 @@
+// Inter-operation interval modeling (§3.1.1, Fig 3).
+//
+// The paper histograms the log10 of inter-file-operation times, finds a
+// valley near the 1-hour mark, fits a two-component Gaussian mixture (one
+// intra-session, one inter-session component), and sets τ = 1 h. This module
+// packages that pipeline: histogram → valley → GMM fit → τ.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/em_gaussian.h"
+#include "util/histogram.h"
+#include "util/units.h"
+
+namespace mcloud::analysis {
+
+struct IntervalModel {
+  Histogram log10_histogram;       ///< Fig 3's bars
+  GaussianMixtureFit gmm;          ///< two components over log10 seconds
+  Seconds valley_tau = 0;          ///< τ from the histogram valley
+  Seconds gmm_tau = 0;             ///< τ where both components are equally
+                                   ///< likely (crossover point)
+  /// Component means converted back to seconds (geometric means).
+  Seconds intra_mean_seconds = 0;
+  Seconds inter_mean_seconds = 0;
+};
+
+struct IntervalModelOptions {
+  std::size_t histogram_bins = 60;
+  double log10_min = 0.0;   ///< 1 second
+  double log10_max = 6.0;   ///< ~11.6 days
+};
+
+/// Fit the full Fig 3 pipeline on raw inter-op intervals (seconds).
+[[nodiscard]] IntervalModel FitIntervalModel(
+    std::span<const double> intervals_seconds,
+    const IntervalModelOptions& options = {});
+
+/// Crossover point of a two-component mixture: the x where the weighted
+/// densities of the two components are equal (between their means). This is
+/// the paper's argument that the 1-hour mark "is equally likely to be within
+/// the two components".
+[[nodiscard]] double MixtureCrossover(const GaussianMixture& mixture);
+
+}  // namespace mcloud::analysis

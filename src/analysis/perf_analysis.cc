@@ -1,0 +1,104 @@
+#include "analysis/perf_analysis.h"
+
+namespace mcloud::analysis {
+namespace {
+
+bool IsChunk(const LogRecord& r) {
+  return r.request_type == RequestType::kChunkRequest && !r.proxied;
+}
+
+bool Matches(const cloud::ChunkPerf& p, DeviceType device,
+             Direction direction) {
+  return !p.proxied && p.device == device && p.direction == direction;
+}
+
+}  // namespace
+
+std::vector<double> ChunkTransferTimes(std::span<const LogRecord> trace,
+                                       DeviceType device,
+                                       Direction direction) {
+  std::vector<double> out;
+  for (const LogRecord& r : trace) {
+    if (!IsChunk(r)) continue;
+    if (r.device_type != device || r.direction != direction) continue;
+    const double ttran = r.processing_time - r.server_time;
+    if (ttran > 0) out.push_back(ttran);
+  }
+  return out;
+}
+
+std::vector<double> RttSamples(std::span<const LogRecord> trace) {
+  std::vector<double> out;
+  for (const LogRecord& r : trace) {
+    if (!IsChunk(r) || !r.IsMobile()) continue;
+    if (r.avg_rtt > 0) out.push_back(r.avg_rtt);
+  }
+  return out;
+}
+
+std::vector<double> SendingWindowEstimates(std::span<const LogRecord> trace) {
+  std::vector<double> out;
+  for (const LogRecord& r : trace) {
+    if (!IsChunk(r) || !r.IsMobile()) continue;
+    if (r.direction != Direction::kStore) continue;
+    const double ttran = r.processing_time - r.server_time;
+    if (ttran <= 0 || r.avg_rtt <= 0 || r.data_volume == 0) continue;
+    out.push_back(static_cast<double>(r.data_volume) * r.avg_rtt / ttran);
+  }
+  return out;
+}
+
+std::vector<double> TcltSamples(std::span<const cloud::ChunkPerf> perf,
+                                DeviceType device, Direction direction) {
+  std::vector<double> out;
+  for (const auto& p : perf) {
+    if (Matches(p, device, direction)) out.push_back(p.tclt);
+  }
+  return out;
+}
+
+std::vector<double> TsrvSamples(std::span<const cloud::ChunkPerf> perf,
+                                DeviceType device, Direction direction) {
+  std::vector<double> out;
+  for (const auto& p : perf) {
+    if (Matches(p, device, direction)) out.push_back(p.tsrv);
+  }
+  return out;
+}
+
+std::vector<double> IdleToRtoRatios(std::span<const cloud::ChunkPerf> perf,
+                                    DeviceType device, Direction direction) {
+  std::vector<double> out;
+  for (const auto& p : perf) {
+    if (!Matches(p, device, direction)) continue;
+    if (p.idle_before <= 0 || p.rto_at_idle <= 0) continue;
+    out.push_back(p.idle_before / p.rto_at_idle);
+  }
+  return out;
+}
+
+double SlowStartRestartShare(std::span<const cloud::ChunkPerf> perf,
+                             DeviceType device, Direction direction) {
+  std::size_t gaps = 0;
+  std::size_t restarts = 0;
+  for (const auto& p : perf) {
+    if (!Matches(p, device, direction)) continue;
+    if (p.idle_before <= 0) continue;
+    ++gaps;
+    if (p.restarted) ++restarts;
+  }
+  return gaps ? static_cast<double>(restarts) / static_cast<double>(gaps) : 0;
+}
+
+std::vector<double> PerfTransferTimes(std::span<const cloud::ChunkPerf> perf,
+                                      DeviceType device,
+                                      Direction direction) {
+  std::vector<double> out;
+  for (const auto& p : perf) {
+    if (Matches(p, device, direction) && p.ttran > 0)
+      out.push_back(p.ttran);
+  }
+  return out;
+}
+
+}  // namespace mcloud::analysis

@@ -1,0 +1,63 @@
+// Data-transmission performance analysis (§4, Fig 12–16).
+//
+// Two input sources, mirroring the paper's methodology:
+//   * HTTP request logs (Table 1 fields) — chunk transfer times, RTTs, and
+//     the sending-window estimate swnd = reqsize·RTT/t_tran (Fig 12/14/15).
+//     Proxied requests are excluded, as in the paper.
+//   * Per-chunk performance samples from the service simulator (the
+//     packet-trace stand-in) — T_srv/T_clt dissection and idle/RTO ratios
+//     (Fig 16).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cloud/storage_service.h"
+#include "trace/log_record.h"
+
+namespace mcloud::analysis {
+
+/// t_tran = T_chunk − T_srv samples (seconds) for chunk requests of one
+/// device type and direction, proxied requests excluded.
+[[nodiscard]] std::vector<double> ChunkTransferTimes(
+    std::span<const LogRecord> trace, DeviceType device, Direction direction);
+
+/// Per-chunk-request average RTT samples (seconds), unproxied mobile chunk
+/// requests (Fig 14).
+[[nodiscard]] std::vector<double> RttSamples(std::span<const LogRecord> trace);
+
+/// Estimated average sending window swnd = reqsize·RTT/t_tran (bytes) of
+/// storage chunk requests (Fig 15). Requests with degenerate timing are
+/// skipped.
+[[nodiscard]] std::vector<double> SendingWindowEstimates(
+    std::span<const LogRecord> trace);
+
+// --- ChunkPerf-based dissection (Fig 16) ---------------------------------
+
+[[nodiscard]] std::vector<double> TcltSamples(
+    std::span<const cloud::ChunkPerf> perf, DeviceType device,
+    Direction direction);
+
+[[nodiscard]] std::vector<double> TsrvSamples(
+    std::span<const cloud::ChunkPerf> perf, DeviceType device,
+    Direction direction);
+
+/// idle/RTO ratios for inter-chunk gaps (first chunks of a connection,
+/// which have no preceding gap, are excluded) — Fig 16c's x-axis.
+[[nodiscard]] std::vector<double> IdleToRtoRatios(
+    std::span<const cloud::ChunkPerf> perf, DeviceType device,
+    Direction direction);
+
+/// Fraction of inter-chunk gaps that exceeded the RTO and restarted slow
+/// start (the paper's 60% Android vs 18% iOS headline).
+[[nodiscard]] double SlowStartRestartShare(
+    std::span<const cloud::ChunkPerf> perf, DeviceType device,
+    Direction direction);
+
+/// Transfer-time samples straight from ChunkPerf (used when the §4 benches
+/// bypass log round-tripping).
+[[nodiscard]] std::vector<double> PerfTransferTimes(
+    std::span<const cloud::ChunkPerf> perf, DeviceType device,
+    Direction direction);
+
+}  // namespace mcloud::analysis

@@ -1,0 +1,81 @@
+#include "analysis/session_stats.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/summary.h"
+#include "util/units.h"
+
+namespace mcloud::analysis {
+
+SessionTypeSplit ClassifySessions(std::span<const Session> sessions) {
+  SessionTypeSplit split;
+  split.total = sessions.size();
+  for (const Session& s : sessions) {
+    switch (s.SessionType()) {
+      case Session::Type::kStoreOnly:
+        ++split.store_only;
+        break;
+      case Session::Type::kRetrieveOnly:
+        ++split.retrieve_only;
+        break;
+      case Session::Type::kMixed:
+        ++split.mixed;
+        break;
+    }
+  }
+  return split;
+}
+
+std::vector<SessionSizeBin> SessionSizeByOpCount(
+    std::span<const Session> sessions, Session::Type type,
+    std::size_t max_ops) {
+  std::map<std::size_t, std::vector<double>> bins;
+  for (const Session& s : sessions) {
+    if (s.SessionType() != type) continue;
+    const std::size_t ops = s.FileOps();
+    if (ops == 0 || ops > max_ops) continue;
+    bins[ops].push_back(ToMB(s.Volume()));
+  }
+
+  std::vector<SessionSizeBin> out;
+  out.reserve(bins.size());
+  const std::array<double, 3> cuts = {25.0, 50.0, 75.0};
+  for (auto& [ops, volumes] : bins) {
+    SessionSizeBin bin;
+    bin.file_ops = ops;
+    bin.sessions = volumes.size();
+    double sum = 0;
+    for (double v : volumes) sum += v;
+    bin.avg_mb = sum / static_cast<double>(volumes.size());
+    const auto pct = Percentiles(volumes, cuts);
+    bin.p25_mb = pct[0];
+    bin.median_mb = pct[1];
+    bin.p75_mb = pct[2];
+    out.push_back(bin);
+  }
+  return out;
+}
+
+std::vector<double> OpCountSample(std::span<const Session> sessions,
+                                  Session::Type type) {
+  std::vector<double> out;
+  for (const Session& s : sessions) {
+    if (s.SessionType() == type && s.FileOps() > 0)
+      out.push_back(static_cast<double>(s.FileOps()));
+  }
+  return out;
+}
+
+std::vector<double> AvgFileSizeSample(std::span<const Session> sessions,
+                                      Session::Type type) {
+  std::vector<double> out;
+  for (const Session& s : sessions) {
+    if (s.SessionType() != type) continue;
+    if (s.FileOps() == 0 || s.Volume() == 0) continue;
+    out.push_back(ToMB(s.Volume()) / static_cast<double>(s.FileOps()));
+  }
+  return out;
+}
+
+}  // namespace mcloud::analysis

@@ -1,0 +1,49 @@
+#include "cloud/cache.h"
+
+#include "util/error.h"
+
+namespace mcloud::cloud {
+
+LruByteCache::LruByteCache(Bytes capacity) : capacity_(capacity) {
+  MCLOUD_REQUIRE(capacity > 0, "cache capacity must be positive");
+}
+
+bool LruByteCache::Contains(const Md5Digest& key) const {
+  return map_.find(key) != map_.end();
+}
+
+void LruByteCache::EvictUntilFits(Bytes needed) {
+  while (used_ + needed > capacity_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    used_ -= victim.size;
+    map_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+bool LruByteCache::Access(const Md5Digest& key, Bytes size) {
+  MCLOUD_REQUIRE(size > 0, "object size must be positive");
+  ++stats_.lookups;
+  stats_.bytes_requested += size;
+
+  if (const auto it = map_.find(key); it != map_.end()) {
+    ++stats_.hits;
+    stats_.bytes_hit += size;
+    // Move to the front (most recently used).
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+
+  // Miss: read-through admission, unless the object cannot fit at all.
+  if (size <= capacity_) {
+    EvictUntilFits(size);
+    lru_.push_front(Entry{key, size});
+    map_[key] = lru_.begin();
+    used_ += size;
+    ++stats_.insertions;
+  }
+  return false;
+}
+
+}  // namespace mcloud::cloud

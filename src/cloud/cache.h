@@ -1,0 +1,72 @@
+// LRU object cache — the "web cache proxy" of the paper's §3.1.4
+// implication: a considerable fraction of retrievals hit popular shared
+// content (videos, packages distributed by URL), so a front-end cache can
+// absorb much of the retrieval load before it reaches the storage servers.
+//
+// Capacity is tracked in bytes (objects are whole files); eviction is strict
+// LRU. The cache is deliberately storage-agnostic: keys are content hashes,
+// values are sizes — replaying a retrieval stream through it answers the
+// provisioning question "how large a cache buys how much egress?".
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "util/md5.h"
+#include "util/units.h"
+
+namespace mcloud::cloud {
+
+struct CacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  Bytes bytes_requested = 0;
+  Bytes bytes_hit = 0;  ///< egress served from cache
+
+  [[nodiscard]] double HitRatio() const {
+    return lookups ? static_cast<double>(hits) / lookups : 0.0;
+  }
+  [[nodiscard]] double ByteHitRatio() const {
+    return bytes_requested
+               ? static_cast<double>(bytes_hit) / bytes_requested
+               : 0.0;
+  }
+};
+
+class LruByteCache {
+ public:
+  /// `capacity` — total bytes the cache may hold. Objects larger than the
+  /// capacity are never admitted.
+  explicit LruByteCache(Bytes capacity);
+
+  /// Look up `key`; on a miss, admit it with `size` bytes (evicting LRU
+  /// entries as needed). Returns true on a hit. This fetch-on-miss
+  /// behaviour matches a read-through proxy.
+  bool Access(const Md5Digest& key, Bytes size);
+
+  /// Look up without admitting.
+  [[nodiscard]] bool Contains(const Md5Digest& key) const;
+
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  [[nodiscard]] Bytes used() const { return used_; }
+  [[nodiscard]] std::size_t ObjectCount() const { return map_.size(); }
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    Md5Digest key;
+    Bytes size;
+  };
+  void EvictUntilFits(Bytes needed);
+
+  Bytes capacity_;
+  Bytes used_ = 0;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<Md5Digest, std::list<Entry>::iterator> map_;
+  CacheStats stats_;
+};
+
+}  // namespace mcloud::cloud

@@ -1,0 +1,54 @@
+#include "cloud/chunker.h"
+
+#include "tcp/flow.h"
+#include "util/error.h"
+
+namespace mcloud::cloud {
+namespace {
+
+void UpdateU64(Md5& h, std::uint64_t v) {
+  std::array<std::uint8_t, 8> bytes;
+  for (std::size_t i = 0; i < 8; ++i)
+    bytes[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+  h.Update(std::span<const std::uint8_t>(bytes));
+}
+
+}  // namespace
+
+Chunker::Chunker(Bytes chunk_size) : chunk_size_(chunk_size) {
+  MCLOUD_REQUIRE(chunk_size > 0, "chunk size must be positive");
+}
+
+std::size_t Chunker::ChunkCount(Bytes file_size) const {
+  MCLOUD_REQUIRE(file_size > 0, "file size must be positive");
+  return static_cast<std::size_t>((file_size + chunk_size_ - 1) /
+                                  chunk_size_);
+}
+
+FileManifest Chunker::Manifest(std::uint64_t content_seed,
+                               Bytes file_size) const {
+  FileManifest m;
+  m.size = file_size;
+
+  std::uint32_t index = 0;
+  for (Bytes chunk : tcp::SplitIntoChunks(file_size, chunk_size_)) {
+    Md5 h;
+    h.Update("mcloud-chunk");
+    UpdateU64(h, content_seed);
+    UpdateU64(h, index);
+    UpdateU64(h, chunk);
+    m.chunks.push_back(ChunkInfo{index, chunk, h.Finalize()});
+    ++index;
+  }
+
+  // File MD5: hash of the content identity plus total size (equivalent to
+  // hashing the full content, given the synthetic content model).
+  Md5 h;
+  h.Update("mcloud-file");
+  UpdateU64(h, content_seed);
+  UpdateU64(h, file_size);
+  m.file_md5 = h.Finalize();
+  return m;
+}
+
+}  // namespace mcloud::cloud

@@ -1,0 +1,49 @@
+// File chunking and content identity (§2.1).
+//
+// The service splits files into fixed 512 KB chunks; every chunk and file is
+// identified by an MD5 hash of its content. The trace carries no real bytes,
+// so content identity is synthesized: a file is (content_seed, size), and
+// its chunk hashes are MD5 over (content_seed, chunk_index, chunk_size).
+// Files sharing a content_seed — popular videos shared by URL — hash
+// identically everywhere, which is exactly what the metadata server's
+// deduplication needs to work against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/md5.h"
+#include "util/units.h"
+
+namespace mcloud::cloud {
+
+struct ChunkInfo {
+  std::uint32_t index = 0;
+  Bytes size = 0;
+  Md5Digest md5;
+};
+
+struct FileManifest {
+  Md5Digest file_md5;
+  Bytes size = 0;
+  std::vector<ChunkInfo> chunks;
+};
+
+class Chunker {
+ public:
+  explicit Chunker(Bytes chunk_size = kChunkSize);
+
+  [[nodiscard]] Bytes chunk_size() const { return chunk_size_; }
+
+  /// Build the manifest the client sends in its file storage operation
+  /// request: file MD5, chunk count, and per-chunk MD5s.
+  [[nodiscard]] FileManifest Manifest(std::uint64_t content_seed,
+                                      Bytes file_size) const;
+
+  [[nodiscard]] std::size_t ChunkCount(Bytes file_size) const;
+
+ private:
+  Bytes chunk_size_;
+};
+
+}  // namespace mcloud::cloud

@@ -1,0 +1,61 @@
+#include "cloud/client_model.h"
+
+#include <cmath>
+
+#include "model/paper_params.h"
+#include "util/error.h"
+
+namespace mcloud::cloud {
+
+double LogNormalSpec::Sample(Rng& rng) const {
+  return rng.LogNormal(std::log(median), sigma);
+}
+
+double LogNormalSpec::Mean() const {
+  return median * std::exp(sigma * sigma / 2.0);
+}
+
+ClientBehavior BehaviorFor(DeviceType device) {
+  ClientBehavior b;
+  switch (device) {
+    case DeviceType::kAndroid:
+      // Calibrated so that (T_srv + T_clt + RTT) exceeds the RTO for ~60%
+      // of upload gaps (Fig 16c) and the median upload chunk takes ~4.1 s
+      // (Fig 12a) through stall-induced throttling.
+      b.store_tclt = {0.140, 0.85};
+      b.retrieve_tclt = {0.100, 1.80};  // p90 ≈ 1 s (Fig 16b)
+      b.stall_block = 64 * kKiB;
+      b.stall_duration = {0.240, 0.75};
+      b.retrieve_stall_block = 256 * kKiB;
+      b.retrieve_stall_duration = {0.150, 0.80};
+      b.receive_window = paper::kAndroidReceiveWindow;  // 4 MB
+      b.uplink_bps = {16.0e6, 0.60};
+      b.downlink_bps = {20.0e6, 0.60};
+      return b;
+    case DeviceType::kIos:
+      // iOS idles exceed the RTO for only ~18% of upload gaps; chunks
+      // stream with negligible mid-chunk pauses (median upload ≈ 1.6 s).
+      b.store_tclt = {0.045, 0.60};
+      b.retrieve_tclt = {0.060, 0.45};
+      b.stall_block = 64 * kKiB;
+      b.stall_duration = {0.060, 0.55};
+      b.receive_window = paper::kIosReceiveWindow;  // 2 MB
+      b.uplink_bps = {16.0e6, 0.60};
+      b.downlink_bps = {20.0e6, 0.60};
+      return b;
+    case DeviceType::kPc:
+      b.store_tclt = {0.050, 0.50};
+      b.retrieve_tclt = {0.030, 0.40};
+      b.stall_block = 0;
+      b.stall_duration = {0.0, 0.1};
+      b.receive_window = 4 * kMiB;
+      b.uplink_bps = {25.0e6, 0.40};
+      b.downlink_bps = {40.0e6, 0.40};
+      return b;
+  }
+  throw Error("invalid DeviceType");
+}
+
+LogNormalSpec MobileRttSpec() { return {paper::kMedianRtt, 0.90}; }
+
+}  // namespace mcloud::cloud

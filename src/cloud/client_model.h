@@ -1,0 +1,69 @@
+// Device-type client behaviour models (§4).
+//
+// The paper's active measurements (Samsung Pad vs iPad Air2) localize the
+// Android/iOS performance gap at the client: Android spends far longer
+// preparing chunks (T_clt) and pauses mid-transfer (the collapsing in-flight
+// sizes of Fig 13b), so its inter-chunk idles exceed the RTO for ~60% of
+// gaps and slow-start restarts throttle every following chunk. These models
+// parameterize exactly that: per-direction T_clt distributions, intra-chunk
+// stall behaviour, receive windows, and access-link rates.
+//
+// Servers do NOT distinguish device types (§4.1): T_srv and the server's
+// 64 KB receive window are device-independent, and live here only because
+// the client model is the convenient bundle the simulator consumes.
+#pragma once
+
+#include "tcp/flow.h"
+#include "trace/log_record.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace mcloud::cloud {
+
+/// Lognormal described by its median and sigma (of the underlying normal).
+struct LogNormalSpec {
+  double median = 0.1;
+  double sigma = 0.5;
+
+  [[nodiscard]] double Sample(Rng& rng) const;
+  [[nodiscard]] double Mean() const;
+};
+
+struct ClientBehavior {
+  /// T_clt before the next upload chunk (prepare + re-read + app overhead).
+  LogNormalSpec store_tclt;
+  /// T_clt after a downloaded chunk (decode/write before requesting more).
+  LogNormalSpec retrieve_tclt;
+  /// Intra-chunk upload stalls: the sending app pauses roughly every
+  /// `stall_block` bytes for a sampled duration (0 block = no stalls).
+  Bytes stall_block = 0;
+  LogNormalSpec stall_duration;
+  /// Receive-side stalls while downloading (slow readers close the window,
+  /// which pauses the sending server — modeled as sender stalls).
+  Bytes retrieve_stall_block = 0;
+  LogNormalSpec retrieve_stall_duration;
+  /// Receive window the *client* advertises when downloading (window
+  /// scaling is enabled on mobile clients; §4.1).
+  Bytes receive_window = 2 * kMiB;
+  /// Access link rates (bits/s) — medians; per-flow draws jitter around
+  /// them.
+  LogNormalSpec uplink_bps;
+  LogNormalSpec downlink_bps;
+};
+
+/// Server-side constants shared by every flow.
+struct ServerBehavior {
+  /// Receive window advertised by the storage front-ends — 64 KB, because
+  /// window scaling is disabled server-side (§4.1, Fig 15).
+  Bytes receive_window = 64 * kKiB;
+  /// Upstream storage-server processing per chunk (T_srv).
+  LogNormalSpec tsrv{0.100, 0.45};
+};
+
+/// Calibrated behaviour for one device type.
+[[nodiscard]] ClientBehavior BehaviorFor(DeviceType device);
+
+/// Base path RTT distribution of mobile flows (median 100 ms, Fig 14).
+[[nodiscard]] LogNormalSpec MobileRttSpec();
+
+}  // namespace mcloud::cloud

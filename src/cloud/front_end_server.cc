@@ -1,0 +1,64 @@
+#include "cloud/front_end_server.h"
+
+namespace mcloud::cloud {
+
+FrontEndServer::FrontEndServer(std::uint32_t id,
+                               const ServerBehavior& behavior)
+    : id_(id), behavior_(behavior) {}
+
+void FrontEndServer::LogFileOperation(const LogRecord& base, UnixSeconds at,
+                                      Direction direction, Seconds tsrv,
+                                      Seconds rtt,
+                                      std::vector<LogRecord>& log) {
+  ++stats_.file_operations;
+  LogRecord r = base;
+  r.timestamp = at;
+  r.request_type = RequestType::kFileOperation;
+  r.direction = direction;
+  r.data_volume = 0;
+  r.server_time = tsrv;
+  r.processing_time = tsrv + rtt;
+  r.avg_rtt = rtt;
+  log.push_back(r);
+}
+
+void FrontEndServer::CommitChunkStore(const LogRecord& base, UnixSeconds at,
+                                      const ChunkInfo& chunk, Seconds ttran,
+                                      Seconds tsrv, Seconds rtt,
+                                      std::vector<LogRecord>& log) {
+  ++stats_.chunk_stores;
+  stats_.bytes_stored += chunk.size;
+  if (!chunks_.emplace(chunk.md5, chunk.size).second)
+    ++stats_.chunk_dedup_hits;
+
+  LogRecord r = base;
+  r.timestamp = at;
+  r.request_type = RequestType::kChunkRequest;
+  r.direction = Direction::kStore;
+  r.data_volume = chunk.size;
+  r.server_time = tsrv;
+  r.processing_time = ttran + tsrv;
+  r.avg_rtt = rtt;
+  log.push_back(r);
+}
+
+void FrontEndServer::ServeChunkRetrieve(const LogRecord& base, UnixSeconds at,
+                                        const ChunkInfo& chunk, Seconds ttran,
+                                        Seconds tsrv, Seconds rtt,
+                                        std::vector<LogRecord>& log) {
+  ++stats_.chunk_retrievals;
+  stats_.bytes_served += chunk.size;
+  if (chunks_.find(chunk.md5) == chunks_.end()) ++stats_.missing_chunks;
+
+  LogRecord r = base;
+  r.timestamp = at;
+  r.request_type = RequestType::kChunkRequest;
+  r.direction = Direction::kRetrieve;
+  r.data_volume = chunk.size;
+  r.server_time = tsrv;
+  r.processing_time = ttran + tsrv;
+  r.avg_rtt = rtt;
+  log.push_back(r);
+}
+
+}  // namespace mcloud::cloud

@@ -1,0 +1,63 @@
+// A storage front-end server (§2.1).
+//
+// Front-ends receive file operation requests and chunk storage/retrieval
+// requests over HTTP, move chunk data to/from upstream storage servers, and
+// write one log record per request — the records that constitute the
+// paper's dataset (Table 1). This class owns the chunk index, the
+// per-request bookkeeping, and the log emission; transfer timing is computed
+// by the TCP substrate and handed in by the StorageService.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "cloud/chunker.h"
+#include "cloud/client_model.h"
+#include "trace/log_record.h"
+
+namespace mcloud::cloud {
+
+struct FrontEndStats {
+  std::uint64_t file_operations = 0;
+  std::uint64_t chunk_stores = 0;
+  std::uint64_t chunk_retrievals = 0;
+  Bytes bytes_stored = 0;
+  Bytes bytes_served = 0;
+  std::uint64_t chunk_dedup_hits = 0;  ///< chunk already present on store
+  std::uint64_t missing_chunks = 0;    ///< retrieval of unknown chunk
+};
+
+class FrontEndServer {
+ public:
+  FrontEndServer(std::uint32_t id, const ServerBehavior& behavior);
+
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] const ServerBehavior& behavior() const { return behavior_; }
+  [[nodiscard]] const FrontEndStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t ChunkCount() const { return chunks_.size(); }
+
+  /// Record a file operation request (metadata only) into `log`.
+  void LogFileOperation(const LogRecord& base, UnixSeconds at,
+                        Direction direction, Seconds tsrv, Seconds rtt,
+                        std::vector<LogRecord>& log);
+
+  /// Commit one chunk store: dedup-checks the chunk index, accounts bytes,
+  /// and appends the chunk request record.
+  void CommitChunkStore(const LogRecord& base, UnixSeconds at,
+                        const ChunkInfo& chunk, Seconds ttran, Seconds tsrv,
+                        Seconds rtt, std::vector<LogRecord>& log);
+
+  /// Serve one chunk retrieval; unknown chunks are counted but still served
+  /// (another replica would hold them in the real fleet).
+  void ServeChunkRetrieve(const LogRecord& base, UnixSeconds at,
+                          const ChunkInfo& chunk, Seconds ttran, Seconds tsrv,
+                          Seconds rtt, std::vector<LogRecord>& log);
+
+ private:
+  std::uint32_t id_;
+  ServerBehavior behavior_;
+  FrontEndStats stats_;
+  std::unordered_map<Md5Digest, Bytes> chunks_;  ///< chunk index
+};
+
+}  // namespace mcloud::cloud

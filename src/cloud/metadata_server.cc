@@ -1,0 +1,45 @@
+#include "cloud/metadata_server.h"
+
+#include "util/error.h"
+
+namespace mcloud::cloud {
+
+MetadataServer::MetadataServer(FrontEndId front_ends)
+    : front_ends_(front_ends) {
+  MCLOUD_REQUIRE(front_ends > 0, "need at least one front-end");
+}
+
+StoreDecision MetadataServer::QueryStore(std::uint64_t user_id,
+                                         const FileManifest& manifest) {
+  ++stats_.store_queries;
+  spaces_[user_id].insert(manifest.file_md5);
+
+  if (const auto it = location_.find(manifest.file_md5);
+      it != location_.end()) {
+    ++stats_.dedup_hits;
+    return StoreDecision{true, it->second};
+  }
+  // New content: round-robin placement across front-ends stands in for the
+  // "closest front-end" selection of the real service.
+  const FrontEndId fe = next_assignment_;
+  next_assignment_ = (next_assignment_ + 1) % front_ends_;
+  location_.emplace(manifest.file_md5, fe);
+  return StoreDecision{false, fe};
+}
+
+std::optional<FrontEndId> MetadataServer::QueryRetrieve(
+    std::uint64_t user_id, const Md5Digest& file_md5) {
+  ++stats_.retrieve_queries;
+  (void)user_id;  // retrieval by URL works even outside the user's space
+  if (const auto it = location_.find(file_md5); it != location_.end())
+    return it->second;
+  ++stats_.retrieve_misses;
+  return std::nullopt;
+}
+
+std::size_t MetadataServer::UserFileCount(std::uint64_t user_id) const {
+  const auto it = spaces_.find(user_id);
+  return it == spaces_.end() ? 0 : it->second.size();
+}
+
+}  // namespace mcloud::cloud

@@ -1,0 +1,66 @@
+// The metadata server (§2.1).
+//
+// Store path: the client sends the file's name+MD5; if any storage server
+// already holds that content, the file is added to the user's space and the
+// upload is skipped entirely (file-level deduplication). Otherwise the
+// client is directed to the closest storage front-end.
+// Retrieve path: the client resolves a URL to the file MD5 and a front-end
+// to fetch from.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cloud/chunker.h"
+
+namespace mcloud::cloud {
+
+using FrontEndId = std::uint32_t;
+
+struct StoreDecision {
+  bool already_stored = false;       ///< dedup hit: no upload needed
+  FrontEndId front_end = 0;          ///< where to upload / where it lives
+};
+
+struct MetadataStats {
+  std::uint64_t store_queries = 0;
+  std::uint64_t dedup_hits = 0;
+  std::uint64_t retrieve_queries = 0;
+  std::uint64_t retrieve_misses = 0;
+};
+
+class MetadataServer {
+ public:
+  /// `front_ends` — number of storage front-end servers to spread new
+  /// uploads across.
+  explicit MetadataServer(FrontEndId front_ends);
+
+  /// Store-side query. If the content is new, assigns a front-end and
+  /// registers the file as stored there (the upload is assumed to follow).
+  [[nodiscard]] StoreDecision QueryStore(std::uint64_t user_id,
+                                         const FileManifest& manifest);
+
+  /// Retrieve-side query: resolve a file MD5 to the front-end holding it.
+  /// Returns nullopt if the content was never stored.
+  [[nodiscard]] std::optional<FrontEndId> QueryRetrieve(
+      std::uint64_t user_id, const Md5Digest& file_md5);
+
+  /// Files in a user's space.
+  [[nodiscard]] std::size_t UserFileCount(std::uint64_t user_id) const;
+  /// Distinct contents known to the service.
+  [[nodiscard]] std::size_t DistinctFiles() const { return location_.size(); }
+
+  [[nodiscard]] const MetadataStats& stats() const { return stats_; }
+
+ private:
+  FrontEndId front_ends_;
+  FrontEndId next_assignment_ = 0;
+  std::unordered_map<Md5Digest, FrontEndId> location_;
+  std::unordered_map<std::uint64_t, std::unordered_set<Md5Digest>> spaces_;
+  MetadataStats stats_;
+};
+
+}  // namespace mcloud::cloud

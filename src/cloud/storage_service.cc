@@ -1,0 +1,274 @@
+#include "cloud/storage_service.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mcloud::cloud {
+
+StorageService::StorageService(const ServiceConfig& config)
+    : config_(config),
+      chunker_(config.chunk_size),
+      metadata_(config.front_ends) {
+  MCLOUD_REQUIRE(config.front_ends > 0, "need at least one front-end");
+  MCLOUD_REQUIRE(config.batch_chunks >= 1, "batch factor must be >= 1");
+  for (std::uint32_t i = 0; i < config.front_ends; ++i)
+    front_ends_.emplace_back(i, config.server);
+
+  // Popular shared contents (videos, packages) with Zipf popularity.
+  popular_seeds_.reserve(config.popular_contents);
+  zipf_weights_.reserve(config.popular_contents);
+  for (std::size_t i = 0; i < config.popular_contents; ++i) {
+    popular_seeds_.push_back(
+        0xC0FFEEULL * (i + 1));  // disjoint from per-upload seeds
+    zipf_weights_.push_back(
+        std::pow(static_cast<double>(i + 1), -config.zipf_exponent));
+  }
+}
+
+StorageService::FlowSetup StorageService::BuildFlow(DeviceType device,
+                                                    Direction direction,
+                                                    Seconds rtt,
+                                                    double bandwidth_bps,
+                                                    bool record_trace) const {
+  const ClientBehavior client = BehaviorFor(device);
+  const ServerBehavior& server = config_.server;
+
+  FlowSetup setup;
+  setup.config.mss = 1448;
+  setup.config.rtt = rtt;
+  setup.config.bandwidth_bps = bandwidth_bps;
+  setup.config.record_trace = record_trace;
+  setup.config.cc.slow_start_after_idle = config_.ssai_enabled;
+  setup.config.cc.pace_after_idle = config_.pace_after_idle;
+  setup.config.post_idle_burst_loss_prob = config_.post_idle_burst_loss_prob;
+  setup.config.random_loss_prob = config_.random_loss_prob;
+
+  if (direction == Direction::kStore) {
+    // Client is the TCP data sender; the front-end's advertised window caps
+    // it (64 KB unless the window-scaling what-if is on).
+    setup.config.sender_window = config_.server_window_scaling
+                                     ? config_.scaled_server_window
+                                     : server.receive_window;
+    setup.stall.block = client.stall_block;
+    if (client.stall_block > 0) {
+      setup.stall.sample = [spec = client.stall_duration](Rng& r) {
+        return spec.Sample(r);
+      };
+    }
+    setup.sample_tclt = [spec = client.store_tclt](Rng& r) {
+      return spec.Sample(r);
+    };
+  } else {
+    // Server is the sender; mobile clients enable window scaling, so the
+    // effective cap is the client's multi-MB window. Slow readers stall the
+    // sender through flow control (receive-side stalls).
+    setup.config.sender_window = client.receive_window;
+    setup.stall.block = client.retrieve_stall_block;
+    if (client.retrieve_stall_block > 0) {
+      setup.stall.sample = [spec = client.retrieve_stall_duration](Rng& r) {
+        return spec.Sample(r);
+      };
+    }
+    setup.sample_tclt = [spec = client.retrieve_tclt](Rng& r) {
+      return spec.Sample(r);
+    };
+  }
+  setup.sample_tsrv = [spec = server.tsrv](Rng& r) { return spec.Sample(r); };
+  return setup;
+}
+
+tcp::FlowResult StorageService::SimulateFlow(DeviceType device,
+                                             Direction direction,
+                                             Bytes file_size,
+                                             std::uint64_t seed,
+                                             Seconds rtt_override) const {
+  Rng rng(seed);
+  const ClientBehavior client = BehaviorFor(device);
+  const Seconds rtt =
+      rtt_override > 0 ? rtt_override : MobileRttSpec().Sample(rng);
+  const double bw = (direction == Direction::kStore)
+                        ? client.uplink_bps.Sample(rng)
+                        : client.downlink_bps.Sample(rng);
+  FlowSetup setup = BuildFlow(device, direction, rtt, bw, true);
+
+  std::vector<Bytes> chunks = tcp::SplitIntoChunks(
+      file_size, config_.chunk_size * config_.batch_chunks);
+  const tcp::FlowSimulator sim(setup.config);
+  return sim.Run(chunks, setup.sample_tsrv, setup.sample_tclt, setup.stall,
+                 rng);
+}
+
+void StorageService::ExecuteSession(const workload::SessionPlan& session,
+                                    Rng& rng, ServiceResult& result) {
+  const ClientBehavior client = BehaviorFor(session.device_type);
+  const bool is_mobile = session.device_type != DeviceType::kPc;
+  const Seconds session_rtt =
+      is_mobile ? MobileRttSpec().Sample(rng)
+                : LogNormalSpec{0.040, 0.45}.Sample(rng);
+  const bool proxied = rng.Bernoulli(0.06);
+
+  LogRecord base;
+  base.device_type = session.device_type;
+  base.device_id = session.device_id;
+  base.user_id = session.user_id;
+  base.proxied = proxied;
+
+  for (const workload::FileOp& op : session.ops) {
+    const UnixSeconds op_time =
+        session.start + static_cast<UnixSeconds>(op.offset);
+
+    // --- Resolve content identity and consult the metadata server.
+    std::uint64_t content_seed;
+    Bytes size = op.size;
+    bool upload_needed = true;
+    FrontEndId fe_id = 0;
+
+    bool shared_content = false;
+    if (op.direction == Direction::kStore) {
+      content_seed = next_content_seed_++;
+      const FileManifest manifest = chunker_.Manifest(content_seed, size);
+      const StoreDecision decision =
+          metadata_.QueryStore(session.user_id, manifest);
+      fe_id = decision.front_end;
+      upload_needed = !decision.already_stored;
+      user_contents_[session.user_id].emplace_back(content_seed, size);
+      if (!upload_needed) ++result.skipped_uploads;
+    } else {
+      // Retrieval: popular shared content by URL, or the user's own upload.
+      const auto& own = user_contents_[session.user_id];
+      if (!own.empty() && !rng.Bernoulli(config_.shared_content_prob)) {
+        const auto& pick = own[rng.UniformInt(own.size())];
+        content_seed = pick.first;
+        size = pick.second;
+      } else {
+        content_seed = popular_seeds_[rng.PickWeighted(zipf_weights_)];
+        // Shared content is the large-object regime (Fig 5c): videos and
+        // packages; size keyed to the content so every downloader agrees.
+        Rng content_rng(content_seed);
+        size = FromMB(2.0 + content_rng.ExponentialMean(120.0));
+        shared_content = true;
+      }
+      const FileManifest manifest = chunker_.Manifest(content_seed, size);
+      const StoreDecision registered =
+          metadata_.QueryStore(0 /* origin uploader */, manifest);
+      const auto located =
+          metadata_.QueryRetrieve(session.user_id, manifest.file_md5);
+      fe_id = located.value_or(registered.front_end);
+
+      RetrievalEvent ev;
+      ev.at = op_time;
+      ev.user_id = session.user_id;
+      ev.file_md5 = manifest.file_md5;
+      ev.size = size;
+      ev.shared = shared_content;
+      result.retrievals.push_back(ev);
+    }
+
+    FrontEndServer& fe = front_ends_[fe_id];
+
+    // --- File operation request (metadata exchange with the front-end).
+    const Seconds op_tsrv = config_.server.tsrv.Sample(rng) * 0.3;
+    fe.LogFileOperation(base, op_time, op.direction, op_tsrv, session_rtt,
+                        result.logs);
+
+    if (op.direction == Direction::kStore && !upload_needed)
+      continue;  // dedup: the metadata server suppressed the upload
+
+    // --- Chunked transfer over one TCP connection.
+    const double bw = (op.direction == Direction::kStore)
+                          ? client.uplink_bps.Sample(rng)
+                          : client.downlink_bps.Sample(rng);
+    FlowSetup setup = BuildFlow(session.device_type, op.direction,
+                                session_rtt, bw, false);
+    const FileManifest manifest = chunker_.Manifest(content_seed, size);
+    std::vector<Bytes> wire_chunks;
+    if (config_.batch_chunks <= 1) {
+      for (const ChunkInfo& c : manifest.chunks) wire_chunks.push_back(c.size);
+    } else {
+      wire_chunks = tcp::SplitIntoChunks(
+          size, config_.chunk_size * config_.batch_chunks);
+    }
+
+    const tcp::FlowSimulator sim(setup.config);
+    const tcp::FlowResult flow = sim.Run(
+        wire_chunks, setup.sample_tsrv, setup.sample_tclt, setup.stall, rng);
+    ++result.flows;
+    result.slow_start_restarts += flow.restarts;
+
+    // --- Account each chunk and emit its log record.
+    Seconds flow_offset = op.offset;
+    for (std::size_t i = 0; i < flow.chunks.size(); ++i) {
+      const tcp::ChunkTiming& t = flow.chunks[i];
+      const UnixSeconds at = session.start + static_cast<UnixSeconds>(
+          flow_offset + t.request_at + t.transfer_time);
+
+      // The manifest chunk (for hashes) corresponding to this wire chunk;
+      // with batching, attribute to the first chunk of the batch.
+      const ChunkInfo& info =
+          manifest.chunks[std::min<std::size_t>(
+              i * config_.batch_chunks, manifest.chunks.size() - 1)];
+      ChunkInfo wire_info = info;
+      wire_info.size = t.bytes;
+
+      if (op.direction == Direction::kStore) {
+        fe.CommitChunkStore(base, at, wire_info, t.transfer_time,
+                            t.server_time, flow.avg_rtt, result.logs);
+      } else {
+        fe.ServeChunkRetrieve(base, at, wire_info, t.transfer_time,
+                              t.server_time, flow.avg_rtt, result.logs);
+      }
+
+      ChunkPerf perf;
+      perf.device = session.device_type;
+      perf.direction = op.direction;
+      perf.bytes = t.bytes;
+      perf.ttran = t.transfer_time;
+      perf.tsrv = t.server_time;
+      perf.tclt = t.client_time;
+      perf.idle_before = t.idle_before;
+      perf.rto_at_idle = t.rto_at_idle;
+      perf.restarted = t.restarted;
+      perf.rtt = flow.avg_rtt;
+      perf.proxied = proxied;
+      result.chunk_perf.push_back(perf);
+    }
+  }
+}
+
+ServiceResult StorageService::Execute(
+    std::span<const workload::SessionPlan> sessions) {
+  ServiceResult result;
+
+  // Schedule sessions on the event queue in start order; each session
+  // executes atomically at its start time (flows do not contend across
+  // sessions — front-end capacity is not the bottleneck the paper studies).
+  EventQueue queue;
+  UnixSeconds t0 = sessions.empty() ? 0 : sessions.front().start;
+  for (const auto& s : sessions) t0 = std::min(t0, s.start);
+
+  Rng rng(config_.seed);
+  for (const auto& session : sessions) {
+    queue.ScheduleAt(static_cast<Seconds>(session.start - t0),
+                     [this, &session, &rng, &result] {
+                       Rng session_rng = rng.Fork(session.user_id ^
+                                                  (session.device_id << 20) ^
+                                                  static_cast<std::uint64_t>(
+                                                      session.start));
+                       ExecuteSession(session, session_rng, result);
+                     });
+  }
+  queue.RunAll();
+
+  std::sort(result.logs.begin(), result.logs.end(), LogRecordTimeOrder);
+  std::sort(result.retrievals.begin(), result.retrievals.end(),
+            [](const RetrievalEvent& a, const RetrievalEvent& b) {
+              return a.at < b.at;
+            });
+  result.metadata = metadata_.stats();
+  for (const auto& fe : front_ends_) result.front_ends.push_back(fe.stats());
+  return result;
+}
+
+}  // namespace mcloud::cloud

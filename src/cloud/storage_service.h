@@ -1,0 +1,131 @@
+// End-to-end execution of session plans through the full service stack:
+// metadata server (file-level dedup) → front-end selection → chunked
+// HTTP-over-TCP transfer (tcp::FlowSimulator) → request logs.
+//
+// This is the mechanistic backend behind every §4 figure: chunk transfer
+// times, sending-window estimates, idle-time dissection, and slow-start
+// restarts all *emerge* from the TCP model given the client behaviour
+// distributions, rather than being sampled from the paper's result curves.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cloud/chunker.h"
+#include "cloud/client_model.h"
+#include "cloud/front_end_server.h"
+#include "cloud/metadata_server.h"
+#include "sim/event_queue.h"
+#include "tcp/flow.h"
+#include "workload/session_plan.h"
+
+namespace mcloud::cloud {
+
+struct ServiceConfig {
+  std::uint64_t seed = 7;
+  std::uint32_t front_ends = 4;
+  Bytes chunk_size = kChunkSize;
+  /// What-if knobs (§4.3): enable server window scaling, disable slow-start
+  /// after idle, or batch several chunks per HTTP request.
+  bool server_window_scaling = false;
+  Bytes scaled_server_window = 1 * kMiB;
+  bool ssai_enabled = true;
+  /// Pace the first post-idle window instead of bursting (only meaningful
+  /// with ssai_enabled = false); the paper's recommended alternative [28].
+  bool pace_after_idle = false;
+  /// Tail-loss probability of un-paced post-idle bursts (SSAI off).
+  double post_idle_burst_loss_prob = 0.0;
+  /// Background per-round loss probability (fast-retransmit recovery).
+  double random_loss_prob = 0.0;
+  std::uint32_t batch_chunks = 1;  ///< chunks per HTTP request (1 = paper)
+  /// Retrieval mix: probability that a retrieve op targets popular shared
+  /// content (URL sharing, §3.1.3) rather than the user's own uploads.
+  double shared_content_prob = 0.35;
+  std::size_t popular_contents = 512;
+  double zipf_exponent = 0.9;
+  ServerBehavior server{};
+};
+
+/// Per-chunk performance sample (the unit of the §4 analyses).
+struct ChunkPerf {
+  DeviceType device = DeviceType::kAndroid;
+  Direction direction = Direction::kStore;
+  Bytes bytes = 0;
+  Seconds ttran = 0;        ///< transfer time (T_chunk − T_srv)
+  Seconds tsrv = 0;
+  Seconds tclt = 0;         ///< client processing before the next chunk
+  Seconds idle_before = 0;  ///< 0 for the first chunk of a connection
+  Seconds rto_at_idle = 0;
+  bool restarted = false;
+  Seconds rtt = 0;          ///< flow average RTT
+  bool proxied = false;
+};
+
+/// One file retrieval, as seen by a front-end cache: which content, how
+/// big, when. The §3.1.4 cache what-if replays this stream.
+struct RetrievalEvent {
+  UnixSeconds at = 0;
+  std::uint64_t user_id = 0;
+  Md5Digest file_md5;
+  Bytes size = 0;
+  bool shared = false;  ///< popular URL-shared content vs own upload
+};
+
+struct ServiceResult {
+  std::vector<LogRecord> logs;          ///< time-sorted request logs
+  std::vector<RetrievalEvent> retrievals;  ///< chronological
+  std::vector<ChunkPerf> chunk_perf;    ///< one entry per chunk request
+  MetadataStats metadata;
+  std::vector<FrontEndStats> front_ends;
+  std::uint64_t flows = 0;
+  std::uint64_t slow_start_restarts = 0;
+  std::uint64_t skipped_uploads = 0;    ///< file-level dedup hits
+};
+
+class StorageService {
+ public:
+  explicit StorageService(const ServiceConfig& config);
+
+  /// Execute sessions (chronologically, via the event queue) and collect
+  /// logs plus per-chunk performance samples.
+  [[nodiscard]] ServiceResult Execute(
+      std::span<const workload::SessionPlan> sessions);
+
+  /// Execute one file transfer and return the raw TCP flow result including
+  /// the packet trace — the Fig 13 timeline view.
+  [[nodiscard]] tcp::FlowResult SimulateFlow(DeviceType device,
+                                             Direction direction,
+                                             Bytes file_size,
+                                             std::uint64_t seed,
+                                             Seconds rtt_override = 0) const;
+
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct FlowSetup {
+    tcp::FlowConfig config;
+    tcp::StallModel stall;
+    tcp::DurationSampler sample_tsrv;
+    tcp::DurationSampler sample_tclt;
+  };
+  [[nodiscard]] FlowSetup BuildFlow(DeviceType device, Direction direction,
+                                    Seconds rtt, double bandwidth_bps,
+                                    bool record_trace) const;
+
+  void ExecuteSession(const workload::SessionPlan& session, Rng& rng,
+                      ServiceResult& result);
+
+  ServiceConfig config_;
+  Chunker chunker_;
+  MetadataServer metadata_;
+  std::vector<FrontEndServer> front_ends_;
+  std::vector<std::uint64_t> popular_seeds_;
+  std::vector<double> zipf_weights_;
+  std::uint64_t next_content_seed_ = 1;
+  /// Per-user list of previously stored content seeds (for self-retrieval).
+  std::unordered_map<std::uint64_t, std::vector<std::pair<std::uint64_t, Bytes>>>
+      user_contents_;
+};
+
+}  // namespace mcloud::cloud

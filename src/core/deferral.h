@@ -1,0 +1,53 @@
+// "Smart auto backup" upload deferral (§3.2.2 implication).
+//
+// The paper observes that ~80% of mobile uploaders never retrieve their
+// uploads within the week, so most uploads are deferrable: shifting them out
+// of the evening surge into the early-morning trough flattens the load that
+// storage capacity must be provisioned for. This simulator applies a
+// deferral policy to a trace and reports the before/after hourly storage
+// load and the peak reduction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/usage_patterns.h"
+#include "analysis/workload_timeseries.h"
+#include "trace/log_record.h"
+
+namespace mcloud::core {
+
+struct DeferralPolicy {
+  /// Uploads starting in [peak_begin_hour, peak_end_hour) local hours are
+  /// candidates (the paper suggests deferring the 9 PM–11 PM surge).
+  int peak_begin_hour = 19;
+  int peak_end_hour = 24;
+  /// Deferred uploads run in [defer_begin_hour, defer_end_hour) the next
+  /// morning. The window must be wide enough that the moved volume does not
+  /// simply create a new morning peak.
+  int defer_begin_hour = 1;
+  int defer_end_hour = 8;
+  /// Only defer uploads of users who do not retrieve within the trace —
+  /// deferring a file its owner wants back the same evening hurts QoE.
+  bool only_non_retrievers = true;
+  /// Fraction of candidate uploads whose owners opt in.
+  double opt_in = 1.0;
+};
+
+struct DeferralResult {
+  analysis::WorkloadTimeseries before;
+  analysis::WorkloadTimeseries after;
+  double peak_before_gb = 0;      ///< max hourly store volume
+  double peak_after_gb = 0;
+  double peak_reduction = 0;      ///< 1 - after/before
+  double deferred_share = 0;      ///< share of store volume deferred
+  std::uint64_t deferred_chunks = 0;
+};
+
+/// Apply the policy to a time-sorted trace. Deterministic given `seed`
+/// (opt-in sampling and slot placement).
+[[nodiscard]] DeferralResult SimulateDeferral(
+    std::span<const LogRecord> trace, const DeferralPolicy& policy,
+    UnixSeconds trace_start, int days = 7, std::uint64_t seed = 1);
+
+}  // namespace mcloud::core

@@ -1,0 +1,85 @@
+#include "core/pipeline.h"
+
+#include <unordered_set>
+
+#include "analysis/sessionizer.h"
+#include "trace/filters.h"
+#include "util/error.h"
+
+namespace mcloud::core {
+
+AnalysisPipeline::AnalysisPipeline(const PipelineOptions& options)
+    : options_(options) {
+  MCLOUD_REQUIRE(options.days >= 1, "need at least one day");
+}
+
+FullReport AnalysisPipeline::Run(std::span<const LogRecord> trace) const {
+  MCLOUD_REQUIRE(!trace.empty(), "empty trace");
+  FullReport report;
+
+  // --- Dataset overview (§2.2). Mobile figures count mobile records only.
+  const std::vector<LogRecord> mobile = MobileOnly(trace);
+  report.records = trace.size();
+  report.mobile_users = CountDistinctUsers(mobile);
+  report.mobile_devices = CountDistinctDevices(mobile);
+  std::size_t android = 0;
+  for (const auto& r : mobile) {
+    if (r.device_type == DeviceType::kAndroid) ++android;
+  }
+  report.android_access_share =
+      mobile.empty() ? 0
+                     : static_cast<double>(android) /
+                           static_cast<double>(mobile.size());
+
+  // --- Workload pattern (§2.4) over mobile records, as in Fig 1.
+  report.timeseries =
+      analysis::BuildTimeseries(mobile, options_.trace_start, options_.days);
+
+  // --- Interval model and session identification (§3.1.1).
+  const std::vector<double> intervals = analysis::InterOpIntervals(mobile);
+  report.interval_model = analysis::FitIntervalModel(intervals);
+  const Seconds tau = options_.session_tau > 0
+                          ? options_.session_tau
+                          : report.interval_model.valley_tau;
+  const analysis::Sessionizer sessionizer(tau);
+  const std::vector<analysis::Session> sessions =
+      sessionizer.Sessionize(mobile);
+
+  report.session_split = analysis::ClassifySessions(sessions);
+  report.burstiness = analysis::NormalizedOperatingTimes(sessions);
+  report.store_size_model = analysis::FitFileSizeModel(
+      analysis::AvgFileSizeSample(sessions,
+                                  analysis::Session::Type::kStoreOnly));
+  report.retrieve_size_model = analysis::FitFileSizeModel(
+      analysis::AvgFileSizeSample(sessions,
+                                  analysis::Session::Type::kRetrieveOnly));
+
+  // --- Usage patterns (§3.2) need the full mobile+PC view.
+  const std::vector<analysis::UserUsage> usage =
+      analysis::BuildUserUsage(trace);
+  report.mobile_only_column = analysis::BuildUserTypeColumn(
+      usage, analysis::DeviceProfile::kMobileOnly);
+  report.mobile_pc_column = analysis::BuildUserTypeColumn(
+      usage, analysis::DeviceProfile::kMobileAndPc);
+  report.pc_only_column =
+      analysis::BuildUserTypeColumn(usage, analysis::DeviceProfile::kPcOnly);
+
+  // Engagement over all sessions (PC sessions count as activity too).
+  const std::vector<analysis::Session> all_sessions =
+      sessionizer.Sessionize(trace);
+  report.engagement = analysis::ReturnCurves(
+      all_sessions, usage, options_.trace_start, options_.days);
+  report.retrieval_returns = analysis::RetrievalReturns(
+      all_sessions, usage, options_.trace_start, options_.days);
+
+  // Activity models (§3.2.3) over mobile users' operations.
+  const std::vector<analysis::UserUsage> mobile_usage =
+      analysis::BuildUserUsage(mobile);
+  report.store_activity =
+      analysis::FitActivity(mobile_usage, Direction::kStore);
+  report.retrieve_activity =
+      analysis::FitActivity(mobile_usage, Direction::kRetrieve);
+  return report;
+}
+
+}  // namespace mcloud::core

@@ -1,0 +1,34 @@
+// AnalysisPipeline: the end-to-end §3 methodology as one call — trace in,
+// FullReport out. This is the primary public entry point of the library for
+// log-analysis consumers (see examples/quickstart.cpp).
+#pragma once
+
+#include <span>
+
+#include "core/report.h"
+#include "trace/log_record.h"
+
+namespace mcloud::core {
+
+struct PipelineOptions {
+  UnixSeconds trace_start = kTraceStart;
+  int days = 7;
+  /// τ for session identification; 0 = derive it from the data via the
+  /// Fig 3 histogram-valley method instead of assuming one hour.
+  Seconds session_tau = kHour;
+};
+
+class AnalysisPipeline {
+ public:
+  explicit AnalysisPipeline(const PipelineOptions& options = {});
+
+  /// Run every §3 analysis over a time-sorted trace (mobile + PC records).
+  [[nodiscard]] FullReport Run(std::span<const LogRecord> trace) const;
+
+  [[nodiscard]] const PipelineOptions& options() const { return options_; }
+
+ private:
+  PipelineOptions options_;
+};
+
+}  // namespace mcloud::core

@@ -1,0 +1,51 @@
+// The aggregated findings report — everything §3 of the paper derives from
+// the trace, in one struct, with a renderer that prints the Table 4-style
+// summary of findings and implications.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/activity_model.h"
+#include "analysis/burstiness.h"
+#include "analysis/engagement.h"
+#include "analysis/file_size_model.h"
+#include "analysis/interval_model.h"
+#include "analysis/session_stats.h"
+#include "analysis/usage_patterns.h"
+#include "analysis/workload_timeseries.h"
+
+namespace mcloud::core {
+
+struct FullReport {
+  // Dataset overview (§2.2).
+  std::size_t records = 0;
+  std::size_t mobile_users = 0;
+  std::size_t mobile_devices = 0;
+  double android_access_share = 0;
+
+  // Workload (§2.4).
+  analysis::WorkloadTimeseries timeseries;
+
+  // Sessions (§3.1).
+  analysis::IntervalModel interval_model{
+      Histogram(0.0, 6.0, 60), {}, 0, 0, 0, 0};
+  analysis::SessionTypeSplit session_split;
+  std::vector<analysis::BurstinessGroup> burstiness;
+  analysis::FileSizeModel store_size_model;
+  analysis::FileSizeModel retrieve_size_model;
+
+  // Usage patterns (§3.2).
+  analysis::UserTypeColumn mobile_only_column;
+  analysis::UserTypeColumn mobile_pc_column;
+  analysis::UserTypeColumn pc_only_column;
+  std::vector<analysis::EngagementCurve> engagement;
+  std::vector<analysis::RetrievalReturnCurve> retrieval_returns;
+  analysis::ActivityModelResult store_activity;
+  analysis::ActivityModelResult retrieve_activity;
+};
+
+/// Render the Table 4-style findings summary (paper value vs measured).
+[[nodiscard]] std::string RenderFindings(const FullReport& report);
+
+}  // namespace mcloud::core

@@ -1,0 +1,223 @@
+#include "core/whatif.h"
+
+#include <algorithm>
+
+#include "cloud/client_model.h"
+#include "util/error.h"
+#include "util/summary.h"
+
+namespace mcloud::core {
+
+std::vector<WhatIfScenario> StandardScenarios() {
+  std::vector<WhatIfScenario> out;
+
+  WhatIfScenario baseline;
+  baseline.name = "baseline (512KB chunks, 64KB rwnd, SSAI on)";
+  out.push_back(baseline);
+
+  WhatIfScenario big_chunks;
+  big_chunks.name = "2MB chunks";
+  big_chunks.service.chunk_size = 2 * kMiB;
+  big_chunks.wire_chunk = 2 * kMiB;
+  out.push_back(big_chunks);
+
+  WhatIfScenario batching;
+  batching.name = "batch 4 chunks/request";
+  batching.service.batch_chunks = 4;
+  batching.wire_chunk = 4 * kChunkSize;
+  out.push_back(batching);
+
+  WhatIfScenario scaling;
+  scaling.name = "server window scaling (1MB rwnd)";
+  scaling.service.server_window_scaling = true;
+  out.push_back(scaling);
+
+  WhatIfScenario no_ssai;
+  no_ssai.name = "SSAI disabled (ideal: lossless burst)";
+  no_ssai.service.ssai_enabled = false;
+  out.push_back(no_ssai);
+
+  // §4.3's caveat: without SSAI the post-idle burst risks tail loss and a
+  // retransmission timeout.
+  WhatIfScenario no_ssai_lossy;
+  no_ssai_lossy.name = "SSAI disabled, 25% post-idle burst loss";
+  no_ssai_lossy.service.ssai_enabled = false;
+  no_ssai_lossy.service.post_idle_burst_loss_prob = 0.25;
+  out.push_back(no_ssai_lossy);
+
+  // The paper's recommended alternative [28]: keep cwnd, pace the restart.
+  WhatIfScenario pacing;
+  pacing.name = "pacing after idle (paper's recommendation)";
+  pacing.service.ssai_enabled = false;
+  pacing.service.pace_after_idle = true;
+  pacing.service.post_idle_burst_loss_prob = 0.25;
+  out.push_back(pacing);
+
+  WhatIfScenario combined;
+  combined.name = "2MB chunks + window scaling";
+  combined.service.chunk_size = 2 * kMiB;
+  combined.wire_chunk = 2 * kMiB;
+  combined.service.server_window_scaling = true;
+  out.push_back(combined);
+
+  return out;
+}
+
+std::vector<WhatIfScenario> ChunkSizeSweep() {
+  std::vector<WhatIfScenario> out;
+  for (Bytes kb : {256, 512, 1024, 1536, 2048, 4096}) {
+    WhatIfScenario s;
+    s.name = std::to_string(kb) + "KB chunks";
+    s.service.chunk_size = kb * kKiB;
+    s.wire_chunk = kb * kKiB;
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<WhatIfOutcome> RunWhatIf(
+    const WhatIfConfig& config, std::span<const WhatIfScenario> scenarios) {
+  std::vector<WhatIfOutcome> outcomes;
+  outcomes.reserve(scenarios.size());
+
+  for (const WhatIfScenario& scenario : scenarios) {
+    const cloud::StorageService service(scenario.service);
+    std::vector<double> file_times;
+    std::vector<double> chunk_ttrans;
+    std::size_t gaps = 0;
+    std::size_t restarts = 0;
+    std::uint64_t timeouts = 0;
+
+    for (std::size_t i = 0; i < config.flows; ++i) {
+      // Same seed base across scenarios: each flow i sees identical device
+      // draws, so differences are attributable to the knobs alone.
+      const tcp::FlowResult flow = service.SimulateFlow(
+          config.device, config.direction, config.file_size,
+          config.seed + i);
+      file_times.push_back(flow.duration);
+      timeouts += flow.timeouts;
+      for (const auto& c : flow.chunks) {
+        chunk_ttrans.push_back(c.transfer_time);
+        if (c.idle_before > 0) {
+          ++gaps;
+          if (c.restarted) ++restarts;
+        }
+      }
+    }
+
+    WhatIfOutcome o;
+    o.name = scenario.name;
+    o.median_file_time = Percentile(file_times, 50);
+    double sum = 0;
+    for (double t : file_times) sum += t;
+    o.mean_file_time = sum / static_cast<double>(file_times.size());
+    o.median_chunk_ttran = Percentile(chunk_ttrans, 50);
+    o.restart_share =
+        gaps ? static_cast<double>(restarts) / static_cast<double>(gaps) : 0;
+    o.timeouts_per_flow =
+        static_cast<double>(timeouts) / static_cast<double>(config.flows);
+    o.goodput_mbps = static_cast<double>(config.file_size) * 8.0 / 1e6 /
+                     o.median_file_time;
+    outcomes.push_back(std::move(o));
+  }
+  return outcomes;
+}
+
+ConnectionStrategyOutcome CompareConnectionStrategies(
+    const ConnectionStrategyConfig& config) {
+  MCLOUD_REQUIRE(config.files >= 1, "need at least one file");
+  MCLOUD_REQUIRE(config.trials >= 1, "need at least one trial");
+
+  const cloud::ClientBehavior client = cloud::BehaviorFor(config.device);
+  std::vector<double> per_file_times;
+  std::vector<double> reused_times;
+  double reused_restarts = 0;
+  double per_file_restarts = 0;
+
+  for (std::size_t t = 0; t < config.trials; ++t) {
+    Rng rng(config.seed + t);
+    const Seconds rtt = cloud::MobileRttSpec().Sample(rng);
+    const double bw = client.uplink_bps.Sample(rng);
+
+    tcp::FlowConfig fc;
+    fc.rtt = rtt;
+    fc.bandwidth_bps = bw;
+    fc.sender_window = 64 * kKiB;  // the front-end's advertisement
+
+    tcp::StallModel stall;
+    stall.block = client.stall_block;
+    if (stall.block > 0) {
+      stall.sample = [spec = client.stall_duration](Rng& r) {
+        return spec.Sample(r);
+      };
+    }
+    const cloud::ServerBehavior server;
+    const tcp::DurationSampler tsrv = [spec = server.tsrv](Rng& r) {
+      return spec.Sample(r);
+    };
+    const tcp::DurationSampler tclt = [spec = client.store_tclt](Rng& r) {
+      return spec.Sample(r);
+    };
+
+    const std::vector<Bytes> one_file =
+        tcp::SplitIntoChunks(config.file_size, kChunkSize);
+    const tcp::FlowSimulator sim(fc);
+
+    // (a) Fresh connection per file: each flow pays the handshake and
+    // starts from the initial window; the user gap between files costs
+    // wall-clock but no TCP state.
+    {
+      Rng flow_rng = rng.Fork(1);
+      Seconds total = 0;
+      std::uint64_t restarts = 0;
+      for (std::size_t f = 0; f < config.files; ++f) {
+        const auto result =
+            sim.Run(one_file, tsrv, tclt, stall, flow_rng);
+        total += result.duration + config.inter_file_gap;
+        restarts += result.restarts;
+      }
+      per_file_times.push_back(total);
+      per_file_restarts += static_cast<double>(restarts);
+    }
+
+    // (b) One reused connection: chunks of all files concatenate onto the
+    // connection; at each file boundary the T_clt sampler returns the user
+    // gap, which sits on the connection as TCP idle.
+    {
+      Rng flow_rng = rng.Fork(1);
+      std::vector<Bytes> chunks;
+      std::vector<std::size_t> boundary;  // chunk index ending each file
+      for (std::size_t f = 0; f < config.files; ++f) {
+        chunks.insert(chunks.end(), one_file.begin(), one_file.end());
+        boundary.push_back(chunks.size() - 1);
+      }
+      std::size_t next_chunk = 0;
+      std::size_t next_boundary = 0;
+      const tcp::DurationSampler tclt_with_gaps =
+          [&](Rng& r) -> Seconds {
+        const std::size_t idx = next_chunk++;
+        if (next_boundary < boundary.size() &&
+            idx == boundary[next_boundary]) {
+          ++next_boundary;
+          return config.inter_file_gap;  // user think time between files
+        }
+        return client.store_tclt.Sample(r);
+      };
+      const auto result =
+          sim.Run(chunks, tsrv, tclt_with_gaps, stall, flow_rng);
+      reused_times.push_back(result.duration);
+      reused_restarts += static_cast<double>(result.restarts);
+    }
+  }
+
+  ConnectionStrategyOutcome out;
+  out.per_file_median = Percentile(per_file_times, 50);
+  out.reused_median = Percentile(reused_times, 50);
+  out.per_file_restarts =
+      per_file_restarts / static_cast<double>(config.trials);
+  out.reused_restarts =
+      reused_restarts / static_cast<double>(config.trials);
+  return out;
+}
+
+}  // namespace mcloud::core

@@ -1,0 +1,73 @@
+// §4.3 what-if experiments: quantify the transmission optimizations the
+// paper proposes by re-running the TCP substrate with the knobs turned —
+// larger chunks, batched chunk requests, server-side window scaling, and
+// disabled slow-start-after-idle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/storage_service.h"
+
+namespace mcloud::core {
+
+struct WhatIfScenario {
+  std::string name;
+  cloud::ServiceConfig service{};   ///< knobs to apply
+  Bytes wire_chunk = kChunkSize;    ///< effective per-request payload
+};
+
+struct WhatIfOutcome {
+  std::string name;
+  double median_file_time = 0;     ///< seconds to upload the test file
+  double mean_file_time = 0;
+  double median_chunk_ttran = 0;
+  double restart_share = 0;        ///< inter-chunk gaps restarting slow start
+  double timeouts_per_flow = 0;    ///< burst-loss retransmission timeouts
+  double goodput_mbps = 0;         ///< file size / median file time
+};
+
+struct WhatIfConfig {
+  DeviceType device = DeviceType::kAndroid;
+  Direction direction = Direction::kStore;
+  Bytes file_size = 8 * kMiB;      ///< a multi-chunk upload
+  std::size_t flows = 400;
+  std::uint64_t seed = 99;
+};
+
+/// The paper's four §4.3 levers plus the baseline, pre-configured.
+[[nodiscard]] std::vector<WhatIfScenario> StandardScenarios();
+
+/// Chunk-size sweep scenarios (512 KB → 2 MB, §4.3's "increase the chunk
+/// size to 1.5~2 MB").
+[[nodiscard]] std::vector<WhatIfScenario> ChunkSizeSweep();
+
+/// Run `config.flows` independent file transfers per scenario and
+/// summarize.
+[[nodiscard]] std::vector<WhatIfOutcome> RunWhatIf(
+    const WhatIfConfig& config, std::span<const WhatIfScenario> scenarios);
+
+/// §2.1 ablation: the service lets one TCP connection carry several files.
+/// Compare uploading a multi-file batch over (a) one fresh connection per
+/// file vs (b) a single reused connection, where the inter-file think time
+/// becomes TCP idle on the reused connection (risking slow-start restart,
+/// but keeping ssthresh and saving handshakes).
+struct ConnectionStrategyOutcome {
+  double per_file_median = 0;   ///< total batch time, fresh connections (s)
+  double reused_median = 0;     ///< total batch time, one connection (s)
+  double reused_restarts = 0;   ///< mean slow-start restarts on the reused
+                                ///< connection (incl. inter-file idles)
+  double per_file_restarts = 0;
+};
+struct ConnectionStrategyConfig {
+  DeviceType device = DeviceType::kAndroid;
+  std::size_t files = 8;
+  Bytes file_size = 2 * kMiB;
+  Seconds inter_file_gap = 2.0;  ///< user gap between file completions
+  std::size_t trials = 200;
+  std::uint64_t seed = 17;
+};
+[[nodiscard]] ConnectionStrategyOutcome CompareConnectionStrategies(
+    const ConnectionStrategyConfig& config);
+
+}  // namespace mcloud::core

@@ -1,0 +1,32 @@
+#include "model/paper_params.h"
+
+namespace mcloud::paper {
+
+GaussianMixture InterOpGapModel() {
+  return GaussianMixture({
+      {kIntraSessionGapWeight, kIntraSessionGapMeanLog10,
+       kIntraSessionGapStddevLog10},
+      {1.0 - kIntraSessionGapWeight, kInterSessionGapMeanLog10,
+       kInterSessionGapStddevLog10},
+  });
+}
+
+namespace {
+MixtureExponential BuildMixture(const MixtureExpParams& p) {
+  std::vector<MixtureExponential::Component> comps;
+  comps.reserve(p.weights.size());
+  for (std::size_t i = 0; i < p.weights.size(); ++i)
+    comps.push_back({p.weights[i], p.means_mb[i]});
+  return MixtureExponential(std::move(comps));
+}
+}  // namespace
+
+MixtureExponential StoreFileSizeModel() {
+  return BuildMixture(kStoreFileSizeParams);
+}
+
+MixtureExponential RetrieveFileSizeModel() {
+  return BuildMixture(kRetrieveFileSizeParams);
+}
+
+}  // namespace mcloud::paper

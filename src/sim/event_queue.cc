@@ -1,0 +1,42 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace mcloud {
+
+void EventQueue::ScheduleAt(Seconds at, Callback cb) {
+  MCLOUD_REQUIRE(at >= now_, "cannot schedule an event in the past");
+  MCLOUD_REQUIRE(cb != nullptr, "event callback must not be null");
+  heap_.push(Entry{at, next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::RunNext() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast, which is safe
+  // because the entry is popped immediately after.
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = e.at;
+  ++executed_;
+  e.cb();
+  return true;
+}
+
+std::uint64_t EventQueue::RunAll(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && RunNext()) ++n;
+  return n;
+}
+
+std::uint64_t EventQueue::RunUntil(Seconds t) {
+  MCLOUD_REQUIRE(t >= now_, "cannot run backwards");
+  std::uint64_t n = 0;
+  while (!heap_.empty() && heap_.top().at <= t) {
+    RunNext();
+    ++n;
+  }
+  now_ = t;
+  return n;
+}
+
+}  // namespace mcloud

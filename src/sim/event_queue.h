@@ -1,0 +1,65 @@
+// Discrete-event simulation core.
+//
+// A minimal calendar queue: events are (time, sequence, callback) tuples;
+// RunNext() pops the earliest event, advances the simulated clock, and runs
+// it. Sequence numbers make execution order deterministic for simultaneous
+// events (insertion order), which keeps every simulation reproducible from
+// its seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace mcloud {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute simulated time `at` (must be >= Now()).
+  void ScheduleAt(Seconds at, Callback cb);
+  /// Schedule `cb` `delay` seconds from now.
+  void ScheduleIn(Seconds delay, Callback cb) {
+    ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  [[nodiscard]] Seconds Now() const { return now_; }
+  [[nodiscard]] bool Empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t Pending() const { return heap_.size(); }
+  [[nodiscard]] std::uint64_t Executed() const { return executed_; }
+
+  /// Pop and run the earliest event. Returns false if the queue is empty.
+  bool RunNext();
+
+  /// Run events until the queue is empty or `max_events` have executed.
+  /// Returns the number executed by this call.
+  std::uint64_t RunAll(std::uint64_t max_events = ~0ULL);
+
+  /// Run events with time <= t, then advance the clock to exactly t.
+  std::uint64_t RunUntil(Seconds t);
+
+ private:
+  struct Entry {
+    Seconds at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  Seconds now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace mcloud

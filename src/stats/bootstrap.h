@@ -1,0 +1,74 @@
+// Nonparametric bootstrap confidence intervals.
+//
+// The paper reports point estimates for its fitted models; on synthetic data
+// it is cheap to also quantify estimator uncertainty. BootstrapPercentileCi
+// resamples the data with replacement, re-runs an arbitrary fitting
+// functional, and returns percentile intervals for each returned statistic
+// (e.g. the SE stretch factor c and slope a of Fig 10).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/summary.h"
+
+namespace mcloud {
+
+struct BootstrapCi {
+  double point = 0;  ///< statistic on the original sample
+  double lo = 0;     ///< lower percentile bound
+  double hi = 0;     ///< upper percentile bound
+};
+
+/// `statistic` maps a sample to one or more numbers (all replicates must
+/// return the same count). `confidence` is the two-sided level (e.g. 0.95).
+/// Replicates whose statistic computation throws (e.g. a degenerate
+/// resample breaks a fit) are skipped; at least half must survive.
+[[nodiscard]] inline std::vector<BootstrapCi> BootstrapPercentileCi(
+    std::span<const double> data,
+    const std::function<std::vector<double>(std::span<const double>)>&
+        statistic,
+    std::size_t replicates = 200, double confidence = 0.95,
+    std::uint64_t seed = 1) {
+  MCLOUD_REQUIRE(!data.empty(), "bootstrap needs data");
+  MCLOUD_REQUIRE(replicates >= 10, "bootstrap needs >= 10 replicates");
+  MCLOUD_REQUIRE(confidence > 0 && confidence < 1,
+                 "confidence must be in (0,1)");
+
+  const std::vector<double> point = statistic(data);
+  MCLOUD_REQUIRE(!point.empty(), "statistic returned nothing");
+
+  Rng rng(seed);
+  std::vector<std::vector<double>> replicate_stats(point.size());
+  std::vector<double> resample(data.size());
+  std::size_t survived = 0;
+  for (std::size_t r = 0; r < replicates; ++r) {
+    for (auto& x : resample) x = data[rng.UniformInt(data.size())];
+    try {
+      const std::vector<double> s = statistic(resample);
+      MCLOUD_CHECK(s.size() == point.size(),
+                   "statistic arity changed across replicates");
+      for (std::size_t j = 0; j < s.size(); ++j)
+        replicate_stats[j].push_back(s[j]);
+      ++survived;
+    } catch (const Error&) {
+      // degenerate resample; skip
+    }
+  }
+  MCLOUD_REQUIRE(survived * 2 >= replicates,
+                 "too many bootstrap replicates failed");
+
+  const double alpha = (1.0 - confidence) / 2.0;
+  std::vector<BootstrapCi> out(point.size());
+  for (std::size_t j = 0; j < point.size(); ++j) {
+    out[j].point = point[j];
+    out[j].lo = Percentile(replicate_stats[j], 100.0 * alpha);
+    out[j].hi = Percentile(replicate_stats[j], 100.0 * (1.0 - alpha));
+  }
+  return out;
+}
+
+}  // namespace mcloud

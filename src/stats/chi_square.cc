@@ -1,0 +1,72 @@
+#include "stats/chi_square.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/special_functions.h"
+#include "util/error.h"
+
+namespace mcloud {
+
+double InvertCdf(const std::function<double(double)>& cdf, double target,
+                 double lo, double hi, int iterations) {
+  MCLOUD_REQUIRE(hi > lo, "invalid bracket");
+  MCLOUD_REQUIRE(target >= 0 && target <= 1, "target must be a probability");
+  double a = lo;
+  double b = hi;
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = 0.5 * (a + b);
+    if (cdf(mid) < target) {
+      a = mid;
+    } else {
+      b = mid;
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+ChiSquareResult ChiSquareGoodnessOfFit(
+    std::span<const double> data,
+    const std::function<double(double)>& model_cdf,
+    const std::function<double(double)>& model_quantile, std::size_t bins,
+    std::size_t fitted_parameters) {
+  MCLOUD_REQUIRE(bins >= 2, "chi-square needs >= 2 bins");
+  MCLOUD_REQUIRE(data.size() >= 5 * bins,
+                 "chi-square needs >= 5 expected counts per bin");
+  MCLOUD_REQUIRE(bins > fitted_parameters + 1,
+                 "not enough bins for the fitted parameter count");
+
+  // Equal-probability bin edges under the model.
+  std::vector<double> edges;
+  edges.reserve(bins - 1);
+  for (std::size_t i = 1; i < bins; ++i) {
+    edges.push_back(
+        model_quantile(static_cast<double>(i) / static_cast<double>(bins)));
+  }
+
+  std::vector<std::size_t> observed(bins, 0);
+  for (double x : data) {
+    const auto it = std::upper_bound(edges.begin(), edges.end(), x);
+    observed[static_cast<std::size_t>(it - edges.begin())]++;
+  }
+
+  const double n = static_cast<double>(data.size());
+  ChiSquareResult out;
+  out.bins = bins;
+  for (std::size_t i = 0; i < bins; ++i) {
+    // Expected probability mass of bin i under the model (edges are model
+    // quantiles, but recompute from the CDF so an imperfect quantile inverse
+    // still yields a consistent test).
+    const double lo_p = (i == 0) ? 0.0 : model_cdf(edges[i - 1]);
+    const double hi_p = (i == bins - 1) ? 1.0 : model_cdf(edges[i]);
+    const double expected = n * std::max(hi_p - lo_p, 1e-12);
+    const double d = static_cast<double>(observed[i]) - expected;
+    out.statistic += d * d / expected;
+  }
+  out.dof = static_cast<double>(bins - 1 - fitted_parameters);
+  out.p_value = ChiSquareSurvival(out.statistic, out.dof);
+  return out;
+}
+
+}  // namespace mcloud

@@ -1,0 +1,36 @@
+// Chi-square goodness-of-fit test of a sample against a model CDF.
+//
+// The paper validates its mixture-exponential fits with chi-square tests at
+// significance level 5% (§3.1.4 footnote). The test here bins the sample
+// into equal-probability bins under the model, which keeps expected counts
+// balanced and the statistic well behaved in the heavy tail.
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace mcloud {
+
+struct ChiSquareResult {
+  double statistic = 0;
+  double dof = 0;       ///< bins - 1 - fitted_parameters
+  double p_value = 0;   ///< survival of chi-square at `statistic`
+  std::size_t bins = 0;
+};
+
+/// Chi-square GoF of `data` against `model_cdf` (a CDF on the data's
+/// support), using `bins` equal-probability bins and accounting for
+/// `fitted_parameters` estimated from the same data.
+/// `model_quantile` must be the inverse of `model_cdf`.
+[[nodiscard]] ChiSquareResult ChiSquareGoodnessOfFit(
+    std::span<const double> data,
+    const std::function<double(double)>& model_cdf,
+    const std::function<double(double)>& model_quantile, std::size_t bins,
+    std::size_t fitted_parameters);
+
+/// Numeric inverse of a monotone CDF by bisection on [lo, hi].
+[[nodiscard]] double InvertCdf(const std::function<double(double)>& cdf,
+                               double target, double lo, double hi,
+                               int iterations = 200);
+
+}  // namespace mcloud

@@ -1,0 +1,235 @@
+#include "stats/em_exponential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace mcloud {
+namespace {
+
+double LogExpPdf(double x, double mean) {
+  return -std::log(mean) - x / mean;
+}
+
+double LogSumExp(std::span<const double> v) {
+  const double m = *std::max_element(v.begin(), v.end());
+  double s = 0;
+  for (double x : v) s += std::exp(x - m);
+  return m + std::log(s);
+}
+
+}  // namespace
+
+double MixtureExponentialLogLikelihood(const MixtureExponential& mixture,
+                                       std::span<const double> data) {
+  double ll = 0;
+  std::vector<double> lp(mixture.size());
+  for (double x : data) {
+    for (std::size_t k = 0; k < mixture.size(); ++k) {
+      const auto& c = mixture.components()[k];
+      lp[k] = std::log(std::max(c.weight, 1e-300)) + LogExpPdf(x, c.mean);
+    }
+    ll += LogSumExp(lp);
+  }
+  return ll;
+}
+
+namespace {
+
+/// One EM run from the given initial components. Defined below
+/// FitMixtureExponential's doc contract; shared by the restart loop.
+MixtureExponentialFit RunEmFrom(
+    std::vector<MixtureExponential::Component> comps,
+    std::span<const double> data, const EmOptions& opts);
+
+}  // namespace
+
+MixtureExponentialFit FitMixtureExponential(std::span<const double> data,
+                                            std::size_t k,
+                                            const EmOptions& opts) {
+  MCLOUD_REQUIRE(k >= 1, "need at least one component");
+  if (data.size() < 2 * k)
+    throw FitError("too few data points for exponential mixture EM");
+  for (double x : data) {
+    if (!(x > 0))
+      throw FitError("mixture-exponential EM needs strictly positive data");
+  }
+
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  // Deterministic multi-restart: exponential-mixture EM is riddled with
+  // local optima (split-the-bulk, merged-tail). Each restart places the
+  // initial means at a different quantile schedule — strongly tail-biased
+  // (0.5, 0.95, 0.995…), mildly tail-biased, and evenly spread — and the
+  // run with the best likelihood wins.
+  const auto means_at = [&](std::span<const double> qs) {
+    std::vector<MixtureExponential::Component> comps(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      const auto idx = static_cast<std::size_t>(
+          qs[j] * static_cast<double>(sorted.size() - 1));
+      comps[j].mean = std::max(sorted[idx], 1e-9);
+      comps[j].weight = 1.0 / static_cast<double>(k);
+    }
+    for (std::size_t j = 1; j < k; ++j) {
+      if (comps[j].mean <= comps[j - 1].mean)
+        comps[j].mean = comps[j - 1].mean * 2.0;
+    }
+    return comps;
+  };
+
+  std::vector<std::vector<double>> schedules;
+  {
+    std::vector<double> strong(k);
+    std::vector<double> mild(k);
+    std::vector<double> even(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      strong[j] = 1.0 - 0.5 * std::pow(0.1, static_cast<double>(j));
+      mild[j] = 1.0 - 0.5 * std::pow(0.3, static_cast<double>(j));
+      even[j] = (static_cast<double>(j) + 0.5) / static_cast<double>(k);
+    }
+    schedules = {strong, mild, even};
+  }
+
+  MixtureExponentialFit best;
+  bool have_best = false;
+  for (const auto& qs : schedules) {
+    MixtureExponentialFit fit = RunEmFrom(means_at(qs), data, opts);
+    if (!have_best || fit.log_likelihood > best.log_likelihood) {
+      best = std::move(fit);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+MixtureExponentialFit RunEmFrom(
+    std::vector<MixtureExponential::Component> comps,
+    std::span<const double> data, const EmOptions& opts) {
+  const std::size_t k = comps.size();
+
+  const auto n = data.size();
+  std::vector<double> resp(n * k);
+  std::vector<double> lp(k);
+
+  MixtureExponentialFit fit;
+  double prev_ll = -std::numeric_limits<double>::infinity();
+
+  for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    // E step.
+    double ll = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        lp[j] = std::log(std::max(comps[j].weight, 1e-300)) +
+                LogExpPdf(data[i], comps[j].mean);
+      }
+      const double lse = LogSumExp(lp);
+      ll += lse;
+      for (std::size_t j = 0; j < k; ++j)
+        resp[i * k + j] = std::exp(lp[j] - lse);
+    }
+
+    // M step: weight_j = mean responsibility, mean_j = weighted mean of x.
+    for (std::size_t j = 0; j < k; ++j) {
+      double nk = 0;
+      double sum = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        nk += resp[i * k + j];
+        sum += resp[i * k + j] * data[i];
+      }
+      nk = std::max(nk, opts.min_weight * static_cast<double>(n));
+      comps[j].weight = nk / static_cast<double>(n);
+      comps[j].mean = std::max(sum / nk, 1e-12);
+    }
+    double wsum = 0;
+    for (const auto& c : comps) wsum += c.weight;
+    for (auto& c : comps) c.weight /= wsum;
+
+    fit.iterations = iter;
+    fit.log_likelihood = ll;
+    // prev_ll is -inf on the first iteration; the relative-change test is
+    // only meaningful once two finite likelihoods exist.
+    if (std::isfinite(prev_ll) &&
+        std::abs(ll - prev_ll) <=
+            opts.tolerance * (std::abs(prev_ll) + 1.0)) {
+      fit.converged = true;
+      break;
+    }
+    prev_ll = ll;
+  }
+
+  // Sort by ascending mean: component 1 = typical photo size, component 3 =
+  // heavy tail, matching Table 2's ordering.
+  std::sort(comps.begin(), comps.end(),
+            [](const auto& a, const auto& b) { return a.mean < b.mean; });
+  fit.mixture = MixtureExponential(std::move(comps));
+  return fit;
+}
+
+}  // namespace
+
+MixtureSelection SelectMixtureExponential(std::span<const double> data,
+                                          std::size_t max_components,
+                                          double weight_floor,
+                                          const EmOptions& opts) {
+  MCLOUD_REQUIRE(max_components >= 1, "need at least one component");
+  MixtureSelection out;
+  out.fit = FitMixtureExponential(data, 1, opts);
+  out.selected_n = 1;
+  out.rejected_weight = 1.0;
+
+  // Exponential mixtures are only identifiable when component means are
+  // well separated; a candidate whose adjacent means nearly coincide has
+  // split one true component in two and carries no additional structure.
+  constexpr double kMinMeanRatio = 2.0;
+
+  // The paper's procedure: grow n until an added component is negligible
+  // (α < 0.001). EM occasionally parks a negligible *phantom* component on
+  // a handful of extreme outliers while real structure appears only at a
+  // larger k, so negligible components are pruned from a candidate rather
+  // than condemning it; selection stops when the count of *meaningful*
+  // components stops growing.
+  for (std::size_t k = 2; k <= max_components; ++k) {
+    MixtureExponentialFit candidate = FitMixtureExponential(data, k, opts);
+
+    std::vector<MixtureExponential::Component> meaningful;
+    double min_weight = 1.0;
+    double pruned_weight = 1.0;
+    for (const auto& c : candidate.mixture.components()) {
+      min_weight = std::min(min_weight, c.weight);
+      if (c.weight >= weight_floor) {
+        meaningful.push_back(c);
+      } else {
+        pruned_weight = std::min(pruned_weight, c.weight);
+      }
+    }
+    bool overlapping = false;
+    for (std::size_t j = 1; j < meaningful.size(); ++j) {
+      if (meaningful[j].mean < kMinMeanRatio * meaningful[j - 1].mean)
+        overlapping = true;
+    }
+
+    out.rejected_weight = min_weight;
+    // Keep probing larger k even when this candidate adds nothing: real
+    // structure sometimes only separates once more components are allowed
+    // (a phantom can absorb outliers at k, freeing the tail at k+1).
+    if (overlapping || meaningful.size() <= out.selected_n) continue;
+
+    if (meaningful.size() < candidate.mixture.size()) {
+      // Renormalize the surviving weights after pruning phantoms.
+      double total = 0;
+      for (const auto& c : meaningful) total += c.weight;
+      for (auto& c : meaningful) c.weight /= total;
+      candidate.mixture = MixtureExponential(std::move(meaningful));
+    }
+    out.selected_n = candidate.mixture.size();
+    out.fit = std::move(candidate);
+  }
+  return out;
+}
+
+}  // namespace mcloud

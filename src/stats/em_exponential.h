@@ -1,0 +1,47 @@
+// Expectation–maximization fitting of mixtures of exponentials.
+//
+// §3.1.4 / Table 2 of the paper fits mixture-exponential models to the
+// average file size of store-only and retrieve-only sessions; the number of
+// components n is chosen iteratively: n is increased until an added component
+// receives negligible weight (α < 0.001). SelectMixtureExponential implements
+// exactly that procedure.
+#pragma once
+
+#include <span>
+
+#include "stats/em_gaussian.h"  // EmOptions
+#include "util/distributions.h"
+
+namespace mcloud {
+
+struct MixtureExponentialFit {
+  MixtureExponential mixture;
+  double log_likelihood = 0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Fit a k-component mixture of exponentials to non-negative `data` by EM.
+/// Initialization spreads component means geometrically across the data
+/// quantiles. Throws FitError on degenerate input.
+[[nodiscard]] MixtureExponentialFit FitMixtureExponential(
+    std::span<const double> data, std::size_t k, const EmOptions& opts = {});
+
+struct MixtureSelection {
+  MixtureExponentialFit fit;    ///< the selected model (n components)
+  std::size_t selected_n = 0;
+  double rejected_weight = 0;   ///< smallest α of the (n+1)-component model
+};
+
+/// The paper's model-selection loop: fit with n = 1, 2, ... components until
+/// adding a component yields a weight below `weight_floor` (default 0.001),
+/// then return the previous model.
+[[nodiscard]] MixtureSelection SelectMixtureExponential(
+    std::span<const double> data, std::size_t max_components = 6,
+    double weight_floor = 1e-3, const EmOptions& opts = {});
+
+/// Log-likelihood under a mixture-exponential model.
+[[nodiscard]] double MixtureExponentialLogLikelihood(
+    const MixtureExponential& mixture, std::span<const double> data);
+
+}  // namespace mcloud

@@ -1,0 +1,143 @@
+#include "stats/em_gaussian.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "util/error.h"
+#include "util/summary.h"
+
+namespace mcloud {
+namespace {
+
+double LogNormalPdf(double x, double mean, double stddev) {
+  const double z = (x - mean) / stddev;
+  return -0.5 * z * z - std::log(stddev) -
+         0.5 * std::log(2.0 * std::numbers::pi);
+}
+
+/// log(sum(exp(v))) without overflow.
+double LogSumExp(std::span<const double> v) {
+  const double m = *std::max_element(v.begin(), v.end());
+  double s = 0;
+  for (double x : v) s += std::exp(x - m);
+  return m + std::log(s);
+}
+
+}  // namespace
+
+double GaussianMixtureLogLikelihood(const GaussianMixture& mixture,
+                                    std::span<const double> data) {
+  double ll = 0;
+  std::vector<double> lp(mixture.size());
+  for (double x : data) {
+    for (std::size_t k = 0; k < mixture.size(); ++k) {
+      const auto& c = mixture.components()[k];
+      lp[k] = std::log(std::max(c.weight, 1e-300)) +
+              LogNormalPdf(x, c.mean, c.stddev);
+    }
+    ll += LogSumExp(lp);
+  }
+  return ll;
+}
+
+GaussianMixtureFit FitGaussianMixture(std::span<const double> data,
+                                      std::size_t k, const EmOptions& opts) {
+  MCLOUD_REQUIRE(k >= 1, "need at least one component");
+  if (data.size() < 2 * k)
+    throw FitError("too few data points for Gaussian mixture EM");
+
+  // Deterministic range-based initialization: means spread evenly across the
+  // data range. Quantile-based initialization fails on very unbalanced
+  // mixtures (e.g. inter-session gaps are a small fraction of all gaps, yet
+  // far from the bulk), which range spreading handles.
+  RunningStats overall;
+  for (double x : data) overall.Add(x);
+  if (overall.StdDev() <= 0)
+    throw FitError("degenerate data: zero variance");
+  const double range = overall.Max() - overall.Min();
+
+  std::vector<GaussianMixture::Component> comps(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const double frac =
+        (static_cast<double>(j) + 0.5) / static_cast<double>(k);
+    comps[j].mean = overall.Min() + frac * range;
+    // Narrow enough that the components start separated (wide initial
+    // stddevs make every component explain everything and EM settles in a
+    // merged local optimum), wide enough to keep all points in reach.
+    comps[j].stddev = std::max(
+        std::min(overall.StdDev() / 2.0,
+                 range / (4.0 * static_cast<double>(k))),
+        1e-6);
+    comps[j].weight = 1.0 / static_cast<double>(k);
+  }
+
+  const auto n = data.size();
+  std::vector<double> resp(n * k);  // responsibilities, row-major by point
+  std::vector<double> lp(k);
+
+  GaussianMixtureFit fit;
+  double prev_ll = -std::numeric_limits<double>::infinity();
+
+  for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    // E step.
+    double ll = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        lp[j] = std::log(std::max(comps[j].weight, 1e-300)) +
+                LogNormalPdf(data[i], comps[j].mean, comps[j].stddev);
+      }
+      const double lse = LogSumExp(lp);
+      ll += lse;
+      for (std::size_t j = 0; j < k; ++j)
+        resp[i * k + j] = std::exp(lp[j] - lse);
+    }
+
+    // M step.
+    for (std::size_t j = 0; j < k; ++j) {
+      double nk = 0;
+      double mean = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        nk += resp[i * k + j];
+        mean += resp[i * k + j] * data[i];
+      }
+      nk = std::max(nk, opts.min_weight * static_cast<double>(n));
+      mean /= nk;
+      double var = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double d = data[i] - mean;
+        var += resp[i * k + j] * d * d;
+      }
+      var = std::max(var / nk, 1e-4);
+      comps[j].weight = nk / static_cast<double>(n);
+      comps[j].mean = mean;
+      comps[j].stddev = std::sqrt(var);
+    }
+    // Renormalize weights (floors may have perturbed the sum).
+    double wsum = 0;
+    for (const auto& c : comps) wsum += c.weight;
+    for (auto& c : comps) c.weight /= wsum;
+
+    fit.iterations = iter;
+    fit.log_likelihood = ll;
+    // prev_ll is -inf on the first iteration; the relative-change test is
+    // only meaningful once two finite likelihoods exist.
+    if (std::isfinite(prev_ll) &&
+        std::abs(ll - prev_ll) <=
+            opts.tolerance * (std::abs(prev_ll) + 1.0)) {
+      fit.converged = true;
+      break;
+    }
+    prev_ll = ll;
+  }
+
+  // Report components sorted by mean for stable downstream interpretation
+  // (component 0 = intra-session, component 1 = inter-session in Fig 3).
+  std::sort(comps.begin(), comps.end(),
+            [](const auto& a, const auto& b) { return a.mean < b.mean; });
+  fit.mixture = GaussianMixture(std::move(comps));
+  return fit;
+}
+
+}  // namespace mcloud

@@ -1,0 +1,43 @@
+// Expectation–maximization fitting of 1-D Gaussian mixtures.
+//
+// §3.1.1 of the paper fits a two-component Gaussian mixture to the log10 of
+// inter-file-operation times: one component for intra-session gaps (mean
+// ≈ 10 s) and one for inter-session gaps (mean ≈ 1 day). This module is the
+// "mixtools"-equivalent used there.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/distributions.h"
+
+namespace mcloud {
+
+struct EmOptions {
+  int max_iterations = 500;
+  double tolerance = 1e-8;      ///< relative log-likelihood change to stop
+  double min_weight = 1e-6;     ///< floor to keep components alive
+  std::uint64_t seed = 1;       ///< for randomized initialization (if used)
+};
+
+struct GaussianMixtureFit {
+  GaussianMixture mixture;
+  double log_likelihood = 0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Fit a k-component Gaussian mixture to `data` by EM.
+///
+/// Initialization is deterministic: component means are placed at evenly
+/// spaced quantiles of the data, stddevs at the overall stddev / k, weights
+/// uniform. Throws FitError on degenerate input (fewer than 2*k points or
+/// zero variance).
+[[nodiscard]] GaussianMixtureFit FitGaussianMixture(
+    std::span<const double> data, std::size_t k, const EmOptions& opts = {});
+
+/// Log-likelihood of data under a mixture (for model comparison / tests).
+[[nodiscard]] double GaussianMixtureLogLikelihood(
+    const GaussianMixture& mixture, std::span<const double> data);
+
+}  // namespace mcloud

@@ -1,0 +1,103 @@
+#include "stats/regression.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mcloud {
+
+LinearFit FitLinear(std::span<const double> x, std::span<const double> y) {
+  MCLOUD_REQUIRE(x.size() == y.size(), "x/y length mismatch");
+  MCLOUD_REQUIRE(x.size() >= 2, "linear fit needs >= 2 points");
+
+  const auto n = static_cast<double>(x.size());
+  double sx = 0;
+  double sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+
+  double sxx = 0;
+  double sxy = 0;
+  double syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  MCLOUD_REQUIRE(sxx > 0, "x values are degenerate");
+
+  LinearFit fit;
+  fit.n = x.size();
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (syy > 0) ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+LinearFit FitLinearWeighted(std::span<const double> x,
+                            std::span<const double> y,
+                            std::span<const double> w) {
+  MCLOUD_REQUIRE(x.size() == y.size() && x.size() == w.size(),
+                 "x/y/w length mismatch");
+  MCLOUD_REQUIRE(x.size() >= 2, "linear fit needs >= 2 points");
+
+  double wsum = 0;
+  double sx = 0;
+  double sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    MCLOUD_REQUIRE(w[i] >= 0, "weights must be non-negative");
+    wsum += w[i];
+    sx += w[i] * x[i];
+    sy += w[i] * y[i];
+  }
+  MCLOUD_REQUIRE(wsum > 0, "weights must not all be zero");
+  const double mx = sx / wsum;
+  const double my = sy / wsum;
+
+  double sxx = 0;
+  double sxy = 0;
+  double syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += w[i] * dx * dx;
+    sxy += w[i] * dx * dy;
+    syy += w[i] * dy * dy;
+  }
+  MCLOUD_REQUIRE(sxx > 0, "x values are degenerate");
+
+  LinearFit fit;
+  fit.n = x.size();
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (syy > 0) ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+double RSquared(std::span<const double> observed,
+                std::span<const double> predicted) {
+  MCLOUD_REQUIRE(observed.size() == predicted.size(), "length mismatch");
+  MCLOUD_REQUIRE(!observed.empty(), "empty sample");
+  double mean = 0;
+  for (double v : observed) mean += v;
+  mean /= static_cast<double>(observed.size());
+
+  double ss_res = 0;
+  double ss_tot = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double r = observed[i] - predicted[i];
+    const double t = observed[i] - mean;
+    ss_res += r * r;
+    ss_tot += t * t;
+  }
+  if (ss_tot <= 0) return ss_res <= 0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace mcloud

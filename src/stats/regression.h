@@ -1,0 +1,34 @@
+// Ordinary least squares on (x, y) pairs, plus R².
+//
+// Used by the stretched-exponential rank fit (regress y^c on log rank,
+// §3.2.3), the power-law comparison fit, and the Fig 5b linear
+// volume-vs-file-count relationship.
+#pragma once
+
+#include <span>
+
+namespace mcloud {
+
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r_squared = 0;  ///< coefficient of determination
+  std::size_t n = 0;
+};
+
+/// Least-squares fit y ≈ slope*x + intercept. Requires >= 2 points with
+/// non-degenerate x.
+[[nodiscard]] LinearFit FitLinear(std::span<const double> x,
+                                  std::span<const double> y);
+
+/// Weighted least squares y ≈ slope*x + intercept with per-point weights
+/// (r_squared is the weighted coefficient of determination).
+[[nodiscard]] LinearFit FitLinearWeighted(std::span<const double> x,
+                                          std::span<const double> y,
+                                          std::span<const double> w);
+
+/// R² of an arbitrary set of predictions against observations.
+[[nodiscard]] double RSquared(std::span<const double> observed,
+                              std::span<const double> predicted);
+
+}  // namespace mcloud

@@ -1,0 +1,20 @@
+// Special functions needed by the goodness-of-fit machinery.
+//
+// Only what the chi-square p-value computation needs: the regularized
+// incomplete gamma functions P(a, x) and Q(a, x), evaluated with the
+// standard series / continued-fraction split.
+#pragma once
+
+namespace mcloud {
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a, x) / Γ(a), a > 0, x >= 0.
+[[nodiscard]] double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+[[nodiscard]] double RegularizedGammaQ(double a, double x);
+
+/// Survival function of the chi-square distribution with k degrees of
+/// freedom: P(X > x) = Q(k/2, x/2). This is the p-value of a chi-square test.
+[[nodiscard]] double ChiSquareSurvival(double x, double dof);
+
+}  // namespace mcloud

@@ -1,0 +1,140 @@
+#include "stats/stretched_exponential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+
+namespace mcloud {
+namespace {
+
+std::vector<double> SortedDescendingPositive(std::span<const double> values) {
+  std::vector<double> v;
+  v.reserve(values.size());
+  for (double x : values) {
+    if (x > 0) v.push_back(x);
+  }
+  std::sort(v.begin(), v.end(), std::greater<>());
+  return v;
+}
+
+struct CornerPoint {
+  double log_rank;  ///< ln(count of values >= this value)
+  double value;
+};
+
+/// Collapse ranked data to its staircase corners: one point per distinct
+/// value v, at rank = #values >= v, i.e. the empirical CCDF evaluated on the
+/// data's support. For continuous data this is the full rank curve; for
+/// integer-valued activity counts it removes the tie plateaus that would
+/// otherwise dominate (and bias) a least-squares fit. Under a discretized
+/// SE law, v^c is *exactly* linear in ln(rank) at these corners.
+std::vector<CornerPoint> StaircaseCorners(std::span<const double> ranked) {
+  std::vector<CornerPoint> corners;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const bool last_of_value =
+        (i + 1 == ranked.size()) || (ranked[i + 1] != ranked[i]);
+    if (last_of_value) {
+      corners.push_back(
+          CornerPoint{std::log(static_cast<double>(i + 1)), ranked[i]});
+    }
+  }
+  // Subsample the corners geometrically by *rank*, giving each decade of
+  // ranks equal weight. Without this, the extreme tail (where every value
+  // is distinct and the empirical CCDF is Poisson-noisy) contributes
+  // hundreds of points while the well-estimated bulk contributes a handful,
+  // and the noise drags the stretch factor down.
+  std::vector<CornerPoint> out;
+  double target = 0.0;  // log rank
+  const double step = std::log(1.12);
+  for (const CornerPoint& c : corners) {
+    if (c.log_rank + 1e-12 >= target) {
+      out.push_back(c);
+      target = c.log_rank + step;
+    }
+  }
+  if (out.back().log_rank != corners.back().log_rank)
+    out.push_back(corners.back());
+  return out;
+}
+
+}  // namespace
+
+StretchedExponentialFit FitStretchedExponentialRank(
+    std::span<const double> values, double c_min, double c_max,
+    double c_step) {
+  MCLOUD_REQUIRE(c_min > 0 && c_max >= c_min && c_step > 0,
+                 "invalid stretch-factor grid");
+  const std::vector<double> ranked = SortedDescendingPositive(values);
+  if (ranked.size() < 3)
+    throw FitError("stretched-exponential fit needs >= 3 positive values");
+
+  const std::vector<CornerPoint> corners = StaircaseCorners(ranked);
+  if (corners.size() < 3)
+    throw FitError("too few distinct values for a rank fit");
+
+  std::vector<double> log_rank(corners.size());
+  std::vector<double> weight(corners.size());
+  for (std::size_t i = 0; i < corners.size(); ++i) {
+    log_rank[i] = corners[i].log_rank;
+    // Inverse-variance weighting: the empirical CCDF at rank m has relative
+    // error ~1/sqrt(m), so the transformed ordinate's variance scales as
+    // 1/m. Without this, the handful of extreme-tail points (rank 1..10)
+    // would dominate the grid search and bias the stretch factor low.
+    weight[i] = std::exp(corners[i].log_rank);
+  }
+
+  StretchedExponentialFit best;
+  best.r_squared = -1;
+  std::vector<double> yc(corners.size());
+
+  for (double c = c_min; c <= c_max + 1e-12; c += c_step) {
+    for (std::size_t i = 0; i < corners.size(); ++i)
+      yc[i] = std::pow(corners[i].value, c);
+    const LinearFit lin = FitLinearWeighted(log_rank, yc, weight);
+    if (lin.slope >= 0) continue;  // SE rank law requires a negative slope
+    if (lin.r_squared > best.r_squared) {
+      best.c = c;
+      best.a = -lin.slope;
+      best.b = lin.intercept;
+      best.x0 = std::pow(best.a, 1.0 / c);
+      best.r_squared = lin.r_squared;
+    }
+  }
+  if (best.r_squared < 0)
+    throw FitError("no stretch factor produced a decreasing rank fit");
+  return best;
+}
+
+LinearFit FitPowerLawRank(std::span<const double> values) {
+  const std::vector<double> ranked = SortedDescendingPositive(values);
+  if (ranked.size() < 3)
+    throw FitError("power-law fit needs >= 3 positive values");
+  // Same staircase-corner points as the SE fit, so the R² comparison
+  // between the two models (the paper's power-law rejection) is apples to
+  // apples.
+  const std::vector<CornerPoint> corners = StaircaseCorners(ranked);
+  if (corners.size() < 3)
+    throw FitError("too few distinct values for a rank fit");
+  std::vector<double> log_rank(corners.size());
+  std::vector<double> log_val(corners.size());
+  std::vector<double> weight(corners.size());
+  for (std::size_t i = 0; i < corners.size(); ++i) {
+    log_rank[i] = corners[i].log_rank;
+    log_val[i] = std::log(corners[i].value);
+    weight[i] = std::exp(corners[i].log_rank);
+  }
+  return FitLinearWeighted(log_rank, log_val, weight);
+}
+
+double StretchedExponentialRankValue(const StretchedExponentialFit& fit,
+                                     std::size_t rank) {
+  MCLOUD_REQUIRE(rank >= 1, "rank is 1-based");
+  const double yc =
+      -fit.a * std::log(static_cast<double>(rank)) + fit.b;
+  if (yc <= 0) return 0;
+  return std::pow(yc, 1.0 / fit.c);
+}
+
+}  // namespace mcloud

@@ -1,0 +1,44 @@
+// Stretched-exponential fitting of rank-ordered activity data.
+//
+// §3.2.3 / Fig 10: rank users by the number of stored (retrieved) files.
+// Under a stretched-exponential law, P(X >= x_i) = i/N implies
+//     x_i^c = -a·log(i) + b     with a = x0^c, b = x1^c,
+// i.e. the log-y^c plot of the ranked data is a straight line. The fit
+// follows the paper's method (Guo et al., KDD'09): grid search the stretch
+// factor c, and for each candidate solve the linear regression of y^c on
+// log rank; pick the c maximizing R².
+#pragma once
+
+#include <span>
+
+#include "stats/regression.h"
+#include "util/distributions.h"
+
+namespace mcloud {
+
+struct StretchedExponentialFit {
+  double c = 0;          ///< stretch factor
+  double a = 0;          ///< slope magnitude in y^c = -a log(i) + b
+  double b = 0;          ///< intercept
+  double x0 = 0;         ///< scale: a = x0^c
+  double r_squared = 0;  ///< of the linear fit in log–y^c space
+};
+
+/// Fit a stretched-exponential rank law to activity values (any order; the
+/// function sorts descending). Values must be positive. Ranks with value 0
+/// are dropped (a user that stored nothing carries no information about the
+/// tail law).
+[[nodiscard]] StretchedExponentialFit FitStretchedExponentialRank(
+    std::span<const double> values, double c_min = 0.05, double c_max = 1.0,
+    double c_step = 0.01);
+
+/// R² of a pure power-law (Zipf) fit, log(value) = -s·log(rank) + k, on the
+/// same ranked data. The paper uses this comparison to *reject* the power
+/// law: the SE fit attains a visibly higher R².
+[[nodiscard]] LinearFit FitPowerLawRank(std::span<const double> values);
+
+/// Predicted value at a 1-based rank under a fitted SE law.
+[[nodiscard]] double StretchedExponentialRankValue(
+    const StretchedExponentialFit& fit, std::size_t rank);
+
+}  // namespace mcloud

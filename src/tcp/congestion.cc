@@ -1,0 +1,65 @@
+#include "tcp/congestion.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.h"
+
+namespace mcloud::tcp {
+
+CongestionController::CongestionController(const CongestionConfig& config)
+    : config_(config),
+      cwnd_(config.mss * config.initial_window_segments),
+      ssthresh_(std::numeric_limits<Bytes>::max() / 2) {
+  MCLOUD_REQUIRE(config.mss > 0, "MSS must be positive");
+  MCLOUD_REQUIRE(config.initial_window_segments > 0,
+                 "initial window must be positive");
+}
+
+void CongestionController::OnAck(Bytes bytes) {
+  if (bytes == 0) return;
+  if (InSlowStart()) {
+    // RFC 5681 §3.1: cwnd += min(N, SMSS) per ACK; with cumulative ACKs we
+    // grow by one MSS per full MSS acknowledged (ABC, RFC 3465, L=1).
+    const Bytes growth = std::min(bytes, std::max<Bytes>(
+        (bytes / config_.mss) * config_.mss, config_.mss));
+    cwnd_ = std::min(cwnd_ + growth, ssthresh_ + config_.mss);
+  } else {
+    // Congestion avoidance: cwnd += MSS·MSS/cwnd per ACK, accumulated over
+    // the acknowledged bytes: one MSS per cwnd-worth of ACKed data.
+    acked_since_growth_ += bytes;
+    while (acked_since_growth_ >= cwnd_) {
+      acked_since_growth_ -= cwnd_;
+      cwnd_ += config_.mss;
+    }
+  }
+}
+
+void CongestionController::OnTimeout(Bytes flight_size) {
+  ssthresh_ = std::max(flight_size / 2, 2 * config_.mss);
+  cwnd_ = config_.mss;
+  ++restarts_;
+}
+
+void CongestionController::OnLoss(Bytes flight_size) {
+  ssthresh_ = std::max(flight_size / 2, 2 * config_.mss);
+  cwnd_ = ssthresh_;
+}
+
+bool CongestionController::OnIdle(Seconds idle, Seconds rto) {
+  if (idle <= rto) return false;
+  if (!config_.slow_start_after_idle) {
+    // cwnd survives the idle; if pacing is configured, the next window must
+    // be clocked out rather than burst into the network.
+    pacing_armed_ = config_.pace_after_idle;
+    return false;
+  }
+  // RFC 5681 §4.1: restart window RW = min(IW, cwnd); ssthresh unchanged,
+  // so the sender slow-starts back toward its previous operating point.
+  ssthresh_ = std::max(ssthresh_, cwnd_);
+  cwnd_ = std::min(InitialWindow(), cwnd_);
+  ++restarts_;
+  return true;
+}
+
+}  // namespace mcloud::tcp

@@ -1,0 +1,73 @@
+// TCP congestion control (RFC 5681) with slow-start restart after idle.
+//
+// This is the mechanism behind the paper's headline §4 finding: RFC 5681
+// recommends resetting cwnd to the restart window and re-entering slow start
+// when the connection has been idle longer than one RTO. Android clients
+// idle between chunks for longer than the RTO in ~60% of gaps (vs 18% on
+// iOS), so their chunks repeatedly pay the slow-start ramp.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace mcloud::tcp {
+
+struct CongestionConfig {
+  Bytes mss = 1448;                 ///< sender maximum segment size
+  Bytes initial_window_segments = 10;  ///< IW10 (RFC 6928)
+  bool slow_start_after_idle = true;   ///< RFC 5681 §4.1 restart behaviour
+  /// Pace out the post-idle window instead of bursting (the §4.3
+  /// alternative the paper cites [28]: keep cwnd but restart the ACK clock
+  /// by pacing, avoiding both the slow-start ramp and the burst loss).
+  bool pace_after_idle = false;
+};
+
+class CongestionController {
+ public:
+  explicit CongestionController(const CongestionConfig& config);
+
+  [[nodiscard]] Bytes Cwnd() const { return cwnd_; }
+  [[nodiscard]] Bytes Ssthresh() const { return ssthresh_; }
+  [[nodiscard]] bool InSlowStart() const { return cwnd_ < ssthresh_; }
+  [[nodiscard]] Bytes Mss() const { return config_.mss; }
+  [[nodiscard]] Bytes InitialWindow() const {
+    return config_.mss * config_.initial_window_segments;
+  }
+
+  /// `bytes` of new data were cumulatively acknowledged.
+  void OnAck(Bytes bytes);
+
+  /// Retransmission timeout: ssthresh = max(flight/2, 2·MSS), cwnd = 1 MSS
+  /// (RFC 5681 §3.1).
+  void OnTimeout(Bytes flight_size);
+
+  /// Triple-duplicate-ACK fast retransmit: ssthresh = max(flight/2, 2·MSS),
+  /// cwnd = ssthresh (simplified fast recovery).
+  void OnLoss(Bytes flight_size);
+
+  /// The sender was idle for `idle` with retransmission timer `rto`.
+  /// If SSAI is enabled and idle > rto, cwnd collapses to the restart window
+  /// (RFC 5681 §4.1: RW = min(IW, cwnd)) and slow start resumes.
+  /// Returns true iff a restart happened.
+  bool OnIdle(Seconds idle, Seconds rto);
+
+  /// Whether the next window after an idle longer than the RTO must be
+  /// paced rather than burst (only meaningful with pace_after_idle and SSAI
+  /// disabled, i.e. when an un-shrunk cwnd survives the idle).
+  [[nodiscard]] bool PacingArmed() const { return pacing_armed_; }
+  /// The paced window was sent; disarm until the next long idle.
+  void PacingApplied() { pacing_armed_ = false; }
+
+  [[nodiscard]] std::uint64_t SlowStartRestarts() const { return restarts_; }
+
+ private:
+  CongestionConfig config_;
+  Bytes cwnd_;
+  Bytes ssthresh_;
+  Bytes acked_since_growth_ = 0;  ///< CA byte counter (RFC 3465 style)
+  std::uint64_t restarts_ = 0;
+  bool pacing_armed_ = false;
+};
+
+}  // namespace mcloud::tcp

@@ -1,0 +1,189 @@
+#include "tcp/flow.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.h"
+
+namespace mcloud::tcp {
+
+FlowSimulator::FlowSimulator(const FlowConfig& config) : config_(config) {
+  MCLOUD_REQUIRE(config.mss > 0, "MSS must be positive");
+  MCLOUD_REQUIRE(config.sender_window >= config.mss,
+                 "receiver window below one MSS");
+  MCLOUD_REQUIRE(config.rtt > 0, "RTT must be positive");
+  MCLOUD_REQUIRE(config.bandwidth_bps > 0, "bandwidth must be positive");
+}
+
+std::vector<Bytes> SplitIntoChunks(Bytes file_size, Bytes chunk_size) {
+  MCLOUD_REQUIRE(chunk_size > 0, "chunk size must be positive");
+  MCLOUD_REQUIRE(file_size > 0, "file size must be positive");
+  std::vector<Bytes> chunks(file_size / chunk_size, chunk_size);
+  if (const Bytes tail = file_size % chunk_size; tail > 0)
+    chunks.push_back(tail);
+  return chunks;
+}
+
+FlowResult FlowSimulator::Run(std::span<const Bytes> chunk_sizes,
+                              const DurationSampler& sample_tsrv,
+                              const DurationSampler& sample_tclt,
+                              const StallModel& stall, Rng& rng) const {
+  MCLOUD_REQUIRE(!chunk_sizes.empty(), "flow needs at least one chunk");
+  MCLOUD_REQUIRE(sample_tsrv != nullptr && sample_tclt != nullptr,
+                 "processing-time samplers are required");
+  if (stall.block > 0)
+    MCLOUD_REQUIRE(stall.sample != nullptr, "stall model needs a sampler");
+
+  const double bandwidth_Bps = config_.bandwidth_bps / 8.0;
+  CongestionController cc(config_.cc);
+  RttEstimator rtt_est;
+
+  FlowResult result;
+  result.chunks.reserve(chunk_sizes.size());
+
+  Seconds now = 0;
+  Bytes seq = 0;              // cumulative bytes sent on the connection
+  double rtt_sum = 0;
+  std::uint64_t rtt_samples = 0;
+
+  auto record = [&](Seconds t, Bytes inflight) {
+    if (config_.record_trace)
+      result.trace.push_back(PacketSample{t, seq, inflight});
+  };
+
+  // Establish the connection: SYN handshake costs one RTT and yields the
+  // first RTT sample, as a real kernel would have before any data moves.
+  rtt_est.Update(config_.rtt);
+  now += config_.rtt;
+  record(now, 0);
+
+  Seconds idle_started = now;  // sender last went quiet at this instant
+  bool first_chunk = true;
+
+  for (Bytes chunk : chunk_sizes) {
+    MCLOUD_REQUIRE(chunk > 0, "chunk sizes must be positive");
+    ChunkTiming timing;
+    timing.bytes = chunk;
+
+    // --- Idle gap before this chunk (Fig 11): the previous chunk's
+    // application-level acknowledgment round plus processing times have
+    // elapsed; decide whether the congestion window survived it.
+    bool post_idle = false;
+    if (!first_chunk) {
+      timing.idle_before = now - idle_started;
+      timing.rto_at_idle = rtt_est.Rto();
+      timing.restarted = cc.OnIdle(timing.idle_before, timing.rto_at_idle);
+      post_idle = timing.idle_before > timing.rto_at_idle;
+    }
+    first_chunk = false;
+
+    timing.request_at = now;
+    // The HTTP chunk request reaches the receiver in half an RTT; data
+    // starts flowing immediately after (request and data pipeline on the
+    // same connection for the data sender).
+    const Seconds transfer_start = now;
+
+    Bytes remaining = chunk;
+    Bytes stall_progress = 0;  // bytes handed to TCP since the last stall
+
+    while (remaining > 0) {
+      Bytes w = std::min({static_cast<Bytes>(cc.Cwnd()),
+                          config_.sender_window, remaining});
+      w = std::max(w, std::min(remaining, static_cast<Bytes>(config_.mss)));
+      const Seconds serialize = static_cast<double>(w) / bandwidth_Bps;
+      const Seconds round_rtt = config_.rtt + serialize;
+
+      // Post-idle handling when the window survived the idle (SSAI off):
+      // either pace the burst out over an extra RTT, or risk losing its
+      // tail to a drop-tail queue and paying a full retransmission timeout.
+      Seconds pacing_cost = 0;
+      if (post_idle && w > cc.InitialWindow()) {
+        if (cc.PacingArmed()) {
+          pacing_cost = config_.rtt;  // spread the window over one RTT
+          cc.PacingApplied();
+        } else if (config_.post_idle_burst_loss_prob > 0 &&
+                   rng.Bernoulli(config_.post_idle_burst_loss_prob)) {
+          // The burst's tail is lost; the cumulative ACK stalls and the
+          // sender waits out the RTO, then slow-starts the tail again.
+          const Bytes delivered = w / 2;
+          record(now, w);
+          now += rtt_est.Rto();
+          seq += delivered;
+          remaining -= delivered;
+          cc.OnTimeout(w);
+          ++result.timeouts;
+          post_idle = false;
+          record(now, 0);
+          continue;
+        }
+      }
+      post_idle = false;
+
+      record(now, w);  // window just emitted: w bytes in flight
+      now += round_rtt + pacing_cost;
+      seq += w;
+      remaining -= w;
+      record(now, 0);  // cumulative ACK drained the window
+
+      // Background loss: one round of fast-retransmit recovery.
+      if (config_.random_loss_prob > 0 &&
+          rng.Bernoulli(config_.random_loss_prob)) {
+        cc.OnLoss(w);
+        ++result.fast_retransmits;
+        now += config_.rtt;
+      }
+
+      cc.OnAck(w);
+      // RTT measurements are per-packet (propagation + one segment's
+      // serialization), not per-window: a kernel timestamps individual
+      // segments, so the advertised-window-sized bursts above do not inflate
+      // SRTT — and therefore do not inflate the RTO that gates slow-start
+      // restart after idle.
+      const Seconds packet_rtt =
+          config_.rtt + static_cast<double>(config_.mss) / bandwidth_Bps;
+      rtt_est.Update(packet_rtt);
+      rtt_sum += packet_rtt;
+      ++rtt_samples;
+
+      // Application stalls: the sending app pauses roughly every
+      // `stall.block` bytes before providing more data; long pauses
+      // collapse cwnd exactly like inter-chunk idles. The stall points
+      // crossed by this round are charged after it — note they never cap
+      // the TCP window itself, so a larger advertised window still helps.
+      if (stall.block > 0 && remaining > 0) {
+        stall_progress += w;
+        while (stall_progress >= stall.block && remaining > 0) {
+          stall_progress -= stall.block;
+          const Seconds pause = std::max(0.0, stall.sample(rng));
+          if (pause > 0) {
+            now += pause;
+            cc.OnIdle(pause, rtt_est.Rto());
+            record(now, 0);
+          }
+        }
+      }
+    }
+
+    timing.transfer_time = now - transfer_start;
+
+    // Server processes the chunk (stores it / prepares the next), then the
+    // HTTP 200 OK travels back; only then may the client prepare and issue
+    // the next request. The TCP sender is idle throughout.
+    idle_started = now;
+    timing.server_time = std::max(0.0, sample_tsrv(rng));
+    timing.client_time = std::max(0.0, sample_tclt(rng));
+    now += timing.server_time + config_.rtt + timing.client_time;
+    record(now, 0);
+
+    result.chunks.push_back(timing);
+  }
+
+  result.duration = now;
+  result.restarts = cc.SlowStartRestarts();
+  result.avg_rtt =
+      rtt_samples > 0 ? rtt_sum / static_cast<double>(rtt_samples)
+                      : config_.rtt;
+  return result;
+}
+
+}  // namespace mcloud::tcp

@@ -1,0 +1,116 @@
+// Simulation of one chunked HTTP transfer over a TCP connection.
+//
+// Reproduces the §4 / Fig 11 timeline: within a connection, chunks are
+// requested strictly sequentially — a new chunk request is only issued after
+// the HTTP-level acknowledgment ("HTTP 200 OK") of the previous chunk. The
+// TCP data sender therefore idles between chunks for
+//     idle = T_srv + T_clt + RTT,
+// and if that idle exceeds the RTO, slow-start restart (RFC 5681 §4.1)
+// collapses cwnd before the next chunk.
+//
+// Data transfer uses the classic window/round model: each round the sender
+// emits w = min(cwnd, rwnd, remaining) bytes, which costs w/bandwidth
+// serialization plus one RTT for the acknowledgment; cwnd then grows per
+// RFC 5681. Intra-chunk application stalls (an Android pathology visible in
+// Fig 13b as collapsing in-flight sizes) are modeled as pauses every
+// `block` bytes, and also trigger SSAI when they exceed the RTO.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "tcp/congestion.h"
+#include "tcp/rtt_estimator.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace mcloud::tcp {
+
+/// One sampled point of a sender-side packet trace (Fig 13).
+struct PacketSample {
+  Seconds t = 0;        ///< simulated time
+  Bytes seq = 0;        ///< cumulative bytes sent on the connection
+  Bytes inflight = 0;   ///< unacknowledged bytes at this instant
+};
+using PacketTrace = std::vector<PacketSample>;
+
+/// Duration sampler (e.g. a T_clt distribution). Receives the flow's RNG.
+using DurationSampler = std::function<Seconds(Rng&)>;
+
+/// Intra-chunk application stall model: every `block` bytes the sending
+/// application pauses for a sampled duration before handing TCP more data.
+/// block == 0 disables stalls.
+struct StallModel {
+  Bytes block = 0;
+  DurationSampler sample;
+};
+
+struct FlowConfig {
+  Bytes mss = 1448;
+  Bytes sender_window = 64 * kKiB;  ///< receiver-advertised window
+  Seconds rtt = 0.100;              ///< base path round-trip time
+  double bandwidth_bps = 8e6;       ///< bottleneck rate, bits per second
+  CongestionConfig cc{};            ///< congestion-control knobs (incl. SSAI)
+  bool record_trace = false;        ///< collect PacketTrace samples
+  /// Probability that a large post-idle burst (possible only with SSAI off
+  /// and no pacing) loses its tail and forces a retransmission timeout —
+  /// §4.3's caveat against simply disabling slow-start-after-idle: "packet
+  /// loss may happen, especially for the packets at the tail of the burst".
+  double post_idle_burst_loss_prob = 0.0;
+  /// Per-round background loss probability; recovered by fast retransmit
+  /// (cwnd halving), not a timeout.
+  double random_loss_prob = 0.0;
+};
+
+/// Timing of one chunk within the flow.
+struct ChunkTiming {
+  Seconds request_at = 0;     ///< chunk HTTP request issued
+  Seconds transfer_time = 0;  ///< first data byte to last data byte (t_tran)
+  Seconds server_time = 0;    ///< T_srv applied to this chunk
+  Seconds client_time = 0;    ///< T_clt preceding the *next* chunk
+  Seconds idle_before = 0;    ///< sender idle gap before this chunk (0 for
+                              ///< the first chunk of the connection)
+  Seconds rto_at_idle = 0;    ///< RTO in force when the idle gap ended
+  bool restarted = false;     ///< idle_before > RTO caused slow-start restart
+  Bytes bytes = 0;
+};
+
+struct FlowResult {
+  std::vector<ChunkTiming> chunks;
+  PacketTrace trace;
+  Seconds duration = 0;            ///< total flow time
+  std::uint64_t restarts = 0;      ///< slow-start restarts (incl. stalls)
+  std::uint64_t timeouts = 0;      ///< burst-loss retransmission timeouts
+  std::uint64_t fast_retransmits = 0;
+  Seconds avg_rtt = 0;             ///< mean of per-round RTT samples
+};
+
+/// Simulates the data-sender side of one TCP connection carrying a sequence
+/// of chunk transfers. Direction-agnostic: for storage flows the client is
+/// the sender (sender_window = the server's 64 KB advertisement); for
+/// retrieval flows the server is the sender (sender_window = the client's
+/// scaled window).
+class FlowSimulator {
+ public:
+  explicit FlowSimulator(const FlowConfig& config);
+
+  /// Run a flow transferring `chunk_sizes` in order. `sample_tsrv` and
+  /// `sample_tclt` produce the per-chunk server and client processing times
+  /// that compose the inter-chunk idle; `stall` injects intra-chunk
+  /// application pauses.
+  [[nodiscard]] FlowResult Run(std::span<const Bytes> chunk_sizes,
+                               const DurationSampler& sample_tsrv,
+                               const DurationSampler& sample_tclt,
+                               const StallModel& stall, Rng& rng) const;
+
+ private:
+  FlowConfig config_;
+};
+
+/// Convenience: split `file_size` into fixed-size chunks (the last one may
+/// be short), as the service does for files larger than the chunk size.
+[[nodiscard]] std::vector<Bytes> SplitIntoChunks(Bytes file_size,
+                                                 Bytes chunk_size);
+
+}  // namespace mcloud::tcp

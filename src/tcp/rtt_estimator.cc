@@ -1,0 +1,31 @@
+#include "tcp/rtt_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mcloud::tcp {
+
+void RttEstimator::Update(Seconds rtt_sample) {
+  MCLOUD_REQUIRE(rtt_sample > 0, "RTT samples must be positive");
+  if (!has_sample_) {
+    // RFC 6298 (2.2): SRTT = R, RTTVAR = R/2.
+    srtt_ = rtt_sample;
+    rttvar_ = rtt_sample / 2.0;
+    has_sample_ = true;
+    return;
+  }
+  // RFC 6298 (2.3): alpha = 1/8, beta = 1/4.
+  constexpr double kAlpha = 1.0 / 8.0;
+  constexpr double kBeta = 1.0 / 4.0;
+  rttvar_ = (1.0 - kBeta) * rttvar_ + kBeta * std::abs(srtt_ - rtt_sample);
+  srtt_ = (1.0 - kAlpha) * srtt_ + kAlpha * rtt_sample;
+}
+
+Seconds RttEstimator::Rto() const {
+  if (!has_sample_) return 1.0;  // RFC 6298 (2.1) initial RTO
+  return srtt_ + std::max(min_var_term_, 4.0 * rttvar_);
+}
+
+}  // namespace mcloud::tcp

@@ -1,0 +1,40 @@
+// RTT estimation and retransmission timeout per RFC 6298.
+//
+// §4.2 of the paper evaluates the idle time between chunk transmissions
+// against the RTO, using the kernel formula
+//     RTO = SRTT + max(200 ms, 4·RTTVAR)
+// (the Linux lower bound of 200 ms on the variance term rather than RFC
+// 6298's 1 s floor on the whole RTO). Both the exact estimator and the
+// paper's closed-form approximation RTO ≈ RTT + max(200 ms, 2·RTT) are
+// provided.
+#pragma once
+
+#include "util/units.h"
+
+namespace mcloud::tcp {
+
+class RttEstimator {
+ public:
+  /// `min_var_term` is the floor on the 4·RTTVAR term (200 ms in Linux).
+  explicit RttEstimator(Seconds min_var_term = 0.200)
+      : min_var_term_(min_var_term) {}
+
+  /// Feed one RTT measurement (seconds).
+  void Update(Seconds rtt_sample);
+
+  [[nodiscard]] bool HasSample() const { return has_sample_; }
+  [[nodiscard]] Seconds Srtt() const { return srtt_; }
+  [[nodiscard]] Seconds RttVar() const { return rttvar_; }
+
+  /// Current retransmission timeout. Before any sample: RFC 6298's initial
+  /// 1 s.
+  [[nodiscard]] Seconds Rto() const;
+
+ private:
+  Seconds min_var_term_;
+  Seconds srtt_ = 0;
+  Seconds rttvar_ = 0;
+  bool has_sample_ = false;
+};
+
+}  // namespace mcloud::tcp

@@ -1,0 +1,31 @@
+#include "trace/anonymizer.h"
+
+#include "util/md5.h"
+
+namespace mcloud {
+
+std::uint64_t Anonymizer::MapId(std::uint64_t raw) const {
+  Md5 h;
+  h.Update(key_);
+  std::array<std::uint8_t, 8> bytes;
+  for (std::size_t i = 0; i < 8; ++i)
+    bytes[i] = static_cast<std::uint8_t>((raw >> (8 * i)) & 0xff);
+  h.Update(std::span<const std::uint8_t>(bytes));
+  return h.Finalize().Low64();
+}
+
+LogRecord Anonymizer::Apply(LogRecord r) const {
+  r.user_id = MapId(r.user_id);
+  r.device_id = MapId(r.device_id);
+  return r;
+}
+
+std::vector<LogRecord> Anonymizer::Apply(
+    std::span<const LogRecord> trace) const {
+  std::vector<LogRecord> out;
+  out.reserve(trace.size());
+  for (const auto& r : trace) out.push_back(Apply(r));
+  return out;
+}
+
+}  // namespace mcloud

@@ -1,0 +1,211 @@
+#include "trace/log_io.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/csv.h"
+#include "util/error.h"
+
+namespace mcloud {
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'M', 'C', 'L', 'O',
+                                        'G', 'v', '0', '1'};
+
+/// Fixed-width on-disk layout of one binary record (little-endian).
+struct PackedRecord {
+  std::int64_t timestamp;
+  std::uint64_t device_id;
+  std::uint64_t user_id;
+  std::uint64_t data_volume;
+  std::int64_t processing_us;
+  std::int64_t server_us;
+  std::int64_t rtt_us;
+  std::uint8_t device_type;
+  std::uint8_t request_type;
+  std::uint8_t direction;
+  std::uint8_t proxied;
+  std::uint8_t pad[4];
+};
+static_assert(sizeof(PackedRecord) == 64, "unexpected record layout");
+
+std::int64_t ToMicros(Seconds s) {
+  return static_cast<std::int64_t>(s * 1e6 + (s >= 0 ? 0.5 : -0.5));
+}
+Seconds FromMicros(std::int64_t us) {
+  return static_cast<Seconds>(us) * 1e-6;
+}
+
+PackedRecord Pack(const LogRecord& r) {
+  PackedRecord p{};
+  p.timestamp = r.timestamp;
+  p.device_id = r.device_id;
+  p.user_id = r.user_id;
+  p.data_volume = r.data_volume;
+  p.processing_us = ToMicros(r.processing_time);
+  p.server_us = ToMicros(r.server_time);
+  p.rtt_us = ToMicros(r.avg_rtt);
+  p.device_type = static_cast<std::uint8_t>(r.device_type);
+  p.request_type = static_cast<std::uint8_t>(r.request_type);
+  p.direction = static_cast<std::uint8_t>(r.direction);
+  p.proxied = r.proxied ? 1 : 0;
+  return p;
+}
+
+LogRecord Unpack(const PackedRecord& p) {
+  LogRecord r;
+  r.timestamp = p.timestamp;
+  r.device_id = p.device_id;
+  r.user_id = p.user_id;
+  r.data_volume = p.data_volume;
+  r.processing_time = FromMicros(p.processing_us);
+  r.server_time = FromMicros(p.server_us);
+  r.avg_rtt = FromMicros(p.rtt_us);
+  if (p.device_type > 2) throw ParseError("bad device type in binary trace");
+  if (p.request_type > 1) throw ParseError("bad request type in binary trace");
+  if (p.direction > 1) throw ParseError("bad direction in binary trace");
+  r.device_type = static_cast<DeviceType>(p.device_type);
+  r.request_type = static_cast<RequestType>(p.request_type);
+  r.direction = static_cast<Direction>(p.direction);
+  r.proxied = p.proxied != 0;
+  return r;
+}
+
+std::ofstream OpenForWrite(const std::filesystem::path& path, bool binary) {
+  std::ofstream out(path, binary ? std::ios::binary | std::ios::trunc
+                                 : std::ios::trunc);
+  if (!out) throw Error("cannot open for writing: " + path.string());
+  return out;
+}
+
+std::ifstream OpenForRead(const std::filesystem::path& path, bool binary) {
+  std::ifstream in(path, binary ? std::ios::binary : std::ios::in);
+  if (!in) throw Error("cannot open for reading: " + path.string());
+  return in;
+}
+
+}  // namespace
+
+std::string CsvHeader() {
+  return "timestamp,device_type,device_id,user_id,request_type,direction,"
+         "data_volume,processing_time,server_time,avg_rtt,proxied";
+}
+
+std::string ToCsvLine(const LogRecord& r) {
+  std::string out;
+  out.reserve(128);
+  out.append(std::to_string(r.timestamp)).push_back(',');
+  out.append(ToString(r.device_type)).push_back(',');
+  out.append(std::to_string(r.device_id)).push_back(',');
+  out.append(std::to_string(r.user_id)).push_back(',');
+  out.append(ToString(r.request_type)).push_back(',');
+  out.append(ToString(r.direction)).push_back(',');
+  out.append(std::to_string(r.data_volume)).push_back(',');
+  // 6 decimals = microsecond resolution, matching the binary format.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", r.processing_time);
+  out.append(buf).push_back(',');
+  std::snprintf(buf, sizeof(buf), "%.6f", r.server_time);
+  out.append(buf).push_back(',');
+  std::snprintf(buf, sizeof(buf), "%.6f", r.avg_rtt);
+  out.append(buf).push_back(',');
+  out.push_back(r.proxied ? '1' : '0');
+  return out;
+}
+
+LogRecord FromCsvLine(std::string_view line) {
+  const auto f = SplitCsvLine(line);
+  if (f.size() != 11)
+    throw ParseError("expected 11 CSV fields, got " +
+                     std::to_string(f.size()));
+  LogRecord r;
+  r.timestamp = ParseInt64(f[0], "timestamp");
+  r.device_type = DeviceTypeFromString(f[1]);
+  r.device_id = ParseUint64(f[2], "device_id");
+  r.user_id = ParseUint64(f[3], "user_id");
+  r.request_type = RequestTypeFromString(f[4]);
+  r.direction = DirectionFromString(f[5]);
+  r.data_volume = ParseUint64(f[6], "data_volume");
+  r.processing_time = ParseDouble(f[7], "processing_time");
+  r.server_time = ParseDouble(f[8], "server_time");
+  r.avg_rtt = ParseDouble(f[9], "avg_rtt");
+  if (f[10] == "1") {
+    r.proxied = true;
+  } else if (f[10] == "0") {
+    r.proxied = false;
+  } else {
+    throw ParseError("bad proxied flag: '" + std::string(f[10]) + "'");
+  }
+  return r;
+}
+
+void WriteCsvTrace(const std::filesystem::path& path,
+                   std::span<const LogRecord> records) {
+  std::ofstream out = OpenForWrite(path, /*binary=*/false);
+  out << CsvHeader() << '\n';
+  for (const auto& r : records) out << ToCsvLine(r) << '\n';
+  if (!out) throw Error("write failed: " + path.string());
+}
+
+std::vector<LogRecord> ReadCsvTrace(const std::filesystem::path& path) {
+  std::ifstream in = OpenForRead(path, /*binary=*/false);
+  std::string line;
+  if (!std::getline(in, line))
+    throw ParseError("empty CSV trace: " + path.string());
+  if (line != CsvHeader())
+    throw ParseError("unexpected CSV header in " + path.string());
+  std::vector<LogRecord> records;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    records.push_back(FromCsvLine(line));
+  }
+  return records;
+}
+
+void WriteBinaryTrace(const std::filesystem::path& path,
+                      std::span<const LogRecord> records) {
+  std::ofstream out = OpenForWrite(path, /*binary=*/true);
+  out.write(kMagic.data(), kMagic.size());
+  const std::uint64_t count = records.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& r : records) {
+    const PackedRecord p = Pack(r);
+    out.write(reinterpret_cast<const char*>(&p), sizeof(p));
+  }
+  if (!out) throw Error("write failed: " + path.string());
+}
+
+std::vector<LogRecord> ReadBinaryTrace(const std::filesystem::path& path) {
+  std::vector<LogRecord> records;
+  ScanBinaryTrace(path, [&records](const LogRecord& r) {
+    records.push_back(r);
+    return true;
+  });
+  return records;
+}
+
+std::size_t ScanBinaryTrace(const std::filesystem::path& path,
+                            const std::function<bool(const LogRecord&)>& fn) {
+  std::ifstream in = OpenForRead(path, /*binary=*/true);
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic)
+    throw ParseError("not a mcloud binary trace: " + path.string());
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) throw ParseError("truncated binary trace: " + path.string());
+
+  std::size_t visited = 0;
+  PackedRecord p{};
+  for (std::uint64_t i = 0; i < count; ++i) {
+    in.read(reinterpret_cast<char*>(&p), sizeof(p));
+    if (!in) throw ParseError("truncated binary trace: " + path.string());
+    ++visited;
+    if (!fn(Unpack(p))) break;
+  }
+  return visited;
+}
+
+}  // namespace mcloud

@@ -1,0 +1,58 @@
+#include "trace/log_record.h"
+
+#include "util/error.h"
+
+namespace mcloud {
+
+std::string_view ToString(DeviceType t) {
+  switch (t) {
+    case DeviceType::kAndroid:
+      return "android";
+    case DeviceType::kIos:
+      return "ios";
+    case DeviceType::kPc:
+      return "pc";
+  }
+  throw Error("invalid DeviceType");
+}
+
+std::string_view ToString(RequestType t) {
+  switch (t) {
+    case RequestType::kFileOperation:
+      return "file_op";
+    case RequestType::kChunkRequest:
+      return "chunk";
+  }
+  throw Error("invalid RequestType");
+}
+
+std::string_view ToString(Direction d) {
+  switch (d) {
+    case Direction::kStore:
+      return "store";
+    case Direction::kRetrieve:
+      return "retrieve";
+  }
+  throw Error("invalid Direction");
+}
+
+DeviceType DeviceTypeFromString(std::string_view s) {
+  if (s == "android") return DeviceType::kAndroid;
+  if (s == "ios") return DeviceType::kIos;
+  if (s == "pc") return DeviceType::kPc;
+  throw ParseError("unknown device type: '" + std::string(s) + "'");
+}
+
+RequestType RequestTypeFromString(std::string_view s) {
+  if (s == "file_op") return RequestType::kFileOperation;
+  if (s == "chunk") return RequestType::kChunkRequest;
+  throw ParseError("unknown request type: '" + std::string(s) + "'");
+}
+
+Direction DirectionFromString(std::string_view s) {
+  if (s == "store") return Direction::kStore;
+  if (s == "retrieve") return Direction::kRetrieve;
+  throw ParseError("unknown direction: '" + std::string(s) + "'");
+}
+
+}  // namespace mcloud

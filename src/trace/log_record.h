@@ -1,0 +1,70 @@
+// The HTTP request log record — Table 1 of the paper.
+//
+// One record per HTTP request seen at a storage front-end server. Two request
+// types exist (§2.1): a *file operation* announces an upcoming file
+// store/retrieve and carries metadata only; a *chunk request* moves one
+// (up to) 512 KB chunk of data. Delete/share never reach the front-ends and
+// therefore never appear in the trace.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/units.h"
+
+namespace mcloud {
+
+enum class DeviceType : std::uint8_t {
+  kAndroid = 0,
+  kIos = 1,
+  kPc = 2,  ///< PC client logs used by the §3.2 usage-pattern analysis
+};
+
+enum class RequestType : std::uint8_t {
+  kFileOperation = 0,  ///< file storage/retrieval operation request
+  kChunkRequest = 1,   ///< chunk storage/retrieval request
+};
+
+/// Transfer direction of the request.
+enum class Direction : std::uint8_t {
+  kStore = 0,
+  kRetrieve = 1,
+};
+
+[[nodiscard]] std::string_view ToString(DeviceType t);
+[[nodiscard]] std::string_view ToString(RequestType t);
+[[nodiscard]] std::string_view ToString(Direction d);
+[[nodiscard]] DeviceType DeviceTypeFromString(std::string_view s);
+[[nodiscard]] RequestType RequestTypeFromString(std::string_view s);
+[[nodiscard]] Direction DirectionFromString(std::string_view s);
+
+struct LogRecord {
+  UnixSeconds timestamp = 0;    ///< 1 s resolution, as in the dataset
+  DeviceType device_type = DeviceType::kAndroid;
+  std::uint64_t device_id = 0;  ///< anonymized; unique per physical device
+  std::uint64_t user_id = 0;    ///< anonymized; unique per registered account
+  RequestType request_type = RequestType::kFileOperation;
+  Direction direction = Direction::kStore;
+  Bytes data_volume = 0;        ///< bytes moved; 0 for file operations
+  Seconds processing_time = 0;  ///< T_chunk: first byte in → last byte out
+  Seconds server_time = 0;      ///< T_srv: upstream storage-server time
+  Seconds avg_rtt = 0;          ///< mean RTT of the carrying TCP connection
+  bool proxied = false;         ///< X-FORWARDED-FOR present
+
+  [[nodiscard]] bool IsMobile() const {
+    return device_type != DeviceType::kPc;
+  }
+
+  friend bool operator==(const LogRecord&, const LogRecord&) = default;
+};
+
+/// Strict-weak order by (timestamp, user, device) — trace files are sorted
+/// this way so per-user scans are sequential.
+[[nodiscard]] inline bool LogRecordTimeOrder(const LogRecord& a,
+                                             const LogRecord& b) {
+  if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+  if (a.user_id != b.user_id) return a.user_id < b.user_id;
+  return a.device_id < b.device_id;
+}
+
+}  // namespace mcloud

@@ -1,0 +1,73 @@
+#include "util/csv.h"
+
+#include <charconv>
+#include <cstdint>
+
+#include "util/error.h"
+
+namespace mcloud {
+
+std::vector<std::string_view> SplitCsvLine(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+std::string JoinCsvLine(const std::vector<std::string_view>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].find_first_of(",\n\r") != std::string_view::npos) {
+      throw ParseError("CSV field contains separator: '" +
+                       std::string(fields[i]) + "'");
+    }
+    if (i > 0) out.push_back(',');
+    out.append(fields[i]);
+  }
+  return out;
+}
+
+namespace {
+[[noreturn]] void ThrowBadField(std::string_view field,
+                                std::string_view what) {
+  throw ParseError("cannot parse " + std::string(what) + " from '" +
+                   std::string(field) + "'");
+}
+}  // namespace
+
+std::int64_t ParseInt64(std::string_view field, std::string_view what) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), v);
+  if (ec != std::errc() || ptr != field.data() + field.size())
+    ThrowBadField(field, what);
+  return v;
+}
+
+std::uint64_t ParseUint64(std::string_view field, std::string_view what) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), v);
+  if (ec != std::errc() || ptr != field.data() + field.size())
+    ThrowBadField(field, what);
+  return v;
+}
+
+double ParseDouble(std::string_view field, std::string_view what) {
+  double v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), v);
+  if (ec != std::errc() || ptr != field.data() + field.size())
+    ThrowBadField(field, what);
+  return v;
+}
+
+}  // namespace mcloud

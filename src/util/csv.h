@@ -1,0 +1,31 @@
+// Minimal CSV tokenizer/formatter for the trace readers and bench output.
+//
+// The trace format is plain comma-separated values with no embedded commas in
+// any field (device IDs and hex hashes only), so no quoting is implemented;
+// Join() rejects fields that would need it.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcloud {
+
+/// Split one CSV line into fields (views into `line`; no copies).
+[[nodiscard]] std::vector<std::string_view> SplitCsvLine(
+    std::string_view line);
+
+/// Join fields into one CSV line. Throws ParseError if a field contains a
+/// comma or newline.
+[[nodiscard]] std::string JoinCsvLine(
+    const std::vector<std::string_view>& fields);
+
+/// Parse helpers that throw ParseError with context on malformed input.
+[[nodiscard]] std::int64_t ParseInt64(std::string_view field,
+                                      std::string_view what);
+[[nodiscard]] std::uint64_t ParseUint64(std::string_view field,
+                                        std::string_view what);
+[[nodiscard]] double ParseDouble(std::string_view field,
+                                 std::string_view what);
+
+}  // namespace mcloud

@@ -1,0 +1,282 @@
+// Parametric distributions used by the paper's models.
+//
+// Three families carry the paper's behavioural models:
+//   * GaussianMixture — §3.1.1 fits a two-component Gaussian mixture to the
+//     log10 inter-file-operation time (intra-session ≈10 s, inter-session
+//     ≈1 day).
+//   * MixtureExponential — §3.1.4 / Table 2 fits three-component mixtures of
+//     exponentials to per-session average file size.
+//   * StretchedExponential — §3.2.3 / Fig 10 models per-user activity ranks.
+// Each class exposes Pdf / Cdf / Ccdf / Sample / Mean so the same object can
+// drive both generation (workload) and evaluation (goodness-of-fit).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace mcloud {
+
+/// One-dimensional Gaussian mixture.
+class GaussianMixture {
+ public:
+  struct Component {
+    double weight = 0;  ///< mixing proportion, weights sum to 1
+    double mean = 0;
+    double stddev = 1;
+  };
+
+  GaussianMixture() = default;
+  explicit GaussianMixture(std::vector<Component> components)
+      : components_(std::move(components)) {
+    Validate();
+  }
+
+  [[nodiscard]] const std::vector<Component>& components() const {
+    return components_;
+  }
+  [[nodiscard]] std::size_t size() const { return components_.size(); }
+
+  [[nodiscard]] double Pdf(double x) const {
+    double p = 0;
+    for (const auto& c : components_) p += c.weight * NormalPdf(x, c);
+    return p;
+  }
+
+  [[nodiscard]] double Cdf(double x) const {
+    double p = 0;
+    for (const auto& c : components_) {
+      p += c.weight * 0.5 *
+           std::erfc(-(x - c.mean) / (c.stddev * std::numbers::sqrt2));
+    }
+    return p;
+  }
+
+  /// Posterior responsibility of component k for observation x.
+  [[nodiscard]] double Responsibility(std::size_t k, double x) const {
+    MCLOUD_REQUIRE(k < components_.size(), "component index out of range");
+    const double denom = Pdf(x);
+    if (denom <= 0) return 1.0 / static_cast<double>(components_.size());
+    return components_[k].weight * NormalPdf(x, components_[k]) / denom;
+  }
+
+  [[nodiscard]] double Mean() const {
+    double m = 0;
+    for (const auto& c : components_) m += c.weight * c.mean;
+    return m;
+  }
+
+  [[nodiscard]] double Sample(Rng& rng) const {
+    const std::size_t k = PickComponent(rng);
+    const auto& c = components_[k];
+    return rng.Normal(c.mean, c.stddev);
+  }
+
+  /// Sample and also report which component generated the value.
+  [[nodiscard]] std::pair<double, std::size_t> SampleWithComponent(
+      Rng& rng) const {
+    const std::size_t k = PickComponent(rng);
+    const auto& c = components_[k];
+    return {rng.Normal(c.mean, c.stddev), k};
+  }
+
+ private:
+  static double NormalPdf(double x, const Component& c) {
+    const double z = (x - c.mean) / c.stddev;
+    return std::exp(-0.5 * z * z) /
+           (c.stddev * std::sqrt(2.0 * std::numbers::pi));
+  }
+  std::size_t PickComponent(Rng& rng) const {
+    std::vector<double> w;
+    w.reserve(components_.size());
+    for (const auto& c : components_) w.push_back(c.weight);
+    return rng.PickWeighted(w);
+  }
+  void Validate() const {
+    MCLOUD_REQUIRE(!components_.empty(), "mixture needs >= 1 component");
+    double total = 0;
+    for (const auto& c : components_) {
+      MCLOUD_REQUIRE(c.stddev > 0, "stddev must be positive");
+      MCLOUD_REQUIRE(c.weight >= 0, "weights must be non-negative");
+      total += c.weight;
+    }
+    MCLOUD_REQUIRE(std::abs(total - 1.0) < 1e-6, "weights must sum to 1");
+  }
+
+  std::vector<Component> components_;
+};
+
+/// Mixture of exponentials, parameterised by component means (µ_i, the
+/// paper's notation) and weights (α_i). Pdf: f(x) = Σ α_i (1/µ_i) e^{-x/µ_i}.
+class MixtureExponential {
+ public:
+  struct Component {
+    double weight = 0;  ///< α_i
+    double mean = 1;    ///< µ_i
+  };
+
+  MixtureExponential() = default;
+  explicit MixtureExponential(std::vector<Component> components)
+      : components_(std::move(components)) {
+    Validate();
+  }
+
+  [[nodiscard]] const std::vector<Component>& components() const {
+    return components_;
+  }
+  [[nodiscard]] std::size_t size() const { return components_.size(); }
+
+  [[nodiscard]] double Pdf(double x) const {
+    if (x < 0) return 0;
+    double p = 0;
+    for (const auto& c : components_)
+      p += c.weight / c.mean * std::exp(-x / c.mean);
+    return p;
+  }
+
+  [[nodiscard]] double Cdf(double x) const {
+    if (x < 0) return 0;
+    double p = 0;
+    for (const auto& c : components_)
+      p += c.weight * (1.0 - std::exp(-x / c.mean));
+    return p;
+  }
+
+  [[nodiscard]] double Ccdf(double x) const { return 1.0 - Cdf(x); }
+
+  [[nodiscard]] double Mean() const {
+    double m = 0;
+    for (const auto& c : components_) m += c.weight * c.mean;
+    return m;
+  }
+
+  /// Posterior responsibility of component k for observation x.
+  [[nodiscard]] double Responsibility(std::size_t k, double x) const {
+    MCLOUD_REQUIRE(k < components_.size(), "component index out of range");
+    const double denom = Pdf(x);
+    if (denom <= 0) return 1.0 / static_cast<double>(components_.size());
+    const auto& c = components_[k];
+    return (c.weight / c.mean * std::exp(-x / c.mean)) / denom;
+  }
+
+  [[nodiscard]] double Sample(Rng& rng) const {
+    std::vector<double> w;
+    w.reserve(components_.size());
+    for (const auto& c : components_) w.push_back(c.weight);
+    const auto& c = components_[rng.PickWeighted(w)];
+    return rng.ExponentialMean(c.mean);
+  }
+
+ private:
+  void Validate() const {
+    MCLOUD_REQUIRE(!components_.empty(), "mixture needs >= 1 component");
+    double total = 0;
+    for (const auto& c : components_) {
+      MCLOUD_REQUIRE(c.mean > 0, "exponential mean must be positive");
+      MCLOUD_REQUIRE(c.weight >= 0, "weights must be non-negative");
+      total += c.weight;
+    }
+    MCLOUD_REQUIRE(std::abs(total - 1.0) < 1e-6, "weights must sum to 1");
+  }
+
+  std::vector<Component> components_;
+};
+
+/// Stretched-exponential (Weibull-tailed) distribution with
+/// CCDF P(X >= x) = exp(-(x/x0)^c), x >= 0. The paper uses it (§3.2.3) for
+/// per-user activity: smaller stretch factor c ⇒ more skewed activity.
+class StretchedExponential {
+ public:
+  StretchedExponential(double x0, double c) : x0_(x0), c_(c) {
+    MCLOUD_REQUIRE(x0 > 0, "x0 must be positive");
+    MCLOUD_REQUIRE(c > 0, "stretch factor must be positive");
+  }
+
+  [[nodiscard]] double x0() const { return x0_; }
+  [[nodiscard]] double stretch() const { return c_; }
+
+  [[nodiscard]] double Ccdf(double x) const {
+    if (x <= 0) return 1.0;
+    return std::exp(-std::pow(x / x0_, c_));
+  }
+  [[nodiscard]] double Cdf(double x) const { return 1.0 - Ccdf(x); }
+
+  [[nodiscard]] double Pdf(double x) const {
+    if (x <= 0) return 0;
+    const double r = std::pow(x / x0_, c_);
+    return c_ / x0_ * std::pow(x / x0_, c_ - 1.0) * std::exp(-r);
+  }
+
+  /// Inverse CCDF; u in (0, 1].
+  [[nodiscard]] double Quantile(double u) const {
+    MCLOUD_REQUIRE(u > 0 && u <= 1, "quantile arg must be in (0,1]");
+    return x0_ * std::pow(-std::log(u), 1.0 / c_);
+  }
+
+  [[nodiscard]] double Sample(Rng& rng) const {
+    double u = rng.Uniform();
+    while (u <= 0.0) u = rng.Uniform();
+    return Quantile(u);
+  }
+
+  /// Expected value of the rank-i statistic among n samples, following the
+  /// paper's rank analysis: P(X >= x_i) = i/n  ⇒  x_i = x0 (ln(n/i))^{1/c}.
+  [[nodiscard]] double RankValue(std::size_t rank, std::size_t n) const {
+    MCLOUD_REQUIRE(rank >= 1 && rank <= n, "rank out of range");
+    if (rank == n) return 0;
+    return x0_ * std::pow(std::log(static_cast<double>(n) /
+                                   static_cast<double>(rank)),
+                          1.0 / c_);
+  }
+
+ private:
+  double x0_;
+  double c_;
+};
+
+/// Bounded Zipf distribution over ranks {1..n} with exponent s, used as the
+/// power-law comparison model that the paper *rejects* for user activity.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s) : n_(n), s_(s) {
+    MCLOUD_REQUIRE(n >= 1, "Zipf needs n >= 1");
+    MCLOUD_REQUIRE(s > 0, "Zipf exponent must be positive");
+    cdf_.reserve(n);
+    double total = 0;
+    for (std::size_t k = 1; k <= n; ++k) {
+      total += std::pow(static_cast<double>(k), -s);
+      cdf_.push_back(total);
+    }
+    for (auto& v : cdf_) v /= total;
+  }
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] double exponent() const { return s_; }
+
+  /// Probability mass of rank k (1-based).
+  [[nodiscard]] double Pmf(std::size_t k) const {
+    MCLOUD_REQUIRE(k >= 1 && k <= n_, "rank out of range");
+    const double prev = (k == 1) ? 0.0 : cdf_[k - 2];
+    return cdf_[k - 1] - prev;
+  }
+
+  /// Sample a rank in [1, n].
+  [[nodiscard]] std::size_t Sample(Rng& rng) const {
+    const double u = rng.Uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+  }
+
+ private:
+  std::size_t n_;
+  double s_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace mcloud

@@ -1,0 +1,65 @@
+// Error handling primitives for the mcloud library.
+//
+// Library code reports failures by throwing mcloud::Error (or a subclass).
+// The MCLOUD_CHECK / MCLOUD_REQUIRE macros express preconditions and internal
+// invariants; both throw rather than abort so that callers (examples, benches,
+// long-running analyses) can recover or report cleanly.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mcloud {
+
+/// Base exception for all mcloud failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an input file / record cannot be parsed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numeric fit fails to converge or is given degenerate data.
+class FitError : public Error {
+ public:
+  explicit FitError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void ThrowCheckFailure(std::string_view kind,
+                                           std::string_view expr,
+                                           std::string_view file, int line,
+                                           std::string_view msg) {
+  std::string out;
+  out.reserve(128);
+  out.append(kind).append(" failed: ").append(expr);
+  out.append(" at ").append(file).append(":").append(std::to_string(line));
+  if (!msg.empty()) out.append(" — ").append(msg);
+  throw Error(out);
+}
+}  // namespace detail
+
+/// Precondition check on caller-supplied arguments.
+#define MCLOUD_REQUIRE(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::mcloud::detail::ThrowCheckFailure("precondition", #cond,          \
+                                          __FILE__, __LINE__, (msg));     \
+    }                                                                     \
+  } while (false)
+
+/// Internal invariant check; indicates a bug in mcloud itself if it fires.
+#define MCLOUD_CHECK(cond, msg)                                           \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::mcloud::detail::ThrowCheckFailure("invariant", #cond,             \
+                                          __FILE__, __LINE__, (msg));     \
+    }                                                                     \
+  } while (false)
+
+}  // namespace mcloud

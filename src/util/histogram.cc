@@ -1,0 +1,48 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+
+namespace mcloud {
+
+std::vector<double> Histogram::Smoothed(std::size_t radius) const {
+  std::vector<double> out(counts_.size(), 0.0);
+  const auto n = static_cast<std::ptrdiff_t>(counts_.size());
+  const auto r = static_cast<std::ptrdiff_t>(radius);
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    double sum = 0;
+    std::ptrdiff_t cnt = 0;
+    for (std::ptrdiff_t j = std::max<std::ptrdiff_t>(0, i - r);
+         j <= std::min(n - 1, i + r); ++j) {
+      sum += static_cast<double>(counts_[static_cast<std::size_t>(j)]);
+      ++cnt;
+    }
+    out[static_cast<std::size_t>(i)] = sum / static_cast<double>(cnt);
+  }
+  return out;
+}
+
+std::size_t Histogram::DeepestValley(std::size_t smooth_radius) const {
+  const std::vector<double> s = Smoothed(smooth_radius);
+  const std::size_t n = s.size();
+  if (n < 3) return n;
+
+  std::size_t best = n;
+  double best_depth = 0;
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double left_peak =
+        *std::max_element(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(i));
+    const double right_peak =
+        *std::max_element(s.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                          s.end());
+    if (left_peak <= s[i] || right_peak <= s[i]) continue;
+    // Depth of the valley relative to its lower shoulder.
+    const double depth = std::min(left_peak, right_peak) - s[i];
+    if (depth > best_depth) {
+      best_depth = depth;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace mcloud

@@ -1,0 +1,85 @@
+// Fixed-bin histograms (linear or logarithmic bin edges).
+//
+// Used for Fig 3 (log-scaled inter-operation time histogram), Fig 15 (sending
+// window distribution) and for chi-square goodness-of-fit tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.h"
+
+namespace mcloud {
+
+/// Histogram over [lo, hi) with `bins` equal-width bins. Values outside the
+/// range are counted in underflow/overflow and excluded from densities.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {
+    MCLOUD_REQUIRE(hi > lo, "histogram range must be non-empty");
+    MCLOUD_REQUIRE(bins > 0, "histogram needs at least one bin");
+  }
+
+  void Add(double x, std::uint64_t count = 1) {
+    if (x < lo_) {
+      underflow_ += count;
+      return;
+    }
+    if (x >= hi_) {
+      overflow_ += count;
+      return;
+    }
+    const auto b = static_cast<std::size_t>((x - lo_) / BinWidth());
+    counts_[b < counts_.size() ? b : counts_.size() - 1] += count;
+    total_ += count;
+  }
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] double BinWidth() const {
+    return (hi_ - lo_) / static_cast<double>(counts_.size());
+  }
+  [[nodiscard]] double BinLeft(std::size_t i) const {
+    return lo_ + static_cast<double>(i) * BinWidth();
+  }
+  [[nodiscard]] double BinCenter(std::size_t i) const {
+    return BinLeft(i) + 0.5 * BinWidth();
+  }
+  [[nodiscard]] std::uint64_t Count(std::size_t i) const {
+    MCLOUD_REQUIRE(i < counts_.size(), "bin index out of range");
+    return counts_[i];
+  }
+  [[nodiscard]] std::uint64_t TotalInRange() const { return total_; }
+  [[nodiscard]] std::uint64_t Underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t Overflow() const { return overflow_; }
+
+  /// Fraction of in-range mass in bin i.
+  [[nodiscard]] double Fraction(std::size_t i) const {
+    if (total_ == 0) return 0;
+    return static_cast<double>(Count(i)) / static_cast<double>(total_);
+  }
+  /// Probability density estimate at bin i.
+  [[nodiscard]] double Density(std::size_t i) const {
+    return Fraction(i) / BinWidth();
+  }
+
+  /// Index of the deepest interior valley: the minimum-count bin that has a
+  /// strictly larger smoothed count somewhere on both sides. Used to find the
+  /// inter/intra-session boundary in the Fig 3 histogram. Returns bins() if
+  /// the histogram is monotone (no interior valley).
+  [[nodiscard]] std::size_t DeepestValley(std::size_t smooth_radius = 2) const;
+
+ private:
+  [[nodiscard]] std::vector<double> Smoothed(std::size_t radius) const;
+
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace mcloud

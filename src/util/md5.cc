@@ -1,0 +1,185 @@
+#include "util/md5.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace mcloud {
+namespace {
+
+// Per-round left-rotate amounts (RFC 1321 §3.4).
+constexpr std::array<std::uint32_t, 64> kShift = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(2^32 * |sin(i + 1)|) (RFC 1321 §3.4).
+constexpr std::array<std::uint32_t, 64> kSine = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+constexpr std::uint32_t Rotl(std::uint32_t x, std::uint32_t n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+Md5::Md5() { Reset(); }
+
+void Md5::Reset() {
+  state_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u};
+  bit_count_ = 0;
+  buffer_len_ = 0;
+  finalized_ = false;
+}
+
+void Md5::ProcessBlock(const std::uint8_t* block) {
+  std::array<std::uint32_t, 16> m;
+  for (std::size_t i = 0; i < 16; ++i) {
+    m[i] = static_cast<std::uint32_t>(block[i * 4]) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 8) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 3]) << 24);
+  }
+
+  std::uint32_t a = state_[0];
+  std::uint32_t b = state_[1];
+  std::uint32_t c = state_[2];
+  std::uint32_t d = state_[3];
+
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    std::uint32_t g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    const std::uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + Rotl(a + f + kSine[i] + m[g], kShift[i]);
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::Update(std::span<const std::uint8_t> data) {
+  MCLOUD_REQUIRE(!finalized_, "Md5::Update after Finalize without Reset");
+  bit_count_ += static_cast<std::uint64_t>(data.size()) * 8;
+
+  std::size_t offset = 0;
+  // Fill a partially filled buffer first.
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min(data.size(), 64 - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset += take;
+    if (buffer_len_ == 64) {
+      ProcessBlock(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  // Whole blocks straight from the input.
+  while (offset + 64 <= data.size()) {
+    ProcessBlock(data.data() + offset);
+    offset += 64;
+  }
+  // Stash the tail.
+  if (offset < data.size()) {
+    buffer_len_ = data.size() - offset;
+    std::memcpy(buffer_.data(), data.data() + offset, buffer_len_);
+  }
+}
+
+void Md5::Update(std::string_view data) {
+  Update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+Md5Digest Md5::Finalize() {
+  MCLOUD_REQUIRE(!finalized_, "Md5::Finalize called twice");
+  const std::uint64_t total_bits = bit_count_;
+
+  // Append 0x80 then zero-pad to 56 mod 64, then the 64-bit length (LE).
+  const std::uint8_t one = 0x80;
+  Update(std::span<const std::uint8_t>(&one, 1));
+  const std::array<std::uint8_t, 64> zeros{};
+  while (buffer_len_ != 56) {
+    const std::size_t pad =
+        buffer_len_ < 56 ? 56 - buffer_len_ : 64 - buffer_len_;
+    Update(std::span<const std::uint8_t>(zeros.data(), pad));
+  }
+  std::array<std::uint8_t, 8> len_bytes;
+  for (std::size_t i = 0; i < 8; ++i)
+    len_bytes[i] = static_cast<std::uint8_t>((total_bits >> (8 * i)) & 0xff);
+  Update(len_bytes);
+  MCLOUD_CHECK(buffer_len_ == 0, "padding must complete the final block");
+
+  Md5Digest digest;
+  for (std::size_t i = 0; i < 4; ++i) {
+    digest.bytes[i * 4] = static_cast<std::uint8_t>(state_[i] & 0xff);
+    digest.bytes[i * 4 + 1] = static_cast<std::uint8_t>((state_[i] >> 8) & 0xff);
+    digest.bytes[i * 4 + 2] =
+        static_cast<std::uint8_t>((state_[i] >> 16) & 0xff);
+    digest.bytes[i * 4 + 3] =
+        static_cast<std::uint8_t>((state_[i] >> 24) & 0xff);
+  }
+  finalized_ = true;
+  return digest;
+}
+
+Md5Digest Md5::Hash(std::string_view data) {
+  Md5 h;
+  h.Update(data);
+  return h.Finalize();
+}
+
+Md5Digest Md5::Hash(std::span<const std::uint8_t> data) {
+  Md5 h;
+  h.Update(data);
+  return h.Finalize();
+}
+
+std::string Md5Digest::ToHex() const {
+  static constexpr char kHexChars[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kHexChars[b >> 4]);
+    out.push_back(kHexChars[b & 0xf]);
+  }
+  return out;
+}
+
+std::uint64_t Md5Digest::Low64() const {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace mcloud

@@ -1,0 +1,64 @@
+// MD5 message digest (RFC 1321), implemented from scratch.
+//
+// The examined service identifies every chunk and file by its MD5 hash
+// (§2.1): the metadata server's deduplication index is keyed by file MD5, and
+// chunk requests carry per-chunk MD5s. MD5 is used here for fidelity to the
+// paper's system, not for security.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace mcloud {
+
+/// A 128-bit MD5 digest.
+struct Md5Digest {
+  std::array<std::uint8_t, 16> bytes{};
+
+  [[nodiscard]] std::string ToHex() const;
+  /// The low 64 bits, convenient as a hash-map key.
+  [[nodiscard]] std::uint64_t Low64() const;
+
+  friend bool operator==(const Md5Digest&, const Md5Digest&) = default;
+};
+
+/// Incremental MD5 hasher.
+class Md5 {
+ public:
+  Md5();
+
+  /// Feed more message bytes.
+  void Update(std::span<const std::uint8_t> data);
+  void Update(std::string_view data);
+
+  /// Finalize and return the digest. The hasher must not be reused after
+  /// Finalize() without Reset().
+  [[nodiscard]] Md5Digest Finalize();
+
+  void Reset();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Md5Digest Hash(std::string_view data);
+  [[nodiscard]] static Md5Digest Hash(std::span<const std::uint8_t> data);
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_{};
+  std::uint64_t bit_count_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace mcloud
+
+template <>
+struct std::hash<mcloud::Md5Digest> {
+  std::size_t operator()(const mcloud::Md5Digest& d) const noexcept {
+    return static_cast<std::size_t>(d.Low64());
+  }
+};

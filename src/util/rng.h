@@ -1,0 +1,174 @@
+// Deterministic random number generation.
+//
+// All stochastic components of mcloud take an explicit Rng so that every
+// experiment is reproducible from a single seed. Rng wraps a SplitMix64-seeded
+// xoshiro256** engine (implemented here so the bit stream is stable across
+// standard library versions, unlike std::mt19937_64's distributions).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace mcloud {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+/// Deterministic across platforms; passes BigCrush.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    // SplitMix64 to expand the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Seedable RNG with the sampling helpers the generators and simulators need.
+/// Distribution sampling is implemented inline (inverse-CDF / Box–Muller /
+/// Marsaglia) rather than via <random> distributions to keep the stream
+/// identical across standard libraries.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x6d636c6f7564ULL) : engine_(seed) {}
+
+  /// Derive an independent child stream (e.g. one per simulated user).
+  [[nodiscard]] Rng Fork(std::uint64_t stream_id) {
+    return Rng(engine_() ^ (0x9E3779B97F4A7C15ULL * (stream_id + 1)));
+  }
+
+  std::uint64_t NextU64() { return engine_(); }
+
+  /// Uniform in [0, 1).
+  double Uniform() {
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+  /// Uniform integer in [0, n).
+  std::uint64_t UniformInt(std::uint64_t n) {
+    MCLOUD_REQUIRE(n > 0, "UniformInt needs a non-empty range");
+    // Lemire's unbiased bounded generation.
+    std::uint64_t x = engine_();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      const std::uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = engine_();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Standard normal via Box–Muller (cached second value).
+  double Normal() {
+    if (have_cached_normal_) {
+      have_cached_normal_ = false;
+      return cached_normal_;
+    }
+    double u1 = Uniform();
+    while (u1 <= 0.0) u1 = Uniform();
+    const double u2 = Uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_normal_ = r * std::sin(theta);
+    have_cached_normal_ = true;
+    return r * std::cos(theta);
+  }
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  /// Exponential with the given mean (NOT rate).
+  double ExponentialMean(double mean) {
+    MCLOUD_REQUIRE(mean > 0, "exponential mean must be positive");
+    double u = Uniform();
+    while (u <= 0.0) u = Uniform();
+    return -mean * std::log(u);
+  }
+
+  /// Log-normal with parameters of the underlying normal.
+  double LogNormal(double mu, double sigma) {
+    return std::exp(Normal(mu, sigma));
+  }
+
+  /// Pareto (type I) with scale xm > 0 and shape alpha > 0.
+  double Pareto(double xm, double alpha) {
+    MCLOUD_REQUIRE(xm > 0 && alpha > 0, "invalid Pareto parameters");
+    double u = Uniform();
+    while (u <= 0.0) u = Uniform();
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Pick an index in [0, weights.size()) proportionally to `weights`.
+  std::size_t PickWeighted(std::span<const double> weights) {
+    MCLOUD_REQUIRE(!weights.empty(), "PickWeighted needs weights");
+    double total = 0;
+    for (double w : weights) {
+      MCLOUD_REQUIRE(w >= 0, "weights must be non-negative");
+      total += w;
+    }
+    MCLOUD_REQUIRE(total > 0, "weights must not all be zero");
+    double r = Uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      if (r < weights[i]) return i;
+      r -= weights[i];
+    }
+    return weights.size() - 1;  // numeric edge: fall into the last bucket
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = UniformInt(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  explicit Rng(Xoshiro256 engine) : engine_(engine) {}
+  Xoshiro256 engine_;
+  double cached_normal_ = 0;
+  bool have_cached_normal_ = false;
+};
+
+}  // namespace mcloud

@@ -1,0 +1,28 @@
+#include "util/timeutil.h"
+
+#include <array>
+#include <cstdio>
+
+namespace mcloud {
+
+std::string DayLabel(int day_index) {
+  static constexpr std::array<const char*, 7> kNames = {
+      "Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"};
+  const int d = ((day_index % 7) + 7) % 7;
+  return kNames[static_cast<std::size_t>(d)];
+}
+
+std::string TimestampLabel(UnixSeconds ts, UnixSeconds start) {
+  const auto rel = ts - start;
+  const int day = static_cast<int>(rel / static_cast<UnixSeconds>(kDay));
+  const auto within = rel % static_cast<UnixSeconds>(kDay);
+  const int h = static_cast<int>(within / 3600);
+  const int m = static_cast<int>((within % 3600) / 60);
+  const int s = static_cast<int>(within % 60);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s %02d:%02d:%02d",
+                DayLabel(day).c_str(), h, m, s);
+  return buf;
+}
+
+}  // namespace mcloud

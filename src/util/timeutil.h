@@ -1,0 +1,42 @@
+// Calendar helpers over UnixSeconds timestamps.
+//
+// The trace spans one week starting on a Monday 00:00 (matching the paper's
+// M–Su x-axis in Fig 1); these helpers convert timestamps to day/hour bins.
+#pragma once
+
+#include <string>
+
+#include "util/units.h"
+
+namespace mcloud {
+
+/// Trace epoch: Monday 2015-08-03 00:00:00 UTC — the August 2015 collection
+/// week implied by the log example in Table 1 ("19:10:01 Aug. 4 2015").
+inline constexpr UnixSeconds kTraceStart = 1438560000;
+
+/// Day index (0-based) since `start`.
+[[nodiscard]] constexpr int DayIndex(UnixSeconds ts,
+                                     UnixSeconds start = kTraceStart) {
+  return static_cast<int>((ts - start) / static_cast<UnixSeconds>(kDay));
+}
+
+/// Hour-of-trace index (0-based one-hour bins) since `start`.
+[[nodiscard]] constexpr int HourIndex(UnixSeconds ts,
+                                      UnixSeconds start = kTraceStart) {
+  return static_cast<int>((ts - start) / static_cast<UnixSeconds>(kHour));
+}
+
+/// Hour of day (0..23) relative to `start` being midnight.
+[[nodiscard]] constexpr int HourOfDay(UnixSeconds ts,
+                                      UnixSeconds start = kTraceStart) {
+  return HourIndex(ts, start) % 24;
+}
+
+/// "Mon".."Sun" label for a day index (day 0 = Monday).
+[[nodiscard]] std::string DayLabel(int day_index);
+
+/// "Tue 19:10:01"-style label for a timestamp.
+[[nodiscard]] std::string TimestampLabel(UnixSeconds ts,
+                                         UnixSeconds start = kTraceStart);
+
+}  // namespace mcloud

@@ -1,0 +1,43 @@
+// Units and small strong-ish types used across the library.
+//
+// Times inside the simulator and the trace are kept in two forms:
+//   * `UnixSeconds` — wall-clock timestamps of log records (integral seconds
+//     since the epoch, matching the one-second resolution of the paper's HTTP
+//     access logs, Table 1).
+//   * `Seconds` — durations and simulated time, double precision, so that the
+//     TCP simulator can express sub-millisecond events.
+#pragma once
+
+#include <cstdint>
+
+namespace mcloud {
+
+using Bytes = std::uint64_t;
+using Seconds = double;          ///< duration / simulated time
+using UnixSeconds = std::int64_t;///< wall-clock timestamp (1 s resolution)
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+/// Fixed chunk size of the examined service (§2.1): 512 KB.
+inline constexpr Bytes kChunkSize = 512 * kKiB;
+
+inline constexpr Seconds kSecond = 1.0;
+inline constexpr Seconds kMinute = 60.0;
+inline constexpr Seconds kHour = 3600.0;
+inline constexpr Seconds kDay = 24 * kHour;
+inline constexpr Seconds kWeek = 7 * kDay;
+
+inline constexpr double kMilli = 1e-3;
+
+/// Convert a byte count to MB (decimal, as the paper reports file sizes).
+[[nodiscard]] constexpr double ToMB(Bytes b) {
+  return static_cast<double>(b) / 1e6;
+}
+/// Convert MB (decimal) to bytes, rounding down.
+[[nodiscard]] constexpr Bytes FromMB(double mb) {
+  return static_cast<Bytes>(mb * 1e6);
+}
+
+}  // namespace mcloud

@@ -1,0 +1,33 @@
+#include "workload/diurnal.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace mcloud::workload {
+
+DiurnalPattern::DiurnalPattern(const std::array<double, 24>& hour_weights)
+    : weights_(hour_weights) {
+  for (double w : weights_) {
+    MCLOUD_REQUIRE(w >= 0, "hour weights must be non-negative");
+    total_ += w;
+  }
+  MCLOUD_REQUIRE(total_ > 0, "hour weights must not all be zero");
+}
+
+Seconds DiurnalPattern::SampleSecondOfDay(Rng& rng) const {
+  const std::size_t hour = rng.PickWeighted(weights_);
+  return static_cast<Seconds>(hour) * kHour + rng.Uniform(0.0, kHour);
+}
+
+double DiurnalPattern::HourShare(int hour) const {
+  MCLOUD_REQUIRE(hour >= 0 && hour < 24, "hour out of range");
+  return weights_[static_cast<std::size_t>(hour)] / total_;
+}
+
+int DiurnalPattern::PeakHour() const {
+  const auto it = std::max_element(weights_.begin(), weights_.end());
+  return static_cast<int>(it - weights_.begin());
+}
+
+}  // namespace mcloud::workload

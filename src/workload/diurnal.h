@@ -1,0 +1,31 @@
+// Diurnal load pattern (§2.4, Fig 1): sessions concentrate in the evening
+// with a surge around 11 PM, when devices are home on WiFi.
+#pragma once
+
+#include <array>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace mcloud::workload {
+
+class DiurnalPattern {
+ public:
+  /// `hour_weights` — relative session-start intensity per hour of day.
+  explicit DiurnalPattern(const std::array<double, 24>& hour_weights);
+
+  /// Sample a second-of-day (0 .. 86399) following the hourly intensity.
+  [[nodiscard]] Seconds SampleSecondOfDay(Rng& rng) const;
+
+  /// Normalized weight of one hour (sums to 1 over the day).
+  [[nodiscard]] double HourShare(int hour) const;
+
+  /// Hour with the maximum weight (the paper's 11 PM surge).
+  [[nodiscard]] int PeakHour() const;
+
+ private:
+  std::array<double, 24> weights_;
+  double total_ = 0;
+};
+
+}  // namespace mcloud::workload

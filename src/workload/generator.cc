@@ -1,0 +1,60 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "workload/calibration.h"
+#include "workload/diurnal.h"
+#include "workload/log_emitter.h"
+#include "workload/session_model.h"
+
+namespace mcloud::workload {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config)
+    : config_(config) {}
+
+Workload WorkloadGenerator::GenerateImpl(bool emit_logs) const {
+  Rng rng(config_.seed);
+
+  Workload w;
+  PopulationBuilder population(config_.population);
+  w.users = population.Build(rng);
+
+  const DiurnalPattern diurnal(cal::kHourOfDayWeights);
+  SessionModelConfig smc;
+  smc.trace_start = config_.trace_start;
+  smc.days = config_.population.days;
+  const SessionModel session_model(smc, diurnal);
+
+  FastLogEmitter emitter;
+  for (const UserProfile& user : w.users) {
+    // Independent per-user stream: adding users never perturbs the
+    // randomness of existing ones.
+    Rng user_rng = rng.Fork(user.user_id);
+    std::vector<SessionPlan> sessions =
+        session_model.PlanUser(user, user_rng);
+    if (emit_logs) {
+      for (const SessionPlan& s : sessions)
+        emitter.EmitSession(s, user_rng, w.trace);
+    }
+    w.sessions.insert(w.sessions.end(),
+                      std::make_move_iterator(sessions.begin()),
+                      std::make_move_iterator(sessions.end()));
+  }
+
+  std::sort(w.sessions.begin(), w.sessions.end(),
+            [](const SessionPlan& a, const SessionPlan& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.user_id < b.user_id;
+            });
+  if (emit_logs)
+    std::sort(w.trace.begin(), w.trace.end(), LogRecordTimeOrder);
+  return w;
+}
+
+Workload WorkloadGenerator::Generate() const { return GenerateImpl(true); }
+
+Workload WorkloadGenerator::GeneratePlansOnly() const {
+  return GenerateImpl(false);
+}
+
+}  // namespace mcloud::workload

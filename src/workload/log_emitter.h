@@ -1,0 +1,38 @@
+// Fast execution backend: turns SessionPlans into LogRecords with sampled
+// (rather than packet-simulated) timing.
+//
+// This backend generates the multi-million-record week trace consumed by all
+// §3 behavioural analyses, where only the *fields* of Table 1 matter. The §4
+// performance benches use cloud::StorageService, which executes sessions
+// through the TCP substrate instead and produces mechanistic timings.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "trace/log_record.h"
+#include "util/rng.h"
+#include "workload/session_plan.h"
+
+namespace mcloud::workload {
+
+class FastLogEmitter {
+ public:
+  FastLogEmitter() = default;
+
+  /// Emit the log records of one session, appended to `out`.
+  void EmitSession(const SessionPlan& session, Rng& rng,
+                   std::vector<LogRecord>& out) const;
+
+  /// Emit records for many sessions; the result is NOT time-sorted (callers
+  /// sort once after all sessions are emitted).
+  [[nodiscard]] std::vector<LogRecord> Emit(
+      std::span<const SessionPlan> sessions, Rng& rng) const;
+
+  /// Effective application-level throughput (bytes/s) of a device for a
+  /// direction, before per-session jitter.
+  [[nodiscard]] static double BaseThroughput(DeviceType device,
+                                             Direction direction);
+};
+
+}  // namespace mcloud::workload

@@ -1,0 +1,337 @@
+#include "workload/session_model.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <cmath>
+
+#include "util/error.h"
+#include "workload/calibration.h"
+
+namespace mcloud::workload {
+namespace {
+
+/// Sample an intra-session gap (seconds) given the session's op count.
+Seconds SampleOpGap(Rng& rng, std::size_t session_ops) {
+  double log10_gap;
+  if (session_ops > cal::kBatchGapOpsThreshold) {
+    // Batch backup: the app issues operation requests programmatically.
+    log10_gap = rng.Normal(cal::kBatchGapMeanLog10,
+                           cal::kBatchGapStddevLog10);
+  } else if (rng.Bernoulli(cal::kQuickGapShare)) {
+    // Multi-select: several files chosen in one gesture.
+    log10_gap =
+        rng.Normal(cal::kQuickGapMeanLog10, cal::kQuickGapStddevLog10);
+  } else {
+    // Think time between separate gestures.
+    log10_gap =
+        rng.Normal(cal::kThinkGapMeanLog10, cal::kThinkGapStddevLog10);
+  }
+  return std::min(std::pow(10.0, log10_gap), cal::kMaxIntraSessionGap);
+}
+
+/// Pick the Table 2 size component for a session.
+std::size_t SampleSizeComponent(Rng& rng, Direction direction,
+                                std::size_t op_count) {
+  if (direction == Direction::kStore) {
+    const auto& w = (op_count == 1) ? cal::kStoreSizeWeightsSingle
+                                    : cal::kStoreSizeWeightsMulti;
+    return rng.PickWeighted(w);
+  }
+  const std::size_t row = (op_count <= 2) ? 0 : (op_count <= 9) ? 1 : 2;
+  return rng.PickWeighted(cal::kRetrieveSizeWeightsByCount[row]);
+}
+
+}  // namespace
+
+SessionModel::SessionModel(const SessionModelConfig& config,
+                           const DiurnalPattern& diurnal)
+    : config_(config), diurnal_(diurnal) {
+  MCLOUD_REQUIRE(config.days >= 1, "need at least one day");
+}
+
+std::size_t SessionModel::SampleOpCount(Rng& rng, Direction direction) {
+  const bool store = direction == Direction::kStore;
+  const double single = store ? cal::kSingleOpShare : cal::kRetrieveSingleOpShare;
+  const double few = store ? cal::kFewOpsShare : cal::kRetrieveFewOpsShare;
+  const std::array<double, 3> weights = {
+      single, few, 1.0 - single - few};
+  switch (rng.PickWeighted(weights)) {
+    case 0:
+      return 1;
+    case 1: {
+      // 2 + geometric-ish spread up to ~15 files.
+      const double extra = rng.ExponentialMean(cal::kFewOpsMean);
+      return 2 + static_cast<std::size_t>(std::min(extra, 16.0));
+    }
+    default: {
+      const double extra = rng.ExponentialMean(cal::kManyOpsTailMean);
+      return cal::kBatchOpsThreshold +
+             static_cast<std::size_t>(std::min(extra, 200.0));
+    }
+  }
+}
+
+Bytes SessionModel::SampleSessionAvgFileSize(Rng& rng, Direction direction,
+                                             std::size_t op_count) {
+  const auto& params = (direction == Direction::kStore)
+                           ? paper::kStoreFileSizeParams
+                           : paper::kRetrieveFileSizeParams;
+  const std::size_t comp = SampleSizeComponent(rng, direction, op_count);
+  const double mb = rng.ExponentialMean(params.means_mb[comp]);
+  // Files below ~50 KB are unrealistic for the photo/video content the
+  // service carries; floor the draw.
+  return FromMB(std::max(mb, 0.05));
+}
+
+std::vector<int> SessionModel::ActiveDays(const UserProfile& user,
+                                          Rng& rng) const {
+  std::vector<int> days = {user.first_active_day};
+  if (user.engaged) {
+    double p = cal::kEngagedDailyActive;
+    for (int d = user.first_active_day + 1; d < config_.days; ++d) {
+      if (rng.Bernoulli(p)) days.push_back(d);
+      p *= cal::kEngagedDailyDecay;
+    }
+  }
+  return days;
+}
+
+UnixSeconds SessionModel::SampleSessionStart(int day, Rng& rng) const {
+  const Seconds second_of_day = diurnal_.SampleSecondOfDay(rng);
+  return config_.trace_start +
+         static_cast<UnixSeconds>(day) * static_cast<UnixSeconds>(kDay) +
+         static_cast<UnixSeconds>(second_of_day);
+}
+
+void SessionModel::FillOps(SessionPlan& session, Direction direction,
+                           std::size_t count, Bytes occasional_cap,
+                           Rng& rng) const {
+  Bytes max_file_size = 16 * kGiB;
+  Bytes avg;
+  if (occasional_cap > 0) {
+    // Rejection-truncated draw from the Table 2 µ1 exponential (see
+    // calibration.h): small payloads whose density matches the main
+    // component's shape below the cut-off, capped per-file so the user's
+    // weekly volume stays near the 1 MB class boundary.
+    const double hi =
+        std::min(cal::kOccasionalMaxFileMB, ToMB(occasional_cap));
+    const double lo = std::min(cal::kOccasionalMinFileMB, hi / 2.0);
+    double mb = 0;
+    do {
+      mb = rng.ExponentialMean(paper::kStoreFileSizeParams.means_mb[0]);
+    } while (mb < lo || mb > hi);
+    avg = FromMB(mb);
+    max_file_size = FromMB(hi);
+  } else {
+    avg = SampleSessionAvgFileSize(rng, direction, count);
+  }
+  Seconds offset = session.ops.empty()
+                       ? 0.0
+                       : session.ops.back().offset +
+                             SampleOpGap(rng, count + session.ops.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    FileOp op;
+    op.direction = direction;
+    // Jitter individual files around the session's size class.
+    const double jitter =
+        rng.LogNormal(0.0, cal::kFileSizeJitterSigma);
+    op.size = std::max<Bytes>(
+        static_cast<Bytes>(static_cast<double>(avg) * jitter), 10 * kKiB);
+    op.size = std::min(op.size, max_file_size);
+    op.offset = offset;
+    session.ops.push_back(op);
+    offset += SampleOpGap(rng, count + session.ops.size());
+  }
+}
+
+std::vector<SessionPlan> SessionModel::PlanUser(const UserProfile& user,
+                                                Rng& rng) const {
+  std::vector<SessionPlan> sessions;
+  const std::vector<int> active_days = ActiveDays(user, rng);
+
+  const bool occasional =
+      user.usage_class == paper::UserClass::kOccasional;
+  // Per-file ceiling for occasional users, shrinking with their op budget.
+  const std::uint64_t budget =
+      std::max<std::uint64_t>(1, user.store_files + user.retrieve_files);
+  const Bytes occasional_cap =
+      occasional ? FromMB(std::clamp(cal::kOccasionalBudgetMB /
+                                         static_cast<double>(budget),
+                                     0.06, cal::kOccasionalMaxFileMB))
+                 : 0;
+
+  // Split the weekly budgets into per-session op counts.
+  struct Descriptor {
+    std::size_t store_ops = 0;
+    std::size_t retrieve_ops = 0;
+  };
+  std::vector<Descriptor> descriptors;
+
+  std::uint64_t store_left = user.store_files;
+  std::uint64_t retrieve_left = user.retrieve_files;
+  const bool mixed_user = user.usage_class == paper::UserClass::kMixed;
+
+
+  // Engaged users spread their activity across the week (a photo backup per
+  // evening), so cap a session's ops to leave at least one operation for
+  // every not-yet-covered active day. Non-engaged users dump everything in
+  // their few sessions.
+  const auto cap_for_spread = [&](std::uint64_t left,
+                                  std::size_t planned) -> std::uint64_t {
+    if (!user.engaged) return left;
+    const std::size_t days_uncovered =
+        active_days.size() > planned ? active_days.size() - planned : 1;
+    if (days_uncovered <= 1) return left;
+    return std::max<std::uint64_t>(1, left - (days_uncovered - 1));
+  };
+
+  // Hard cap on session count: at most ~2 sessions per active day fit
+  // without violating the same-day spacing below.
+  const std::size_t max_descriptors = 2 * active_days.size() + 1;
+
+  while (store_left > 0) {
+    Descriptor d;
+    d.store_ops =
+        (descriptors.size() + 1 >= max_descriptors)
+            ? store_left
+            : std::min<std::uint64_t>(
+                  {SampleOpCount(rng, Direction::kStore), store_left,
+                   cap_for_spread(store_left, descriptors.size())});
+    store_left -= d.store_ops;
+    if (mixed_user && retrieve_left > 0 &&
+        rng.Bernoulli(cal::kMixedSessionProbability)) {
+      d.retrieve_ops = std::min<std::uint64_t>(
+          SampleOpCount(rng, Direction::kRetrieve), retrieve_left);
+      retrieve_left -= d.retrieve_ops;
+    }
+    descriptors.push_back(d);
+  }
+  while (retrieve_left > 0) {
+    Descriptor d;
+    d.retrieve_ops =
+        (descriptors.size() + 1 >= max_descriptors)
+            ? retrieve_left
+            : std::min<std::uint64_t>(
+                  {SampleOpCount(rng, Direction::kRetrieve), retrieve_left,
+                   cap_for_spread(retrieve_left, descriptors.size())});
+    retrieve_left -= d.retrieve_ops;
+    descriptors.push_back(d);
+  }
+  // Non-engaged users show up once: their whole budget lands in at most one
+  // store session and one retrieve session, instead of a same-day burst of
+  // many sessions (the trace-wide average is well under one session per
+  // user-day, §3.1.1).
+  if (!user.engaged && descriptors.size() > 2) {
+    Descriptor store_all;
+    Descriptor retrieve_all;
+    for (const Descriptor& d : descriptors) {
+      store_all.store_ops += d.store_ops;
+      retrieve_all.retrieve_ops += d.retrieve_ops;
+    }
+    descriptors.clear();
+    if (store_all.store_ops > 0) descriptors.push_back(store_all);
+    if (retrieve_all.retrieve_ops > 0) descriptors.push_back(retrieve_all);
+  }
+  rng.Shuffle(descriptors);
+
+  // Same-user sessions on one day must not land within τ of each other, or
+  // the analysis would (correctly) merge them; people also do not start a
+  // fresh backup minutes after finishing one. Track per-day start times and
+  // keep a minimum spacing.
+  std::unordered_map<int, std::vector<Seconds>> day_slots;
+  const Seconds min_spacing = 3.0 * kHour;
+
+  for (std::size_t di = 0; di < descriptors.size(); ++di) {
+    const Descriptor& d = descriptors[di];
+    SessionPlan s;
+    s.user_id = user.user_id;
+
+    // Device assignment: stores originate on the phone, retrievals are
+    // split between phone and PC for mobile&PC users (§3.2.2).
+    const bool has_mobile = user.IsMobileUser();
+    const bool retrieval_session = d.store_ops == 0;
+    bool use_pc = !has_mobile;
+    if (has_mobile && user.uses_pc) {
+      use_pc = retrieval_session
+                   ? rng.Bernoulli(cal::kRetrieveFromPcShare)
+                   : !rng.Bernoulli(cal::kStoreFromMobileShare);
+    }
+    if (use_pc) {
+      s.device_type = DeviceType::kPc;
+      // PC device ids live in a disjoint range derived from the user id.
+      s.device_id = (1ULL << 48) + user.user_id;
+    } else {
+      const auto& dev = user.mobile_devices[rng.UniformInt(
+          user.mobile_devices.size())];
+      s.device_type = dev.type;
+      s.device_id = dev.device_id;
+    }
+
+    // Round-robin over active days (first session on the first active day)
+    // so every active day actually carries a session — engagement analyses
+    // define "active" as having a session that day.
+    const int day = active_days[di % active_days.size()];
+    auto& slots = day_slots[day];
+    Seconds second_of_day = 0;
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      second_of_day = diurnal_.SampleSecondOfDay(rng);
+      bool clear = true;
+      for (Seconds used : slots) {
+        if (std::abs(used - second_of_day) < min_spacing) {
+          clear = false;
+          break;
+        }
+      }
+      if (clear) break;
+    }
+    slots.push_back(second_of_day);
+    s.start = config_.trace_start +
+              static_cast<UnixSeconds>(day) * static_cast<UnixSeconds>(kDay) +
+              static_cast<UnixSeconds>(second_of_day);
+
+    if (d.store_ops > 0)
+      FillOps(s, Direction::kStore, d.store_ops, occasional_cap, rng);
+    if (d.retrieve_ops > 0)
+      FillOps(s, Direction::kRetrieve, d.retrieve_ops, occasional_cap, rng);
+
+    // Mobile&PC sync (Fig 9): a phone upload is often pulled down on the
+    // PC the same day — but only by users who retrieve at all. Upload-only
+    // users must keep a retrieval volume of ~zero, or they would classify
+    // as mixed and break Table 3's mobile&PC column.
+    const bool mobile_store =
+        !use_pc && d.store_ops > 0 && user.uses_pc && has_mobile &&
+        user.retrieve_files > 0;
+    sessions.push_back(std::move(s));
+    if (mobile_store && rng.Bernoulli(cal::kPcSyncAfterUpload)) {
+      const SessionPlan& up = sessions.back();
+      SessionPlan sync;
+      sync.user_id = user.user_id;
+      sync.device_type = DeviceType::kPc;
+      sync.device_id = (1ULL << 48) + user.user_id;
+      // Hours later (evening upload → sync from the PC at night/morning),
+      // comfortably past τ so it is a distinct session and clear of the
+      // Fig 3 valley region.
+      sync.start = up.start + static_cast<UnixSeconds>(
+          kHour * (2.5 + 3.5 * rng.Uniform()));
+      const std::size_t n = std::max<std::size_t>(1, up.ops.size() / 2);
+      Seconds offset = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        FileOp op;
+        op.direction = Direction::kRetrieve;
+        op.size = up.ops[i].size;
+        op.offset = offset;
+        offset += SampleOpGap(rng, n + i);
+        sync.ops.push_back(op);
+      }
+      sessions.push_back(std::move(sync));
+    }
+  }
+
+  std::sort(sessions.begin(), sessions.end(),
+            [](const SessionPlan& a, const SessionPlan& b) {
+              return a.start < b.start;
+            });
+  return sessions;
+}
+
+}  // namespace mcloud::workload

@@ -1,0 +1,56 @@
+// Lays a user's weekly activity budget out into concrete SessionPlans:
+// which days they are active, how many sessions, how many file operations
+// per session, what each file weighs, and when each operation fires within
+// the session.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/diurnal.h"
+#include "workload/session_plan.h"
+#include "workload/user_model.h"
+
+namespace mcloud::workload {
+
+struct SessionModelConfig {
+  UnixSeconds trace_start = 0;
+  int days = 7;
+};
+
+class SessionModel {
+ public:
+  SessionModel(const SessionModelConfig& config,
+               const DiurnalPattern& diurnal);
+
+  /// All sessions of one user for the week, in chronological order.
+  [[nodiscard]] std::vector<SessionPlan> PlanUser(const UserProfile& user,
+                                                  Rng& rng) const;
+
+  /// Number of file operations for one session of the given direction
+  /// (Fig 5a: ~40% single-op, ~10% above 20 ops).
+  [[nodiscard]] static std::size_t SampleOpCount(Rng& rng,
+                                                 Direction direction);
+
+  /// Per-session average file size in bytes, conditioned on session
+  /// direction and op count (Table 2 + the Fig 5b/5c size–count
+  /// correlations).
+  [[nodiscard]] static Bytes SampleSessionAvgFileSize(Rng& rng,
+                                                      Direction direction,
+                                                      std::size_t op_count);
+
+ private:
+  [[nodiscard]] std::vector<int> ActiveDays(const UserProfile& user,
+                                            Rng& rng) const;
+  [[nodiscard]] UnixSeconds SampleSessionStart(int day, Rng& rng) const;
+  /// `occasional_cap` — 0 for regular users; for occasional-intent users,
+  /// the per-file ceiling derived from their total op budget (so the weekly
+  /// volume stays near the 1 MB class boundary).
+  void FillOps(SessionPlan& session, Direction direction, std::size_t count,
+               Bytes occasional_cap, Rng& rng) const;
+
+  SessionModelConfig config_;
+  const DiurnalPattern& diurnal_;
+};
+
+}  // namespace mcloud::workload

@@ -1,0 +1,54 @@
+// Intermediate representation between the behavioural models and the log
+// emitters: a SessionPlan says *what* a user does and *when*; an execution
+// backend (the fast log emitter, or the cloud service simulator with its TCP
+// substrate) turns it into LogRecords with concrete timing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/log_record.h"
+#include "util/units.h"
+
+namespace mcloud::workload {
+
+/// One planned file store or retrieve within a session.
+struct FileOp {
+  Direction direction = Direction::kStore;
+  Bytes size = 0;
+  /// Offset of the file-operation request from the session start. Operations
+  /// cluster at the session beginning (§3.1.2 burstiness).
+  Seconds offset = 0;
+};
+
+enum class SessionType : std::uint8_t {
+  kStoreOnly = 0,
+  kRetrieveOnly = 1,
+  kMixed = 2,
+};
+
+struct SessionPlan {
+  std::uint64_t user_id = 0;
+  std::uint64_t device_id = 0;
+  DeviceType device_type = DeviceType::kAndroid;
+  UnixSeconds start = 0;
+  std::vector<FileOp> ops;
+
+  [[nodiscard]] SessionType Type() const {
+    bool store = false;
+    bool retrieve = false;
+    for (const auto& op : ops) {
+      (op.direction == Direction::kStore ? store : retrieve) = true;
+    }
+    if (store && retrieve) return SessionType::kMixed;
+    return store ? SessionType::kStoreOnly : SessionType::kRetrieveOnly;
+  }
+
+  [[nodiscard]] Bytes TotalBytes() const {
+    Bytes total = 0;
+    for (const auto& op : ops) total += op.size;
+    return total;
+  }
+};
+
+}  // namespace mcloud::workload

@@ -1,0 +1,150 @@
+#include "workload/user_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/distributions.h"
+#include "util/error.h"
+#include "workload/calibration.h"
+
+namespace mcloud::workload {
+
+PopulationBuilder::PopulationBuilder(const PopulationConfig& config)
+    : config_(config) {
+  MCLOUD_REQUIRE(config.mobile_users > 0, "need at least one mobile user");
+  MCLOUD_REQUIRE(config.days >= 1, "need at least one day");
+  MCLOUD_REQUIRE(config.android_share >= 0 && config.android_share <= 1,
+                 "android share must be a probability");
+}
+
+std::uint64_t PopulationBuilder::SampleActivityAtLeastOne(Rng& rng, double x0,
+                                                          double c) {
+  const StretchedExponential se(x0, c);
+  // X >= 1  ⇔  U <= CCDF(1); sample U in (0, CCDF(1)] and invert.
+  const double cap = se.Ccdf(1.0);
+  double u = rng.Uniform() * cap;
+  while (u <= 0.0) u = rng.Uniform() * cap;
+  const double x = se.Quantile(u);
+  return static_cast<std::uint64_t>(std::max(1.0, std::floor(x)));
+}
+
+paper::UserClass PopulationBuilder::SampleClass(
+    Rng& rng, bool mobile_only, bool uses_pc,
+    std::size_t mobile_devices) const {
+  // Input (intent) shares, pre-compensated for occasional→upload/download
+  // volume spillover (see calibration.h). Profiles: mobile-only,
+  // mobile&PC (mobile user that also uses a PC), PC-only (no mobile device).
+  const bool mobile_and_pc = !mobile_only && mobile_devices > 0;
+  (void)uses_pc;
+  const auto& shares = mobile_only     ? cal::kInputSharesMobileOnly
+                       : mobile_and_pc ? cal::kInputSharesMobilePc
+                                       : cal::kInputSharesPcOnly;
+  double occasional = shares[0];
+  double upload = shares[1];
+  double download = shares[2];
+  if (mobile_only && mobile_devices > 1) {
+    // Cross-device synchronization pulls multi-device users away from the
+    // pure-upload pattern (Fig 7b); the freed mass lands on mixed (via the
+    // 1-minus-sum below) and download.
+    upload -= cal::kMultiDeviceUploadShift;
+    download += cal::kMultiDeviceToDownload;
+  }
+  const double mixed = 1.0 - upload - download - occasional;
+  const std::array<double, 4> weights = {occasional, upload, download, mixed};
+  switch (rng.PickWeighted(weights)) {
+    case 0:
+      return paper::UserClass::kOccasional;
+    case 1:
+      return paper::UserClass::kUploadOnly;
+    case 2:
+      return paper::UserClass::kDownloadOnly;
+    default:
+      return paper::UserClass::kMixed;
+  }
+}
+
+std::vector<UserProfile> PopulationBuilder::Build(Rng& rng) const {
+  std::vector<UserProfile> users;
+  users.reserve(config_.mobile_users + config_.pc_only_users);
+
+  std::uint64_t next_user_id = 1;
+  std::uint64_t next_device_id = 1;
+
+  const std::size_t total = config_.mobile_users + config_.pc_only_users;
+  for (std::size_t i = 0; i < total; ++i) {
+    const bool is_mobile = i < config_.mobile_users;
+    UserProfile u;
+    u.user_id = next_user_id++;
+
+    if (is_mobile) {
+      const std::size_t devices =
+          rng.PickWeighted(cal::kMobileDeviceCountWeights) + 1;
+      for (std::size_t d = 0; d < devices; ++d) {
+        DeviceInfo dev;
+        dev.device_id = next_device_id++;
+        dev.type = rng.Bernoulli(config_.android_share) ? DeviceType::kAndroid
+                                                        : DeviceType::kIos;
+        u.mobile_devices.push_back(dev);
+      }
+      u.uses_pc = rng.Bernoulli(config_.mobile_and_pc_share);
+    } else {
+      u.uses_pc = true;  // PC-only
+    }
+
+    u.usage_class = SampleClass(rng, u.IsMobileOnly(), u.uses_pc,
+                                u.mobile_devices.size());
+
+    switch (u.usage_class) {
+      case paper::UserClass::kUploadOnly:
+        u.store_files = SampleActivityAtLeastOne(rng, cal::kStoreActivityX0,
+                                                 cal::kStoreActivityC);
+        break;
+      case paper::UserClass::kDownloadOnly:
+        u.retrieve_files = SampleActivityAtLeastOne(
+            rng, cal::kRetrieveActivityX0, cal::kRetrieveActivityC);
+        break;
+      case paper::UserClass::kMixed:
+        u.store_files = SampleActivityAtLeastOne(rng, cal::kStoreActivityX0,
+                                                 cal::kStoreActivityC);
+        u.retrieve_files = SampleActivityAtLeastOne(
+            rng, cal::kRetrieveActivityX0 * cal::kMixedRetrieveScale,
+            cal::kRetrieveActivityC);
+        break;
+      case paper::UserClass::kOccasional:
+        // Occasional is a *volume* class (< 1 MB total): operation counts
+        // follow the same SE laws as everyone else — only payloads differ —
+        // keeping the population's Fig 10 rank curve one clean SE law.
+        u.store_files = SampleActivityAtLeastOne(
+            rng, cal::kStoreActivityX0, cal::kStoreActivityC);
+        if (rng.Bernoulli(cal::kOccasionalRetrieveProb)) {
+          u.retrieve_files = SampleActivityAtLeastOne(
+              rng, cal::kRetrieveActivityX0, cal::kRetrieveActivityC);
+        }
+        break;
+    }
+
+    // Heavy users are, in practice, always engaged — someone moving dozens
+    // of files a week does not vanish after one day.
+    const bool heavy = u.store_files + u.retrieve_files > 25;
+
+    // Engagement (Fig 8): single-device users are the least likely to
+    // return; multiple devices or a PC client imply synchronization use and
+    // near-certain returns.
+    double engaged_p;
+    if (u.uses_pc && u.IsMobileUser()) {
+      engaged_p = cal::kEngagedMobilePc;
+    } else if (u.mobile_devices.size() > 1) {
+      engaged_p = cal::kEngagedMultiDevice;
+    } else {
+      engaged_p = cal::kEngagedSingleDevice;
+    }
+    u.engaged = heavy || rng.Bernoulli(engaged_p);
+    u.first_active_day = static_cast<int>(
+        rng.UniformInt(static_cast<std::uint64_t>(config_.days)));
+
+    users.push_back(std::move(u));
+  }
+  return users;
+}
+
+}  // namespace mcloud::workload

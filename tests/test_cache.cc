@@ -1,0 +1,125 @@
+// Tests for the LRU byte cache (the §3.1.4 web-cache-proxy what-if).
+#include "cloud/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "cloud/storage_service.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace mcloud::cloud {
+namespace {
+
+Md5Digest Key(int i) { return Md5::Hash("object-" + std::to_string(i)); }
+
+TEST(LruByteCache, HitAfterAdmission) {
+  LruByteCache cache(1000);
+  EXPECT_FALSE(cache.Access(Key(1), 100));  // miss, admitted
+  EXPECT_TRUE(cache.Access(Key(1), 100));   // hit
+  EXPECT_EQ(cache.stats().lookups, 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.used(), 100u);
+  EXPECT_EQ(cache.ObjectCount(), 1u);
+}
+
+TEST(LruByteCache, EvictsLeastRecentlyUsed) {
+  LruByteCache cache(300);
+  cache.Access(Key(1), 100);
+  cache.Access(Key(2), 100);
+  cache.Access(Key(3), 100);
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_TRUE(cache.Access(Key(1), 100));
+  cache.Access(Key(4), 100);  // evicts 2
+  EXPECT_TRUE(cache.Contains(Key(1)));
+  EXPECT_FALSE(cache.Contains(Key(2)));
+  EXPECT_TRUE(cache.Contains(Key(3)));
+  EXPECT_TRUE(cache.Contains(Key(4)));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LruByteCache, CapacityNeverExceeded) {
+  LruByteCache cache(250);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    cache.Access(Key(static_cast<int>(rng.UniformInt(50))),
+                 20 + rng.UniformInt(60));
+    ASSERT_LE(cache.used(), cache.capacity());
+  }
+}
+
+TEST(LruByteCache, OversizedObjectsBypass) {
+  LruByteCache cache(100);
+  EXPECT_FALSE(cache.Access(Key(1), 500));  // too big to admit
+  EXPECT_FALSE(cache.Contains(Key(1)));
+  EXPECT_EQ(cache.used(), 0u);
+  EXPECT_FALSE(cache.Access(Key(1), 500));  // still a miss
+}
+
+TEST(LruByteCache, ByteHitRatioAccounting) {
+  LruByteCache cache(1000);
+  cache.Access(Key(1), 400);  // miss
+  cache.Access(Key(1), 400);  // hit
+  cache.Access(Key(2), 200);  // miss
+  const auto& s = cache.stats();
+  EXPECT_EQ(s.bytes_requested, 1000u);
+  EXPECT_EQ(s.bytes_hit, 400u);
+  EXPECT_NEAR(s.ByteHitRatio(), 0.4, 1e-12);
+  EXPECT_NEAR(s.HitRatio(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(LruByteCache, RejectsInvalidArgs) {
+  EXPECT_THROW(LruByteCache{0}, Error);
+  LruByteCache cache(100);
+  EXPECT_THROW(cache.Access(Key(1), 0), Error);
+}
+
+TEST(LruByteCache, ZipfStreamHitRatioGrowsWithCapacity) {
+  // A Zipf-popular stream through growing caches: hit ratio must be
+  // monotone in capacity (property the cache-sizing bench relies on).
+  Rng rng(7);
+  const Zipf zipf(200, 1.0);
+  std::vector<std::pair<Md5Digest, Bytes>> stream;
+  for (int i = 0; i < 20000; ++i) {
+    const auto k = static_cast<int>(zipf.Sample(rng));
+    stream.emplace_back(Key(k), 50 + 13 * static_cast<Bytes>(k));
+  }
+  double prev = -1;
+  for (Bytes cap : {1000u, 4000u, 16000u, 64000u}) {
+    LruByteCache cache(cap);
+    for (const auto& [k, size] : stream) cache.Access(k, size);
+    EXPECT_GE(cache.stats().HitRatio(), prev);
+    prev = cache.stats().HitRatio();
+  }
+  EXPECT_GT(prev, 0.5);  // a big cache captures the Zipf head
+}
+
+TEST(StorageServiceRetrievals, StreamRecorded) {
+  ServiceConfig cfg;
+  cfg.shared_content_prob = 1.0;
+  StorageService service(cfg);
+  std::vector<workload::SessionPlan> plans;
+  for (int i = 0; i < 20; ++i) {
+    workload::SessionPlan s;
+    s.user_id = static_cast<std::uint64_t>(i + 1);
+    s.device_id = s.user_id;
+    s.device_type = DeviceType::kAndroid;
+    s.start = 1438560000 + i * 100;
+    workload::FileOp op;
+    op.direction = Direction::kRetrieve;
+    op.size = kMiB;
+    s.ops.push_back(op);
+    plans.push_back(s);
+  }
+  const auto result = service.Execute(plans);
+  ASSERT_EQ(result.retrievals.size(), 20u);
+  for (const auto& r : result.retrievals) {
+    EXPECT_TRUE(r.shared);
+    EXPECT_GT(r.size, 0u);
+  }
+  // Chronological order.
+  for (std::size_t i = 1; i < result.retrievals.size(); ++i)
+    EXPECT_LE(result.retrievals[i - 1].at, result.retrievals[i].at);
+}
+
+}  // namespace
+}  // namespace mcloud::cloud

@@ -1,0 +1,287 @@
+// Tests for the cloud service layer: chunker, metadata server (dedup),
+// front-end bookkeeping, and the end-to-end storage service.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cloud/chunker.h"
+#include "cloud/client_model.h"
+#include "cloud/front_end_server.h"
+#include "cloud/metadata_server.h"
+#include "cloud/storage_service.h"
+
+namespace mcloud::cloud {
+namespace {
+
+TEST(Chunker, ChunkCountAndSizes) {
+  const Chunker chunker;
+  EXPECT_EQ(chunker.ChunkCount(1), 1u);
+  EXPECT_EQ(chunker.ChunkCount(kChunkSize), 1u);
+  EXPECT_EQ(chunker.ChunkCount(kChunkSize + 1), 2u);
+  const FileManifest m = chunker.Manifest(42, kChunkSize * 2 + 100);
+  ASSERT_EQ(m.chunks.size(), 3u);
+  EXPECT_EQ(m.chunks[0].size, kChunkSize);
+  EXPECT_EQ(m.chunks[2].size, 100u);
+  EXPECT_EQ(m.chunks[0].index, 0u);
+  EXPECT_EQ(m.chunks[2].index, 2u);
+  EXPECT_EQ(m.size, kChunkSize * 2 + 100);
+}
+
+TEST(Chunker, ContentIdentityIsDeterministic) {
+  const Chunker chunker;
+  const FileManifest a = chunker.Manifest(7, kChunkSize * 2);
+  const FileManifest b = chunker.Manifest(7, kChunkSize * 2);
+  EXPECT_EQ(a.file_md5, b.file_md5);
+  EXPECT_EQ(a.chunks[0].md5, b.chunks[0].md5);
+  // Different content, different hashes.
+  const FileManifest c = chunker.Manifest(8, kChunkSize * 2);
+  EXPECT_NE(a.file_md5, c.file_md5);
+  EXPECT_NE(a.chunks[0].md5, c.chunks[0].md5);
+  // Chunks of one file differ from each other.
+  EXPECT_NE(a.chunks[0].md5, a.chunks[1].md5);
+}
+
+TEST(Chunker, SizeChangesFileHash) {
+  const Chunker chunker;
+  EXPECT_NE(chunker.Manifest(7, 1000).file_md5,
+            chunker.Manifest(7, 1001).file_md5);
+}
+
+TEST(MetadataServer, DeduplicatesIdenticalContent) {
+  MetadataServer md(4);
+  const Chunker chunker;
+  const FileManifest m = chunker.Manifest(1, kChunkSize);
+
+  const StoreDecision first = md.QueryStore(100, m);
+  EXPECT_FALSE(first.already_stored);
+  // Same content from another user: dedup hit, upload suppressed.
+  const StoreDecision second = md.QueryStore(200, m);
+  EXPECT_TRUE(second.already_stored);
+  EXPECT_EQ(second.front_end, first.front_end);
+  EXPECT_EQ(md.stats().dedup_hits, 1u);
+  EXPECT_EQ(md.stats().store_queries, 2u);
+  // Both users have the file in their space.
+  EXPECT_EQ(md.UserFileCount(100), 1u);
+  EXPECT_EQ(md.UserFileCount(200), 1u);
+  EXPECT_EQ(md.DistinctFiles(), 1u);
+}
+
+TEST(MetadataServer, RetrieveResolvesLocation) {
+  MetadataServer md(4);
+  const Chunker chunker;
+  const FileManifest m = chunker.Manifest(9, kChunkSize);
+  const StoreDecision stored = md.QueryStore(1, m);
+
+  const auto found = md.QueryRetrieve(2, m.file_md5);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, stored.front_end);
+
+  const FileManifest unknown = chunker.Manifest(999, kChunkSize);
+  EXPECT_FALSE(md.QueryRetrieve(2, unknown.file_md5).has_value());
+  EXPECT_EQ(md.stats().retrieve_misses, 1u);
+}
+
+TEST(MetadataServer, SpreadsNewContentAcrossFrontEnds) {
+  MetadataServer md(3);
+  const Chunker chunker;
+  std::vector<FrontEndId> assignments;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    assignments.push_back(
+        md.QueryStore(1, chunker.Manifest(seed, kChunkSize)).front_end);
+  }
+  EXPECT_EQ(assignments[0], assignments[3]);  // round robin, period 3
+  EXPECT_NE(assignments[0], assignments[1]);
+}
+
+TEST(FrontEndServer, AccountsStoresAndRetrievals) {
+  FrontEndServer fe(0, ServerBehavior{});
+  std::vector<LogRecord> log;
+  LogRecord base;
+  base.user_id = 1;
+  base.device_type = DeviceType::kAndroid;
+
+  ChunkInfo chunk;
+  chunk.size = kChunkSize;
+  chunk.md5 = Md5::Hash("chunk-1");
+
+  fe.LogFileOperation(base, 1000, Direction::kStore, 0.05, 0.1, log);
+  fe.CommitChunkStore(base, 1001, chunk, 1.5, 0.1, 0.1, log);
+  fe.CommitChunkStore(base, 1002, chunk, 1.5, 0.1, 0.1, log);  // same chunk
+  fe.ServeChunkRetrieve(base, 1003, chunk, 0.8, 0.1, 0.1, log);
+
+  EXPECT_EQ(fe.stats().file_operations, 1u);
+  EXPECT_EQ(fe.stats().chunk_stores, 2u);
+  EXPECT_EQ(fe.stats().chunk_dedup_hits, 1u);
+  EXPECT_EQ(fe.stats().chunk_retrievals, 1u);
+  EXPECT_EQ(fe.stats().bytes_stored, 2 * kChunkSize);
+  EXPECT_EQ(fe.stats().bytes_served, kChunkSize);
+  EXPECT_EQ(fe.ChunkCount(), 1u);
+
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0].request_type, RequestType::kFileOperation);
+  EXPECT_EQ(log[0].data_volume, 0u);
+  EXPECT_EQ(log[1].request_type, RequestType::kChunkRequest);
+  EXPECT_EQ(log[1].data_volume, kChunkSize);
+  EXPECT_NEAR(log[1].processing_time, 1.6, 1e-9);  // ttran + tsrv
+  EXPECT_EQ(log[3].direction, Direction::kRetrieve);
+}
+
+TEST(FrontEndServer, CountsMissingChunks) {
+  FrontEndServer fe(0, ServerBehavior{});
+  std::vector<LogRecord> log;
+  LogRecord base;
+  ChunkInfo chunk;
+  chunk.size = 100;
+  chunk.md5 = Md5::Hash("never-stored");
+  fe.ServeChunkRetrieve(base, 1, chunk, 0.5, 0.1, 0.1, log);
+  EXPECT_EQ(fe.stats().missing_chunks, 1u);
+}
+
+TEST(ClientModel, LogNormalSpecStatistics) {
+  const LogNormalSpec spec{0.1, 0.5};
+  Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 40001; ++i) xs.push_back(spec.Sample(rng));
+  std::nth_element(xs.begin(), xs.begin() + 20000, xs.end());
+  EXPECT_NEAR(xs[20000], 0.1, 0.01);
+  EXPECT_NEAR(spec.Mean(), 0.1 * std::exp(0.125), 1e-9);
+}
+
+TEST(ClientModel, AndroidSlowerClientThanIos) {
+  const ClientBehavior android = BehaviorFor(DeviceType::kAndroid);
+  const ClientBehavior ios = BehaviorFor(DeviceType::kIos);
+  EXPECT_GT(android.store_tclt.Mean(), ios.store_tclt.Mean());
+  EXPECT_GT(android.stall_duration.Mean(), ios.stall_duration.Mean());
+  // Receive windows per §4.1: Android 4 MB, iOS 2 MB.
+  EXPECT_EQ(android.receive_window, 4 * kMiB);
+  EXPECT_EQ(ios.receive_window, 2 * kMiB);
+}
+
+workload::SessionPlan MakeSession(std::uint64_t user, DeviceType device,
+                                  Direction dir, Bytes size,
+                                  UnixSeconds start = 1438560000) {
+  workload::SessionPlan s;
+  s.user_id = user;
+  s.device_id = user * 2;
+  s.device_type = device;
+  s.start = start;
+  workload::FileOp op;
+  op.direction = dir;
+  op.size = size;
+  op.offset = 0;
+  s.ops.push_back(op);
+  return s;
+}
+
+TEST(StorageService, ExecutesSessionsAndLogs) {
+  StorageService service(ServiceConfig{});
+  std::vector<workload::SessionPlan> plans;
+  plans.push_back(MakeSession(1, DeviceType::kAndroid, Direction::kStore,
+                              2 * kMiB));
+  plans.push_back(MakeSession(2, DeviceType::kIos, Direction::kRetrieve,
+                              kMiB, 1438560600));
+  const ServiceResult result = service.Execute(plans);
+
+  EXPECT_EQ(result.flows, 2u);
+  EXPECT_FALSE(result.logs.empty());
+  EXPECT_FALSE(result.chunk_perf.empty());
+  // Logs are time-sorted.
+  for (std::size_t i = 1; i < result.logs.size(); ++i)
+    EXPECT_LE(result.logs[i - 1].timestamp, result.logs[i].timestamp);
+  // Store session: 1 file op + 4 chunk stores of 512 KB.
+  std::size_t store_chunks = 0;
+  for (const auto& r : result.logs) {
+    if (r.request_type == RequestType::kChunkRequest &&
+        r.direction == Direction::kStore)
+      ++store_chunks;
+  }
+  EXPECT_EQ(store_chunks, 4u);
+}
+
+TEST(StorageService, WindowScalingSpeedsUploads) {
+  ServiceConfig base;
+  ServiceConfig scaled;
+  scaled.server_window_scaling = true;
+
+  const auto run = [](const ServiceConfig& cfg) {
+    StorageService service(cfg);
+    double total = 0;
+    for (int i = 0; i < 30; ++i) {
+      const auto flow = service.SimulateFlow(DeviceType::kIos,
+                                             Direction::kStore, 4 * kMiB,
+                                             100 + i, 0.15);
+      total += flow.duration;
+    }
+    return total;
+  };
+  EXPECT_LT(run(scaled), run(base));
+}
+
+TEST(StorageService, DisablingSsaiRemovesRestarts) {
+  ServiceConfig no_ssai;
+  no_ssai.ssai_enabled = false;
+  StorageService service(no_ssai);
+  const auto flow = service.SimulateFlow(DeviceType::kAndroid,
+                                         Direction::kStore, 8 * kMiB, 5);
+  EXPECT_EQ(flow.restarts, 0u);
+
+  StorageService with_ssai{ServiceConfig{}};
+  const auto flow2 = with_ssai.SimulateFlow(DeviceType::kAndroid,
+                                            Direction::kStore, 8 * kMiB, 5);
+  EXPECT_GT(flow2.restarts, 0u);
+}
+
+TEST(StorageService, BatchingReducesIdleGaps) {
+  ServiceConfig batched;
+  batched.batch_chunks = 4;
+  StorageService a{ServiceConfig{}};
+  StorageService b{batched};
+  const auto base = a.SimulateFlow(DeviceType::kAndroid, Direction::kStore,
+                                   8 * kMiB, 11, 0.1);
+  const auto batch = b.SimulateFlow(DeviceType::kAndroid, Direction::kStore,
+                                    8 * kMiB, 11, 0.1);
+  EXPECT_LT(batch.chunks.size(), base.chunks.size());
+}
+
+TEST(StorageService, SharedContentRetrievalsAgreeOnSize) {
+  // Two users retrieving the same popular URL must pull identical bytes —
+  // content identity is keyed to the content seed.
+  ServiceConfig cfg;
+  cfg.shared_content_prob = 1.0;  // force shared-content retrievals
+  cfg.popular_contents = 1;       // a single URL
+  StorageService service(cfg);
+  std::vector<workload::SessionPlan> plans;
+  plans.push_back(MakeSession(1, DeviceType::kAndroid, Direction::kRetrieve,
+                              kMiB));
+  plans.push_back(MakeSession(2, DeviceType::kIos, Direction::kRetrieve,
+                              kMiB, 1438560600));
+  const ServiceResult result = service.Execute(plans);
+
+  Bytes vol_user1 = 0;
+  Bytes vol_user2 = 0;
+  for (const auto& r : result.logs) {
+    if (r.request_type != RequestType::kChunkRequest) continue;
+    (r.user_id == 1 ? vol_user1 : vol_user2) += r.data_volume;
+  }
+  EXPECT_EQ(vol_user1, vol_user2);
+  EXPECT_GT(vol_user1, 0u);
+}
+
+TEST(StorageService, PerfSamplesCoverEveryChunk) {
+  StorageService service(ServiceConfig{});
+  std::vector<workload::SessionPlan> plans;
+  plans.push_back(MakeSession(1, DeviceType::kAndroid, Direction::kStore,
+                              3 * kMiB));
+  const ServiceResult result = service.Execute(plans);
+  std::size_t chunk_logs = 0;
+  for (const auto& r : result.logs) {
+    if (r.request_type == RequestType::kChunkRequest) ++chunk_logs;
+  }
+  EXPECT_EQ(result.chunk_perf.size(), chunk_logs);
+  // First chunk of the connection has no preceding idle gap.
+  EXPECT_DOUBLE_EQ(result.chunk_perf.front().idle_before, 0.0);
+}
+
+}  // namespace
+}  // namespace mcloud::cloud

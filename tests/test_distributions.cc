@@ -1,0 +1,196 @@
+// Tests for the parametric distributions (util/distributions.h).
+#include "util/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/summary.h"
+
+namespace mcloud {
+namespace {
+
+TEST(GaussianMixture, ValidatesWeights) {
+  EXPECT_THROW(GaussianMixture({{0.5, 0, 1}, {0.6, 1, 1}}), Error);
+  EXPECT_THROW(GaussianMixture({{1.0, 0, 0}}), Error);
+  EXPECT_THROW(
+      GaussianMixture(std::vector<GaussianMixture::Component>{}), Error);
+  EXPECT_NO_THROW(GaussianMixture({{0.25, 0, 1}, {0.75, 3, 2}}));
+}
+
+TEST(GaussianMixture, PdfIntegratesToOne) {
+  const GaussianMixture m({{0.4, -1.0, 0.5}, {0.6, 2.0, 1.5}});
+  double integral = 0;
+  const double dx = 0.01;
+  for (double x = -10; x < 12; x += dx) integral += m.Pdf(x) * dx;
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(GaussianMixture, CdfMatchesPdfIntegral) {
+  const GaussianMixture m({{0.5, 0.0, 1.0}, {0.5, 4.0, 2.0}});
+  double integral = 0;
+  const double dx = 0.005;
+  for (double x = -8; x < 3.0; x += dx) integral += m.Pdf(x) * dx;
+  EXPECT_NEAR(integral, m.Cdf(3.0), 1e-3);
+}
+
+TEST(GaussianMixture, MeanIsWeightedMean) {
+  const GaussianMixture m({{0.3, 1.0, 1.0}, {0.7, 5.0, 2.0}});
+  EXPECT_DOUBLE_EQ(m.Mean(), 0.3 * 1.0 + 0.7 * 5.0);
+}
+
+TEST(GaussianMixture, ResponsibilitiesSumToOne) {
+  const GaussianMixture m({{0.5, 0.0, 1.0}, {0.5, 3.0, 1.0}});
+  for (double x : {-2.0, 0.0, 1.5, 3.0, 6.0}) {
+    EXPECT_NEAR(m.Responsibility(0, x) + m.Responsibility(1, x), 1.0, 1e-12);
+  }
+  // Near each component's mean, that component dominates.
+  EXPECT_GT(m.Responsibility(0, 0.0), 0.9);
+  EXPECT_GT(m.Responsibility(1, 3.0), 0.9);
+}
+
+TEST(GaussianMixture, SampleMoments) {
+  const GaussianMixture m({{0.4, -2.0, 0.5}, {0.6, 3.0, 1.0}});
+  Rng rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(m.Sample(rng));
+  EXPECT_NEAR(stats.Mean(), m.Mean(), 0.03);
+}
+
+TEST(GaussianMixture, SampleWithComponentLabels) {
+  const GaussianMixture m({{0.5, -10.0, 0.1}, {0.5, 10.0, 0.1}});
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const auto [x, k] = m.SampleWithComponent(rng);
+    if (k == 0) {
+      EXPECT_LT(x, 0);
+    } else {
+      EXPECT_GT(x, 0);
+    }
+  }
+}
+
+TEST(MixtureExponential, ValidatesInput) {
+  EXPECT_THROW(MixtureExponential({{1.0, -1.0}}), Error);
+  EXPECT_THROW(MixtureExponential({{0.4, 1.0}, {0.4, 2.0}}), Error);
+  EXPECT_NO_THROW(MixtureExponential({{0.9, 1.5}, {0.1, 13.0}}));
+}
+
+TEST(MixtureExponential, CdfCcdfComplementary) {
+  const MixtureExponential m({{0.91, 1.5}, {0.07, 13.1}, {0.02, 77.4}});
+  for (double x : {0.0, 0.5, 1.5, 10.0, 100.0}) {
+    EXPECT_NEAR(m.Cdf(x) + m.Ccdf(x), 1.0, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(m.Cdf(-1.0), 0.0);
+}
+
+TEST(MixtureExponential, MeanMatchesSample) {
+  const MixtureExponential m({{0.91, 1.5}, {0.07, 13.1}, {0.02, 77.4}});
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 300000; ++i) stats.Add(m.Sample(rng));
+  EXPECT_NEAR(stats.Mean(), m.Mean(), 0.1);
+  EXPECT_NEAR(m.Mean(), 0.91 * 1.5 + 0.07 * 13.1 + 0.02 * 77.4, 1e-9);
+}
+
+TEST(MixtureExponential, PdfIntegratesToCdf) {
+  const MixtureExponential m({{0.6, 1.0}, {0.4, 10.0}});
+  double integral = 0;
+  const double dx = 0.002;
+  for (double x = 0; x < 5.0; x += dx) integral += m.Pdf(x + dx / 2) * dx;
+  EXPECT_NEAR(integral, m.Cdf(5.0), 1e-3);
+}
+
+TEST(MixtureExponential, ResponsibilityFavorsTailComponentForLargeX) {
+  const MixtureExponential m({{0.9, 1.0}, {0.1, 50.0}});
+  EXPECT_GT(m.Responsibility(0, 0.1), 0.8);
+  EXPECT_GT(m.Responsibility(1, 100.0), 0.99);
+}
+
+TEST(StretchedExponential, QuantileInvertsCcdf) {
+  const StretchedExponential se(0.018, 0.2);
+  for (double u : {0.9, 0.5, 0.1, 0.01}) {
+    const double x = se.Quantile(u);
+    EXPECT_NEAR(se.Ccdf(x), u, 1e-9);
+  }
+}
+
+TEST(StretchedExponential, CcdfBoundaries) {
+  const StretchedExponential se(1.0, 0.5);
+  EXPECT_DOUBLE_EQ(se.Ccdf(0.0), 1.0);
+  EXPECT_LT(se.Ccdf(100.0), 1e-4);
+  EXPECT_THROW(StretchedExponential(-1.0, 0.5), Error);
+  EXPECT_THROW(StretchedExponential(1.0, 0.0), Error);
+}
+
+TEST(StretchedExponential, RankValueDecreasing) {
+  const StretchedExponential se(0.018, 0.2);
+  const double r1 = se.RankValue(1, 100000);
+  const double r10 = se.RankValue(10, 100000);
+  const double r1000 = se.RankValue(1000, 100000);
+  EXPECT_GT(r1, r10);
+  EXPECT_GT(r10, r1000);
+  EXPECT_THROW((void)se.RankValue(0, 10), Error);
+  EXPECT_THROW((void)se.RankValue(11, 10), Error);
+}
+
+TEST(StretchedExponential, SampleMatchesCcdf) {
+  const StretchedExponential se(2.0, 0.5);
+  Rng rng(6);
+  int above = 0;
+  const int n = 100000;
+  const double threshold = 2.0;  // Ccdf(2.0) = exp(-1)
+  for (int i = 0; i < n; ++i) {
+    if (se.Sample(rng) >= threshold) ++above;
+  }
+  EXPECT_NEAR(above / static_cast<double>(n), std::exp(-1.0), 0.01);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  const Zipf z(50, 0.9);
+  double total = 0;
+  for (std::size_t k = 1; k <= 50; ++k) total += z.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_GT(z.Pmf(1), z.Pmf(2));
+  EXPECT_GT(z.Pmf(2), z.Pmf(50));
+}
+
+TEST(Zipf, SampleRanksInRange) {
+  const Zipf z(10, 1.0);
+  Rng rng(8);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const auto k = z.Sample(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 10u);
+    counts[k]++;
+  }
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_NEAR(counts[1] / 50000.0, z.Pmf(1), 0.01);
+}
+
+// Property sweep: CCDF monotonicity for a range of SE parameters.
+class SeParamSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SeParamSweep, CcdfMonotoneAndQuantileRoundtrip) {
+  const auto [x0, c] = GetParam();
+  const StretchedExponential se(x0, c);
+  double prev = 1.0;
+  for (double x = 0.1; x < 50; x *= 1.5) {
+    const double v = se.Ccdf(x);
+    ASSERT_LE(v, prev + 1e-12);
+    prev = v;
+  }
+  for (double u = 0.05; u < 1.0; u += 0.1) {
+    EXPECT_NEAR(se.Ccdf(se.Quantile(u)), u, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, SeParamSweep,
+    ::testing::Combine(::testing::Values(0.001, 0.018, 0.5, 2.0),
+                       ::testing::Values(0.15, 0.2, 0.5, 1.0)));
+
+}  // namespace
+}  // namespace mcloud

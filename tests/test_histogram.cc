@@ -1,0 +1,98 @@
+// Tests for fixed-bin histograms and valley detection.
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mcloud {
+namespace {
+
+TEST(Histogram, BasicBinning) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(0.7);
+  h.Add(9.99);
+  EXPECT_EQ(h.Count(0), 2u);
+  EXPECT_EQ(h.Count(9), 1u);
+  EXPECT_EQ(h.TotalInRange(), 3u);
+  EXPECT_DOUBLE_EQ(h.BinWidth(), 1.0);
+  EXPECT_DOUBLE_EQ(h.BinLeft(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.BinCenter(3), 3.5);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-0.1);
+  h.Add(1.0);  // hi is exclusive
+  h.Add(0.5);
+  EXPECT_EQ(h.Underflow(), 1u);
+  EXPECT_EQ(h.Overflow(), 1u);
+  EXPECT_EQ(h.TotalInRange(), 1u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(0.25, 10);
+  EXPECT_EQ(h.Count(0), 10u);
+  EXPECT_EQ(h.TotalInRange(), 10u);
+}
+
+TEST(Histogram, FractionsAndDensity) {
+  Histogram h(0.0, 2.0, 2);
+  h.Add(0.5, 3);
+  h.Add(1.5, 1);
+  EXPECT_DOUBLE_EQ(h.Fraction(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.Density(0), 0.75 / 1.0);
+  // Densities integrate to 1 over the range.
+  EXPECT_NEAR(h.Density(0) * h.BinWidth() + h.Density(1) * h.BinWidth(), 1.0,
+              1e-12);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.Count(2), Error);
+}
+
+TEST(Histogram, DeepestValleyOnBimodal) {
+  // Two Gaussian-ish bumps with a gap around x = 5.
+  Histogram h(0.0, 10.0, 40);
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) h.Add(rng.Normal(2.0, 0.7));
+  for (int i = 0; i < 8000; ++i) h.Add(rng.Normal(8.0, 0.7));
+  const std::size_t v = h.DeepestValley();
+  ASSERT_LT(v, h.bins());
+  EXPECT_GT(h.BinCenter(v), 3.5);
+  EXPECT_LT(h.BinCenter(v), 7.0);
+}
+
+TEST(Histogram, NoValleyOnMonotone) {
+  Histogram h(0.0, 10.0, 20);
+  Rng rng(9);
+  for (int i = 0; i < 20000; ++i) h.Add(rng.ExponentialMean(1.5));
+  EXPECT_EQ(h.DeepestValley(), h.bins());
+}
+
+TEST(Histogram, NoValleyOnTinyHistogram) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(0.1);
+  h.Add(0.9);
+  EXPECT_EQ(h.DeepestValley(), h.bins());
+}
+
+// The Fig 3 use case: bimodal in log10 space with unbalanced masses.
+TEST(Histogram, ValleyWithUnbalancedModes) {
+  Histogram h(0.0, 6.0, 60);
+  Rng rng(11);
+  for (int i = 0; i < 50000; ++i) h.Add(rng.Normal(0.5, 0.5));  // intra
+  for (int i = 0; i < 5000; ++i) h.Add(rng.Normal(4.9, 0.5));   // inter
+  const std::size_t v = h.DeepestValley();
+  ASSERT_LT(v, h.bins());
+  EXPECT_GT(h.BinCenter(v), 1.8);
+  EXPECT_LT(h.BinCenter(v), 4.4);
+}
+
+}  // namespace
+}  // namespace mcloud

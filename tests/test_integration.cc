@@ -1,0 +1,200 @@
+// Integration tests: generator faithfulness (re-fitting the paper's models
+// to generated data recovers the published parameters) and the mechanistic
+// §4 causal chain through the full service stack. These are the validation
+// layer described in DESIGN.md §4.
+#include <gtest/gtest.h>
+
+#include "analysis/perf_analysis.h"
+#include "core/pipeline.h"
+#include "model/paper_params.h"
+#include "util/summary.h"
+#include "workload/generator.h"
+
+namespace mcloud {
+namespace {
+
+// One medium-sized workload shared by the faithfulness assertions (building
+// it once keeps the suite fast).
+const core::FullReport& Report() {
+  static const core::FullReport report = [] {
+    workload::WorkloadConfig cfg;
+    cfg.population.mobile_users = 4000;
+    cfg.population.pc_only_users = 1200;
+    cfg.seed = 42;
+    const auto w = workload::WorkloadGenerator(cfg).Generate();
+    return core::AnalysisPipeline().Run(w.trace);
+  }();
+  return report;
+}
+
+TEST(Faithfulness, WorkloadShape) {
+  const auto& r = Report();
+  // Fig 1: evening surge; retrieval volume above storage volume; stored
+  // files at least twice retrieved files.
+  EXPECT_GE(r.timeseries.PeakHourOfDay(), 20);
+  EXPECT_GT(r.timeseries.TotalRetrieveGb(), r.timeseries.TotalStoreGb());
+  EXPECT_GT(static_cast<double>(r.timeseries.TotalStoredFiles()),
+            2.0 * static_cast<double>(r.timeseries.TotalRetrievedFiles()));
+}
+
+TEST(Faithfulness, SessionTypeSplit) {
+  const auto& r = Report();
+  // §3.1.1: store-only ~68%, retrieve-only ~30%, mixed ~2%.
+  EXPECT_NEAR(r.session_split.StoreShare(), paper::kStoreOnlySessionShare,
+              0.08);
+  EXPECT_NEAR(r.session_split.RetrieveShare(),
+              paper::kRetrieveOnlySessionShare, 0.08);
+  EXPECT_LT(r.session_split.MixedShare(), 0.05);
+}
+
+TEST(Faithfulness, IntervalModelStructure) {
+  const auto& r = Report();
+  // Fig 3: intra-session component in the seconds range, inter-session in
+  // the hours-to-day range, with a detectable valley between them.
+  EXPECT_GT(r.interval_model.intra_mean_seconds, 0.5);
+  EXPECT_LT(r.interval_model.intra_mean_seconds, 60.0);
+  EXPECT_GT(r.interval_model.inter_mean_seconds, kHour);
+  EXPECT_GT(r.interval_model.valley_tau, kMinute);
+  EXPECT_LT(r.interval_model.valley_tau, 6 * kHour);
+}
+
+TEST(Faithfulness, Burstiness) {
+  const auto& r = Report();
+  // Fig 4: at least ~3/4 of multi-op sessions operate within 10% of the
+  // session length (paper: >80%).
+  for (const auto& g : r.burstiness) {
+    EXPECT_GT(analysis::FractionBelow(g, 0.1), 0.70)
+        << "group > " << g.min_ops_exclusive;
+  }
+}
+
+TEST(Faithfulness, UserClassShares) {
+  const auto& r = Report();
+  // Table 3 mobile-only column, order: occasional/upload/download/mixed.
+  EXPECT_NEAR(r.mobile_only_column.user_share[0],
+              paper::kMobileOccasionalShare, 0.06);
+  EXPECT_NEAR(r.mobile_only_column.user_share[1],
+              paper::kMobileUploadOnlyShare, 0.06);
+  EXPECT_NEAR(r.mobile_only_column.user_share[2],
+              paper::kMobileDownloadOnlyShare, 0.05);
+  EXPECT_NEAR(r.mobile_only_column.user_share[3], paper::kMobileMixedShare,
+              0.05);
+  // Upload-only users dominate storage volume (paper: 86.6%).
+  EXPECT_GT(r.mobile_only_column.store_share[1], 0.7);
+}
+
+TEST(Faithfulness, StretchedExponentialActivity) {
+  const auto& r = Report();
+  // Fig 10: the SE refit recovers the published stretch factors and slopes,
+  // and beats the power law.
+  EXPECT_NEAR(r.store_activity.se.c, paper::kStoreActivitySe.c, 0.05);
+  EXPECT_NEAR(r.store_activity.se.a, paper::kStoreActivitySe.a, 0.12);
+  EXPECT_GT(r.store_activity.se.r_squared, 0.99);
+  EXPECT_GT(r.store_activity.se.r_squared,
+            r.store_activity.power_law.r_squared);
+
+  EXPECT_NEAR(r.retrieve_activity.se.c, paper::kRetrieveActivitySe.c, 0.05);
+  EXPECT_GT(r.retrieve_activity.se.r_squared,
+            r.retrieve_activity.power_law.r_squared);
+}
+
+TEST(Faithfulness, Engagement) {
+  const auto& r = Report();
+  // Fig 8: single-device users churn the most; multi-device users return.
+  const auto& one_dev = r.engagement[0];
+  const auto& multi_dev = r.engagement[1];
+  EXPECT_GT(one_dev.never_returned, 0.4);
+  EXPECT_LT(multi_dev.never_returned, 0.25);
+
+  // Fig 9: ~80%+ of mobile-only uploaders never retrieve within the week;
+  // mobile&PC users retrieve far more often.
+  const auto& one_dev_r = r.retrieval_returns[0];
+  const auto& pc_r = r.retrieval_returns[3];
+  EXPECT_GT(one_dev_r.never_retrieved, 0.7);
+  EXPECT_LT(pc_r.never_retrieved, one_dev_r.never_retrieved);
+}
+
+TEST(Faithfulness, FileSizeModels) {
+  const auto& r = Report();
+  // Fig 6 / Table 2 shape: the retrieve-session size model has far heavier
+  // components than the store model, whose dominant component sits in the
+  // ~1 MB photo regime.
+  const auto& store = r.store_size_model.selection.fit.mixture;
+  const auto& retrieve = r.retrieve_size_model.selection.fit.mixture;
+  EXPECT_LT(store.components().front().mean, 2.5);
+  EXPECT_GT(retrieve.Mean(), 3.0 * store.Mean());
+  EXPECT_GT(retrieve.components().back().mean, 80.0);
+}
+
+TEST(Mechanism, AndroidIosGapEmergesFromTcp) {
+  // §4: run identical files through the service for both device types; the
+  // Android/iOS gap and the slow-start-restart shares must *emerge* from
+  // the TCP mechanics, not be sampled from the result curves.
+  cloud::StorageService service{cloud::ServiceConfig{}};
+  std::vector<workload::SessionPlan> plans;
+  for (int i = 0; i < 300; ++i) {
+    workload::SessionPlan s;
+    s.user_id = static_cast<std::uint64_t>(i + 1);
+    s.device_id = s.user_id;
+    s.device_type = (i % 2 == 0) ? DeviceType::kAndroid : DeviceType::kIos;
+    s.start = kTraceStart + i * 120;
+    workload::FileOp op;
+    op.direction = Direction::kStore;
+    op.size = 4 * kMiB;
+    s.ops.push_back(op);
+    plans.push_back(s);
+  }
+  const auto result = service.Execute(plans);
+
+  const auto android = analysis::PerfTransferTimes(
+      result.chunk_perf, DeviceType::kAndroid, Direction::kStore);
+  const auto ios = analysis::PerfTransferTimes(
+      result.chunk_perf, DeviceType::kIos, Direction::kStore);
+  ASSERT_FALSE(android.empty());
+  ASSERT_FALSE(ios.empty());
+
+  const double android_median = Percentile(android, 50);
+  const double ios_median = Percentile(ios, 50);
+  // Fig 12a: Android uploads are at least ~2x slower per chunk.
+  EXPECT_GT(android_median, 1.8 * ios_median);
+  EXPECT_NEAR(ios_median, paper::kMedianUploadTimeIos, 0.8);
+  EXPECT_NEAR(android_median, paper::kMedianUploadTimeAndroid, 1.5);
+
+  // Fig 16c: Android restarts slow start after most inter-chunk gaps.
+  const double android_restarts = analysis::SlowStartRestartShare(
+      result.chunk_perf, DeviceType::kAndroid, Direction::kStore);
+  const double ios_restarts = analysis::SlowStartRestartShare(
+      result.chunk_perf, DeviceType::kIos, Direction::kStore);
+  EXPECT_NEAR(android_restarts, paper::kAndroidIdleOverRtoShare, 0.15);
+  EXPECT_NEAR(ios_restarts, paper::kIosIdleOverRtoShare, 0.12);
+  EXPECT_GT(android_restarts, 2.0 * ios_restarts);
+}
+
+TEST(Mechanism, ServerSideIsDeviceBlind) {
+  // §4.1: "servers do not distinguish between device types" — T_srv
+  // distributions must match across devices.
+  cloud::StorageService service{cloud::ServiceConfig{}};
+  std::vector<workload::SessionPlan> plans;
+  for (int i = 0; i < 200; ++i) {
+    workload::SessionPlan s;
+    s.user_id = static_cast<std::uint64_t>(i + 1);
+    s.device_id = s.user_id;
+    s.device_type = (i % 2 == 0) ? DeviceType::kAndroid : DeviceType::kIos;
+    s.start = kTraceStart + i * 60;
+    workload::FileOp op;
+    op.direction = Direction::kStore;
+    op.size = 2 * kMiB;
+    s.ops.push_back(op);
+    plans.push_back(s);
+  }
+  const auto result = service.Execute(plans);
+  const auto android = analysis::TsrvSamples(result.chunk_perf,
+                                             DeviceType::kAndroid,
+                                             Direction::kStore);
+  const auto ios = analysis::TsrvSamples(result.chunk_perf, DeviceType::kIos,
+                                         Direction::kStore);
+  EXPECT_NEAR(Percentile(android, 50), Percentile(ios, 50), 0.03);
+}
+
+}  // namespace
+}  // namespace mcloud

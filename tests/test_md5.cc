@@ -1,0 +1,121 @@
+// MD5 conformance against the RFC 1321 test suite, plus incremental-update
+// semantics.
+#include "util/md5.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace mcloud {
+namespace {
+
+// RFC 1321 §A.5 test suite.
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(Md5::Hash("").ToHex(), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::Hash("a").ToHex(), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5::Hash("abc").ToHex(), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5::Hash("message digest").ToHex(),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5::Hash("abcdefghijklmnopqrstuvwxyz").ToHex(),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(
+      Md5::Hash(
+          "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789")
+          .ToHex(),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(Md5::Hash("1234567890123456789012345678901234567890123456789012"
+                      "3456789012345678901234567890")
+                .ToHex(),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalEqualsOneShot) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly.";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Md5 h;
+    h.Update(std::string_view(msg).substr(0, split));
+    h.Update(std::string_view(msg).substr(split));
+    EXPECT_EQ(h.Finalize(), Md5::Hash(msg)) << "split at " << split;
+  }
+}
+
+TEST(Md5, BlockBoundarySizes) {
+  // Sizes around the 64-byte block and 56-byte padding boundaries.
+  Rng rng(1);
+  for (std::size_t size : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string data(size, '\0');
+    for (auto& ch : data) ch = static_cast<char>(rng.UniformInt(256));
+    // Hash in two different chunkings; digests must agree.
+    Md5 a;
+    a.Update(data);
+    Md5 b;
+    for (char ch : data) b.Update(std::string_view(&ch, 1));
+    EXPECT_EQ(a.Finalize(), b.Finalize()) << "size " << size;
+  }
+}
+
+TEST(Md5, ResetAllowsReuse) {
+  Md5 h;
+  h.Update("first");
+  (void)h.Finalize();
+  h.Reset();
+  h.Update("abc");
+  EXPECT_EQ(h.Finalize().ToHex(), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5, UpdateAfterFinalizeThrows) {
+  Md5 h;
+  (void)h.Finalize();
+  EXPECT_THROW(h.Update("x"), Error);
+  EXPECT_THROW((void)h.Finalize(), Error);
+}
+
+TEST(Md5, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Md5::Hash("hello"), Md5::Hash("hellp"));
+  EXPECT_NE(Md5::Hash("hello").Low64(), Md5::Hash("hellp").Low64());
+}
+
+TEST(Md5, Low64MatchesLeadingBytes) {
+  const Md5Digest d = Md5::Hash("abc");
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < 8; ++i)
+    expected |= static_cast<std::uint64_t>(d.bytes[i]) << (8 * i);
+  EXPECT_EQ(d.Low64(), expected);
+}
+
+TEST(Md5, StdHashUsable) {
+  const std::hash<Md5Digest> hasher;
+  EXPECT_EQ(hasher(Md5::Hash("x")), hasher(Md5::Hash("x")));
+  EXPECT_NE(hasher(Md5::Hash("x")), hasher(Md5::Hash("y")));
+}
+
+// Parameterized sweep: digests are stable across chunked update patterns for
+// many message lengths.
+class Md5SizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Md5SizeSweep, ChunkedUpdatesAgree) {
+  const std::size_t size = GetParam();
+  std::string data(size, '\0');
+  Rng rng(size + 1);
+  for (auto& ch : data) ch = static_cast<char>(rng.UniformInt(256));
+
+  const Md5Digest reference = Md5::Hash(data);
+  for (std::size_t chunk : {1u, 7u, 64u, 1000u}) {
+    Md5 h;
+    for (std::size_t off = 0; off < size; off += chunk) {
+      h.Update(std::string_view(data).substr(off, chunk));
+    }
+    EXPECT_EQ(h.Finalize(), reference) << "size " << size << " chunk " << chunk;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Md5SizeSweep,
+                         ::testing::Values(0, 1, 31, 64, 100, 1023, 4096,
+                                           100000));
+
+}  // namespace
+}  // namespace mcloud

@@ -1,0 +1,193 @@
+// Tests for regression, special functions, and the chi-square test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/bootstrap.h"
+#include "stats/chi_square.h"
+#include "stats/regression.h"
+#include "stats/special_functions.h"
+#include "util/rng.h"
+
+namespace mcloud {
+namespace {
+
+TEST(FitLinear, ExactLineRecovery) {
+  const std::vector<double> x = {0, 1, 2, 3, 4};
+  std::vector<double> y;
+  for (double v : x) y.push_back(2.5 * v - 1.0);
+  const LinearFit fit = FitLinear(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinear, NoisyLine) {
+  Rng rng(1);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 5000; ++i) {
+    const double xv = rng.Uniform(0, 10);
+    x.push_back(xv);
+    y.push_back(3.0 * xv + 2.0 + rng.Normal(0, 0.5));
+  }
+  const LinearFit fit = FitLinear(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.02);
+  EXPECT_NEAR(fit.intercept, 2.0, 0.1);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(FitLinear, Errors) {
+  EXPECT_THROW((void)FitLinear(std::vector<double>{1.0},
+                               std::vector<double>{1.0}),
+               Error);
+  EXPECT_THROW((void)FitLinear(std::vector<double>{1.0, 1.0},
+                               std::vector<double>{1.0, 2.0}),
+               Error);  // degenerate x
+  EXPECT_THROW((void)FitLinear(std::vector<double>{1.0, 2.0},
+                               std::vector<double>{1.0}),
+               Error);  // length mismatch
+}
+
+TEST(FitLinearWeighted, ZeroWeightIgnoresOutlier) {
+  const std::vector<double> x = {0, 1, 2, 3};
+  const std::vector<double> y = {0, 1, 2, 100};  // outlier at the end
+  const std::vector<double> w = {1, 1, 1, 0};
+  const LinearFit fit = FitLinearWeighted(x, y, w);
+  EXPECT_NEAR(fit.slope, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinearWeighted, MatchesUnweightedWithEqualWeights) {
+  const std::vector<double> x = {0, 1, 2, 3, 4};
+  const std::vector<double> y = {1, 3, 4, 6, 9};
+  const std::vector<double> w = {2, 2, 2, 2, 2};
+  const LinearFit a = FitLinear(x, y);
+  const LinearFit b = FitLinearWeighted(x, y, w);
+  EXPECT_NEAR(a.slope, b.slope, 1e-12);
+  EXPECT_NEAR(a.intercept, b.intercept, 1e-12);
+  EXPECT_NEAR(a.r_squared, b.r_squared, 1e-12);
+}
+
+TEST(RSquared, PerfectAndPoor) {
+  const std::vector<double> obs = {1, 2, 3, 4};
+  EXPECT_NEAR(RSquared(obs, obs), 1.0, 1e-12);
+  const std::vector<double> bad = {4, 3, 2, 1};
+  EXPECT_LT(RSquared(obs, bad), 0.0);  // worse than the mean predictor
+}
+
+TEST(SpecialFunctions, GammaPKnownValues) {
+  // P(1, x) = 1 - e^{-x}.
+  for (double x : {0.1, 1.0, 3.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-10);
+  }
+  // P(a, 0) = 0; Q(a, 0) = 1.
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.5, 0.0), 1.0);
+  // Complementarity.
+  for (double a : {0.5, 2.0, 10.0}) {
+    for (double x : {0.5, 2.0, 20.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-10);
+    }
+  }
+}
+
+TEST(SpecialFunctions, ChiSquareSurvivalKnownValues) {
+  // Chi-square with 2 dof: survival = e^{-x/2}.
+  for (double x : {1.0, 4.0, 10.0}) {
+    EXPECT_NEAR(ChiSquareSurvival(x, 2.0), std::exp(-x / 2.0), 1e-10);
+  }
+  // Median of chi-square with 1 dof ≈ 0.4549.
+  EXPECT_NEAR(ChiSquareSurvival(0.4549, 1.0), 0.5, 1e-3);
+  EXPECT_DOUBLE_EQ(ChiSquareSurvival(-1.0, 3.0), 1.0);
+}
+
+TEST(InvertCdf, RecoversQuantiles) {
+  const auto cdf = [](double x) { return 1.0 - std::exp(-x / 2.0); };
+  const double q = InvertCdf(cdf, 0.5, 0.0, 100.0);
+  EXPECT_NEAR(q, 2.0 * std::log(2.0), 1e-6);
+}
+
+TEST(ChiSquareGoodnessOfFit, AcceptsTrueModel) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.ExponentialMean(2.0));
+  const auto cdf = [](double x) { return 1.0 - std::exp(-x / 2.0); };
+  const auto quantile = [](double q) { return -2.0 * std::log(1.0 - q); };
+  const auto result = ChiSquareGoodnessOfFit(xs, cdf, quantile, 30, 1);
+  EXPECT_GT(result.p_value, 0.01);
+  EXPECT_EQ(result.bins, 30u);
+  EXPECT_DOUBLE_EQ(result.dof, 28.0);
+}
+
+TEST(ChiSquareGoodnessOfFit, RejectsWrongModel) {
+  Rng rng(6);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.ExponentialMean(2.0));
+  // Model claims mean 4 — decisively wrong with 20k samples.
+  const auto cdf = [](double x) { return 1.0 - std::exp(-x / 4.0); };
+  const auto quantile = [](double q) { return -4.0 * std::log(1.0 - q); };
+  const auto result = ChiSquareGoodnessOfFit(xs, cdf, quantile, 30, 1);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(Bootstrap, MeanCiCoversTruthAndShrinks) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.Normal(5.0, 2.0));
+  const auto mean_stat = [](std::span<const double> s) {
+    double sum = 0;
+    for (double v : s) sum += v;
+    return std::vector<double>{sum / static_cast<double>(s.size())};
+  };
+  const auto ci = BootstrapPercentileCi(xs, mean_stat, 200, 0.95, 3);
+  ASSERT_EQ(ci.size(), 1u);
+  EXPECT_NEAR(ci[0].point, 5.0, 0.15);
+  EXPECT_LT(ci[0].lo, ci[0].point);
+  EXPECT_GT(ci[0].hi, ci[0].point);
+  // Analytic 95% CI half-width for the mean: 1.96 * 2 / sqrt(2000) ≈ 0.088.
+  EXPECT_NEAR(ci[0].hi - ci[0].lo, 2 * 1.96 * 2.0 / std::sqrt(2000.0), 0.05);
+}
+
+TEST(Bootstrap, MultipleStatistics) {
+  Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.ExponentialMean(3.0));
+  const auto stat = [](std::span<const double> s) {
+    double sum = 0;
+    double mx = 0;
+    for (double v : s) {
+      sum += v;
+      mx = std::max(mx, v);
+    }
+    return std::vector<double>{sum / static_cast<double>(s.size()), mx};
+  };
+  const auto ci = BootstrapPercentileCi(xs, stat, 100, 0.9, 5);
+  ASSERT_EQ(ci.size(), 2u);
+  EXPECT_NEAR(ci[0].point, 3.0, 0.5);
+  EXPECT_GE(ci[1].point, ci[0].point);  // max >= mean
+}
+
+TEST(Bootstrap, InputValidation) {
+  const auto stat = [](std::span<const double>) {
+    return std::vector<double>{0.0};
+  };
+  EXPECT_THROW((void)BootstrapPercentileCi({}, stat), Error);
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_THROW((void)BootstrapPercentileCi(xs, stat, 5), Error);
+  EXPECT_THROW((void)BootstrapPercentileCi(xs, stat, 100, 1.5), Error);
+}
+
+TEST(ChiSquareGoodnessOfFit, InputValidation) {
+  const std::vector<double> xs(100, 1.0);
+  const auto cdf = [](double x) { return x; };
+  const auto quantile = [](double q) { return q; };
+  EXPECT_THROW((void)ChiSquareGoodnessOfFit(xs, cdf, quantile, 1, 0), Error);
+  EXPECT_THROW((void)ChiSquareGoodnessOfFit(xs, cdf, quantile, 30, 0),
+               Error);  // needs >= 5 per bin
+  EXPECT_THROW((void)ChiSquareGoodnessOfFit(xs, cdf, quantile, 10, 9), Error);
+}
+
+}  // namespace
+}  // namespace mcloud

@@ -1,0 +1,431 @@
+// Tests for the TCP substrate: RTO estimation, congestion control with
+// slow-start-after-idle, and the chunked flow simulator — the mechanisms
+// behind the paper's §4 findings.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "tcp/congestion.h"
+#include "tcp/flow.h"
+#include "tcp/rtt_estimator.h"
+#include "util/rng.h"
+
+namespace mcloud::tcp {
+namespace {
+
+TEST(RttEstimator, InitialRtoIsOneSecond) {
+  RttEstimator est;
+  EXPECT_FALSE(est.HasSample());
+  EXPECT_DOUBLE_EQ(est.Rto(), 1.0);
+}
+
+TEST(RttEstimator, FirstSampleRfc6298) {
+  RttEstimator est;
+  est.Update(0.1);
+  EXPECT_DOUBLE_EQ(est.Srtt(), 0.1);
+  EXPECT_DOUBLE_EQ(est.RttVar(), 0.05);
+  // RTO = SRTT + max(0.2, 4*RTTVAR) = 0.1 + 0.2 = 0.3.
+  EXPECT_DOUBLE_EQ(est.Rto(), 0.3);
+}
+
+TEST(RttEstimator, LargeVarianceDominatesFloor) {
+  RttEstimator est;
+  est.Update(1.0);
+  // RTTVAR = 0.5, 4*RTTVAR = 2.0 > 0.2 -> RTO = 1.0 + 2.0.
+  EXPECT_DOUBLE_EQ(est.Rto(), 3.0);
+}
+
+TEST(RttEstimator, ConvergesOnConstantSamples) {
+  RttEstimator est;
+  for (int i = 0; i < 200; ++i) est.Update(0.1);
+  EXPECT_NEAR(est.Srtt(), 0.1, 1e-6);
+  EXPECT_NEAR(est.RttVar(), 0.0, 1e-3);
+  EXPECT_NEAR(est.Rto(), 0.3, 1e-3);  // min-var floor holds it at SRTT+0.2
+}
+
+TEST(RttEstimator, EwmaWeights) {
+  RttEstimator est;
+  est.Update(0.1);
+  est.Update(0.2);
+  // SRTT = 7/8*0.1 + 1/8*0.2 = 0.1125.
+  EXPECT_NEAR(est.Srtt(), 0.1125, 1e-9);
+  // RTTVAR = 3/4*0.05 + 1/4*|0.1-0.2| = 0.0625.
+  EXPECT_NEAR(est.RttVar(), 0.0625, 1e-9);
+}
+
+TEST(RttEstimator, RejectsNonPositive) {
+  RttEstimator est;
+  EXPECT_THROW(est.Update(0.0), Error);
+  EXPECT_THROW(est.Update(-0.1), Error);
+}
+
+TEST(Congestion, InitialWindowIw10) {
+  CongestionController cc(CongestionConfig{});
+  EXPECT_EQ(cc.Cwnd(), 10u * 1448u);
+  EXPECT_TRUE(cc.InSlowStart());
+}
+
+TEST(Congestion, SlowStartDoublesPerWindow) {
+  CongestionController cc(CongestionConfig{});
+  const Bytes before = cc.Cwnd();
+  cc.OnAck(before);  // a full window acknowledged
+  EXPECT_GE(cc.Cwnd(), 2 * before - cc.Mss());
+}
+
+TEST(Congestion, CongestionAvoidanceLinearGrowth) {
+  CongestionConfig cfg;
+  CongestionController cc(cfg);
+  cc.OnTimeout(cc.Cwnd());  // forces ssthresh down, cwnd = 1 MSS
+  const Bytes ssthresh = cc.Ssthresh();
+  // Grow back past ssthresh into congestion avoidance.
+  while (cc.InSlowStart()) cc.OnAck(cc.Cwnd());
+  const Bytes at_ca = cc.Cwnd();
+  EXPECT_GE(at_ca, ssthresh);
+  // One full window ACKed in CA adds about one MSS.
+  cc.OnAck(cc.Cwnd());
+  EXPECT_NEAR(static_cast<double>(cc.Cwnd() - at_ca),
+              static_cast<double>(cfg.mss), static_cast<double>(cfg.mss));
+}
+
+TEST(Congestion, TimeoutCollapsesToOneMss) {
+  CongestionController cc(CongestionConfig{});
+  cc.OnAck(100 * 1448);
+  cc.OnTimeout(cc.Cwnd());
+  EXPECT_EQ(cc.Cwnd(), cc.Mss());
+  EXPECT_EQ(cc.SlowStartRestarts(), 1u);
+}
+
+TEST(Congestion, LossHalvesWindow) {
+  CongestionController cc(CongestionConfig{});
+  for (int i = 0; i < 20; ++i) cc.OnAck(cc.Cwnd());
+  const Bytes flight = cc.Cwnd();
+  cc.OnLoss(flight);
+  EXPECT_EQ(cc.Cwnd(), std::max<Bytes>(flight / 2, 2 * cc.Mss()));
+}
+
+TEST(Congestion, IdleBelowRtoDoesNothing) {
+  CongestionController cc(CongestionConfig{});
+  cc.OnAck(50 * 1448);
+  const Bytes before = cc.Cwnd();
+  EXPECT_FALSE(cc.OnIdle(0.2, 0.3));
+  EXPECT_EQ(cc.Cwnd(), before);
+  EXPECT_EQ(cc.SlowStartRestarts(), 0u);
+}
+
+TEST(Congestion, IdleAboveRtoRestartsSlowStart) {
+  CongestionController cc(CongestionConfig{});
+  // Grow well past the initial window.
+  for (int i = 0; i < 10; ++i) cc.OnAck(cc.Cwnd());
+  const Bytes grown = cc.Cwnd();
+  ASSERT_GT(grown, cc.InitialWindow());
+
+  EXPECT_TRUE(cc.OnIdle(0.5, 0.3));
+  EXPECT_EQ(cc.Cwnd(), cc.InitialWindow());  // RW = min(IW, cwnd)
+  EXPECT_TRUE(cc.InSlowStart());
+  // ssthresh remembers the previous operating point.
+  EXPECT_GE(cc.Ssthresh(), grown);
+  EXPECT_EQ(cc.SlowStartRestarts(), 1u);
+}
+
+TEST(Congestion, SsaiDisabledNeverRestarts) {
+  CongestionConfig cfg;
+  cfg.slow_start_after_idle = false;
+  CongestionController cc(cfg);
+  cc.OnAck(50 * 1448);
+  const Bytes before = cc.Cwnd();
+  EXPECT_FALSE(cc.OnIdle(10.0, 0.3));
+  EXPECT_EQ(cc.Cwnd(), before);
+}
+
+TEST(Flow, SplitIntoChunks) {
+  const auto chunks = SplitIntoChunks(kChunkSize * 2 + 100, kChunkSize);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0], kChunkSize);
+  EXPECT_EQ(chunks[2], 100u);
+  EXPECT_EQ(SplitIntoChunks(10, kChunkSize).size(), 1u);
+  EXPECT_THROW((void)SplitIntoChunks(0, kChunkSize), Error);
+}
+
+FlowConfig BasicConfig() {
+  FlowConfig cfg;
+  cfg.mss = 1448;
+  cfg.sender_window = 64 * kKiB;
+  cfg.rtt = 0.1;
+  cfg.bandwidth_bps = 16e6;
+  return cfg;
+}
+
+DurationSampler Constant(Seconds v) {
+  return [v](Rng&) { return v; };
+}
+
+TEST(Flow, TransfersAllChunks) {
+  const FlowSimulator sim(BasicConfig());
+  Rng rng(1);
+  const std::vector<Bytes> chunks(4, kChunkSize);
+  const auto result =
+      sim.Run(chunks, Constant(0.1), Constant(0.05), StallModel{}, rng);
+  ASSERT_EQ(result.chunks.size(), 4u);
+  for (const auto& c : result.chunks) {
+    EXPECT_EQ(c.bytes, kChunkSize);
+    EXPECT_GT(c.transfer_time, 0.0);
+  }
+  EXPECT_GT(result.duration, 0.0);
+}
+
+TEST(Flow, SmallerWindowSlowerTransfer) {
+  Rng rng_a(2);
+  Rng rng_b(2);
+  FlowConfig small = BasicConfig();
+  small.sender_window = 16 * kKiB;
+  FlowConfig large = BasicConfig();
+  large.sender_window = 256 * kKiB;
+  const std::vector<Bytes> chunks(4, kChunkSize);
+  const auto slow = FlowSimulator(small).Run(chunks, Constant(0.05),
+                                             Constant(0.01), {}, rng_a);
+  const auto fast = FlowSimulator(large).Run(chunks, Constant(0.05),
+                                             Constant(0.01), {}, rng_b);
+  EXPECT_GT(slow.duration, fast.duration);
+}
+
+TEST(Flow, LongClientTimeTriggersRestartsAndSlowsChunks) {
+  // The paper's causal chain: long T_clt -> idle > RTO -> slow-start
+  // restart -> longer per-chunk transfer times.
+  const std::vector<Bytes> chunks(6, kChunkSize);
+  Rng rng_fast(3);
+  Rng rng_slow(3);
+  const FlowSimulator sim(BasicConfig());
+
+  const auto fast = sim.Run(chunks, Constant(0.05), Constant(0.01), {},
+                            rng_fast);
+  const auto slow = sim.Run(chunks, Constant(0.05), Constant(1.0), {},
+                            rng_slow);
+
+  EXPECT_EQ(fast.restarts, 0u);
+  EXPECT_GT(slow.restarts, 0u);
+  // After the first chunk (which starts from IW either way), restarted
+  // chunks transfer more slowly.
+  double fast_later = 0;
+  double slow_later = 0;
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    fast_later += fast.chunks[i].transfer_time;
+    slow_later += slow.chunks[i].transfer_time;
+    EXPECT_FALSE(fast.chunks[i].restarted);
+    EXPECT_TRUE(slow.chunks[i].restarted);
+  }
+  EXPECT_GT(slow_later, fast_later);
+}
+
+TEST(Flow, SsaiOffRemovesPenalty) {
+  std::vector<Bytes> chunks(6, kChunkSize);
+  FlowConfig on = BasicConfig();
+  FlowConfig off = BasicConfig();
+  off.cc.slow_start_after_idle = false;
+  Rng ra(4);
+  Rng rb(4);
+  const auto with_ssai =
+      FlowSimulator(on).Run(chunks, Constant(0.05), Constant(1.0), {}, ra);
+  const auto without =
+      FlowSimulator(off).Run(chunks, Constant(0.05), Constant(1.0), {}, rb);
+  EXPECT_GT(with_ssai.restarts, 0u);
+  EXPECT_EQ(without.restarts, 0u);
+  EXPECT_LT(without.chunks[3].transfer_time,
+            with_ssai.chunks[3].transfer_time);
+}
+
+TEST(Flow, StallsCollapseInflight) {
+  std::vector<Bytes> chunks(2, kChunkSize);
+  FlowConfig cfg = BasicConfig();
+  cfg.record_trace = true;
+  StallModel stall;
+  stall.block = 64 * kKiB;
+  stall.sample = [](Rng&) { return 1.0; };  // always > RTO
+  Rng rng(5);
+  const auto result = FlowSimulator(cfg).Run(chunks, Constant(0.05),
+                                             Constant(0.01), stall, rng);
+  // Stall restarts accumulate beyond inter-chunk restarts.
+  EXPECT_GT(result.restarts, 2u);
+  EXPECT_FALSE(result.trace.empty());
+  // Trace times are non-decreasing and sequence numbers monotone.
+  for (std::size_t i = 1; i < result.trace.size(); ++i) {
+    EXPECT_GE(result.trace[i].t, result.trace[i - 1].t);
+    EXPECT_GE(result.trace[i].seq, result.trace[i - 1].seq);
+  }
+  EXPECT_EQ(result.trace.back().seq, 2 * kChunkSize);
+}
+
+TEST(Flow, IdleAccountingMatchesSamplers) {
+  std::vector<Bytes> chunks(3, kChunkSize);
+  const FlowSimulator sim(BasicConfig());
+  Rng rng(6);
+  const auto result =
+      sim.Run(chunks, Constant(0.2), Constant(0.3), {}, rng);
+  // idle = tsrv + rtt + tclt = 0.2 + 0.1 + 0.3.
+  for (std::size_t i = 1; i < result.chunks.size(); ++i) {
+    EXPECT_NEAR(result.chunks[i].idle_before, 0.6, 1e-9);
+    EXPECT_GT(result.chunks[i].rto_at_idle, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(result.chunks[0].idle_before, 0.0);
+}
+
+TEST(Flow, InputValidation) {
+  const FlowSimulator sim(BasicConfig());
+  Rng rng(7);
+  EXPECT_THROW(
+      (void)sim.Run({}, Constant(0.1), Constant(0.1), {}, rng), Error);
+  FlowConfig bad = BasicConfig();
+  bad.rtt = 0;
+  EXPECT_THROW(FlowSimulator{bad}, Error);
+  bad = BasicConfig();
+  bad.bandwidth_bps = 0;
+  EXPECT_THROW(FlowSimulator{bad}, Error);
+}
+
+// Property sweep: duration decreases (weakly) as the receiver window grows,
+// across RTTs.
+class FlowWindowSweep
+    : public ::testing::TestWithParam<std::tuple<double, Bytes>> {};
+
+TEST_P(FlowWindowSweep, MoreWindowNeverSlower) {
+  const auto [rtt, window] = GetParam();
+  FlowConfig small = BasicConfig();
+  small.rtt = rtt;
+  small.sender_window = window;
+  FlowConfig bigger = small;
+  bigger.sender_window = window * 2;
+
+  const std::vector<Bytes> chunks(3, kChunkSize);
+  Rng ra(8);
+  Rng rb(8);
+  const auto a = FlowSimulator(small).Run(chunks, Constant(0.05),
+                                          Constant(0.01), {}, ra);
+  const auto b = FlowSimulator(bigger).Run(chunks, Constant(0.05),
+                                           Constant(0.01), {}, rb);
+  EXPECT_GE(a.duration + 1e-9, b.duration);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, FlowWindowSweep,
+    ::testing::Combine(::testing::Values(0.02, 0.1, 0.4),
+                       ::testing::Values(Bytes{16 * kKiB}, Bytes{64 * kKiB},
+                                         Bytes{256 * kKiB})));
+
+TEST(Flow, PostIdleBurstLossForcesTimeouts) {
+  // §4.3 caveat: SSAI off + long idles + lossy tail bursts ⇒ RTO penalties.
+  std::vector<Bytes> chunks(8, kChunkSize);
+  FlowConfig cfg = BasicConfig();
+  cfg.cc.slow_start_after_idle = false;
+  cfg.post_idle_burst_loss_prob = 1.0;  // always lose the post-idle burst
+  Rng rng(21);
+  const auto result = FlowSimulator(cfg).Run(chunks, Constant(0.2),
+                                             Constant(1.0), {}, rng);
+  EXPECT_GT(result.timeouts, 0u);
+
+  // With short idles (< RTO) there is no post-idle burst and no loss.
+  Rng rng2(21);
+  const auto calm = FlowSimulator(cfg).Run(chunks, Constant(0.01),
+                                           Constant(0.01), {}, rng2);
+  EXPECT_EQ(calm.timeouts, 0u);
+}
+
+TEST(Flow, PacingAvoidsBurstLoss) {
+  std::vector<Bytes> chunks(8, kChunkSize);
+  FlowConfig lossy = BasicConfig();
+  lossy.cc.slow_start_after_idle = false;
+  lossy.post_idle_burst_loss_prob = 1.0;
+  FlowConfig paced = lossy;
+  paced.cc.pace_after_idle = true;
+
+  Rng ra(22);
+  Rng rb(22);
+  const auto without = FlowSimulator(lossy).Run(chunks, Constant(0.2),
+                                                Constant(1.0), {}, ra);
+  const auto with_pacing = FlowSimulator(paced).Run(chunks, Constant(0.2),
+                                                    Constant(1.0), {}, rb);
+  EXPECT_GT(without.timeouts, 0u);
+  EXPECT_EQ(with_pacing.timeouts, 0u);
+  // Pacing pays one extra RTT per restart instead of a full RTO + slow
+  // start — it must beat the lossy variant.
+  EXPECT_LT(with_pacing.duration, without.duration);
+}
+
+TEST(Flow, PacingBeatsSlowStartRestartWhenLossless) {
+  // The paper's ordering: pacing keeps the window, so it also beats SSAI's
+  // restart ramp.
+  std::vector<Bytes> chunks(8, kChunkSize);
+  FlowConfig ssai = BasicConfig();
+  FlowConfig paced = BasicConfig();
+  paced.cc.slow_start_after_idle = false;
+  paced.cc.pace_after_idle = true;
+  Rng ra(23);
+  Rng rb(23);
+  const auto restart = FlowSimulator(ssai).Run(chunks, Constant(0.2),
+                                               Constant(1.0), {}, ra);
+  const auto pace = FlowSimulator(paced).Run(chunks, Constant(0.2),
+                                             Constant(1.0), {}, rb);
+  EXPECT_GT(restart.restarts, 0u);
+  EXPECT_EQ(pace.restarts, 0u);
+  EXPECT_LT(pace.duration, restart.duration);
+}
+
+TEST(Flow, RandomLossTriggersFastRetransmit) {
+  std::vector<Bytes> chunks(4, kChunkSize);
+  FlowConfig cfg = BasicConfig();
+  cfg.random_loss_prob = 0.2;
+  Rng ra(24);
+  const auto lossy = FlowSimulator(cfg).Run(chunks, Constant(0.05),
+                                            Constant(0.01), {}, ra);
+  EXPECT_GT(lossy.fast_retransmits, 0u);
+  EXPECT_EQ(lossy.timeouts, 0u);
+
+  FlowConfig clean = BasicConfig();
+  Rng rb(24);
+  const auto lossless = FlowSimulator(clean).Run(chunks, Constant(0.05),
+                                                 Constant(0.01), {}, rb);
+  EXPECT_EQ(lossless.fast_retransmits, 0u);
+  EXPECT_LT(lossless.duration, lossy.duration);
+}
+
+TEST(EventQueue, OrdersByTimeThenFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(2.0, [&] { order.push_back(3); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(1.0, [&] { order.push_back(2); });  // same time: FIFO
+  EXPECT_EQ(q.RunAll(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.Now(), 2.0);
+}
+
+TEST(EventQueue, RunUntilAdvancesClock) {
+  EventQueue q;
+  int ran = 0;
+  q.ScheduleAt(1.0, [&] { ++ran; });
+  q.ScheduleAt(5.0, [&] { ++ran; });
+  EXPECT_EQ(q.RunUntil(3.0), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_DOUBLE_EQ(q.Now(), 3.0);
+  EXPECT_EQ(q.Pending(), 1u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) q.ScheduleIn(1.0, recurse);
+  };
+  q.ScheduleAt(0.0, recurse);
+  q.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(q.Now(), 4.0);
+}
+
+TEST(EventQueue, RejectsPastAndNull) {
+  EventQueue q;
+  q.ScheduleAt(1.0, [] {});
+  q.RunAll();
+  EXPECT_THROW(q.ScheduleAt(0.5, [] {}), Error);
+  EXPECT_THROW(q.ScheduleAt(2.0, nullptr), Error);
+}
+
+}  // namespace
+}  // namespace mcloud::tcp

@@ -1,0 +1,248 @@
+// Tests for the trace layer: record serialization, CSV/binary IO, filters,
+// anonymization, and the CSV tokenizer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "trace/anonymizer.h"
+#include "trace/filters.h"
+#include "trace/log_io.h"
+#include "trace/log_record.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/timeutil.h"
+
+namespace mcloud {
+namespace {
+
+LogRecord MakeRecord(UnixSeconds ts, std::uint64_t user, Direction dir,
+                     RequestType type = RequestType::kChunkRequest,
+                     DeviceType dev = DeviceType::kAndroid) {
+  LogRecord r;
+  r.timestamp = ts;
+  r.device_type = dev;
+  r.device_id = user * 10;
+  r.user_id = user;
+  r.request_type = type;
+  r.direction = dir;
+  r.data_volume = type == RequestType::kChunkRequest ? kChunkSize : 0;
+  r.processing_time = 1.25;
+  r.server_time = 0.1;
+  r.avg_rtt = 0.089238;
+  r.proxied = false;
+  return r;
+}
+
+std::filesystem::path TempPath(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+TEST(LogRecord, EnumStringsRoundTrip) {
+  for (auto d : {DeviceType::kAndroid, DeviceType::kIos, DeviceType::kPc}) {
+    EXPECT_EQ(DeviceTypeFromString(ToString(d)), d);
+  }
+  for (auto t : {RequestType::kFileOperation, RequestType::kChunkRequest}) {
+    EXPECT_EQ(RequestTypeFromString(ToString(t)), t);
+  }
+  for (auto d : {Direction::kStore, Direction::kRetrieve}) {
+    EXPECT_EQ(DirectionFromString(ToString(d)), d);
+  }
+  EXPECT_THROW((void)DeviceTypeFromString("blackberry"), ParseError);
+  EXPECT_THROW((void)RequestTypeFromString(""), ParseError);
+  EXPECT_THROW((void)DirectionFromString("up"), ParseError);
+}
+
+TEST(LogRecord, IsMobile) {
+  EXPECT_TRUE(MakeRecord(0, 1, Direction::kStore).IsMobile());
+  EXPECT_FALSE(MakeRecord(0, 1, Direction::kStore,
+                          RequestType::kChunkRequest, DeviceType::kPc)
+                   .IsMobile());
+}
+
+TEST(Csv, SplitAndJoin) {
+  const auto fields = SplitCsvLine("a,b,,d");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(JoinCsvLine({"a", "b", "", "d"}), "a,b,,d");
+  EXPECT_THROW((void)JoinCsvLine({"a,b"}), ParseError);
+}
+
+TEST(Csv, ParseHelpers) {
+  EXPECT_EQ(ParseInt64("-42", "x"), -42);
+  EXPECT_EQ(ParseUint64("42", "x"), 42u);
+  EXPECT_DOUBLE_EQ(ParseDouble("2.5", "x"), 2.5);
+  EXPECT_THROW((void)ParseInt64("4x", "x"), ParseError);
+  EXPECT_THROW((void)ParseUint64("-1", "x"), ParseError);
+  EXPECT_THROW((void)ParseDouble("", "x"), ParseError);
+}
+
+TEST(LogIo, CsvLineRoundTrip) {
+  const LogRecord r = MakeRecord(kTraceStart + 5, 7, Direction::kRetrieve);
+  const LogRecord back = FromCsvLine(ToCsvLine(r));
+  EXPECT_EQ(back, r);
+}
+
+TEST(LogIo, CsvLineRejectsBadFieldCount) {
+  EXPECT_THROW((void)FromCsvLine("1,2,3"), ParseError);
+}
+
+TEST(LogIo, CsvFileRoundTrip) {
+  std::vector<LogRecord> records;
+  for (int i = 0; i < 100; ++i) {
+    records.push_back(MakeRecord(kTraceStart + i, i % 7 + 1,
+                                 i % 2 ? Direction::kStore
+                                       : Direction::kRetrieve));
+  }
+  const auto path = TempPath("mcloud_test_trace.csv");
+  WriteCsvTrace(path, records);
+  const auto back = ReadCsvTrace(path);
+  EXPECT_EQ(back, records);
+  std::filesystem::remove(path);
+}
+
+TEST(LogIo, CsvHeaderValidated) {
+  const auto path = TempPath("mcloud_bad_header.csv");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("not,a,header\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)ReadCsvTrace(path), ParseError);
+  std::filesystem::remove(path);
+}
+
+TEST(LogIo, BinaryFileRoundTrip) {
+  std::vector<LogRecord> records;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    LogRecord r = MakeRecord(kTraceStart + i, rng.UniformInt(50) + 1,
+                             Direction::kStore);
+    r.proxied = rng.Bernoulli(0.1);
+    r.avg_rtt = rng.Uniform(0.01, 2.0);
+    records.push_back(r);
+  }
+  const auto path = TempPath("mcloud_test_trace.bin");
+  WriteBinaryTrace(path, records);
+  const auto back = ReadBinaryTrace(path);
+  ASSERT_EQ(back.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(back[i].timestamp, records[i].timestamp);
+    EXPECT_EQ(back[i].user_id, records[i].user_id);
+    EXPECT_NEAR(back[i].avg_rtt, records[i].avg_rtt, 1e-6);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(LogIo, BinaryRejectsGarbage) {
+  const auto path = TempPath("mcloud_garbage.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("garbage!", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)ReadBinaryTrace(path), ParseError);
+  std::filesystem::remove(path);
+}
+
+TEST(LogIo, ScanStopsEarly) {
+  std::vector<LogRecord> records;
+  for (int i = 0; i < 50; ++i)
+    records.push_back(MakeRecord(kTraceStart + i, 1, Direction::kStore));
+  const auto path = TempPath("mcloud_scan.bin");
+  WriteBinaryTrace(path, records);
+  std::size_t seen = 0;
+  const std::size_t visited = ScanBinaryTrace(path, [&](const LogRecord&) {
+    ++seen;
+    return seen < 10;
+  });
+  EXPECT_EQ(seen, 10u);
+  EXPECT_EQ(visited, 10u);
+  std::filesystem::remove(path);
+}
+
+TEST(Filters, SliceByDeviceProxyAndType) {
+  std::vector<LogRecord> trace;
+  trace.push_back(MakeRecord(1, 1, Direction::kStore,
+                             RequestType::kFileOperation));
+  trace.push_back(MakeRecord(2, 1, Direction::kStore));
+  LogRecord pc = MakeRecord(3, 2, Direction::kRetrieve,
+                            RequestType::kChunkRequest, DeviceType::kPc);
+  trace.push_back(pc);
+  LogRecord proxied = MakeRecord(4, 3, Direction::kStore);
+  proxied.proxied = true;
+  trace.push_back(proxied);
+
+  EXPECT_EQ(MobileOnly(trace).size(), 3u);
+  EXPECT_EQ(Unproxied(trace).size(), 3u);
+  EXPECT_EQ(ChunksOnly(trace).size(), 3u);
+  EXPECT_EQ(FileOperationsOnly(trace).size(), 1u);
+  EXPECT_EQ(CountDistinctUsers(trace), 3u);
+  EXPECT_EQ(CountDistinctDevices(trace), 3u);
+}
+
+TEST(Filters, GroupByUserPreservesOrder) {
+  std::vector<LogRecord> trace;
+  for (int i = 0; i < 10; ++i)
+    trace.push_back(MakeRecord(kTraceStart + i, i % 2 + 1, Direction::kStore));
+  const auto groups = GroupByUser(trace);
+  ASSERT_EQ(groups.size(), 2u);
+  for (const auto& [user, records] : groups) {
+    for (std::size_t i = 1; i < records.size(); ++i)
+      EXPECT_LT(records[i - 1].timestamp, records[i].timestamp);
+  }
+}
+
+TEST(Filters, DevicesPerUser) {
+  std::vector<LogRecord> trace;
+  LogRecord a = MakeRecord(1, 1, Direction::kStore);
+  a.device_id = 100;
+  LogRecord b = MakeRecord(2, 1, Direction::kStore);
+  b.device_id = 101;
+  LogRecord c = MakeRecord(3, 1, Direction::kRetrieve,
+                           RequestType::kChunkRequest, DeviceType::kPc);
+  trace = {a, b, c};
+  const auto per_user = DevicesPerUser(trace);
+  ASSERT_EQ(per_user.size(), 1u);
+  EXPECT_EQ(per_user.at(1).mobile_devices, 2u);
+  EXPECT_TRUE(per_user.at(1).uses_pc);
+}
+
+TEST(Anonymizer, DeterministicAndKeyDependent) {
+  const Anonymizer a("key-1");
+  const Anonymizer b("key-2");
+  EXPECT_EQ(a.MapId(42), a.MapId(42));
+  EXPECT_NE(a.MapId(42), a.MapId(43));
+  EXPECT_NE(a.MapId(42), b.MapId(42));
+}
+
+TEST(Anonymizer, PreservesJoins) {
+  // Two records of the same user must map to the same pseudonym, so joins
+  // across traces survive anonymization.
+  const Anonymizer anon("secret");
+  const LogRecord r1 = MakeRecord(1, 7, Direction::kStore);
+  const LogRecord r2 = MakeRecord(2, 7, Direction::kRetrieve);
+  const LogRecord a1 = anon.Apply(r1);
+  const LogRecord a2 = anon.Apply(r2);
+  EXPECT_EQ(a1.user_id, a2.user_id);
+  EXPECT_NE(a1.user_id, r1.user_id);
+  // Non-ID fields are untouched.
+  EXPECT_EQ(a1.timestamp, r1.timestamp);
+  EXPECT_EQ(a1.data_volume, r1.data_volume);
+}
+
+TEST(Timeutil, DayAndHourIndexing) {
+  EXPECT_EQ(DayIndex(kTraceStart), 0);
+  EXPECT_EQ(DayIndex(kTraceStart + 86399), 0);
+  EXPECT_EQ(DayIndex(kTraceStart + 86400), 1);
+  EXPECT_EQ(HourIndex(kTraceStart + 3600 * 30), 30);
+  EXPECT_EQ(HourOfDay(kTraceStart + 3600 * 30), 6);
+  EXPECT_EQ(DayLabel(0), "Mon");
+  EXPECT_EQ(DayLabel(6), "Sun");
+  EXPECT_EQ(DayLabel(7), "Mon");
+  EXPECT_EQ(TimestampLabel(kTraceStart + kDay + 3661), "Tue 01:01:01");
+}
+
+}  // namespace
+}  // namespace mcloud

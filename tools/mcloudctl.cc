@@ -1,0 +1,249 @@
+// mcloudctl — command-line front door to the mcloud library.
+//
+//   mcloudctl generate  --users N [--pc N] [--seed S] [--anonymize KEY] OUT
+//   mcloudctl analyze   TRACE [--tau SECONDS|auto]
+//   mcloudctl sessions  TRACE [--tau SECONDS] [--top N]
+//   mcloudctl convert   IN OUT
+//   mcloudctl anonymize IN OUT --key KEY
+//   mcloudctl simulate  [--device android|ios|pc] [--direction store|retrieve]
+//                       [--file-mb N] [--seed S] [--no-ssai] [--pace]
+//   mcloudctl help
+//
+// Trace files are CSV (.csv) or the compact binary format (anything else);
+// the format is chosen by extension. `analyze` runs the full §3 pipeline and
+// prints the findings report; `simulate` runs one chunked transfer through
+// the TCP substrate and prints its per-chunk timeline.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/sessionizer.h"
+#include "cloud/storage_service.h"
+#include "core/pipeline.h"
+#include "trace/anonymizer.h"
+#include "trace/log_io.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace mcloud;
+
+/// Minimal flag parser: --key value pairs plus positional arguments.
+struct Args {
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
+
+  [[nodiscard]] std::string Get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool Has(const std::string& key) const {
+    return flags.count(key) > 0;
+  }
+  [[nodiscard]] std::uint64_t GetU64(const std::string& key,
+                                     std::uint64_t fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback
+                             : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+};
+
+Args Parse(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      const std::string key(a.substr(2));
+      // Boolean flags take no value; value flags consume the next token.
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        args.flags[key] = argv[++i];
+      } else {
+        args.flags[key] = "";
+      }
+    } else {
+      args.positional.emplace_back(a);
+    }
+  }
+  return args;
+}
+
+bool IsCsv(const std::filesystem::path& p) { return p.extension() == ".csv"; }
+
+std::vector<LogRecord> ReadTrace(const std::filesystem::path& p) {
+  return IsCsv(p) ? ReadCsvTrace(p) : ReadBinaryTrace(p);
+}
+
+void WriteTrace(const std::filesystem::path& p,
+                std::span<const LogRecord> records) {
+  if (IsCsv(p)) {
+    WriteCsvTrace(p, records);
+  } else {
+    WriteBinaryTrace(p, records);
+  }
+}
+
+int Usage() {
+  std::fputs(
+      "usage: mcloudctl COMMAND ...\n"
+      "  generate  --users N [--pc N] [--seed S] [--anonymize KEY] OUT\n"
+      "  analyze   TRACE [--tau SECONDS|auto]\n"
+      "  sessions  TRACE [--tau SECONDS] [--top N]\n"
+      "  convert   IN OUT\n"
+      "  anonymize IN OUT --key KEY\n"
+      "  simulate  [--device android|ios|pc] [--direction store|retrieve]\n"
+      "            [--file-mb N] [--seed S] [--no-ssai] [--pace]\n"
+      "Trace format is picked by extension: .csv is CSV, anything else is\n"
+      "the compact binary format.\n",
+      stderr);
+  return 2;
+}
+
+int CmdGenerate(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  workload::WorkloadConfig cfg;
+  cfg.population.mobile_users = args.GetU64("users", 6000);
+  cfg.population.pc_only_users =
+      args.GetU64("pc", cfg.population.mobile_users / 3);
+  cfg.seed = args.GetU64("seed", 42);
+
+  std::fprintf(stderr,
+               "generating: %zu mobile users, %zu PC-only, seed %llu...\n",
+               cfg.population.mobile_users, cfg.population.pc_only_users,
+               static_cast<unsigned long long>(cfg.seed));
+  auto w = workload::WorkloadGenerator(cfg).Generate();
+  if (args.Has("anonymize")) {
+    w.trace = Anonymizer(args.Get("anonymize")).Apply(w.trace);
+  }
+  WriteTrace(args.positional[0], w.trace);
+  std::fprintf(stderr, "wrote %zu records to %s\n", w.trace.size(),
+               args.positional[0].c_str());
+  return 0;
+}
+
+int CmdAnalyze(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  const auto trace = ReadTrace(args.positional[0]);
+  core::PipelineOptions opts;
+  const std::string tau = args.Get("tau", "3600");
+  opts.session_tau = tau == "auto" ? 0 : std::strtod(tau.c_str(), nullptr);
+  const auto report = core::AnalysisPipeline(opts).Run(trace);
+  std::fputs(core::RenderFindings(report).c_str(), stdout);
+  return 0;
+}
+
+int CmdSessions(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  const auto trace = ReadTrace(args.positional[0]);
+  const Seconds tau = std::strtod(args.Get("tau", "3600").c_str(), nullptr);
+  const auto sessions = analysis::Sessionizer(tau).Sessionize(trace);
+
+  const std::uint64_t top = args.GetU64("top", 20);
+  std::printf("%zu sessions (tau = %.0f s); largest %llu by volume:\n",
+              sessions.size(), tau,
+              static_cast<unsigned long long>(top));
+  std::vector<const analysis::Session*> by_volume;
+  by_volume.reserve(sessions.size());
+  for (const auto& s : sessions) by_volume.push_back(&s);
+  std::sort(by_volume.begin(), by_volume.end(),
+            [](const auto* a, const auto* b) {
+              return a->Volume() > b->Volume();
+            });
+  std::printf("%-12s %-10s %8s %8s %10s %10s %8s\n", "user", "type", "ops",
+              "chunks", "volume MB", "length s", "oper s");
+  for (std::uint64_t i = 0; i < top && i < by_volume.size(); ++i) {
+    const auto& s = *by_volume[i];
+    const char* type = s.SessionType() == analysis::Session::Type::kStoreOnly
+                           ? "store"
+                       : s.SessionType() ==
+                               analysis::Session::Type::kRetrieveOnly
+                           ? "retrieve"
+                           : "mixed";
+    std::printf("%-12llu %-10s %8zu %8zu %10.1f %10.0f %8.0f\n",
+                static_cast<unsigned long long>(s.user_id), type, s.FileOps(),
+                s.chunk_requests, ToMB(s.Volume()), s.Length(),
+                s.OperatingTime());
+  }
+  return 0;
+}
+
+int CmdConvert(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  const auto trace = ReadTrace(args.positional[0]);
+  WriteTrace(args.positional[1], trace);
+  std::fprintf(stderr, "converted %zu records: %s -> %s\n", trace.size(),
+               args.positional[0].c_str(), args.positional[1].c_str());
+  return 0;
+}
+
+int CmdAnonymize(const Args& args) {
+  if (args.positional.size() != 2 || !args.Has("key")) return Usage();
+  const auto trace = ReadTrace(args.positional[0]);
+  const auto anonymized = Anonymizer(args.Get("key")).Apply(trace);
+  WriteTrace(args.positional[1], anonymized);
+  std::fprintf(stderr, "anonymized %zu records\n", anonymized.size());
+  return 0;
+}
+
+int CmdSimulate(const Args& args) {
+  const std::string device = args.Get("device", "android");
+  cloud::ServiceConfig cfg;
+  cfg.ssai_enabled = !args.Has("no-ssai");
+  cfg.pace_after_idle = args.Has("pace");
+  const cloud::StorageService service(cfg);
+
+  const DeviceType dev = device == "ios"  ? DeviceType::kIos
+                         : device == "pc" ? DeviceType::kPc
+                                          : DeviceType::kAndroid;
+  const Direction dir = args.Get("direction", "store") == "retrieve"
+                            ? Direction::kRetrieve
+                            : Direction::kStore;
+  const Bytes size = args.GetU64("file-mb", 8) * kMiB;
+  const auto flow =
+      service.SimulateFlow(dev, dir, size, args.GetU64("seed", 1));
+
+  std::printf("%s %s of %.0f MB: %.2f s total, %llu slow-start restarts, "
+              "%llu timeouts\n",
+              device.c_str(),
+              dir == Direction::kStore ? "upload" : "download", ToMB(size),
+              flow.duration,
+              static_cast<unsigned long long>(flow.restarts),
+              static_cast<unsigned long long>(flow.timeouts));
+  std::printf("%6s %10s %10s %10s %10s %9s\n", "chunk", "t_tran s",
+              "T_srv s", "T_clt s", "idle s", "restart");
+  for (std::size_t i = 0; i < flow.chunks.size(); ++i) {
+    const auto& c = flow.chunks[i];
+    std::printf("%6zu %10.2f %10.3f %10.3f %10.3f %9s\n", i + 1,
+                c.transfer_time, c.server_time, c.client_time, c.idle_before,
+                c.restarted ? "yes" : "");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string_view cmd = argv[1];
+  const Args args = Parse(argc, argv, 2);
+  try {
+    if (cmd == "generate") return CmdGenerate(args);
+    if (cmd == "analyze") return CmdAnalyze(args);
+    if (cmd == "sessions") return CmdSessions(args);
+    if (cmd == "convert") return CmdConvert(args);
+    if (cmd == "anonymize") return CmdAnonymize(args);
+    if (cmd == "simulate") return CmdSimulate(args);
+    if (cmd == "help" || cmd == "--help") {
+      Usage();
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mcloudctl: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}
