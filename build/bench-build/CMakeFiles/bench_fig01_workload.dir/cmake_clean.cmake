@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_workload"
+  "../bench/bench_fig01_workload.pdb"
+  "CMakeFiles/bench_fig01_workload.dir/bench_fig01_workload.cc.o"
+  "CMakeFiles/bench_fig01_workload.dir/bench_fig01_workload.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

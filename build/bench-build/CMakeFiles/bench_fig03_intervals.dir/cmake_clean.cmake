@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_intervals"
+  "../bench/bench_fig03_intervals.pdb"
+  "CMakeFiles/bench_fig03_intervals.dir/bench_fig03_intervals.cc.o"
+  "CMakeFiles/bench_fig03_intervals.dir/bench_fig03_intervals.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

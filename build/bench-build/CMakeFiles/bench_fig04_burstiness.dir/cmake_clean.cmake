@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_burstiness"
+  "../bench/bench_fig04_burstiness.pdb"
+  "CMakeFiles/bench_fig04_burstiness.dir/bench_fig04_burstiness.cc.o"
+  "CMakeFiles/bench_fig04_burstiness.dir/bench_fig04_burstiness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

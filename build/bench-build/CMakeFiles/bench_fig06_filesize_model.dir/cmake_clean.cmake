@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_filesize_model"
+  "../bench/bench_fig06_filesize_model.pdb"
+  "CMakeFiles/bench_fig06_filesize_model.dir/bench_fig06_filesize_model.cc.o"
+  "CMakeFiles/bench_fig06_filesize_model.dir/bench_fig06_filesize_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_filesize_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

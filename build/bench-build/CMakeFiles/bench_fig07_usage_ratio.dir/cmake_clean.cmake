@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_usage_ratio"
+  "../bench/bench_fig07_usage_ratio.pdb"
+  "CMakeFiles/bench_fig07_usage_ratio.dir/bench_fig07_usage_ratio.cc.o"
+  "CMakeFiles/bench_fig07_usage_ratio.dir/bench_fig07_usage_ratio.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_usage_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_engagement"
+  "../bench/bench_fig08_engagement.pdb"
+  "CMakeFiles/bench_fig08_engagement.dir/bench_fig08_engagement.cc.o"
+  "CMakeFiles/bench_fig08_engagement.dir/bench_fig08_engagement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_engagement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

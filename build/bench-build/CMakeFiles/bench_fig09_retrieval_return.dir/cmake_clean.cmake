@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_retrieval_return"
+  "../bench/bench_fig09_retrieval_return.pdb"
+  "CMakeFiles/bench_fig09_retrieval_return.dir/bench_fig09_retrieval_return.cc.o"
+  "CMakeFiles/bench_fig09_retrieval_return.dir/bench_fig09_retrieval_return.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_retrieval_return.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

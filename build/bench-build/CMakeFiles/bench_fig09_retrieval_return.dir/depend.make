@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig09_retrieval_return.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_flow_timeline"
+  "../bench/bench_fig13_flow_timeline.pdb"
+  "CMakeFiles/bench_fig13_flow_timeline.dir/bench_fig13_flow_timeline.cc.o"
+  "CMakeFiles/bench_fig13_flow_timeline.dir/bench_fig13_flow_timeline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_flow_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

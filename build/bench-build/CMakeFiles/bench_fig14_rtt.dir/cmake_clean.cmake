@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_rtt"
+  "../bench/bench_fig14_rtt.pdb"
+  "CMakeFiles/bench_fig14_rtt.dir/bench_fig14_rtt.cc.o"
+  "CMakeFiles/bench_fig14_rtt.dir/bench_fig14_rtt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

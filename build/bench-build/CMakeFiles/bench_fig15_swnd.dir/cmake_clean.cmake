@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_swnd"
+  "../bench/bench_fig15_swnd.pdb"
+  "CMakeFiles/bench_fig15_swnd.dir/bench_fig15_swnd.cc.o"
+  "CMakeFiles/bench_fig15_swnd.dir/bench_fig15_swnd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_swnd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_idle_dissection"
+  "../bench/bench_fig16_idle_dissection.pdb"
+  "CMakeFiles/bench_fig16_idle_dissection.dir/bench_fig16_idle_dissection.cc.o"
+  "CMakeFiles/bench_fig16_idle_dissection.dir/bench_fig16_idle_dissection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_idle_dissection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab03_user_types"
+  "../bench/bench_tab03_user_types.pdb"
+  "CMakeFiles/bench_tab03_user_types.dir/bench_tab03_user_types.cc.o"
+  "CMakeFiles/bench_tab03_user_types.dir/bench_tab03_user_types.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_user_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

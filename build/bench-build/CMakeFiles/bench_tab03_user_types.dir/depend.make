@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab03_user_types.
+# This may be replaced when dependencies are built.

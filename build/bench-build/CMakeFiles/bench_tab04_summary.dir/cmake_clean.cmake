@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab04_summary"
+  "../bench/bench_tab04_summary.pdb"
+  "CMakeFiles/bench_tab04_summary.dir/bench_tab04_summary.cc.o"
+  "CMakeFiles/bench_tab04_summary.dir/bench_tab04_summary.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

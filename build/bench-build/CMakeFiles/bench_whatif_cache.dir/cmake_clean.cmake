@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_whatif_cache"
+  "../bench/bench_whatif_cache.pdb"
+  "CMakeFiles/bench_whatif_cache.dir/bench_whatif_cache.cc.o"
+  "CMakeFiles/bench_whatif_cache.dir/bench_whatif_cache.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_whatif_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

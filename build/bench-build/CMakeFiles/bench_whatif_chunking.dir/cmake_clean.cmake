@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_whatif_chunking"
+  "../bench/bench_whatif_chunking.pdb"
+  "CMakeFiles/bench_whatif_chunking.dir/bench_whatif_chunking.cc.o"
+  "CMakeFiles/bench_whatif_chunking.dir/bench_whatif_chunking.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_whatif_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

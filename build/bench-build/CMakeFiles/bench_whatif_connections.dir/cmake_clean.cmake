@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_whatif_connections"
+  "../bench/bench_whatif_connections.pdb"
+  "CMakeFiles/bench_whatif_connections.dir/bench_whatif_connections.cc.o"
+  "CMakeFiles/bench_whatif_connections.dir/bench_whatif_connections.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_whatif_connections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_whatif_connections.
+# This may be replaced when dependencies are built.

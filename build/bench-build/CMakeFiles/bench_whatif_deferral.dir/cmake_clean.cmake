@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_whatif_deferral"
+  "../bench/bench_whatif_deferral.pdb"
+  "CMakeFiles/bench_whatif_deferral.dir/bench_whatif_deferral.cc.o"
+  "CMakeFiles/bench_whatif_deferral.dir/bench_whatif_deferral.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_whatif_deferral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_whatif_metadata"
+  "../bench/bench_whatif_metadata.pdb"
+  "CMakeFiles/bench_whatif_metadata.dir/bench_whatif_metadata.cc.o"
+  "CMakeFiles/bench_whatif_metadata.dir/bench_whatif_metadata.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_whatif_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_scheduler.dir/backup_scheduler.cpp.o"
+  "CMakeFiles/backup_scheduler.dir/backup_scheduler.cpp.o.d"
+  "backup_scheduler"
+  "backup_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

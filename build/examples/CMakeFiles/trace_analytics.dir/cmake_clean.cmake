@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_analytics.dir/trace_analytics.cpp.o"
+  "CMakeFiles/trace_analytics.dir/trace_analytics.cpp.o.d"
+  "trace_analytics"
+  "trace_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

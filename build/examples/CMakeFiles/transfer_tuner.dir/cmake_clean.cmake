@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_tuner.dir/transfer_tuner.cpp.o"
+  "CMakeFiles/transfer_tuner.dir/transfer_tuner.cpp.o.d"
+  "transfer_tuner"
+  "transfer_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("stats")
+subdirs("trace")
+subdirs("model")
+subdirs("sim")
+subdirs("tcp")
+subdirs("workload")
+subdirs("cloud")
+subdirs("analysis")
+subdirs("core")

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/activity_model.cc" "src/analysis/CMakeFiles/mcloud_analysis.dir/activity_model.cc.o" "gcc" "src/analysis/CMakeFiles/mcloud_analysis.dir/activity_model.cc.o.d"
+  "/root/repo/src/analysis/burstiness.cc" "src/analysis/CMakeFiles/mcloud_analysis.dir/burstiness.cc.o" "gcc" "src/analysis/CMakeFiles/mcloud_analysis.dir/burstiness.cc.o.d"
+  "/root/repo/src/analysis/engagement.cc" "src/analysis/CMakeFiles/mcloud_analysis.dir/engagement.cc.o" "gcc" "src/analysis/CMakeFiles/mcloud_analysis.dir/engagement.cc.o.d"
+  "/root/repo/src/analysis/file_size_model.cc" "src/analysis/CMakeFiles/mcloud_analysis.dir/file_size_model.cc.o" "gcc" "src/analysis/CMakeFiles/mcloud_analysis.dir/file_size_model.cc.o.d"
+  "/root/repo/src/analysis/interval_model.cc" "src/analysis/CMakeFiles/mcloud_analysis.dir/interval_model.cc.o" "gcc" "src/analysis/CMakeFiles/mcloud_analysis.dir/interval_model.cc.o.d"
+  "/root/repo/src/analysis/perf_analysis.cc" "src/analysis/CMakeFiles/mcloud_analysis.dir/perf_analysis.cc.o" "gcc" "src/analysis/CMakeFiles/mcloud_analysis.dir/perf_analysis.cc.o.d"
+  "/root/repo/src/analysis/session_stats.cc" "src/analysis/CMakeFiles/mcloud_analysis.dir/session_stats.cc.o" "gcc" "src/analysis/CMakeFiles/mcloud_analysis.dir/session_stats.cc.o.d"
+  "/root/repo/src/analysis/sessionizer.cc" "src/analysis/CMakeFiles/mcloud_analysis.dir/sessionizer.cc.o" "gcc" "src/analysis/CMakeFiles/mcloud_analysis.dir/sessionizer.cc.o.d"
+  "/root/repo/src/analysis/usage_patterns.cc" "src/analysis/CMakeFiles/mcloud_analysis.dir/usage_patterns.cc.o" "gcc" "src/analysis/CMakeFiles/mcloud_analysis.dir/usage_patterns.cc.o.d"
+  "/root/repo/src/analysis/workload_timeseries.cc" "src/analysis/CMakeFiles/mcloud_analysis.dir/workload_timeseries.cc.o" "gcc" "src/analysis/CMakeFiles/mcloud_analysis.dir/workload_timeseries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/mcloud_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mcloud_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mcloud_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mcloud_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcloud_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mcloud_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/mcloud_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcloud_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

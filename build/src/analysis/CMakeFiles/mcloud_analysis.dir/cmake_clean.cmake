@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcloud_analysis.dir/activity_model.cc.o"
+  "CMakeFiles/mcloud_analysis.dir/activity_model.cc.o.d"
+  "CMakeFiles/mcloud_analysis.dir/burstiness.cc.o"
+  "CMakeFiles/mcloud_analysis.dir/burstiness.cc.o.d"
+  "CMakeFiles/mcloud_analysis.dir/engagement.cc.o"
+  "CMakeFiles/mcloud_analysis.dir/engagement.cc.o.d"
+  "CMakeFiles/mcloud_analysis.dir/file_size_model.cc.o"
+  "CMakeFiles/mcloud_analysis.dir/file_size_model.cc.o.d"
+  "CMakeFiles/mcloud_analysis.dir/interval_model.cc.o"
+  "CMakeFiles/mcloud_analysis.dir/interval_model.cc.o.d"
+  "CMakeFiles/mcloud_analysis.dir/perf_analysis.cc.o"
+  "CMakeFiles/mcloud_analysis.dir/perf_analysis.cc.o.d"
+  "CMakeFiles/mcloud_analysis.dir/session_stats.cc.o"
+  "CMakeFiles/mcloud_analysis.dir/session_stats.cc.o.d"
+  "CMakeFiles/mcloud_analysis.dir/sessionizer.cc.o"
+  "CMakeFiles/mcloud_analysis.dir/sessionizer.cc.o.d"
+  "CMakeFiles/mcloud_analysis.dir/usage_patterns.cc.o"
+  "CMakeFiles/mcloud_analysis.dir/usage_patterns.cc.o.d"
+  "CMakeFiles/mcloud_analysis.dir/workload_timeseries.cc.o"
+  "CMakeFiles/mcloud_analysis.dir/workload_timeseries.cc.o.d"
+  "libmcloud_analysis.a"
+  "libmcloud_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcloud_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/cache.cc" "src/cloud/CMakeFiles/mcloud_cloud.dir/cache.cc.o" "gcc" "src/cloud/CMakeFiles/mcloud_cloud.dir/cache.cc.o.d"
+  "/root/repo/src/cloud/chunker.cc" "src/cloud/CMakeFiles/mcloud_cloud.dir/chunker.cc.o" "gcc" "src/cloud/CMakeFiles/mcloud_cloud.dir/chunker.cc.o.d"
+  "/root/repo/src/cloud/client_model.cc" "src/cloud/CMakeFiles/mcloud_cloud.dir/client_model.cc.o" "gcc" "src/cloud/CMakeFiles/mcloud_cloud.dir/client_model.cc.o.d"
+  "/root/repo/src/cloud/front_end_server.cc" "src/cloud/CMakeFiles/mcloud_cloud.dir/front_end_server.cc.o" "gcc" "src/cloud/CMakeFiles/mcloud_cloud.dir/front_end_server.cc.o.d"
+  "/root/repo/src/cloud/metadata_server.cc" "src/cloud/CMakeFiles/mcloud_cloud.dir/metadata_server.cc.o" "gcc" "src/cloud/CMakeFiles/mcloud_cloud.dir/metadata_server.cc.o.d"
+  "/root/repo/src/cloud/storage_service.cc" "src/cloud/CMakeFiles/mcloud_cloud.dir/storage_service.cc.o" "gcc" "src/cloud/CMakeFiles/mcloud_cloud.dir/storage_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/mcloud_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/mcloud_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mcloud_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mcloud_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcloud_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcloud_cloud.dir/cache.cc.o"
+  "CMakeFiles/mcloud_cloud.dir/cache.cc.o.d"
+  "CMakeFiles/mcloud_cloud.dir/chunker.cc.o"
+  "CMakeFiles/mcloud_cloud.dir/chunker.cc.o.d"
+  "CMakeFiles/mcloud_cloud.dir/client_model.cc.o"
+  "CMakeFiles/mcloud_cloud.dir/client_model.cc.o.d"
+  "CMakeFiles/mcloud_cloud.dir/front_end_server.cc.o"
+  "CMakeFiles/mcloud_cloud.dir/front_end_server.cc.o.d"
+  "CMakeFiles/mcloud_cloud.dir/metadata_server.cc.o"
+  "CMakeFiles/mcloud_cloud.dir/metadata_server.cc.o.d"
+  "CMakeFiles/mcloud_cloud.dir/storage_service.cc.o"
+  "CMakeFiles/mcloud_cloud.dir/storage_service.cc.o.d"
+  "libmcloud_cloud.a"
+  "libmcloud_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcloud_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

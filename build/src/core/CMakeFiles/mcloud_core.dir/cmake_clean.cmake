@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcloud_core.dir/deferral.cc.o"
+  "CMakeFiles/mcloud_core.dir/deferral.cc.o.d"
+  "CMakeFiles/mcloud_core.dir/pipeline.cc.o"
+  "CMakeFiles/mcloud_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/mcloud_core.dir/report.cc.o"
+  "CMakeFiles/mcloud_core.dir/report.cc.o.d"
+  "CMakeFiles/mcloud_core.dir/whatif.cc.o"
+  "CMakeFiles/mcloud_core.dir/whatif.cc.o.d"
+  "libmcloud_core.a"
+  "libmcloud_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcloud_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

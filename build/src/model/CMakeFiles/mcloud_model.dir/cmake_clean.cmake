@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcloud_model.dir/paper_params.cc.o"
+  "CMakeFiles/mcloud_model.dir/paper_params.cc.o.d"
+  "libmcloud_model.a"
+  "libmcloud_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcloud_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcloud_model.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcloud_sim.dir/event_queue.cc.o"
+  "CMakeFiles/mcloud_sim.dir/event_queue.cc.o.d"
+  "libmcloud_sim.a"
+  "libmcloud_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcloud_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/chi_square.cc" "src/stats/CMakeFiles/mcloud_stats.dir/chi_square.cc.o" "gcc" "src/stats/CMakeFiles/mcloud_stats.dir/chi_square.cc.o.d"
+  "/root/repo/src/stats/em_exponential.cc" "src/stats/CMakeFiles/mcloud_stats.dir/em_exponential.cc.o" "gcc" "src/stats/CMakeFiles/mcloud_stats.dir/em_exponential.cc.o.d"
+  "/root/repo/src/stats/em_gaussian.cc" "src/stats/CMakeFiles/mcloud_stats.dir/em_gaussian.cc.o" "gcc" "src/stats/CMakeFiles/mcloud_stats.dir/em_gaussian.cc.o.d"
+  "/root/repo/src/stats/regression.cc" "src/stats/CMakeFiles/mcloud_stats.dir/regression.cc.o" "gcc" "src/stats/CMakeFiles/mcloud_stats.dir/regression.cc.o.d"
+  "/root/repo/src/stats/special_functions.cc" "src/stats/CMakeFiles/mcloud_stats.dir/special_functions.cc.o" "gcc" "src/stats/CMakeFiles/mcloud_stats.dir/special_functions.cc.o.d"
+  "/root/repo/src/stats/stretched_exponential.cc" "src/stats/CMakeFiles/mcloud_stats.dir/stretched_exponential.cc.o" "gcc" "src/stats/CMakeFiles/mcloud_stats.dir/stretched_exponential.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcloud_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

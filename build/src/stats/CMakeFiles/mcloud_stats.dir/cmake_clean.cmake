@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcloud_stats.dir/chi_square.cc.o"
+  "CMakeFiles/mcloud_stats.dir/chi_square.cc.o.d"
+  "CMakeFiles/mcloud_stats.dir/em_exponential.cc.o"
+  "CMakeFiles/mcloud_stats.dir/em_exponential.cc.o.d"
+  "CMakeFiles/mcloud_stats.dir/em_gaussian.cc.o"
+  "CMakeFiles/mcloud_stats.dir/em_gaussian.cc.o.d"
+  "CMakeFiles/mcloud_stats.dir/regression.cc.o"
+  "CMakeFiles/mcloud_stats.dir/regression.cc.o.d"
+  "CMakeFiles/mcloud_stats.dir/special_functions.cc.o"
+  "CMakeFiles/mcloud_stats.dir/special_functions.cc.o.d"
+  "CMakeFiles/mcloud_stats.dir/stretched_exponential.cc.o"
+  "CMakeFiles/mcloud_stats.dir/stretched_exponential.cc.o.d"
+  "libmcloud_stats.a"
+  "libmcloud_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcloud_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

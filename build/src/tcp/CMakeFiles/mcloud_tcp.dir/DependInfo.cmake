@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/congestion.cc" "src/tcp/CMakeFiles/mcloud_tcp.dir/congestion.cc.o" "gcc" "src/tcp/CMakeFiles/mcloud_tcp.dir/congestion.cc.o.d"
+  "/root/repo/src/tcp/flow.cc" "src/tcp/CMakeFiles/mcloud_tcp.dir/flow.cc.o" "gcc" "src/tcp/CMakeFiles/mcloud_tcp.dir/flow.cc.o.d"
+  "/root/repo/src/tcp/rtt_estimator.cc" "src/tcp/CMakeFiles/mcloud_tcp.dir/rtt_estimator.cc.o" "gcc" "src/tcp/CMakeFiles/mcloud_tcp.dir/rtt_estimator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcloud_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

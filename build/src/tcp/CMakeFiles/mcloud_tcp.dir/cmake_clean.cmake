@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcloud_tcp.dir/congestion.cc.o"
+  "CMakeFiles/mcloud_tcp.dir/congestion.cc.o.d"
+  "CMakeFiles/mcloud_tcp.dir/flow.cc.o"
+  "CMakeFiles/mcloud_tcp.dir/flow.cc.o.d"
+  "CMakeFiles/mcloud_tcp.dir/rtt_estimator.cc.o"
+  "CMakeFiles/mcloud_tcp.dir/rtt_estimator.cc.o.d"
+  "libmcloud_tcp.a"
+  "libmcloud_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcloud_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

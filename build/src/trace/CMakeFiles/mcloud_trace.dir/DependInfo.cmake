@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/anonymizer.cc" "src/trace/CMakeFiles/mcloud_trace.dir/anonymizer.cc.o" "gcc" "src/trace/CMakeFiles/mcloud_trace.dir/anonymizer.cc.o.d"
+  "/root/repo/src/trace/filters.cc" "src/trace/CMakeFiles/mcloud_trace.dir/filters.cc.o" "gcc" "src/trace/CMakeFiles/mcloud_trace.dir/filters.cc.o.d"
+  "/root/repo/src/trace/log_io.cc" "src/trace/CMakeFiles/mcloud_trace.dir/log_io.cc.o" "gcc" "src/trace/CMakeFiles/mcloud_trace.dir/log_io.cc.o.d"
+  "/root/repo/src/trace/log_record.cc" "src/trace/CMakeFiles/mcloud_trace.dir/log_record.cc.o" "gcc" "src/trace/CMakeFiles/mcloud_trace.dir/log_record.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcloud_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

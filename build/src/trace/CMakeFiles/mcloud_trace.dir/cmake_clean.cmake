@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcloud_trace.dir/anonymizer.cc.o"
+  "CMakeFiles/mcloud_trace.dir/anonymizer.cc.o.d"
+  "CMakeFiles/mcloud_trace.dir/filters.cc.o"
+  "CMakeFiles/mcloud_trace.dir/filters.cc.o.d"
+  "CMakeFiles/mcloud_trace.dir/log_io.cc.o"
+  "CMakeFiles/mcloud_trace.dir/log_io.cc.o.d"
+  "CMakeFiles/mcloud_trace.dir/log_record.cc.o"
+  "CMakeFiles/mcloud_trace.dir/log_record.cc.o.d"
+  "libmcloud_trace.a"
+  "libmcloud_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcloud_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

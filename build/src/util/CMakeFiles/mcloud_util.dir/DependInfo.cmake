@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/csv.cc" "src/util/CMakeFiles/mcloud_util.dir/csv.cc.o" "gcc" "src/util/CMakeFiles/mcloud_util.dir/csv.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/util/CMakeFiles/mcloud_util.dir/histogram.cc.o" "gcc" "src/util/CMakeFiles/mcloud_util.dir/histogram.cc.o.d"
+  "/root/repo/src/util/md5.cc" "src/util/CMakeFiles/mcloud_util.dir/md5.cc.o" "gcc" "src/util/CMakeFiles/mcloud_util.dir/md5.cc.o.d"
+  "/root/repo/src/util/summary.cc" "src/util/CMakeFiles/mcloud_util.dir/summary.cc.o" "gcc" "src/util/CMakeFiles/mcloud_util.dir/summary.cc.o.d"
+  "/root/repo/src/util/timeutil.cc" "src/util/CMakeFiles/mcloud_util.dir/timeutil.cc.o" "gcc" "src/util/CMakeFiles/mcloud_util.dir/timeutil.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

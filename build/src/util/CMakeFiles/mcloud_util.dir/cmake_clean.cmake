@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcloud_util.dir/csv.cc.o"
+  "CMakeFiles/mcloud_util.dir/csv.cc.o.d"
+  "CMakeFiles/mcloud_util.dir/histogram.cc.o"
+  "CMakeFiles/mcloud_util.dir/histogram.cc.o.d"
+  "CMakeFiles/mcloud_util.dir/md5.cc.o"
+  "CMakeFiles/mcloud_util.dir/md5.cc.o.d"
+  "CMakeFiles/mcloud_util.dir/summary.cc.o"
+  "CMakeFiles/mcloud_util.dir/summary.cc.o.d"
+  "CMakeFiles/mcloud_util.dir/timeutil.cc.o"
+  "CMakeFiles/mcloud_util.dir/timeutil.cc.o.d"
+  "libmcloud_util.a"
+  "libmcloud_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcloud_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/diurnal.cc" "src/workload/CMakeFiles/mcloud_workload.dir/diurnal.cc.o" "gcc" "src/workload/CMakeFiles/mcloud_workload.dir/diurnal.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/mcloud_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/mcloud_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/log_emitter.cc" "src/workload/CMakeFiles/mcloud_workload.dir/log_emitter.cc.o" "gcc" "src/workload/CMakeFiles/mcloud_workload.dir/log_emitter.cc.o.d"
+  "/root/repo/src/workload/session_model.cc" "src/workload/CMakeFiles/mcloud_workload.dir/session_model.cc.o" "gcc" "src/workload/CMakeFiles/mcloud_workload.dir/session_model.cc.o.d"
+  "/root/repo/src/workload/user_model.cc" "src/workload/CMakeFiles/mcloud_workload.dir/user_model.cc.o" "gcc" "src/workload/CMakeFiles/mcloud_workload.dir/user_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mcloud_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mcloud_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/mcloud_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcloud_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcloud_workload.dir/diurnal.cc.o"
+  "CMakeFiles/mcloud_workload.dir/diurnal.cc.o.d"
+  "CMakeFiles/mcloud_workload.dir/generator.cc.o"
+  "CMakeFiles/mcloud_workload.dir/generator.cc.o.d"
+  "CMakeFiles/mcloud_workload.dir/log_emitter.cc.o"
+  "CMakeFiles/mcloud_workload.dir/log_emitter.cc.o.d"
+  "CMakeFiles/mcloud_workload.dir/session_model.cc.o"
+  "CMakeFiles/mcloud_workload.dir/session_model.cc.o.d"
+  "CMakeFiles/mcloud_workload.dir/user_model.cc.o"
+  "CMakeFiles/mcloud_workload.dir/user_model.cc.o.d"
+  "libmcloud_workload.a"
+  "libmcloud_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcloud_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloud.dir/test_cloud.cc.o"
+  "CMakeFiles/test_cloud.dir/test_cloud.cc.o.d"
+  "test_cloud"
+  "test_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

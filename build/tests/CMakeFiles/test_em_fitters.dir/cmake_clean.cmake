@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_em_fitters.dir/test_em_fitters.cc.o"
+  "CMakeFiles/test_em_fitters.dir/test_em_fitters.cc.o.d"
+  "test_em_fitters"
+  "test_em_fitters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_em_fitters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_histogram.dir/test_histogram.cc.o"
+  "CMakeFiles/test_histogram.dir/test_histogram.cc.o.d"
+  "test_histogram"
+  "test_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md5.dir/test_md5.cc.o"
+  "CMakeFiles/test_md5.dir/test_md5.cc.o.d"
+  "test_md5"
+  "test_md5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/test_properties.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/test_properties.dir/test_properties.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mcloud_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mcloud_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/mcloud_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mcloud_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/mcloud_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mcloud_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mcloud_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mcloud_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcloud_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

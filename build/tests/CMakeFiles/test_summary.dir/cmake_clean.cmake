@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_summary.dir/test_summary.cc.o"
+  "CMakeFiles/test_summary.dir/test_summary.cc.o.d"
+  "test_summary"
+  "test_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

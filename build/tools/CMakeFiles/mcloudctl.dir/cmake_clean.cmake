@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcloudctl.dir/mcloudctl.cc.o"
+  "CMakeFiles/mcloudctl.dir/mcloudctl.cc.o.d"
+  "mcloudctl"
+  "mcloudctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcloudctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(mcloudctl_generate "/root/repo/build/tools/mcloudctl" "generate" "--users" "300" "--pc" "100" "--seed" "5" "/root/repo/build/ctl_trace.bin")
+set_tests_properties(mcloudctl_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mcloudctl_sessions "/root/repo/build/tools/mcloudctl" "sessions" "/root/repo/build/ctl_trace.bin" "--top" "5")
+set_tests_properties(mcloudctl_sessions PROPERTIES  DEPENDS "mcloudctl_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mcloudctl_analyze "/root/repo/build/tools/mcloudctl" "analyze" "/root/repo/build/ctl_trace.bin")
+set_tests_properties(mcloudctl_analyze PROPERTIES  DEPENDS "mcloudctl_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mcloudctl_convert "/root/repo/build/tools/mcloudctl" "convert" "/root/repo/build/ctl_trace.bin" "/root/repo/build/ctl_trace.csv")
+set_tests_properties(mcloudctl_convert PROPERTIES  DEPENDS "mcloudctl_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mcloudctl_anonymize "/root/repo/build/tools/mcloudctl" "anonymize" "/root/repo/build/ctl_trace.csv" "/root/repo/build/ctl_anon.csv" "--key" "testkey")
+set_tests_properties(mcloudctl_anonymize PROPERTIES  DEPENDS "mcloudctl_convert" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mcloudctl_simulate "/root/repo/build/tools/mcloudctl" "simulate" "--device" "ios" "--file-mb" "4" "--seed" "2")
+set_tests_properties(mcloudctl_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
