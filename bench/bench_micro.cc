@@ -5,6 +5,7 @@
 
 #include "analysis/sessionizer.h"
 #include "cloud/chunker.h"
+#include "core/pipeline.h"
 #include "stats/em_gaussian.h"
 #include "tcp/flow.h"
 #include "trace/log_io.h"
@@ -53,6 +54,7 @@ void BM_WorkloadGeneration(benchmark::State& state) {
   workload::WorkloadConfig cfg;
   cfg.population.mobile_users = static_cast<std::size_t>(state.range(0));
   cfg.population.pc_only_users = cfg.population.mobile_users / 3;
+  cfg.threads = static_cast<int>(state.range(1));
   std::uint64_t records = 0;
   for (auto _ : state) {
     cfg.seed++;
@@ -63,8 +65,15 @@ void BM_WorkloadGeneration(benchmark::State& state) {
   state.counters["records/s"] = benchmark::Counter(
       static_cast<double>(records), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_WorkloadGeneration)->Arg(500)->Arg(2000)->Unit(
-    benchmark::kMillisecond);
+// Second arg is the thread count (sweep the parallel execution layer);
+// output is byte-identical across the sweep, only the wall clock moves.
+BENCHMARK(BM_WorkloadGeneration)
+    ->Args({500, 1})
+    ->Args({2000, 1})
+    ->Args({2000, 2})
+    ->Args({2000, 4})
+    ->Args({2000, 8})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Sessionize(benchmark::State& state) {
   workload::WorkloadConfig cfg;
@@ -80,6 +89,24 @@ void BM_Sessionize(benchmark::State& state) {
       static_cast<double>(records), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Sessionize)->Unit(benchmark::kMillisecond);
+
+void BM_AnalysisPipeline(benchmark::State& state) {
+  workload::WorkloadConfig cfg;
+  cfg.population.mobile_users = 2000;
+  const auto w = workload::WorkloadGenerator(cfg).Generate();
+  core::PipelineOptions opts;
+  opts.threads = static_cast<int>(state.range(0));
+  const core::AnalysisPipeline pipeline(opts);
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.Run(w.trace));
+    records += w.trace.size();
+  }
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(records), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AnalysisPipeline)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
 
 void BM_EmGaussian(benchmark::State& state) {
   Rng rng(1);

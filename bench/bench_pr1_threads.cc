@@ -1,0 +1,149 @@
+// Thread-count sweep for the parallel execution layer (PR "deterministic
+// multi-threaded workload generation"): times WorkloadGenerator::Generate()
+// and AnalysisPipeline::Run() at 1/2/4/8/hardware threads and writes the
+// results as JSON.
+//
+//   bench_pr1_threads [--users N] [--out FILE.json]
+//
+// Defaults: 50000 mobile users (~ a few million records), BENCH_PR1.json in
+// the current directory. Every configuration produces a byte-identical
+// trace; the sweep verifies that via a fingerprint while timing.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace mcloud;
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::uint64_t Fingerprint(const std::vector<LogRecord>& trace) {
+  // FNV-1a over the fields that identify a record's position and payload.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const LogRecord& r : trace) {
+    mix(static_cast<std::uint64_t>(r.timestamp));
+    mix(r.user_id);
+    mix(r.device_id);
+    mix(r.data_volume);
+  }
+  return h;
+}
+
+struct Sample {
+  int threads = 0;
+  double generate_s = 0;
+  double analyze_s = 0;
+  std::uint64_t fingerprint = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t users = 50000;
+  std::string out = "BENCH_PR1.json";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--users") == 0) {
+      users = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out = argv[i + 1];
+    }
+  }
+
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::vector<int> sweep = {1, 2, 4, 8};
+  if (hw > 0 && std::find(sweep.begin(), sweep.end(), hw) == sweep.end()) {
+    sweep.push_back(hw);
+  }
+
+  workload::WorkloadConfig cfg;
+  cfg.population.mobile_users = users;
+  cfg.population.pc_only_users = users / 3;
+  cfg.seed = 42;
+
+  std::fprintf(stderr, "sweep: %zu mobile users, hardware threads = %d\n",
+               users, hw);
+
+  std::vector<Sample> samples;
+  std::size_t records = 0;
+  for (const int threads : sweep) {
+    cfg.threads = threads;
+    Sample s;
+    s.threads = threads;
+
+    auto t0 = Clock::now();
+    const auto w = workload::WorkloadGenerator(cfg).Generate();
+    s.generate_s = SecondsSince(t0);
+    s.fingerprint = Fingerprint(w.trace);
+    records = w.trace.size();
+
+    core::PipelineOptions opts;
+    opts.threads = threads;
+    t0 = Clock::now();
+    const auto report = core::AnalysisPipeline(opts).Run(w.trace);
+    s.analyze_s = SecondsSince(t0);
+
+    std::fprintf(stderr,
+                 "threads=%2d  generate %.2fs  analyze %.2fs  "
+                 "fingerprint %016llx\n",
+                 threads, s.generate_s, s.analyze_s,
+                 static_cast<unsigned long long>(s.fingerprint));
+    samples.push_back(s);
+  }
+
+  bool identical = true;
+  for (const Sample& s : samples) {
+    identical = identical && s.fingerprint == samples.front().fingerprint;
+  }
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out.c_str());
+    return 1;
+  }
+  const double base_gen = samples.front().generate_s;
+  const double base_ana = samples.front().analyze_s;
+  std::fprintf(f,
+               "{\n"
+               "  \"benchmark\": \"pr1_thread_sweep\",\n"
+               "  \"mobile_users\": %zu,\n"
+               "  \"trace_records\": %zu,\n"
+               "  \"hardware_threads\": %d,\n"
+               "  \"traces_identical\": %s,\n"
+               "  \"samples\": [\n",
+               users, records, hw, identical ? "true" : "false");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"generate_seconds\": %.3f, "
+                 "\"generate_records_per_second\": %.0f, "
+                 "\"generate_speedup\": %.2f, "
+                 "\"analyze_seconds\": %.3f, \"analyze_speedup\": %.2f}%s\n",
+                 s.threads, s.generate_s,
+                 static_cast<double>(records) / s.generate_s,
+                 base_gen / s.generate_s, s.analyze_s,
+                 base_ana / s.analyze_s,
+                 i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s (traces identical: %s)\n", out.c_str(),
+               identical ? "yes" : "NO — determinism bug");
+  return identical ? 0 : 1;
+}

@@ -1,10 +1,12 @@
 #include "core/pipeline.h"
 
+#include <functional>
 #include <unordered_set>
 
 #include "analysis/sessionizer.h"
 #include "trace/filters.h"
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace mcloud::core {
 
@@ -13,72 +15,123 @@ AnalysisPipeline::AnalysisPipeline(const PipelineOptions& options)
   MCLOUD_REQUIRE(options.days >= 1, "need at least one day");
 }
 
+// The §3 analyses form a small dependency DAG: everything below reads the
+// trace (or its mobile slice) and writes disjoint FullReport fields, so the
+// independent stages of each phase run concurrently on the pool. Only two
+// order edges exist: τ (phase 1, interval model) gates both sessionizations,
+// and the engagement curves (phase 3) additionally need the usage columns'
+// input (phase 1). Every stage is a pure function of read-only inputs, so
+// the report is identical for every thread count.
 FullReport AnalysisPipeline::Run(std::span<const LogRecord> trace) const {
   MCLOUD_REQUIRE(!trace.empty(), "empty trace");
+  ThreadPool pool(options_.threads);
   FullReport report;
 
-  // --- Dataset overview (§2.2). Mobile figures count mobile records only.
-  const std::vector<LogRecord> mobile = MobileOnly(trace);
-  report.records = trace.size();
-  report.mobile_users = CountDistinctUsers(mobile);
-  report.mobile_devices = CountDistinctDevices(mobile);
-  std::size_t android = 0;
-  for (const auto& r : mobile) {
-    if (r.device_type == DeviceType::kAndroid) ++android;
-  }
-  report.android_access_share =
-      mobile.empty() ? 0
-                     : static_cast<double>(android) /
-                           static_cast<double>(mobile.size());
+  // Mobile slice as an index view: 4 bytes per record instead of a full
+  // LogRecord copy — the §3.1 stages only ever stream over it.
+  const TraceView mobile = MobileOnlyView(trace);
 
-  // --- Workload pattern (§2.4) over mobile records, as in Fig 1.
-  report.timeseries =
-      analysis::BuildTimeseries(mobile, options_.trace_start, options_.days);
+  // Cross-phase intermediates.
+  Seconds tau = 0;
+  std::vector<analysis::Session> mobile_sessions;
+  std::vector<analysis::UserUsage> usage;
 
-  // --- Interval model and session identification (§3.1.1).
-  const std::vector<double> intervals = analysis::InterOpIntervals(mobile);
-  report.interval_model = analysis::FitIntervalModel(intervals);
-  const Seconds tau = options_.session_tau > 0
-                          ? options_.session_tau
-                          : report.interval_model.valley_tau;
+  // --- Phase 1: stages that depend only on the trace / mobile slice.
+  ParallelInvoke(
+      pool,
+      {
+          [&] {
+            // Dataset overview (§2.2; mobile figures count mobile records
+            // only) and the Fig 1 workload pattern (§2.4), in one pass each.
+            report.records = trace.size();
+            std::unordered_set<std::uint64_t> users;
+            std::unordered_set<std::uint64_t> devices;
+            std::size_t android = 0;
+            for (const LogRecord& r : mobile) {
+              users.insert(r.user_id);
+              devices.insert(r.device_id);
+              if (r.device_type == DeviceType::kAndroid) ++android;
+            }
+            report.mobile_users = users.size();
+            report.mobile_devices = devices.size();
+            report.android_access_share =
+                mobile.empty() ? 0
+                               : static_cast<double>(android) /
+                                     static_cast<double>(mobile.size());
+            report.timeseries = analysis::BuildTimeseriesFrom(
+                mobile, options_.trace_start, options_.days);
+          },
+          [&] {
+            // Interval model (§3.1.1) and the τ every sessionization uses.
+            const std::vector<double> intervals =
+                analysis::InterOpIntervalsFrom(mobile);
+            report.interval_model = analysis::FitIntervalModel(intervals);
+            tau = options_.session_tau > 0 ? options_.session_tau
+                                           : report.interval_model.valley_tau;
+          },
+          [&] {
+            // Usage patterns (§3.2) need the full mobile+PC view.
+            usage = analysis::BuildUserUsage(trace);
+          },
+          [&] {
+            // Activity models (§3.2.3) over mobile users' operations.
+            const std::vector<analysis::UserUsage> mobile_usage =
+                analysis::BuildUserUsageFrom(mobile);
+            report.store_activity =
+                analysis::FitActivity(mobile_usage, Direction::kStore);
+            report.retrieve_activity =
+                analysis::FitActivity(mobile_usage, Direction::kRetrieve);
+          },
+      });
+
+  // --- Phase 2: session identification (needs τ) and its dependents.
   const analysis::Sessionizer sessionizer(tau);
-  const std::vector<analysis::Session> sessions =
-      sessionizer.Sessionize(mobile);
+  std::vector<analysis::Session> all_sessions;
+  ParallelInvoke(pool,
+                 {
+                     [&] { mobile_sessions = sessionizer.SessionizeRange(mobile); },
+                     [&] {
+                       // Engagement counts PC sessions as activity too.
+                       all_sessions = sessionizer.Sessionize(trace);
+                     },
+                     [&] {
+                       report.mobile_only_column = analysis::BuildUserTypeColumn(
+                           usage, analysis::DeviceProfile::kMobileOnly);
+                       report.mobile_pc_column = analysis::BuildUserTypeColumn(
+                           usage, analysis::DeviceProfile::kMobileAndPc);
+                       report.pc_only_column = analysis::BuildUserTypeColumn(
+                           usage, analysis::DeviceProfile::kPcOnly);
+                     },
+                 });
 
-  report.session_split = analysis::ClassifySessions(sessions);
-  report.burstiness = analysis::NormalizedOperatingTimes(sessions);
-  report.store_size_model = analysis::FitFileSizeModel(
-      analysis::AvgFileSizeSample(sessions,
-                                  analysis::Session::Type::kStoreOnly));
-  report.retrieve_size_model = analysis::FitFileSizeModel(
-      analysis::AvgFileSizeSample(sessions,
-                                  analysis::Session::Type::kRetrieveOnly));
-
-  // --- Usage patterns (§3.2) need the full mobile+PC view.
-  const std::vector<analysis::UserUsage> usage =
-      analysis::BuildUserUsage(trace);
-  report.mobile_only_column = analysis::BuildUserTypeColumn(
-      usage, analysis::DeviceProfile::kMobileOnly);
-  report.mobile_pc_column = analysis::BuildUserTypeColumn(
-      usage, analysis::DeviceProfile::kMobileAndPc);
-  report.pc_only_column =
-      analysis::BuildUserTypeColumn(usage, analysis::DeviceProfile::kPcOnly);
-
-  // Engagement over all sessions (PC sessions count as activity too).
-  const std::vector<analysis::Session> all_sessions =
-      sessionizer.Sessionize(trace);
-  report.engagement = analysis::ReturnCurves(
-      all_sessions, usage, options_.trace_start, options_.days);
-  report.retrieval_returns = analysis::RetrievalReturns(
-      all_sessions, usage, options_.trace_start, options_.days);
-
-  // Activity models (§3.2.3) over mobile users' operations.
-  const std::vector<analysis::UserUsage> mobile_usage =
-      analysis::BuildUserUsage(mobile);
-  report.store_activity =
-      analysis::FitActivity(mobile_usage, Direction::kStore);
-  report.retrieve_activity =
-      analysis::FitActivity(mobile_usage, Direction::kRetrieve);
+  // --- Phase 3: per-session figures and the return curves. The two file-
+  // size EM fits are the heaviest stages of the whole pipeline; they run
+  // concurrently with each other and with the engagement analyses.
+  ParallelInvoke(
+      pool,
+      {
+          [&] {
+            report.session_split = analysis::ClassifySessions(mobile_sessions);
+            report.burstiness =
+                analysis::NormalizedOperatingTimes(mobile_sessions);
+          },
+          [&] {
+            report.store_size_model = analysis::FitFileSizeModel(
+                analysis::AvgFileSizeSample(
+                    mobile_sessions, analysis::Session::Type::kStoreOnly));
+          },
+          [&] {
+            report.retrieve_size_model = analysis::FitFileSizeModel(
+                analysis::AvgFileSizeSample(
+                    mobile_sessions, analysis::Session::Type::kRetrieveOnly));
+          },
+          [&] {
+            report.engagement = analysis::ReturnCurves(
+                all_sessions, usage, options_.trace_start, options_.days);
+            report.retrieval_returns = analysis::RetrievalReturns(
+                all_sessions, usage, options_.trace_start, options_.days);
+          },
+      });
   return report;
 }
 

@@ -16,6 +16,10 @@ struct PipelineOptions {
   /// τ for session identification; 0 = derive it from the data via the
   /// Fig 3 histogram-valley method instead of assuming one hour.
   Seconds session_tau = kHour;
+  /// Worker threads for the independent analysis stages; 0 = hardware
+  /// concurrency. Results are identical for every thread count — stages
+  /// compute disjoint report fields from read-only inputs.
+  int threads = 0;
 };
 
 class AnalysisPipeline {

@@ -1,0 +1,84 @@
+// Stable k-way merge of sorted runs.
+//
+// The parallel workload generator sorts each shard's output locally and
+// merges the shard runs into the final trace. The merge is *stable across
+// runs*: when two elements compare equal, the one from the lower-indexed run
+// wins, and elements within one run keep their order. Merging contiguous,
+// stably-sorted partitions of a sequence therefore yields exactly
+// std::stable_sort of the whole sequence — which is how `threads = N`
+// reproduces the `threads = 1` output byte for byte.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mcloud {
+
+/// Merge `runs` (each sorted by `less`, ties in original order) into one
+/// sorted vector. Consumes the runs; each run's storage is released as soon
+/// as it is exhausted, bounding peak memory at output + the unexhausted
+/// tails.
+template <typename T, typename Less>
+[[nodiscard]] std::vector<T> MergeSortedRuns(std::vector<std::vector<T>>&& runs,
+                                             Less less) {
+  std::size_t total = 0;
+  for (const auto& run : runs) total += run.size();
+  std::vector<T> out;
+  out.reserve(total);
+
+  if (runs.size() == 1) {
+    out = std::move(runs.front());
+    runs.clear();
+    return out;
+  }
+
+  // Heap entry: (run index, position). Ordering: smaller element first;
+  // equal elements -> lower run index first (stability across runs).
+  struct Head {
+    std::size_t run;
+    std::size_t pos;
+  };
+  std::vector<Head> heap;
+  heap.reserve(runs.size());
+  const auto head_after = [&](const Head& a, const Head& b) {
+    const T& x = runs[a.run][a.pos];
+    const T& y = runs[b.run][b.pos];
+    if (less(x, y)) return false;
+    if (less(y, x)) return true;
+    return a.run > b.run;
+  };
+  const auto sift_down = [&](std::size_t i) {
+    for (;;) {
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = l + 1;
+      std::size_t best = i;
+      if (l < heap.size() && head_after(heap[best], heap[l])) best = l;
+      if (r < heap.size() && head_after(heap[best], heap[r])) best = r;
+      if (best == i) return;
+      std::swap(heap[i], heap[best]);
+      i = best;
+    }
+  };
+
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    if (!runs[r].empty()) heap.push_back({r, 0});
+  }
+  for (std::size_t i = heap.size(); i-- > 0;) sift_down(i);
+
+  while (!heap.empty()) {
+    Head& top = heap.front();
+    out.push_back(std::move(runs[top.run][top.pos]));
+    if (++top.pos == runs[top.run].size()) {
+      // Run exhausted: free its storage and shrink the heap.
+      runs[top.run] = std::vector<T>();
+      heap.front() = heap.back();
+      heap.pop_back();
+    }
+    if (!heap.empty()) sift_down(0);
+  }
+  runs.clear();
+  return out;
+}
+
+}  // namespace mcloud

@@ -17,6 +17,16 @@
 
 namespace mcloud {
 
+/// SplitMix64 mixing step (Steele, Lea & Flood; public domain reference
+/// algorithm). Bijective on uint64 with strong avalanche — the basis of both
+/// engine seeding and the stateless per-stream key derivation below.
+[[nodiscard]] constexpr std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 /// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
 /// Deterministic across platforms; passes BigCrush.
 class Xoshiro256 {
@@ -27,11 +37,8 @@ class Xoshiro256 {
     // SplitMix64 to expand the seed into the 256-bit state.
     std::uint64_t x = seed;
     for (auto& s : state_) {
+      s = SplitMix64(x);
       x += 0x9E3779B97F4A7C15ULL;
-      std::uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-      s = z ^ (z >> 31);
     }
   }
 
@@ -66,8 +73,21 @@ class Rng {
   explicit Rng(std::uint64_t seed = 0x6d636c6f7564ULL) : engine_(seed) {}
 
   /// Derive an independent child stream (e.g. one per simulated user).
+  /// NOTE: Fork advances the parent engine, so the derived stream depends on
+  /// *when* it is forked. Order-independent consumers (the workload
+  /// generator's per-user streams) must use ForStream instead.
   [[nodiscard]] Rng Fork(std::uint64_t stream_id) {
     return Rng(engine_() ^ (0x9E3779B97F4A7C15ULL * (stream_id + 1)));
+  }
+
+  /// Stateless child-stream derivation: the stream for (root_seed,
+  /// stream_id) is a pure SplitMix64 hash of both, so it does not depend on
+  /// any engine state or on the order streams are derived in. This is what
+  /// makes sharding users across threads — in any order — reproduce the
+  /// serial byte stream exactly.
+  [[nodiscard]] static Rng ForStream(std::uint64_t root_seed,
+                                     std::uint64_t stream_id) {
+    return Rng(SplitMix64(SplitMix64(root_seed) ^ SplitMix64(~stream_id)));
   }
 
   std::uint64_t NextU64() { return engine_(); }

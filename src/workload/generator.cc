@@ -1,7 +1,10 @@
 #include "workload/generator.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "util/merge.h"
+#include "util/parallel.h"
 #include "workload/calibration.h"
 #include "workload/diurnal.h"
 #include "workload/log_emitter.h"
@@ -9,45 +12,78 @@
 
 namespace mcloud::workload {
 
+namespace {
+
+/// Session order of the final workload: chronological, ties by user. Within
+/// one (start, user_id) pair the per-user planning order is preserved by
+/// stable sorting + stable merging.
+bool SessionStartOrder(const SessionPlan& a, const SessionPlan& b) {
+  if (a.start != b.start) return a.start < b.start;
+  return a.user_id < b.user_id;
+}
+
+}  // namespace
+
 WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config)
     : config_(config) {}
 
 Workload WorkloadGenerator::GenerateImpl(bool emit_logs) const {
+  ThreadPool pool(config_.threads);
   Rng rng(config_.seed);
 
   Workload w;
   PopulationBuilder population(config_.population);
-  w.users = population.Build(rng);
+  w.users = population.Build(rng, &pool);
+  // Root key of all per-user session streams. Drawn after the population's
+  // root so the two stream families never collide.
+  const std::uint64_t session_root = rng.NextU64();
 
   const DiurnalPattern diurnal(cal::kHourOfDayWeights);
   SessionModelConfig smc;
   smc.trace_start = config_.trace_start;
   smc.days = config_.population.days;
   const SessionModel session_model(smc, diurnal);
+  const FastLogEmitter emitter;
 
-  FastLogEmitter emitter;
-  for (const UserProfile& user : w.users) {
-    // Independent per-user stream: adding users never perturbs the
-    // randomness of existing ones.
-    Rng user_rng = rng.Fork(user.user_id);
-    std::vector<SessionPlan> sessions =
-        session_model.PlanUser(user, user_rng);
-    if (emit_logs) {
-      for (const SessionPlan& s : sessions)
-        emitter.EmitSession(s, user_rng, w.trace);
-    }
-    w.sessions.insert(w.sessions.end(),
-                      std::make_move_iterator(sessions.begin()),
-                      std::make_move_iterator(sessions.end()));
-  }
+  // Shard users across the pool. Each user's sessions and records are drawn
+  // from Rng::ForStream(session_root, user_id) — a pure function of the
+  // seed and the user id — so the shard a user lands on cannot perturb any
+  // stream. Every shard sorts its own run; a stable k-way merge then yields
+  // exactly the stable sort of the user-ordered concatenation, independent
+  // of the shard count.
+  const std::size_t shards = ShardCount(pool, w.users.size());
+  std::vector<std::vector<SessionPlan>> session_runs(shards);
+  std::vector<std::vector<LogRecord>> trace_runs(shards);
 
-  std::sort(w.sessions.begin(), w.sessions.end(),
-            [](const SessionPlan& a, const SessionPlan& b) {
-              if (a.start != b.start) return a.start < b.start;
-              return a.user_id < b.user_id;
-            });
+  ParallelForShards(
+      pool, w.users.size(),
+      [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        std::vector<SessionPlan>& sessions = session_runs[shard];
+        std::vector<LogRecord>& trace = trace_runs[shard];
+        for (std::size_t i = begin; i < end; ++i) {
+          const UserProfile& user = w.users[i];
+          // Independent per-user stream: adding users or re-sharding never
+          // perturbs the randomness of existing ones.
+          Rng user_rng = Rng::ForStream(session_root, user.user_id);
+          std::vector<SessionPlan> planned =
+              session_model.PlanUser(user, user_rng);
+          if (emit_logs) {
+            for (const SessionPlan& s : planned)
+              emitter.EmitSession(s, user_rng, trace);
+          }
+          sessions.insert(sessions.end(),
+                          std::make_move_iterator(planned.begin()),
+                          std::make_move_iterator(planned.end()));
+        }
+        std::stable_sort(sessions.begin(), sessions.end(),
+                         SessionStartOrder);
+        if (emit_logs)
+          std::stable_sort(trace.begin(), trace.end(), LogRecordTimeOrder);
+      });
+
+  w.sessions = MergeSortedRuns(std::move(session_runs), SessionStartOrder);
   if (emit_logs)
-    std::sort(w.trace.begin(), w.trace.end(), LogRecordTimeOrder);
+    w.trace = MergeSortedRuns(std::move(trace_runs), LogRecordTimeOrder);
   return w;
 }
 

@@ -63,86 +63,105 @@ paper::UserClass PopulationBuilder::SampleClass(
   }
 }
 
-std::vector<UserProfile> PopulationBuilder::Build(Rng& rng) const {
-  std::vector<UserProfile> users;
-  users.reserve(config_.mobile_users + config_.pc_only_users);
+void PopulationBuilder::BuildOne(std::uint64_t population_root, std::size_t i,
+                                 UserProfile& u) const {
+  const bool is_mobile = i < config_.mobile_users;
+  u.user_id = static_cast<std::uint64_t>(i) + 1;
+  // Stateless per-user stream: the profile of user k depends only on
+  // (population_root, k), never on how many other users exist or on which
+  // shard samples it.
+  Rng rng = Rng::ForStream(population_root, u.user_id);
 
-  std::uint64_t next_user_id = 1;
-  std::uint64_t next_device_id = 1;
-
-  const std::size_t total = config_.mobile_users + config_.pc_only_users;
-  for (std::size_t i = 0; i < total; ++i) {
-    const bool is_mobile = i < config_.mobile_users;
-    UserProfile u;
-    u.user_id = next_user_id++;
-
-    if (is_mobile) {
-      const std::size_t devices =
-          rng.PickWeighted(cal::kMobileDeviceCountWeights) + 1;
-      for (std::size_t d = 0; d < devices; ++d) {
-        DeviceInfo dev;
-        dev.device_id = next_device_id++;
-        dev.type = rng.Bernoulli(config_.android_share) ? DeviceType::kAndroid
-                                                        : DeviceType::kIos;
-        u.mobile_devices.push_back(dev);
-      }
-      u.uses_pc = rng.Bernoulli(config_.mobile_and_pc_share);
-    } else {
-      u.uses_pc = true;  // PC-only
+  if (is_mobile) {
+    const std::size_t devices =
+        rng.PickWeighted(cal::kMobileDeviceCountWeights) + 1;
+    for (std::size_t d = 0; d < devices; ++d) {
+      DeviceInfo dev;
+      // Placeholder id; Build assigns dense ids in a serial pass.
+      dev.device_id = 0;
+      dev.type = rng.Bernoulli(config_.android_share) ? DeviceType::kAndroid
+                                                      : DeviceType::kIos;
+      u.mobile_devices.push_back(dev);
     }
+    u.uses_pc = rng.Bernoulli(config_.mobile_and_pc_share);
+  } else {
+    u.uses_pc = true;  // PC-only
+  }
 
-    u.usage_class = SampleClass(rng, u.IsMobileOnly(), u.uses_pc,
-                                u.mobile_devices.size());
+  u.usage_class = SampleClass(rng, u.IsMobileOnly(), u.uses_pc,
+                              u.mobile_devices.size());
 
-    switch (u.usage_class) {
-      case paper::UserClass::kUploadOnly:
-        u.store_files = SampleActivityAtLeastOne(rng, cal::kStoreActivityX0,
-                                                 cal::kStoreActivityC);
-        break;
-      case paper::UserClass::kDownloadOnly:
+  switch (u.usage_class) {
+    case paper::UserClass::kUploadOnly:
+      u.store_files = SampleActivityAtLeastOne(rng, cal::kStoreActivityX0,
+                                               cal::kStoreActivityC);
+      break;
+    case paper::UserClass::kDownloadOnly:
+      u.retrieve_files = SampleActivityAtLeastOne(
+          rng, cal::kRetrieveActivityX0, cal::kRetrieveActivityC);
+      break;
+    case paper::UserClass::kMixed:
+      u.store_files = SampleActivityAtLeastOne(rng, cal::kStoreActivityX0,
+                                               cal::kStoreActivityC);
+      u.retrieve_files = SampleActivityAtLeastOne(
+          rng, cal::kRetrieveActivityX0 * cal::kMixedRetrieveScale,
+          cal::kRetrieveActivityC);
+      break;
+    case paper::UserClass::kOccasional:
+      // Occasional is a *volume* class (< 1 MB total): operation counts
+      // follow the same SE laws as everyone else — only payloads differ —
+      // keeping the population's Fig 10 rank curve one clean SE law.
+      u.store_files = SampleActivityAtLeastOne(rng, cal::kStoreActivityX0,
+                                               cal::kStoreActivityC);
+      if (rng.Bernoulli(cal::kOccasionalRetrieveProb)) {
         u.retrieve_files = SampleActivityAtLeastOne(
             rng, cal::kRetrieveActivityX0, cal::kRetrieveActivityC);
-        break;
-      case paper::UserClass::kMixed:
-        u.store_files = SampleActivityAtLeastOne(rng, cal::kStoreActivityX0,
-                                                 cal::kStoreActivityC);
-        u.retrieve_files = SampleActivityAtLeastOne(
-            rng, cal::kRetrieveActivityX0 * cal::kMixedRetrieveScale,
-            cal::kRetrieveActivityC);
-        break;
-      case paper::UserClass::kOccasional:
-        // Occasional is a *volume* class (< 1 MB total): operation counts
-        // follow the same SE laws as everyone else — only payloads differ —
-        // keeping the population's Fig 10 rank curve one clean SE law.
-        u.store_files = SampleActivityAtLeastOne(
-            rng, cal::kStoreActivityX0, cal::kStoreActivityC);
-        if (rng.Bernoulli(cal::kOccasionalRetrieveProb)) {
-          u.retrieve_files = SampleActivityAtLeastOne(
-              rng, cal::kRetrieveActivityX0, cal::kRetrieveActivityC);
-        }
-        break;
-    }
+      }
+      break;
+  }
 
-    // Heavy users are, in practice, always engaged — someone moving dozens
-    // of files a week does not vanish after one day.
-    const bool heavy = u.store_files + u.retrieve_files > 25;
+  // Heavy users are, in practice, always engaged — someone moving dozens
+  // of files a week does not vanish after one day.
+  const bool heavy = u.store_files + u.retrieve_files > 25;
 
-    // Engagement (Fig 8): single-device users are the least likely to
-    // return; multiple devices or a PC client imply synchronization use and
-    // near-certain returns.
-    double engaged_p;
-    if (u.uses_pc && u.IsMobileUser()) {
-      engaged_p = cal::kEngagedMobilePc;
-    } else if (u.mobile_devices.size() > 1) {
-      engaged_p = cal::kEngagedMultiDevice;
-    } else {
-      engaged_p = cal::kEngagedSingleDevice;
-    }
-    u.engaged = heavy || rng.Bernoulli(engaged_p);
-    u.first_active_day = static_cast<int>(
-        rng.UniformInt(static_cast<std::uint64_t>(config_.days)));
+  // Engagement (Fig 8): single-device users are the least likely to
+  // return; multiple devices or a PC client imply synchronization use and
+  // near-certain returns.
+  double engaged_p;
+  if (u.uses_pc && u.IsMobileUser()) {
+    engaged_p = cal::kEngagedMobilePc;
+  } else if (u.mobile_devices.size() > 1) {
+    engaged_p = cal::kEngagedMultiDevice;
+  } else {
+    engaged_p = cal::kEngagedSingleDevice;
+  }
+  u.engaged = heavy || rng.Bernoulli(engaged_p);
+  u.first_active_day = static_cast<int>(
+      rng.UniformInt(static_cast<std::uint64_t>(config_.days)));
+}
 
-    users.push_back(std::move(u));
+std::vector<UserProfile> PopulationBuilder::Build(Rng& rng,
+                                                  ThreadPool* pool) const {
+  // One root draw regardless of population size: adding users cannot shift
+  // any existing user's stream.
+  const std::uint64_t population_root = rng.NextU64();
+  const std::size_t total = config_.mobile_users + config_.pc_only_users;
+  std::vector<UserProfile> users(total);
+
+  if (pool != nullptr) {
+    ParallelFor(*pool, total, [&](std::size_t i) {
+      BuildOne(population_root, i, users[i]);
+    });
+  } else {
+    for (std::size_t i = 0; i < total; ++i)
+      BuildOne(population_root, i, users[i]);
+  }
+
+  // Dense unique device ids, assigned in user order. Serial, but it touches
+  // each device exactly once; the sampling above is the heavy part.
+  std::uint64_t next_device_id = 1;
+  for (auto& u : users) {
+    for (auto& d : u.mobile_devices) d.device_id = next_device_id++;
   }
   return users;
 }

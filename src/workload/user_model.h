@@ -15,6 +15,7 @@
 
 #include "model/paper_params.h"
 #include "trace/log_record.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace mcloud::workload {
@@ -52,11 +53,20 @@ struct PopulationConfig {
 
 /// Builds the user population. Device IDs and user IDs are dense and unique;
 /// pass the result through trace::Anonymizer if pseudonymous IDs are wanted.
+///
+/// Each user's profile is drawn from a stateless per-user stream keyed on
+/// (root draw, user_id) — see Rng::ForStream — so appending users to the
+/// population never perturbs the profiles of existing user ids, and profile
+/// sampling can be sharded across a thread pool with no change in output.
 class PopulationBuilder {
  public:
   explicit PopulationBuilder(const PopulationConfig& config);
 
-  [[nodiscard]] std::vector<UserProfile> Build(Rng& rng) const;
+  /// `pool` — optional thread pool for sharding profile sampling; the
+  /// result is identical with any pool size (and with no pool at all).
+  [[nodiscard]] std::vector<UserProfile> Build(Rng& rng,
+                                               ThreadPool* pool = nullptr)
+      const;
 
   /// Sample a weekly activity count from the stretched-exponential law with
   /// scale `x0` and stretch `c`, conditioned on the result being >= 1.
@@ -68,6 +78,9 @@ class PopulationBuilder {
   [[nodiscard]] paper::UserClass SampleClass(Rng& rng, bool mobile_only,
                                              bool uses_pc,
                                              std::size_t mobile_devices) const;
+  /// Sample the full profile of user index `i` from its own stream.
+  void BuildOne(std::uint64_t population_root, std::size_t i,
+                UserProfile& u) const;
 
   PopulationConfig config_;
 };

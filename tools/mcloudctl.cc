@@ -1,7 +1,8 @@
 // mcloudctl — command-line front door to the mcloud library.
 //
-//   mcloudctl generate  --users N [--pc N] [--seed S] [--anonymize KEY] OUT
-//   mcloudctl analyze   TRACE [--tau SECONDS|auto]
+//   mcloudctl generate  --users N [--pc N] [--seed S] [--threads N]
+//                       [--anonymize KEY] OUT
+//   mcloudctl analyze   TRACE [--tau SECONDS|auto] [--threads N]
 //   mcloudctl sessions  TRACE [--tau SECONDS] [--top N]
 //   mcloudctl convert   IN OUT
 //   mcloudctl anonymize IN OUT --key KEY
@@ -90,15 +91,17 @@ void WriteTrace(const std::filesystem::path& p,
 int Usage() {
   std::fputs(
       "usage: mcloudctl COMMAND ...\n"
-      "  generate  --users N [--pc N] [--seed S] [--anonymize KEY] OUT\n"
-      "  analyze   TRACE [--tau SECONDS|auto]\n"
+      "  generate  --users N [--pc N] [--seed S] [--threads N]\n"
+      "            [--anonymize KEY] OUT\n"
+      "  analyze   TRACE [--tau SECONDS|auto] [--threads N]\n"
       "  sessions  TRACE [--tau SECONDS] [--top N]\n"
       "  convert   IN OUT\n"
       "  anonymize IN OUT --key KEY\n"
       "  simulate  [--device android|ios|pc] [--direction store|retrieve]\n"
       "            [--file-mb N] [--seed S] [--no-ssai] [--pace]\n"
       "Trace format is picked by extension: .csv is CSV, anything else is\n"
-      "the compact binary format.\n",
+      "the compact binary format. --threads 0 (the default) uses all\n"
+      "hardware threads; output is identical for every thread count.\n",
       stderr);
   return 2;
 }
@@ -110,6 +113,7 @@ int CmdGenerate(const Args& args) {
   cfg.population.pc_only_users =
       args.GetU64("pc", cfg.population.mobile_users / 3);
   cfg.seed = args.GetU64("seed", 42);
+  cfg.threads = static_cast<int>(args.GetU64("threads", 0));
 
   std::fprintf(stderr,
                "generating: %zu mobile users, %zu PC-only, seed %llu...\n",
@@ -131,6 +135,7 @@ int CmdAnalyze(const Args& args) {
   core::PipelineOptions opts;
   const std::string tau = args.Get("tau", "3600");
   opts.session_tau = tau == "auto" ? 0 : std::strtod(tau.c_str(), nullptr);
+  opts.threads = static_cast<int>(args.GetU64("threads", 0));
   const auto report = core::AnalysisPipeline(opts).Run(trace);
   std::fputs(core::RenderFindings(report).c_str(), stdout);
   return 0;
