@@ -1,0 +1,137 @@
+// Fault/resilience sweep (PR "fault-injection & resilience subsystem"):
+// runs one session fleet against the storage service across a grid of
+// front-end failure rates × loss-burst rates × retry policies, and writes
+// session success rate, goodput fraction, retry amplification, and the
+// chunk-latency tail as JSON.
+//
+//   bench_pr2_faults [--users N] [--out FILE.json]
+//
+// Defaults: 250 mobile users (~1.3k sessions), BENCH_PR2.json in the
+// current directory. The same plans are replayed for every cell, so the
+// grid isolates the effect of the fault knobs and the policy.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/availability.h"
+#include "cloud/storage_service.h"
+#include "fault/retry_policy.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace mcloud;
+using Clock = std::chrono::steady_clock;
+
+struct Cell {
+  double fail_rate = 0;
+  double loss_rate = 0;
+  const char* policy = "";
+  analysis::AvailabilityReport report;
+  double wall_s = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t users = 250;
+  std::string out = "BENCH_PR2.json";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--users") == 0) {
+      users = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out = argv[i + 1];
+    }
+  }
+
+  workload::WorkloadConfig wcfg;
+  wcfg.population.mobile_users = users;
+  wcfg.population.pc_only_users = users / 3;
+  wcfg.seed = 42;
+  const auto w = workload::WorkloadGenerator(wcfg).GeneratePlansOnly();
+  std::fprintf(stderr, "fault sweep: %zu users, %zu sessions\n", users,
+               w.sessions.size());
+
+  struct Policy {
+    const char* name;
+    fault::RetryPolicy policy;
+  };
+  std::vector<Policy> policies;
+  policies.push_back({"none", fault::RetryPolicy::None()});
+  policies.push_back({"retry", fault::RetryPolicy{}});
+  {
+    fault::RetryPolicy hedged;
+    hedged.hedge = true;
+    policies.push_back({"retry+hedge", hedged});
+  }
+
+  std::vector<Cell> cells;
+  for (const double fail : {0.0, 0.01, 0.05, 0.15}) {
+    for (const double loss : {0.0, 0.01}) {
+      if (fail == 0.0 && loss != 0.0) continue;  // loss-only cell is below
+      for (const Policy& p : policies) {
+        Cell c;
+        c.fail_rate = fail;
+        c.loss_rate = loss;
+        c.policy = p.name;
+        cloud::ServiceConfig cfg;
+        cfg.faults.frontend_fail_rate = fail;
+        cfg.faults.loss_burst_rate = loss;
+        cfg.faults.degraded_rate = fail > 0 ? 0.05 : 0.0;
+        cfg.retry = p.policy;
+        const auto t0 = Clock::now();
+        cloud::StorageService service(cfg);
+        c.report = analysis::Availability(service.Execute(w.sessions));
+        c.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+        std::fprintf(stderr,
+                     "fail=%.2f loss=%.3f policy=%-11s  success %.4f  "
+                     "goodput %.4f  amp %.3f  p99 %.2fs  (%.1fs)\n",
+                     fail, loss, p.name, c.report.session_success_rate,
+                     c.report.goodput_fraction, c.report.retry_amplification,
+                     c.report.chunk_ttran_p99, c.wall_s);
+        cells.push_back(c);
+      }
+    }
+  }
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"benchmark\": \"pr2_fault_sweep\",\n"
+               "  \"mobile_users\": %zu,\n"
+               "  \"sessions\": %zu,\n"
+               "  \"cells\": [\n",
+               users, w.sessions.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    const auto& r = c.report;
+    std::fprintf(
+        f,
+        "    {\"fail_rate\": %.3f, \"loss_burst_rate\": %.3f, "
+        "\"policy\": \"%s\", \"session_success_rate\": %.6f, "
+        "\"op_success_rate\": %.6f, \"goodput_fraction\": %.6f, "
+        "\"retry_amplification\": %.6f, \"retries\": %llu, "
+        "\"failovers\": %llu, \"hedges\": %llu, \"hedge_wins\": %llu, "
+        "\"resume_skipped_chunks\": %llu, \"chunk_ttran_p50_s\": %.4f, "
+        "\"chunk_ttran_p99_s\": %.4f, \"wall_seconds\": %.2f}%s\n",
+        c.fail_rate, c.loss_rate, c.policy, r.session_success_rate,
+        r.op_success_rate, r.goodput_fraction, r.retry_amplification,
+        static_cast<unsigned long long>(r.retries),
+        static_cast<unsigned long long>(r.failovers),
+        static_cast<unsigned long long>(r.hedges_issued),
+        static_cast<unsigned long long>(r.hedge_wins),
+        static_cast<unsigned long long>(r.resume_skipped_chunks),
+        r.chunk_ttran_p50, r.chunk_ttran_p99,
+        c.wall_s, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", out.c_str());
+  return 0;
+}

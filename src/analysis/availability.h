@@ -1,0 +1,60 @@
+// Availability and resilience analysis over fault-injection runs.
+//
+// Consumes a ServiceResult produced under a FaultConfig and summarizes what
+// the paper's completed-requests-only dataset cannot show: how often
+// sessions fail end-to-end, how much of the offered load became goodput,
+// how many extra bytes and attempts the retry policy cost, and where the
+// chunk-latency tail lands once degraded servers and retries are in play.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/storage_service.h"
+
+namespace mcloud::analysis {
+
+struct AvailabilityReport {
+  // --- Session availability ---------------------------------------------
+  std::uint64_t sessions = 0;
+  std::uint64_t failed_sessions = 0;
+  double session_success_rate = 1.0;  ///< sessions with every op delivered
+  std::uint64_t ops = 0;
+  std::uint64_t failed_ops = 0;
+  double op_success_rate = 1.0;
+
+  // --- Goodput vs offered load ------------------------------------------
+  Bytes offered_bytes = 0;   ///< goodput + wasted (all bytes put on the wire)
+  Bytes goodput_bytes = 0;   ///< bytes of chunks that were delivered
+  Bytes wasted_bytes = 0;    ///< bytes of failed attempts
+  double goodput_fraction = 1.0;  ///< goodput / offered
+
+  // --- Retry amplification ----------------------------------------------
+  std::uint64_t chunk_attempts = 0;
+  std::uint64_t chunks_delivered = 0;
+  /// attempts per delivered chunk (1.0 = no retries ever needed).
+  double retry_amplification = 1.0;
+  std::uint64_t retries = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t hedges_issued = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t resume_skipped_chunks = 0;
+
+  // --- Chunk latency (successful chunks, transfer time) ------------------
+  double chunk_ttran_p50 = 0;
+  double chunk_ttran_p99 = 0;
+};
+
+/// Build the availability report for one Execute() run.
+[[nodiscard]] AvailabilityReport Availability(
+    const cloud::ServiceResult& result);
+
+/// Session success rate bucketed by device type, in DeviceType enum order
+/// (android, ios, pc). Buckets with no sessions report 1.0.
+[[nodiscard]] std::vector<double> SuccessRateByDevice(
+    const cloud::ServiceResult& result);
+
+/// Human-readable one-block rendering (mcloudctl `simulate` output).
+[[nodiscard]] std::string RenderAvailability(const AvailabilityReport& r);
+
+}  // namespace mcloud::analysis

@@ -22,14 +22,16 @@ void FrontEndServer::LogFileOperation(const LogRecord& base, UnixSeconds at,
   log.push_back(r);
 }
 
-void FrontEndServer::CommitChunkStore(const LogRecord& base, UnixSeconds at,
+bool FrontEndServer::CommitChunkStore(const LogRecord& base, UnixSeconds at,
                                       const ChunkInfo& chunk, Seconds ttran,
                                       Seconds tsrv, Seconds rtt,
-                                      std::vector<LogRecord>& log) {
+                                      std::vector<LogRecord>& log,
+                                      std::uint32_t attempt,
+                                      RequestOutcome outcome) {
   ++stats_.chunk_stores;
   stats_.bytes_stored += chunk.size;
-  if (!chunks_.emplace(chunk.md5, chunk.size).second)
-    ++stats_.chunk_dedup_hits;
+  const bool dedup_hit = !chunks_.emplace(chunk.md5, chunk.size).second;
+  if (dedup_hit) ++stats_.chunk_dedup_hits;
 
   LogRecord r = base;
   r.timestamp = at;
@@ -39,16 +41,20 @@ void FrontEndServer::CommitChunkStore(const LogRecord& base, UnixSeconds at,
   r.server_time = tsrv;
   r.processing_time = ttran + tsrv;
   r.avg_rtt = rtt;
+  r.attempt = attempt;
+  r.outcome = outcome;
   log.push_back(r);
+  return dedup_hit;
 }
 
-void FrontEndServer::ServeChunkRetrieve(const LogRecord& base, UnixSeconds at,
-                                        const ChunkInfo& chunk, Seconds ttran,
-                                        Seconds tsrv, Seconds rtt,
-                                        std::vector<LogRecord>& log) {
+RetrieveOutcome FrontEndServer::ServeChunkRetrieve(
+    const LogRecord& base, UnixSeconds at, const ChunkInfo& chunk,
+    Seconds ttran, Seconds tsrv, Seconds rtt, std::vector<LogRecord>& log,
+    std::uint32_t attempt, RequestOutcome outcome) {
   ++stats_.chunk_retrievals;
   stats_.bytes_served += chunk.size;
-  if (chunks_.find(chunk.md5) == chunks_.end()) ++stats_.missing_chunks;
+  const bool missing = chunks_.find(chunk.md5) == chunks_.end();
+  if (missing) ++stats_.missing_chunks;
 
   LogRecord r = base;
   r.timestamp = at;
@@ -58,7 +64,10 @@ void FrontEndServer::ServeChunkRetrieve(const LogRecord& base, UnixSeconds at,
   r.server_time = tsrv;
   r.processing_time = ttran + tsrv;
   r.avg_rtt = rtt;
+  r.attempt = attempt;
+  r.outcome = outcome;
   log.push_back(r);
+  return missing ? RetrieveOutcome::kServedMissing : RetrieveOutcome::kServed;
 }
 
 }  // namespace mcloud::cloud

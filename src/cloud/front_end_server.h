@@ -27,6 +27,14 @@ struct FrontEndStats {
   std::uint64_t missing_chunks = 0;    ///< retrieval of unknown chunk
 };
 
+/// Result of a chunk retrieval at the front-end. The chunk is served either
+/// way (a replica elsewhere in the fleet holds missing content), but callers
+/// now see which happened instead of the miss being swallowed into stats.
+enum class RetrieveOutcome : std::uint8_t {
+  kServed = 0,         ///< chunk found in this front-end's index
+  kServedMissing = 1,  ///< chunk unknown here; served from a replica
+};
+
 class FrontEndServer {
  public:
   FrontEndServer(std::uint32_t id, const ServerBehavior& behavior);
@@ -42,16 +50,23 @@ class FrontEndServer {
                         std::vector<LogRecord>& log);
 
   /// Commit one chunk store: dedup-checks the chunk index, accounts bytes,
-  /// and appends the chunk request record.
-  void CommitChunkStore(const LogRecord& base, UnixSeconds at,
+  /// and appends the chunk request record. Returns true when the chunk was
+  /// already present (chunk-level dedup hit). `attempt`/`outcome` tag the
+  /// record for fault-injection runs; defaults reproduce the fault-free log.
+  bool CommitChunkStore(const LogRecord& base, UnixSeconds at,
                         const ChunkInfo& chunk, Seconds ttran, Seconds tsrv,
-                        Seconds rtt, std::vector<LogRecord>& log);
+                        Seconds rtt, std::vector<LogRecord>& log,
+                        std::uint32_t attempt = 1,
+                        RequestOutcome outcome = RequestOutcome::kOk);
 
-  /// Serve one chunk retrieval; unknown chunks are counted but still served
-  /// (another replica would hold them in the real fleet).
-  void ServeChunkRetrieve(const LogRecord& base, UnixSeconds at,
-                          const ChunkInfo& chunk, Seconds ttran, Seconds tsrv,
-                          Seconds rtt, std::vector<LogRecord>& log);
+  /// Serve one chunk retrieval. Unknown chunks are still served (another
+  /// replica holds them in the real fleet) but the outcome now says so
+  /// instead of the miss being visible only in stats().
+  [[nodiscard]] RetrieveOutcome ServeChunkRetrieve(
+      const LogRecord& base, UnixSeconds at, const ChunkInfo& chunk,
+      Seconds ttran, Seconds tsrv, Seconds rtt, std::vector<LogRecord>& log,
+      std::uint32_t attempt = 1,
+      RequestOutcome outcome = RequestOutcome::kOk);
 
  private:
   std::uint32_t id_;

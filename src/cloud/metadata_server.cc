@@ -37,6 +37,12 @@ std::optional<FrontEndId> MetadataServer::QueryRetrieve(
   return std::nullopt;
 }
 
+void MetadataServer::Relocate(const Md5Digest& file_md5, FrontEndId front_end) {
+  MCLOUD_REQUIRE(front_end < front_ends_, "relocation target out of range");
+  if (const auto it = location_.find(file_md5); it != location_.end())
+    it->second = front_end;
+}
+
 std::size_t MetadataServer::UserFileCount(std::uint64_t user_id) const {
   const auto it = spaces_.find(user_id);
   return it == spaces_.end() ? 0 : it->second.size();

@@ -48,6 +48,11 @@ class MetadataServer {
   [[nodiscard]] std::optional<FrontEndId> QueryRetrieve(
       std::uint64_t user_id, const Md5Digest& file_md5);
 
+  /// Re-home a stored file: failover moved an upload off the front-end the
+  /// store decision named, so later retrievals must resolve to the server
+  /// that actually holds the chunks. No-op for unknown content.
+  void Relocate(const Md5Digest& file_md5, FrontEndId front_end);
+
   /// Files in a user's space.
   [[nodiscard]] std::size_t UserFileCount(std::uint64_t user_id) const;
   /// Distinct contents known to the service.

@@ -8,6 +8,7 @@
 // distributions, rather than being sampled from the paper's result curves.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -16,6 +17,9 @@
 #include "cloud/client_model.h"
 #include "cloud/front_end_server.h"
 #include "cloud/metadata_server.h"
+#include "fault/fault_config.h"
+#include "fault/fault_schedule.h"
+#include "fault/retry_policy.h"
 #include "sim/event_queue.h"
 #include "tcp/flow.h"
 #include "workload/session_plan.h"
@@ -45,6 +49,12 @@ struct ServiceConfig {
   std::size_t popular_contents = 512;
   double zipf_exponent = 0.9;
   ServerBehavior server{};
+  /// Fault injection. With every rate at zero (`faults.Any() == false`) the
+  /// service runs the exact fault-free code path and RNG stream — output is
+  /// bit-identical to a build without the resilience layer.
+  fault::FaultConfig faults{};
+  /// Client-side resilience; consulted only when faults are active.
+  fault::RetryPolicy retry{};
 };
 
 /// Per-chunk performance sample (the unit of the §4 analyses).
@@ -60,6 +70,7 @@ struct ChunkPerf {
   bool restarted = false;
   Seconds rtt = 0;          ///< flow average RTT
   bool proxied = false;
+  std::uint32_t attempt = 1;  ///< which try delivered the chunk (1-based)
 };
 
 /// One file retrieval, as seen by a front-end cache: which content, how
@@ -72,15 +83,49 @@ struct RetrievalEvent {
   bool shared = false;  ///< popular URL-shared content vs own upload
 };
 
+/// Per-session resilience outcome (the unit of the availability analysis).
+struct SessionOutcome {
+  UnixSeconds start = 0;
+  DeviceType device = DeviceType::kAndroid;
+  std::uint64_t user_id = 0;
+  std::uint32_t ops = 0;
+  std::uint32_t failed_ops = 0;
+  [[nodiscard]] bool Success() const { return failed_ops == 0; }
+};
+
+/// Aggregate resilience counters for one Execute() run. All zero on a
+/// fault-free run except the session/op totals.
+struct FaultStats {
+  std::uint64_t sessions = 0;
+  std::uint64_t failed_sessions = 0;  ///< at least one op abandoned
+  std::uint64_t ops = 0;
+  std::uint64_t failed_ops = 0;       ///< abandoned after exhausting retries
+  std::uint64_t chunk_attempts = 0;   ///< chunk transfer tries, incl. retries
+  std::uint64_t chunk_timeouts = 0;   ///< client chunk-deadline aborts
+  std::uint64_t chunk_server_failures = 0;  ///< front-end crashed mid-chunk
+  std::uint64_t chunk_disconnects = 0;      ///< cellular drop mid-chunk
+  std::uint64_t retries = 0;          ///< retry rounds (backoff waits)
+  std::uint64_t failovers = 0;        ///< ops rerouted off a down front-end
+  std::uint64_t relocations = 0;      ///< store failovers re-homed in metadata
+  std::uint64_t hedges_issued = 0;
+  std::uint64_t hedge_wins = 0;       ///< hedged duplicate beat the original
+  std::uint64_t resume_skipped_chunks = 0;  ///< committed chunks not re-sent
+  Bytes goodput_bytes = 0;  ///< bytes of successfully delivered chunks
+  Bytes wasted_bytes = 0;   ///< bytes moved in failed attempts
+};
+
 struct ServiceResult {
   std::vector<LogRecord> logs;          ///< time-sorted request logs
   std::vector<RetrievalEvent> retrievals;  ///< chronological
   std::vector<ChunkPerf> chunk_perf;    ///< one entry per chunk request
+  std::vector<SessionOutcome> session_outcomes;  ///< one per executed session
   MetadataStats metadata;
   std::vector<FrontEndStats> front_ends;
+  FaultStats faults;
   std::uint64_t flows = 0;
   std::uint64_t slow_start_restarts = 0;
   std::uint64_t skipped_uploads = 0;    ///< file-level dedup hits
+  std::uint64_t missing_chunk_serves = 0;  ///< retrievals served via replica
 };
 
 class StorageService {
@@ -113,8 +158,25 @@ class StorageService {
                                     Seconds rtt, double bandwidth_bps,
                                     bool record_trace) const;
 
-  void ExecuteSession(const workload::SessionPlan& session, Rng& rng,
-                      ServiceResult& result);
+  void ExecuteSession(const workload::SessionPlan& session, Seconds sim_start,
+                      Rng& rng, ServiceResult& result);
+
+  [[nodiscard]] bool FaultsOn() const { return schedule_ != nullptr; }
+  /// First healthy front-end at `t`, probing from `preferred` and wrapping;
+  /// nullopt when the whole fleet is down.
+  [[nodiscard]] std::optional<FrontEndId> PickHealthyFrontEnd(
+      FrontEndId preferred, Seconds t,
+      std::optional<FrontEndId> exclude = std::nullopt) const;
+  /// Fault-mode chunked transfer: per-chunk deadline, retries with backoff,
+  /// failover, client-side resume, optional hedging. Returns true when every
+  /// chunk was eventually delivered.
+  bool ExecuteFaultedTransfer(const workload::SessionPlan& session,
+                              const workload::FileOp& op,
+                              const LogRecord& base, Seconds session_rtt,
+                              double bandwidth_bps, Seconds op_sim_time,
+                              FrontEndId fe_id, const FileManifest& manifest,
+                              Bytes size, bool proxied, Rng& rng,
+                              Rng& fault_rng, ServiceResult& result);
 
   ServiceConfig config_;
   Chunker chunker_;
@@ -126,6 +188,10 @@ class StorageService {
   /// Per-user list of previously stored content seeds (for self-retrieval).
   std::unordered_map<std::uint64_t, std::vector<std::pair<std::uint64_t, Bytes>>>
       user_contents_;
+  /// Fault timeline and the dispatcher's event-driven health view; both null
+  /// unless config_.faults.Any() (built per Execute() over its horizon).
+  std::unique_ptr<fault::FaultSchedule> schedule_;
+  std::unique_ptr<fault::FrontEndHealth> health_;
 };
 
 }  // namespace mcloud::cloud

@@ -1,0 +1,63 @@
+// Fault-injection knobs for the resilience layer.
+//
+// The paper's dataset (§2.1) records only *completed* requests: a session
+// that dies with its front-end or loses its cellular link simply never
+// appears. This layer makes those failures first-class — deterministic,
+// seed-driven episode schedules (see FaultSchedule) that the service
+// simulator consults while executing sessions — so availability and retry
+// behaviour become measurable simulation outputs instead of assumptions.
+//
+// Determinism contract: with every rate at zero (`Any() == false`) the
+// service takes the exact pre-fault code path and consumes the exact same
+// RNG stream — generated traces and §4 figure inputs are bit-identical to a
+// build without the fault layer (guarded by the ZeroFaultGolden tests).
+// Fault randomness always comes from streams keyed on `seed`, never from
+// the workload's session streams.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace mcloud::fault {
+
+struct FaultConfig {
+  /// Root of every fault stream (episode schedules, per-chunk drops,
+  /// backoff jitter). Independent of the workload seed so the same fault
+  /// timeline can be replayed against different workloads and vice versa.
+  std::uint64_t seed = 0xFA17ULL;
+
+  // --- Front-end crash/restart windows (per front-end) -------------------
+  /// Long-run fraction of time each front-end is down (0 = never crashes).
+  double frontend_fail_rate = 0;
+  /// Mean length of one down window (mean time to restart).
+  Seconds frontend_mttr = 120.0;
+
+  // --- Degraded-server episodes (per front-end) --------------------------
+  /// Long-run fraction of time each front-end runs degraded: T_srv inflated
+  /// by `degraded_tsrv_factor` (overloaded upstream storage servers — the
+  /// tail-latency regime of Li et al.'s block-storage study).
+  double degraded_rate = 0;
+  Seconds degraded_mean_duration = 300.0;
+  double degraded_tsrv_factor = 8.0;
+
+  // --- Cellular loss/disconnect bursts (global, client side) -------------
+  /// Long-run fraction of time the access network is inside a loss burst
+  /// (tunnels, handovers, congested cells).
+  double loss_burst_rate = 0;
+  Seconds loss_burst_mean_duration = 30.0;
+  /// Extra per-round loss probability layered onto FlowSimulator's
+  /// `random_loss_prob` while a burst is active.
+  double loss_burst_loss_prob = 0.05;
+  /// Probability that a chunk issued inside a burst loses its connection
+  /// outright (radio drop / NAT rebinding) and must be retried.
+  double disconnect_prob = 0.30;
+
+  /// True iff any fault injection is active. Gates the whole resilience
+  /// code path in the service simulator.
+  [[nodiscard]] bool Any() const {
+    return frontend_fail_rate > 0 || degraded_rate > 0 || loss_burst_rate > 0;
+  }
+};
+
+}  // namespace mcloud::fault

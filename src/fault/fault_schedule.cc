@@ -1,0 +1,132 @@
+#include "fault/fault_schedule.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace mcloud::fault {
+namespace {
+
+// Purpose keys separating the fault streams. Combined with the per-front-end
+// index so each server's timeline is its own ForStream stream.
+constexpr std::uint64_t kCrashStream = 0xC4A5ULL << 32;
+constexpr std::uint64_t kDegradedStream = 0xDE64ULL << 32;
+constexpr std::uint64_t kLossStream = 0x105EULL << 32;
+
+/// Alternating up/down renewal process: exponential up times with
+/// mean_down*(1-rate)/rate, exponential down times with mean_down, starting
+/// up at t=0. The down windows over [0, horizon) are the episodes.
+EpisodeList DrawEpisodes(double rate, Seconds mean_down, Seconds horizon,
+                         Rng rng) {
+  EpisodeList episodes;
+  if (rate <= 0 || horizon <= 0) return episodes;
+  MCLOUD_REQUIRE(rate < 1.0, "fault rate must be below 1");
+  MCLOUD_REQUIRE(mean_down > 0, "fault episode duration must be positive");
+  const Seconds mean_up = mean_down * (1.0 - rate) / rate;
+  Seconds t = 0;
+  while (t < horizon) {
+    t += rng.ExponentialMean(mean_up);
+    if (t >= horizon) break;
+    const Seconds end = t + rng.ExponentialMean(mean_down);
+    episodes.push_back(Episode{t, std::min(end, horizon)});
+    t = end;
+  }
+  return episodes;
+}
+
+/// Episode containing `t`, or nullptr. Episodes are sorted and disjoint.
+const Episode* Find(const EpisodeList& episodes, Seconds t) {
+  auto it = std::upper_bound(
+      episodes.begin(), episodes.end(), t,
+      [](Seconds v, const Episode& e) { return v < e.start; });
+  if (it == episodes.begin()) return nullptr;
+  --it;
+  return t < it->end ? &*it : nullptr;
+}
+
+}  // namespace
+
+std::uint32_t FrontEndHealth::UpCount() const {
+  std::uint32_t n = 0;
+  for (bool d : down_)
+    if (!d) ++n;
+  return n;
+}
+
+FaultSchedule::FaultSchedule(const FaultConfig& config,
+                             std::uint32_t front_ends, Seconds horizon)
+    : config_(config), horizon_(horizon) {
+  MCLOUD_REQUIRE(front_ends > 0, "fault schedule needs a fleet");
+  crash_.resize(front_ends);
+  degraded_.resize(front_ends);
+  if (!config.Any()) return;
+  for (std::uint32_t fe = 0; fe < front_ends; ++fe) {
+    crash_[fe] = DrawEpisodes(config.frontend_fail_rate, config.frontend_mttr,
+                              horizon,
+                              Rng::ForStream(config.seed, kCrashStream | fe));
+    degraded_[fe] =
+        DrawEpisodes(config.degraded_rate, config.degraded_mean_duration,
+                     horizon,
+                     Rng::ForStream(config.seed, kDegradedStream | fe));
+  }
+  loss_ = DrawEpisodes(config.loss_burst_rate, config.loss_burst_mean_duration,
+                       horizon, Rng::ForStream(config.seed, kLossStream));
+}
+
+bool FaultSchedule::FrontEndDown(std::uint32_t fe_id, Seconds t) const {
+  return Find(crash_.at(fe_id), t) != nullptr;
+}
+
+bool FaultSchedule::FrontEndDownDuring(std::uint32_t fe_id, Seconds from,
+                                       Seconds to) const {
+  const EpisodeList& episodes = crash_.at(fe_id);
+  // First episode starting at or after `from`; the one before may still
+  // reach into the interval.
+  auto it = std::lower_bound(
+      episodes.begin(), episodes.end(), from,
+      [](const Episode& e, Seconds v) { return e.start < v; });
+  if (it != episodes.end() && it->start < to) return true;
+  return it != episodes.begin() && std::prev(it)->end > from;
+}
+
+Seconds FaultSchedule::DownUntil(std::uint32_t fe_id, Seconds t) const {
+  const Episode* e = Find(crash_.at(fe_id), t);
+  return e != nullptr ? e->end : t;
+}
+
+double FaultSchedule::TsrvFactor(std::uint32_t fe_id, Seconds t) const {
+  return Find(degraded_.at(fe_id), t) != nullptr ? config_.degraded_tsrv_factor
+                                                 : 1.0;
+}
+
+bool FaultSchedule::InLossBurst(Seconds t) const {
+  return Find(loss_, t) != nullptr;
+}
+
+double FaultSchedule::ExtraLossProb(Seconds t) const {
+  return InLossBurst(t) ? config_.loss_burst_loss_prob : 0.0;
+}
+
+double FaultSchedule::DisconnectProb(Seconds t) const {
+  return InLossBurst(t) ? config_.disconnect_prob : 0.0;
+}
+
+std::vector<EventQueue::EventId> FaultSchedule::InstallHealthEvents(
+    EventQueue& queue, FrontEndHealth& health) const {
+  MCLOUD_REQUIRE(health.FrontEnds() >= front_ends(),
+                 "health registry smaller than the scheduled fleet");
+  std::vector<EventQueue::EventId> ids;
+  for (std::uint32_t fe = 0; fe < front_ends(); ++fe) {
+    for (const Episode& e : crash_[fe]) {
+      if (e.start < queue.Now()) continue;  // already past this window
+      ids.push_back(
+          queue.ScheduleAt(e.start, [&health, fe] { health.MarkDown(fe); }));
+      ids.push_back(
+          queue.ScheduleAt(e.end, [&health, fe] { health.MarkUp(fe); }));
+    }
+  }
+  return ids;
+}
+
+}  // namespace mcloud::fault

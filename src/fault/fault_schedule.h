@@ -1,0 +1,116 @@
+// Deterministic fault timelines.
+//
+// A FaultSchedule expands a FaultConfig into concrete episode lists over a
+// simulation horizon: per-front-end crash windows, per-front-end degraded
+// windows (inflated T_srv), and global cellular loss bursts. Episodes are
+// alternating up/down renewals with exponential durations; the mean up time
+// is chosen so the long-run downtime fraction equals the configured rate:
+//     mean_up = mean_down * (1 - rate) / rate.
+//
+// Every episode list is drawn from its own Rng::ForStream(seed, purpose_key)
+// stream, so schedules are identical regardless of front-end count ordering,
+// thread count, or what the workload does — the fault timeline is a fixed
+// backdrop the simulation plays out against.
+//
+// The schedule is queryable by absolute time (binary search over sorted
+// episodes) and can additionally be installed into an EventQueue as
+// crash/restart callbacks driving a FrontEndHealth registry — the mechanism
+// StorageService's failover uses for health-checked front-end selection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_config.h"
+#include "sim/event_queue.h"
+#include "util/units.h"
+
+namespace mcloud::fault {
+
+/// One contiguous fault window [start, end).
+struct Episode {
+  Seconds start = 0;
+  Seconds end = 0;
+};
+using EpisodeList = std::vector<Episode>;
+
+/// Live up/down view of the front-end fleet, driven by EventQueue callbacks
+/// installed from a FaultSchedule. The service consults it at dispatch time
+/// to route requests around crashed front-ends.
+class FrontEndHealth {
+ public:
+  explicit FrontEndHealth(std::uint32_t front_ends)
+      : down_(front_ends, false) {}
+
+  [[nodiscard]] bool IsUp(std::uint32_t fe_id) const {
+    return fe_id < down_.size() && !down_[fe_id];
+  }
+  [[nodiscard]] std::uint32_t FrontEnds() const {
+    return static_cast<std::uint32_t>(down_.size());
+  }
+  [[nodiscard]] std::uint32_t UpCount() const;
+
+  void MarkDown(std::uint32_t fe_id) { down_.at(fe_id) = true; }
+  void MarkUp(std::uint32_t fe_id) { down_.at(fe_id) = false; }
+
+ private:
+  std::vector<bool> down_;
+};
+
+class FaultSchedule {
+ public:
+  /// Expand `config` into episode lists covering [0, horizon) for a fleet of
+  /// `front_ends` servers. With `config.Any() == false` every list is empty
+  /// and every query returns the no-fault answer, at zero RNG cost.
+  FaultSchedule(const FaultConfig& config, std::uint32_t front_ends,
+                Seconds horizon);
+
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+  [[nodiscard]] std::uint32_t front_ends() const {
+    return static_cast<std::uint32_t>(crash_.size());
+  }
+  [[nodiscard]] Seconds horizon() const { return horizon_; }
+
+  /// Is front-end `fe_id` inside a crash window at time `t`?
+  [[nodiscard]] bool FrontEndDown(std::uint32_t fe_id, Seconds t) const;
+  /// Does any crash window of `fe_id` overlap [from, to)? Used to detect a
+  /// front-end dying mid-transfer, not just at the sampling instants.
+  [[nodiscard]] bool FrontEndDownDuring(std::uint32_t fe_id, Seconds from,
+                                        Seconds to) const;
+  /// End of the crash window containing `t` (== t when the front-end is up).
+  [[nodiscard]] Seconds DownUntil(std::uint32_t fe_id, Seconds t) const;
+  /// T_srv multiplier in force on `fe_id` at `t` (1 when healthy).
+  [[nodiscard]] double TsrvFactor(std::uint32_t fe_id, Seconds t) const;
+
+  /// Is the access network inside a loss burst at `t`?
+  [[nodiscard]] bool InLossBurst(Seconds t) const;
+  /// Extra per-round loss probability at `t` (0 outside bursts).
+  [[nodiscard]] double ExtraLossProb(Seconds t) const;
+  /// Probability a chunk issued at `t` drops its connection outright.
+  [[nodiscard]] double DisconnectProb(Seconds t) const;
+
+  [[nodiscard]] const EpisodeList& CrashEpisodes(std::uint32_t fe_id) const {
+    return crash_.at(fe_id);
+  }
+  [[nodiscard]] const EpisodeList& DegradedEpisodes(
+      std::uint32_t fe_id) const {
+    return degraded_.at(fe_id);
+  }
+  [[nodiscard]] const EpisodeList& LossBursts() const { return loss_; }
+
+  /// Schedule crash/restart callbacks for every crash episode into `queue`,
+  /// flipping `health` down at each episode start and up at each end.
+  /// Returns the EventIds, so a caller running a shorter horizon can Cancel
+  /// the tail it will never reach.
+  std::vector<EventQueue::EventId> InstallHealthEvents(
+      EventQueue& queue, FrontEndHealth& health) const;
+
+ private:
+  FaultConfig config_;
+  Seconds horizon_;
+  std::vector<EpisodeList> crash_;     ///< per front-end
+  std::vector<EpisodeList> degraded_;  ///< per front-end
+  EpisodeList loss_;                   ///< global
+};
+
+}  // namespace mcloud::fault

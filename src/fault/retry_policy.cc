@@ -1,0 +1,17 @@
+#include "fault/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcloud::fault {
+
+Seconds RetryPolicy::Backoff(std::uint32_t attempt, Rng& rng) const {
+  if (attempt < 2 || base_backoff <= 0) return 0;
+  const double exponent = static_cast<double>(attempt - 2);
+  Seconds delay =
+      std::min(base_backoff * std::pow(multiplier, exponent), max_backoff);
+  if (jitter > 0) delay *= rng.Uniform(1.0 - jitter, 1.0 + jitter);
+  return delay;
+}
+
+}  // namespace mcloud::fault

@@ -4,18 +4,39 @@
 
 namespace mcloud {
 
-void EventQueue::ScheduleAt(Seconds at, Callback cb) {
+EventQueue::EventId EventQueue::ScheduleAt(Seconds at, Callback cb) {
   MCLOUD_REQUIRE(at >= now_, "cannot schedule an event in the past");
   MCLOUD_REQUIRE(cb != nullptr, "event callback must not be null");
-  heap_.push(Entry{at, next_seq_++, std::move(cb)});
+  const EventId id = next_seq_++;
+  heap_.push(Entry{at, id, std::move(cb)});
+  pending_.insert(id);
+  ++live_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (pending_.erase(id) == 0) return false;  // already ran or cancelled
+  cancelled_.insert(id);
+  --live_;
+  return true;
+}
+
+void EventQueue::DiscardCancelled() {
+  while (!heap_.empty() && cancelled_.count(heap_.top().seq) > 0) {
+    cancelled_.erase(heap_.top().seq);
+    heap_.pop();
+  }
 }
 
 bool EventQueue::RunNext() {
+  DiscardCancelled();
   if (heap_.empty()) return false;
   // priority_queue::top() is const; move out via const_cast, which is safe
   // because the entry is popped immediately after.
   Entry e = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();
+  pending_.erase(e.seq);
+  --live_;
   now_ = e.at;
   ++executed_;
   e.cb();
@@ -31,9 +52,11 @@ std::uint64_t EventQueue::RunAll(std::uint64_t max_events) {
 std::uint64_t EventQueue::RunUntil(Seconds t) {
   MCLOUD_REQUIRE(t >= now_, "cannot run backwards");
   std::uint64_t n = 0;
+  DiscardCancelled();
   while (!heap_.empty() && heap_.top().at <= t) {
     RunNext();
     ++n;
+    DiscardCancelled();
   }
   now_ = t;
   return n;

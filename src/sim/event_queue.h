@@ -5,11 +5,18 @@
 // it. Sequence numbers make execution order deterministic for simultaneous
 // events (insertion order), which keeps every simulation reproducible from
 // its seed.
+//
+// Scheduling returns an EventId that can be passed to Cancel(): a cancelled
+// event never runs and never counts as executed. Cancellation is lazy — the
+// entry stays in the heap until it reaches the top — so Cancel is O(1) and
+// the fault scheduler can install a full crash/restart timeline up front and
+// retract the part beyond the simulation horizon.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "util/error.h"
@@ -20,20 +27,32 @@ namespace mcloud {
 class EventQueue {
  public:
   using Callback = std::function<void()>;
+  /// Handle for a scheduled event; valid until the event runs or is
+  /// cancelled.
+  using EventId = std::uint64_t;
 
   /// Schedule `cb` at absolute simulated time `at` (must be >= Now()).
-  void ScheduleAt(Seconds at, Callback cb);
+  EventId ScheduleAt(Seconds at, Callback cb);
   /// Schedule `cb` `delay` seconds from now.
-  void ScheduleIn(Seconds delay, Callback cb) {
-    ScheduleAt(now_ + delay, std::move(cb));
+  EventId ScheduleIn(Seconds delay, Callback cb) {
+    return ScheduleAt(now_ + delay, std::move(cb));
   }
 
+  /// Retract a pending event. Returns true iff the event was still pending
+  /// (not yet run and not previously cancelled); a cancelled event is
+  /// skipped silently and does not count toward Executed().
+  bool Cancel(EventId id);
+
   [[nodiscard]] Seconds Now() const { return now_; }
-  [[nodiscard]] bool Empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t Pending() const { return heap_.size(); }
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool Empty() const { return live_ == 0; }
+  /// Live (non-cancelled) events still scheduled.
+  [[nodiscard]] std::size_t Pending() const { return live_; }
   [[nodiscard]] std::uint64_t Executed() const { return executed_; }
 
-  /// Pop and run the earliest event. Returns false if the queue is empty.
+  /// Pop and run the earliest live event. Returns false if none remain.
+  /// Cancelled events encountered on the way are discarded without running
+  /// and without advancing the clock.
   bool RunNext();
 
   /// Run events until the queue is empty or `max_events` have executed.
@@ -46,7 +65,7 @@ class EventQueue {
  private:
   struct Entry {
     Seconds at;
-    std::uint64_t seq;
+    EventId seq;
     Callback cb;
   };
   struct Later {
@@ -56,9 +75,15 @@ class EventQueue {
     }
   };
 
+  /// Drop cancelled entries sitting at the top of the heap.
+  void DiscardCancelled();
+
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;    ///< scheduled, not yet run/cancelled
+  std::unordered_set<EventId> cancelled_;  ///< awaiting lazy heap removal
   Seconds now_ = 0;
-  std::uint64_t next_seq_ = 0;
+  EventId next_seq_ = 0;
+  std::size_t live_ = 0;
   std::uint64_t executed_ = 0;
 };
 

@@ -87,6 +87,13 @@ FlowResult FlowSimulator::Run(std::span<const Bytes> chunk_sizes,
     Bytes stall_progress = 0;  // bytes handed to TCP since the last stall
 
     while (remaining > 0) {
+      // Client-side chunk deadline: the fault layer's retry timer fires and
+      // the client tears the connection down mid-chunk.
+      if (config_.chunk_deadline > 0 &&
+          now - transfer_start >= config_.chunk_deadline) {
+        timing.aborted = true;
+        break;
+      }
       Bytes w = std::min({static_cast<Bytes>(cc.Cwnd()),
                           config_.sender_window, remaining});
       w = std::max(w, std::min(remaining, static_cast<Bytes>(config_.mss)));
@@ -165,6 +172,13 @@ FlowResult FlowSimulator::Run(std::span<const Bytes> chunk_sizes,
     }
 
     timing.transfer_time = now - transfer_start;
+
+    if (timing.aborted) {
+      // The connection is gone: no server acknowledgment, no next chunk.
+      result.chunks.push_back(timing);
+      result.aborted = true;
+      break;
+    }
 
     // Server processes the chunk (stores it / prepares the next), then the
     // HTTP 200 OK travels back; only then may the client prepare and issue

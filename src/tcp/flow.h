@@ -61,6 +61,13 @@ struct FlowConfig {
   /// Per-round background loss probability; recovered by fast retransmit
   /// (cwnd halving), not a timeout.
   double random_loss_prob = 0.0;
+  /// Client-side per-chunk deadline (0 = none). When a chunk's elapsed
+  /// transfer time crosses the deadline the client abandons the connection
+  /// mid-chunk: the chunk is marked `aborted`, the flow ends, and remaining
+  /// chunks are never issued. This is the mechanism behind the fault
+  /// layer's RetryPolicy timeouts — the abandoned attempt pays only the
+  /// deadline, not the full (possibly unbounded) transfer.
+  Seconds chunk_deadline = 0;
 };
 
 /// Timing of one chunk within the flow.
@@ -73,6 +80,7 @@ struct ChunkTiming {
                               ///< the first chunk of the connection)
   Seconds rto_at_idle = 0;    ///< RTO in force when the idle gap ended
   bool restarted = false;     ///< idle_before > RTO caused slow-start restart
+  bool aborted = false;       ///< chunk_deadline hit; transfer abandoned
   Bytes bytes = 0;
 };
 
@@ -83,6 +91,7 @@ struct FlowResult {
   std::uint64_t restarts = 0;      ///< slow-start restarts (incl. stalls)
   std::uint64_t timeouts = 0;      ///< burst-loss retransmission timeouts
   std::uint64_t fast_retransmits = 0;
+  bool aborted = false;            ///< flow ended on a chunk-deadline abort
   Seconds avg_rtt = 0;             ///< mean of per-round RTT samples
 };
 

@@ -36,6 +36,20 @@ std::string_view ToString(Direction d) {
   throw Error("invalid Direction");
 }
 
+std::string_view ToString(RequestOutcome o) {
+  switch (o) {
+    case RequestOutcome::kOk:
+      return "ok";
+    case RequestOutcome::kTimedOut:
+      return "timed_out";
+    case RequestOutcome::kFailed:
+      return "failed";
+    case RequestOutcome::kHedged:
+      return "hedged";
+  }
+  throw Error("invalid RequestOutcome");
+}
+
 DeviceType DeviceTypeFromString(std::string_view s) {
   if (s == "android") return DeviceType::kAndroid;
   if (s == "ios") return DeviceType::kIos;

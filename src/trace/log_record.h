@@ -31,9 +31,21 @@ enum class Direction : std::uint8_t {
   kRetrieve = 1,
 };
 
+/// How the request ended, as seen by the resilience layer. The paper's
+/// dataset contains only completed requests (outcome == kOk); the other
+/// values exist for fault-injection runs and are never serialized — the
+/// on-disk CSV/binary formats carry Table 1 fields only.
+enum class RequestOutcome : std::uint8_t {
+  kOk = 0,        ///< completed normally
+  kTimedOut = 1,  ///< client hit its chunk deadline and abandoned the attempt
+  kFailed = 2,    ///< all retry attempts exhausted; operation abandoned
+  kHedged = 3,    ///< completed, but served by the hedged duplicate request
+};
+
 [[nodiscard]] std::string_view ToString(DeviceType t);
 [[nodiscard]] std::string_view ToString(RequestType t);
 [[nodiscard]] std::string_view ToString(Direction d);
+[[nodiscard]] std::string_view ToString(RequestOutcome o);
 [[nodiscard]] DeviceType DeviceTypeFromString(std::string_view s);
 [[nodiscard]] RequestType RequestTypeFromString(std::string_view s);
 [[nodiscard]] Direction DirectionFromString(std::string_view s);
@@ -50,6 +62,10 @@ struct LogRecord {
   Seconds server_time = 0;      ///< T_srv: upstream storage-server time
   Seconds avg_rtt = 0;          ///< mean RTT of the carrying TCP connection
   bool proxied = false;         ///< X-FORWARDED-FOR present
+  /// Resilience tags (fault-injection runs only; not part of the Table 1
+  /// schema and not serialized — see trace/log_io.cc).
+  RequestOutcome outcome = RequestOutcome::kOk;
+  std::uint32_t attempt = 1;    ///< which try produced this record (1-based)
 
   [[nodiscard]] bool IsMobile() const {
     return device_type != DeviceType::kPc;

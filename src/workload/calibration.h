@@ -36,7 +36,14 @@ inline constexpr double kMultiDeviceToDownload = 0.05;   // ... to download
 /// "users are more likely to sync data uploaded by mobile devices from
 /// PCs").
 inline constexpr double kStoreFromMobileShare = 0.78;
-inline constexpr double kRetrieveFromPcShare = 0.50;
+/// Retrieval placement is conditioned on session size: bulk pulls are the
+/// PC sync client downloading a batch, while one-off retrievals are a user
+/// opening a file on the phone. This is what lets the mobile trace carry
+/// ~30% retrieve-only *sessions* (§3.1.1) while keeping mobile retrieved
+/// *files* below half the stored files (Fig 2): the file mass of large
+/// pulls lands on the PC.
+inline constexpr double kRetrieveFromPcShareBulk = 0.62;   // >= 3 files
+inline constexpr double kRetrieveFromPcShareSmall = 0.04;  // 1-2 files
 
 // ---------------------------------------------------------------------------
 // Per-user weekly activity (drives Fig 10 and Table 3)
@@ -107,14 +114,14 @@ inline constexpr double kManyOpsTailMean = 18.0;
 
 /// Retrieval sessions have fewer operations on average (Fig 5a retrieve-only
 /// curve sits above store-only at low counts).
-inline constexpr double kRetrieveSingleOpShare = 0.45;
-inline constexpr double kRetrieveFewOpsShare = 0.44;
-inline constexpr double kRetrieveManyOpsShare = 0.08;
+inline constexpr double kRetrieveSingleOpShare = 0.88;
+inline constexpr double kRetrieveFewOpsShare = 0.10;
+inline constexpr double kRetrieveManyOpsShare = 0.02;
 
 /// Probability that a mixed-class user's session interleaves both store and
 /// retrieve operations. Pinned by the 2% share of mixed sessions (§3.1.1)
 /// given ~7-18% mixed-class users.
-inline constexpr double kMixedSessionProbability = 0.18;
+inline constexpr double kMixedSessionProbability = 0.36;
 
 /// Retrieve-session file-size component weights conditioned on the number of
 /// files n in the session (Table 2 retrieve row is the session-weighted

@@ -217,20 +217,32 @@ std::vector<SessionPlan> SessionModel::PlanUser(const UserProfile& user,
     retrieve_left -= d.retrieve_ops;
     descriptors.push_back(d);
   }
-  // Non-engaged users show up once: their whole budget lands in at most one
-  // store session and one retrieve session, instead of a same-day burst of
-  // many sessions (the trace-wide average is well under one session per
-  // user-day, §3.1.1).
+  // Non-engaged users show up once: their whole store budget lands in a
+  // single session instead of a same-day burst of many sessions (the
+  // trace-wide average is well under one session per user-day, §3.1.1).
+  // Retrievals keep at most two sessions — downloads are pull-driven (a
+  // photo looked up now, another later the same day), and collapsing them
+  // to one session under-counts the 29.9% retrieve-only session share.
   if (!user.engaged && descriptors.size() > 2) {
     Descriptor store_all;
-    Descriptor retrieve_all;
+    std::uint64_t retrieve_total = 0;
     for (const Descriptor& d : descriptors) {
       store_all.store_ops += d.store_ops;
-      retrieve_all.retrieve_ops += d.retrieve_ops;
+      retrieve_total += d.retrieve_ops;
     }
     descriptors.clear();
     if (store_all.store_ops > 0) descriptors.push_back(store_all);
-    if (retrieve_all.retrieve_ops > 0) descriptors.push_back(retrieve_all);
+    if (retrieve_total > 0) {
+      Descriptor first;
+      first.retrieve_ops = std::min<std::uint64_t>(
+          SampleOpCount(rng, Direction::kRetrieve), retrieve_total);
+      descriptors.push_back(first);
+      if (retrieve_total > first.retrieve_ops) {
+        Descriptor rest;
+        rest.retrieve_ops = retrieve_total - first.retrieve_ops;
+        descriptors.push_back(rest);
+      }
+    }
   }
   rng.Shuffle(descriptors);
 
@@ -253,7 +265,9 @@ std::vector<SessionPlan> SessionModel::PlanUser(const UserProfile& user,
     bool use_pc = !has_mobile;
     if (has_mobile && user.uses_pc) {
       use_pc = retrieval_session
-                   ? rng.Bernoulli(cal::kRetrieveFromPcShare)
+                   ? rng.Bernoulli(d.retrieve_ops >= 3
+                                       ? cal::kRetrieveFromPcShareBulk
+                                       : cal::kRetrieveFromPcShareSmall)
                    : !rng.Bernoulli(cal::kStoreFromMobileShare);
     }
     if (use_pc) {

@@ -108,7 +108,8 @@ TEST(FrontEndServer, AccountsStoresAndRetrievals) {
   fe.LogFileOperation(base, 1000, Direction::kStore, 0.05, 0.1, log);
   fe.CommitChunkStore(base, 1001, chunk, 1.5, 0.1, 0.1, log);
   fe.CommitChunkStore(base, 1002, chunk, 1.5, 0.1, 0.1, log);  // same chunk
-  fe.ServeChunkRetrieve(base, 1003, chunk, 0.8, 0.1, 0.1, log);
+  EXPECT_EQ(fe.ServeChunkRetrieve(base, 1003, chunk, 0.8, 0.1, 0.1, log),
+            RetrieveOutcome::kServed);
 
   EXPECT_EQ(fe.stats().file_operations, 1u);
   EXPECT_EQ(fe.stats().chunk_stores, 2u);
@@ -134,7 +135,16 @@ TEST(FrontEndServer, CountsMissingChunks) {
   ChunkInfo chunk;
   chunk.size = 100;
   chunk.md5 = Md5::Hash("never-stored");
-  fe.ServeChunkRetrieve(base, 1, chunk, 0.5, 0.1, 0.1, log);
+  // The miss is surfaced to the caller, not just counted in stats.
+  EXPECT_EQ(fe.ServeChunkRetrieve(base, 1, chunk, 0.5, 0.1, 0.1, log),
+            RetrieveOutcome::kServedMissing);
+  EXPECT_EQ(fe.stats().missing_chunks, 1u);
+  EXPECT_EQ(log.size(), 1u);  // still served: a replica holds the chunk
+
+  // Once stored, the same chunk retrieves cleanly.
+  fe.CommitChunkStore(base, 2, chunk, 0.5, 0.1, 0.1, log);
+  EXPECT_EQ(fe.ServeChunkRetrieve(base, 3, chunk, 0.5, 0.1, 0.1, log),
+            RetrieveOutcome::kServed);
   EXPECT_EQ(fe.stats().missing_chunks, 1u);
 }
 

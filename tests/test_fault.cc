@@ -1,0 +1,381 @@
+// Fault-injection subsystem tests: schedule construction, retry policy,
+// the zero-fault bit-identity contract, and the resilience acceptance
+// sweep (monotone degradation without retries; recovery with the default
+// policy; determinism per seed).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/availability.h"
+#include "cloud/storage_service.h"
+#include "fault/fault_config.h"
+#include "fault/fault_schedule.h"
+#include "fault/retry_policy.h"
+#include "sim/event_queue.h"
+#include "util/timeutil.h"
+#include "workload/generator.h"
+
+namespace mcloud {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultConfig / RetryPolicy
+// ---------------------------------------------------------------------------
+
+TEST(FaultConfig, AnyDetectsActiveKnobs) {
+  fault::FaultConfig cfg;
+  EXPECT_FALSE(cfg.Any());
+  cfg.frontend_fail_rate = 0.01;
+  EXPECT_TRUE(cfg.Any());
+  cfg = {};
+  cfg.degraded_rate = 0.05;
+  EXPECT_TRUE(cfg.Any());
+  cfg = {};
+  cfg.loss_burst_rate = 0.001;
+  EXPECT_TRUE(cfg.Any());
+}
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyWithCap) {
+  fault::RetryPolicy p;
+  p.jitter = 0;  // deterministic midpoint
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(p.Backoff(1, rng), 0.0);  // first attempt: no wait
+  EXPECT_DOUBLE_EQ(p.Backoff(2, rng), 0.5);
+  EXPECT_DOUBLE_EQ(p.Backoff(3, rng), 1.0);
+  EXPECT_DOUBLE_EQ(p.Backoff(4, rng), 2.0);
+  EXPECT_DOUBLE_EQ(p.Backoff(12, rng), p.max_backoff);  // truncated
+}
+
+TEST(RetryPolicy, BackoffJitterStaysInBand) {
+  const fault::RetryPolicy p;  // jitter = 0.25
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const Seconds b = p.Backoff(3, rng);  // nominal 1.0 s
+    EXPECT_GE(b, 1.0 * (1.0 - p.jitter));
+    EXPECT_LE(b, 1.0 * (1.0 + p.jitter));
+  }
+  // Same stream position -> same delay.
+  Rng a(7), b(7);
+  EXPECT_DOUBLE_EQ(p.Backoff(4, a), p.Backoff(4, b));
+}
+
+TEST(RetryPolicy, NoneNeverRetries) {
+  const auto p = fault::RetryPolicy::None();
+  EXPECT_EQ(p.max_attempts, 1u);
+  EXPECT_DOUBLE_EQ(p.chunk_timeout, 0.0);
+  EXPECT_FALSE(p.hedge);
+}
+
+// ---------------------------------------------------------------------------
+// FaultSchedule
+// ---------------------------------------------------------------------------
+
+TEST(FaultSchedule, ZeroRatesProduceNoEpisodes) {
+  const fault::FaultSchedule s(fault::FaultConfig{}, 4, 7 * kDay);
+  for (std::uint32_t fe = 0; fe < 4; ++fe) {
+    EXPECT_FALSE(s.FrontEndDown(fe, 0.0));
+    EXPECT_FALSE(s.FrontEndDownDuring(fe, 0.0, 7 * kDay));
+    EXPECT_DOUBLE_EQ(s.TsrvFactor(fe, kDay), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(s.ExtraLossProb(kDay), 0.0);
+  EXPECT_FALSE(s.InLossBurst(kDay));
+}
+
+TEST(FaultSchedule, DowntimeFractionTracksRate) {
+  fault::FaultConfig cfg;
+  cfg.frontend_fail_rate = 0.05;
+  const Seconds horizon = 60 * kDay;  // long horizon averages the renewals
+  const fault::FaultSchedule s(cfg, 2, horizon);
+  double down = 0;
+  const Seconds step = 30.0;
+  for (Seconds t = 0; t < horizon; t += step)
+    if (s.FrontEndDown(0, t)) down += step;
+  EXPECT_NEAR(down / horizon, cfg.frontend_fail_rate, 0.02);
+}
+
+TEST(FaultSchedule, DeterministicPerSeedAndPerFrontEnd) {
+  fault::FaultConfig cfg;
+  cfg.frontend_fail_rate = 0.02;
+  cfg.degraded_rate = 0.05;
+  cfg.loss_burst_rate = 0.01;
+  const fault::FaultSchedule a(cfg, 3, 7 * kDay);
+  const fault::FaultSchedule b(cfg, 3, 7 * kDay);
+  bool fe_streams_differ = false;
+  for (Seconds t = 0; t < 7 * kDay; t += 61.0) {
+    EXPECT_EQ(a.FrontEndDown(1, t), b.FrontEndDown(1, t));
+    EXPECT_DOUBLE_EQ(a.TsrvFactor(2, t), b.TsrvFactor(2, t));
+    EXPECT_DOUBLE_EQ(a.ExtraLossProb(t), b.ExtraLossProb(t));
+    if (a.FrontEndDown(0, t) != a.FrontEndDown(1, t)) fe_streams_differ = true;
+  }
+  // Each front-end draws its own episode stream.
+  EXPECT_TRUE(fe_streams_differ);
+}
+
+TEST(FaultSchedule, DownDuringDetectsOverlap) {
+  fault::FaultConfig cfg;
+  cfg.frontend_fail_rate = 0.10;
+  const fault::FaultSchedule s(cfg, 1, 30 * kDay);
+  // Locate an actual downtime instant, then probe intervals around it.
+  Seconds down_at = -1;
+  for (Seconds t = 0; t < 30 * kDay; t += 10.0) {
+    if (s.FrontEndDown(0, t)) {
+      down_at = t;
+      break;
+    }
+  }
+  ASSERT_GE(down_at, 0.0);
+  EXPECT_TRUE(s.FrontEndDownDuring(0, down_at - 5.0, down_at + 5.0));
+  const Seconds up_until = s.DownUntil(0, down_at);
+  EXPECT_GT(up_until, down_at);
+  EXPECT_FALSE(s.FrontEndDown(0, up_until + 1e-3));
+}
+
+TEST(FaultSchedule, InstallHealthEventsFlipsHealth) {
+  fault::FaultConfig cfg;
+  cfg.frontend_fail_rate = 0.10;
+  const Seconds horizon = 30 * kDay;
+  const fault::FaultSchedule s(cfg, 2, horizon);
+  EventQueue queue;
+  fault::FrontEndHealth health(2);
+  EXPECT_EQ(health.UpCount(), 2u);
+  const auto ids = s.InstallHealthEvents(queue, health);
+  EXPECT_FALSE(ids.empty());
+  // After draining the timeline, health matches the schedule's final state.
+  queue.RunUntil(horizon);
+  for (std::uint32_t fe = 0; fe < 2; ++fe)
+    EXPECT_EQ(health.IsUp(fe), !s.FrontEndDown(fe, horizon - 1e-6));
+  // Events can be retracted (the service cancels past-horizon flips).
+  EventQueue q2;
+  fault::FrontEndHealth h2(2);
+  for (const auto id : s.InstallHealthEvents(q2, h2)) EXPECT_TRUE(q2.Cancel(id));
+  EXPECT_TRUE(q2.Empty());
+}
+
+// ---------------------------------------------------------------------------
+// Zero-fault bit-identity goldens
+// ---------------------------------------------------------------------------
+
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ULL;
+  void Mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  void MixSeconds(double s) { Mix(static_cast<std::uint64_t>(s * 1e6)); }
+};
+
+std::uint64_t TraceFingerprint(const std::vector<LogRecord>& trace) {
+  Fnv f;
+  for (const LogRecord& r : trace) {
+    f.Mix(static_cast<std::uint64_t>(r.timestamp));
+    f.Mix(static_cast<std::uint64_t>(r.device_type));
+    f.Mix(r.device_id);
+    f.Mix(r.user_id);
+    f.Mix(static_cast<std::uint64_t>(r.request_type));
+    f.Mix(static_cast<std::uint64_t>(r.direction));
+    f.Mix(r.data_volume);
+    f.MixSeconds(r.processing_time);
+    f.MixSeconds(r.server_time);
+    f.MixSeconds(r.avg_rtt);
+    f.Mix(static_cast<std::uint64_t>(r.proxied));
+  }
+  return f.h;
+}
+
+std::uint64_t ServiceFingerprint(const cloud::ServiceResult& r) {
+  Fnv f;
+  f.Mix(TraceFingerprint(r.logs));
+  for (const cloud::ChunkPerf& p : r.chunk_perf) {
+    f.Mix(static_cast<std::uint64_t>(p.device));
+    f.Mix(static_cast<std::uint64_t>(p.direction));
+    f.Mix(p.bytes);
+    f.MixSeconds(p.ttran);
+    f.MixSeconds(p.tsrv);
+    f.MixSeconds(p.tclt);
+    f.MixSeconds(p.idle_before);
+    f.MixSeconds(p.rto_at_idle);
+    f.Mix(static_cast<std::uint64_t>(p.restarted));
+    f.MixSeconds(p.rtt);
+  }
+  f.Mix(r.flows);
+  f.Mix(r.slow_start_restarts);
+  f.Mix(r.skipped_uploads);
+  return f.h;
+}
+
+/// Fixed mixed-direction session plans, independent of workload calibration.
+std::vector<workload::SessionPlan> ServicePlans() {
+  std::vector<workload::SessionPlan> plans;
+  Rng rng(2026);
+  for (int i = 0; i < 400; ++i) {
+    workload::SessionPlan s;
+    s.user_id = static_cast<std::uint64_t>(i % 120 + 1);
+    s.device_id = s.user_id;
+    s.device_type = (i % 3 == 0)   ? DeviceType::kIos
+                    : (i % 7 == 0) ? DeviceType::kPc
+                                   : DeviceType::kAndroid;
+    s.start = kTraceStart + static_cast<UnixSeconds>(i * 45);
+    workload::FileOp op;
+    op.direction = (i % 2 == 0) ? Direction::kStore : Direction::kRetrieve;
+    op.size = FromMB(0.3 + 3.0 * rng.Uniform());
+    s.ops.push_back(op);
+    if (i % 5 == 0) {
+      workload::FileOp op2;
+      op2.direction = Direction::kStore;
+      op2.size = FromMB(1.0 + 2.0 * rng.Uniform());
+      op2.offset = 20.0;
+      s.ops.push_back(op2);
+    }
+    plans.push_back(s);
+  }
+  return plans;
+}
+
+// With every fault knob at zero the generator and service must be
+// bit-identical to the pre-fault-subsystem pipeline: same records, same
+// RNG stream consumption, same chunk timings — at every thread count.
+TEST(ZeroFaultGolden, TraceBitIdenticalAcrossThreads) {
+  for (const int threads : {1, 4}) {
+    workload::WorkloadConfig cfg;
+    cfg.population.mobile_users = 2000;
+    cfg.population.pc_only_users = 666;
+    cfg.seed = 42;
+    cfg.threads = threads;
+    const auto w = workload::WorkloadGenerator(cfg).Generate();
+    EXPECT_EQ(w.trace.size(), 770053u) << "threads=" << threads;
+    EXPECT_EQ(TraceFingerprint(w.trace), 0x9bc1d03971d8a383ULL)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ZeroFaultGolden, ServiceBitIdentical) {
+  cloud::ServiceConfig cfg;  // all fault knobs zero, default retry unused
+  ASSERT_FALSE(cfg.faults.Any());
+  cloud::StorageService service{cfg};
+  const auto result = service.Execute(ServicePlans());
+  EXPECT_EQ(result.logs.size(), 50533u);
+  EXPECT_EQ(result.chunk_perf.size(), 50053u);
+  EXPECT_EQ(ServiceFingerprint(result), 0x201f30ec3b5ae2f7ULL);
+  // Fault accounting stays silent on a clean run.
+  EXPECT_EQ(result.faults.failed_sessions, 0u);
+  EXPECT_EQ(result.faults.retries, 0u);
+  const auto r = analysis::Availability(result);
+  EXPECT_DOUBLE_EQ(r.session_success_rate, 1.0);
+  EXPECT_DOUBLE_EQ(r.op_success_rate, 1.0);
+  EXPECT_DOUBLE_EQ(r.retry_amplification, 1.0);
+  EXPECT_DOUBLE_EQ(r.goodput_fraction, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Resilience acceptance sweep
+// ---------------------------------------------------------------------------
+
+TEST(FaultSweep, SuccessDegradesMonotonicallyWithoutRetries) {
+  const auto plans = ServicePlans();
+  double prev = 2.0;
+  double at_zero = 0, at_worst = 0;
+  for (const double rate : {0.0, 0.03, 0.10, 0.25}) {
+    cloud::ServiceConfig cfg;
+    cfg.faults.frontend_fail_rate = rate;
+    cfg.faults.loss_burst_rate = rate > 0 ? 0.005 : 0.0;
+    cfg.retry = fault::RetryPolicy::None();
+    cloud::StorageService service{cfg};
+    const auto r = analysis::Availability(service.Execute(plans));
+    EXPECT_LE(r.session_success_rate, prev + 1e-12) << "rate=" << rate;
+    prev = r.session_success_rate;
+    if (rate == 0.0) at_zero = r.session_success_rate;
+    if (rate == 0.25) at_worst = r.session_success_rate;
+  }
+  EXPECT_DOUBLE_EQ(at_zero, 1.0);
+  EXPECT_LT(at_worst, 0.9);  // heavy faults must actually hurt
+}
+
+TEST(FaultSweep, DefaultPolicyRecoversAtOnePercentFailure) {
+  const auto plans = ServicePlans();
+  cloud::ServiceConfig cfg;
+  cfg.faults.frontend_fail_rate = 0.01;
+  cfg.faults.loss_burst_rate = 0.005;
+  // cfg.retry keeps the default policy: 4 attempts + failover + resume.
+  cloud::StorageService service{cfg};
+  const auto result = service.Execute(plans);
+  const auto r = analysis::Availability(result);
+  EXPECT_GE(r.session_success_rate, 0.99);
+  EXPECT_GE(r.goodput_fraction, 0.99);
+  EXPECT_LT(r.retry_amplification, 1.05);
+  // The resilience machinery is genuinely exercised, not idle.
+  EXPECT_GT(r.retries, 0u);
+  EXPECT_GT(r.resume_skipped_chunks, 0u);
+  EXPECT_GT(result.faults.chunk_server_failures + result.faults.chunk_timeouts +
+                result.faults.chunk_disconnects,
+            0u);
+}
+
+TEST(FaultSweep, DeterministicPerSeed) {
+  const auto plans = ServicePlans();
+  cloud::ServiceConfig cfg;
+  cfg.faults.frontend_fail_rate = 0.03;
+  cfg.faults.degraded_rate = 0.05;
+  cfg.faults.loss_burst_rate = 0.01;
+  cloud::StorageService a{cfg};
+  cloud::StorageService b{cfg};
+  const auto ra = a.Execute(plans);
+  const auto rb = b.Execute(plans);
+  EXPECT_EQ(ServiceFingerprint(ra), ServiceFingerprint(rb));
+  EXPECT_EQ(ra.faults.chunk_attempts, rb.faults.chunk_attempts);
+  EXPECT_EQ(ra.faults.retries, rb.faults.retries);
+  EXPECT_EQ(ra.faults.failed_sessions, rb.faults.failed_sessions);
+  EXPECT_EQ(ra.faults.goodput_bytes, rb.faults.goodput_bytes);
+
+  // A different fault seed draws a different timeline.
+  cloud::ServiceConfig other = cfg;
+  other.faults.seed = 0xBEEF;
+  cloud::StorageService c{other};
+  EXPECT_NE(ServiceFingerprint(c.Execute(plans)), ServiceFingerprint(ra));
+}
+
+TEST(FaultSweep, HedgingCutsIntoDegradedTail) {
+  const auto plans = ServicePlans();
+  cloud::ServiceConfig slow;
+  slow.faults.degraded_rate = 0.10;
+  cloud::StorageService base{slow};
+  const auto r_base = analysis::Availability(base.Execute(plans));
+
+  cloud::ServiceConfig hedged = slow;
+  hedged.retry.hedge = true;
+  cloud::StorageService h{hedged};
+  const auto result = h.Execute(plans);
+  const auto r_hedge = analysis::Availability(result);
+  EXPECT_GT(r_hedge.hedges_issued, 0u);
+  EXPECT_GT(r_hedge.hedge_wins, 0u);
+  EXPECT_EQ(r_base.hedges_issued, 0u);
+  // Hedged requests appear in the log tagged as such.
+  std::uint64_t hedged_logs = 0;
+  for (const LogRecord& rec : result.logs)
+    if (rec.outcome == RequestOutcome::kHedged) ++hedged_logs;
+  EXPECT_EQ(hedged_logs, r_hedge.hedge_wins);
+}
+
+TEST(Availability, RenderMentionsKeyMetrics) {
+  cloud::ServiceConfig cfg;
+  cfg.faults.frontend_fail_rate = 0.01;
+  cloud::StorageService service{cfg};
+  const auto r = analysis::Availability(service.Execute(ServicePlans()));
+  const std::string text = analysis::RenderAvailability(r);
+  EXPECT_NE(text.find("success rate"), std::string::npos);
+  EXPECT_NE(text.find("goodput"), std::string::npos);
+  EXPECT_NE(text.find("retry amplification"), std::string::npos);
+}
+
+TEST(Availability, SuccessRateByDeviceCoversAllTypes) {
+  cloud::ServiceConfig cfg;
+  cloud::StorageService service{cfg};
+  const auto by_device = analysis::SuccessRateByDevice(service.Execute(ServicePlans()));
+  ASSERT_EQ(by_device.size(), 3u);
+  for (const double rate : by_device) EXPECT_DOUBLE_EQ(rate, 1.0);
+}
+
+}  // namespace
+}  // namespace mcloud

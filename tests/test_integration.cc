@@ -42,15 +42,15 @@ TEST(Faithfulness, WorkloadShape) {
 
 TEST(Faithfulness, SessionTypeSplit) {
   const auto& r = Report();
-  // §3.1.1: store-only ~68%, retrieve-only ~30%, mixed ~2%. The generator's
-  // session mix sits systematically near 0.76 / 0.22 (retrieve budgets pack
-  // into fewer, larger sessions than the paper's measured trace), so the
-  // band must cover that calibration offset, not just sampling noise.
+  // §3.1.1: store-only ~68%, retrieve-only ~30%, mixed ~2%. The session
+  // model splits retrieve budgets into the small pull-driven sessions the
+  // measured trace shows (mostly single-file), so the generated mix sits
+  // within a few points of the published split.
   EXPECT_NEAR(r.session_split.StoreShare(), paper::kStoreOnlySessionShare,
-              0.10);
+              0.03);
   EXPECT_NEAR(r.session_split.RetrieveShare(),
-              paper::kRetrieveOnlySessionShare, 0.10);
-  EXPECT_LT(r.session_split.MixedShare(), 0.05);
+              paper::kRetrieveOnlySessionShare, 0.03);
+  EXPECT_NEAR(r.session_split.MixedShare(), paper::kMixedSessionShare, 0.015);
 }
 
 TEST(Faithfulness, IntervalModelStructure) {

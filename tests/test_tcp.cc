@@ -427,5 +427,80 @@ TEST(EventQueue, RejectsPastAndNull) {
   EXPECT_THROW(q.ScheduleAt(2.0, nullptr), Error);
 }
 
+TEST(EventQueue, SameTimestampKeepsScheduleOrderAcrossCancellation) {
+  // Cancelling one of several simultaneous events must not disturb the
+  // FIFO order of the survivors.
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  const auto victim = q.ScheduleAt(1.0, [&] { order.push_back(2); });
+  q.ScheduleAt(1.0, [&] { order.push_back(3); });
+  EXPECT_TRUE(q.Cancel(victim));
+  EXPECT_EQ(q.RunAll(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelPendingEvent) {
+  EventQueue q;
+  int ran = 0;
+  const auto id = q.ScheduleAt(1.0, [&] { ++ran; });
+  EXPECT_EQ(q.Pending(), 1u);
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_EQ(q.Pending(), 0u);
+  EXPECT_TRUE(q.Empty());
+  // Cancelled events neither run nor count as executed.
+  EXPECT_EQ(q.RunAll(), 0u);
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(q.Executed(), 0u);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndRejectsRunIds) {
+  EventQueue q;
+  const auto id = q.ScheduleAt(1.0, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));  // second cancel is a no-op
+  const auto ran_id = q.ScheduleAt(2.0, [] {});
+  q.RunAll();
+  EXPECT_FALSE(q.Cancel(ran_id));  // already executed
+  EXPECT_FALSE(q.Cancel(123456));  // never issued
+}
+
+TEST(EventQueue, CancelFromInsideAnEarlierEvent) {
+  // An event may retract a later one while the queue is running.
+  EventQueue q;
+  int ran = 0;
+  EventQueue::EventId later = 0;
+  q.ScheduleAt(1.0, [&] { EXPECT_TRUE(q.Cancel(later)); });
+  later = q.ScheduleAt(2.0, [&] { ++ran; });
+  EXPECT_EQ(q.RunAll(), 1u);
+  EXPECT_EQ(ran, 0);
+  EXPECT_DOUBLE_EQ(q.Now(), 1.0);
+}
+
+TEST(Flow, ChunkDeadlineAbortsTransfer) {
+  // A starved flow hits the per-chunk deadline: the chunk is marked
+  // aborted, the flow stops, and the remaining chunks are never attempted.
+  FlowConfig cfg = BasicConfig();
+  cfg.bandwidth_bps = 8e3;  // ~64 s per 64 KiB chunk
+  cfg.chunk_deadline = 5.0;
+  const FlowSimulator sim(cfg);
+  Rng rng(7);
+  const std::vector<Bytes> chunks(3, 64 * kKiB);
+  const auto result =
+      sim.Run(chunks, Constant(0.1), Constant(0.05), StallModel{}, rng);
+  ASSERT_FALSE(result.chunks.empty());
+  EXPECT_TRUE(result.aborted);
+  EXPECT_TRUE(result.chunks.back().aborted);
+  EXPECT_LT(result.chunks.size(), 3u);  // flow ended at the abort
+
+  // Without a deadline the same flow completes.
+  cfg.chunk_deadline = 0;
+  Rng rng2(7);
+  const auto ok = FlowSimulator(cfg).Run(chunks, Constant(0.1),
+                                         Constant(0.05), StallModel{}, rng2);
+  EXPECT_FALSE(ok.aborted);
+  ASSERT_EQ(ok.chunks.size(), 3u);
+}
+
 }  // namespace
 }  // namespace mcloud::tcp

@@ -1,27 +1,34 @@
 // mcloudctl — command-line front door to the mcloud library.
 //
 //   mcloudctl generate  --users N [--pc N] [--seed S] [--threads N]
-//                       [--anonymize KEY] OUT
+//                       [--anonymize KEY] [--faults] [--fail-rate R]
+//                       [--loss-burst R] [--degraded R] [--hedge] OUT
 //   mcloudctl analyze   TRACE [--tau SECONDS|auto] [--threads N]
 //   mcloudctl sessions  TRACE [--tau SECONDS] [--top N]
 //   mcloudctl convert   IN OUT
 //   mcloudctl anonymize IN OUT --key KEY
 //   mcloudctl simulate  [--device android|ios|pc] [--direction store|retrieve]
 //                       [--file-mb N] [--seed S] [--no-ssai] [--pace]
+//   mcloudctl simulate  --fail-rate R [--loss-burst R] [--degraded R]
+//                       [--hedge] [--no-retry] [--users N] [--seed S]
 //   mcloudctl help
 //
 // Trace files are CSV (.csv) or the compact binary format (anything else);
 // the format is chosen by extension. `analyze` runs the full §3 pipeline and
 // prints the findings report; `simulate` runs one chunked transfer through
-// the TCP substrate and prints its per-chunk timeline.
+// the TCP substrate and prints its per-chunk timeline, or — when any fault
+// knob is given — a whole session fleet against the fault-injected service,
+// printing the availability report.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "analysis/availability.h"
 #include "analysis/sessionizer.h"
 #include "cloud/storage_service.h"
 #include "core/pipeline.h"
@@ -52,16 +59,36 @@ struct Args {
     return it == flags.end() ? fallback
                              : std::strtoull(it->second.c_str(), nullptr, 10);
   }
+  [[nodiscard]] double GetDouble(const std::string& key,
+                                 double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback
+                             : std::strtod(it->second.c_str(), nullptr);
+  }
 };
 
+/// Shared fault-flag parsing for `generate --faults` and fleet `simulate`.
+mcloud::fault::FaultConfig FaultsFrom(const Args& args) {
+  mcloud::fault::FaultConfig f;
+  f.frontend_fail_rate = args.GetDouble("fail-rate", 0.0);
+  f.loss_burst_rate = args.GetDouble("loss-burst", 0.0);
+  f.degraded_rate = args.GetDouble("degraded", 0.0);
+  f.seed = args.GetU64("fault-seed", f.seed);
+  return f;
+}
+
 Args Parse(int argc, char** argv, int first) {
+  // Flags that never take a value, so a following positional (e.g. the
+  // output path after `--faults`) is not swallowed as their argument.
+  static const std::set<std::string> kBooleanFlags = {
+      "no-ssai", "pace", "faults", "hedge", "no-retry"};
   Args args;
   for (int i = first; i < argc; ++i) {
     const std::string_view a = argv[i];
     if (a.rfind("--", 0) == 0) {
       const std::string key(a.substr(2));
       // Boolean flags take no value; value flags consume the next token.
-      if (i + 1 < argc && argv[i + 1][0] != '-') {
+      if (!kBooleanFlags.count(key) && i + 1 < argc && argv[i + 1][0] != '-') {
         args.flags[key] = argv[++i];
       } else {
         args.flags[key] = "";
@@ -92,13 +119,16 @@ int Usage() {
   std::fputs(
       "usage: mcloudctl COMMAND ...\n"
       "  generate  --users N [--pc N] [--seed S] [--threads N]\n"
-      "            [--anonymize KEY] OUT\n"
+      "            [--anonymize KEY] [--faults] [--fail-rate R]\n"
+      "            [--loss-burst R] [--degraded R] [--hedge] OUT\n"
       "  analyze   TRACE [--tau SECONDS|auto] [--threads N]\n"
       "  sessions  TRACE [--tau SECONDS] [--top N]\n"
       "  convert   IN OUT\n"
       "  anonymize IN OUT --key KEY\n"
       "  simulate  [--device android|ios|pc] [--direction store|retrieve]\n"
       "            [--file-mb N] [--seed S] [--no-ssai] [--pace]\n"
+      "  simulate  --fail-rate R [--loss-burst R] [--degraded R] [--hedge]\n"
+      "            [--no-retry] [--users N] [--seed S]\n"
       "Trace format is picked by extension: .csv is CSV, anything else is\n"
       "the compact binary format. --threads 0 (the default) uses all\n"
       "hardware threads; output is identical for every thread count.\n",
@@ -119,7 +149,26 @@ int CmdGenerate(const Args& args) {
                "generating: %zu mobile users, %zu PC-only, seed %llu...\n",
                cfg.population.mobile_users, cfg.population.pc_only_users,
                static_cast<unsigned long long>(cfg.seed));
-  auto w = workload::WorkloadGenerator(cfg).Generate();
+  workload::Workload w;
+  if (args.Has("faults")) {
+    // Route the plans through the full storage service under fault
+    // injection: the emitted trace is what the measurement pipeline would
+    // have logged while front-ends crash and clients retry. Much slower
+    // than the fast-path emitter (per-chunk TCP simulation).
+    cloud::ServiceConfig svc;
+    svc.faults = FaultsFrom(args);
+    if (!svc.faults.Any()) svc.faults.frontend_fail_rate = 0.01;
+    if (args.Has("hedge")) svc.retry.hedge = true;
+    w = workload::WorkloadGenerator(cfg).GeneratePlansOnly();
+    cloud::StorageService service(svc);
+    auto result = service.Execute(w.sessions);
+    std::fputs(
+        analysis::RenderAvailability(analysis::Availability(result)).c_str(),
+        stderr);
+    w.trace = std::move(result.logs);
+  } else {
+    w = workload::WorkloadGenerator(cfg).Generate();
+  }
   if (args.Has("anonymize")) {
     w.trace = Anonymizer(args.Get("anonymize")).Apply(w.trace);
   }
@@ -194,7 +243,47 @@ int CmdAnonymize(const Args& args) {
   return 0;
 }
 
+/// Fleet simulation under fault injection: generate session plans for a
+/// small population, execute them against the storage service with the
+/// requested failure/loss/degradation rates, and print the availability
+/// report.
+int CmdSimulateFleet(const Args& args) {
+  workload::WorkloadConfig wcfg;
+  wcfg.population.mobile_users = args.GetU64("users", 400);
+  wcfg.population.pc_only_users =
+      args.GetU64("pc", wcfg.population.mobile_users / 3);
+  wcfg.seed = args.GetU64("seed", 42);
+  const auto w = workload::WorkloadGenerator(wcfg).GeneratePlansOnly();
+
+  cloud::ServiceConfig cfg;
+  cfg.faults = FaultsFrom(args);
+  if (args.Has("no-retry")) cfg.retry = fault::RetryPolicy::None();
+  if (args.Has("hedge")) cfg.retry.hedge = true;
+
+  std::fprintf(stderr,
+               "simulating %zu sessions: fail-rate %.3f, loss-burst %.3f, "
+               "degraded %.3f, %s\n",
+               w.sessions.size(), cfg.faults.frontend_fail_rate,
+               cfg.faults.loss_burst_rate, cfg.faults.degraded_rate,
+               args.Has("no-retry")  ? "no retries"
+               : cfg.retry.hedge ? "default retry policy + hedging"
+                                 : "default retry policy");
+  cloud::StorageService service(cfg);
+  const auto result = service.Execute(w.sessions);
+  std::fputs(
+      analysis::RenderAvailability(analysis::Availability(result)).c_str(),
+      stdout);
+  const auto by_device = analysis::SuccessRateByDevice(result);
+  std::printf("  success by device   android %.4f  ios %.4f  pc %.4f\n",
+              by_device[0], by_device[1], by_device[2]);
+  return 0;
+}
+
 int CmdSimulate(const Args& args) {
+  if (args.Has("fail-rate") || args.Has("loss-burst") ||
+      args.Has("degraded") || args.Has("hedge") || args.Has("no-retry")) {
+    return CmdSimulateFleet(args);
+  }
   const std::string device = args.Get("device", "android");
   cloud::ServiceConfig cfg;
   cfg.ssai_enabled = !args.Has("no-ssai");
