@@ -50,6 +50,7 @@ struct Sample {
   int threads = 0;
   double generate_s = 0;
   double analyze_s = 0;
+  mcloud::core::StageTimings stages;
   std::uint64_t fingerprint = 0;
 };
 
@@ -96,13 +97,15 @@ int main(int argc, char** argv) {
     core::PipelineOptions opts;
     opts.threads = threads;
     t0 = Clock::now();
-    const auto report = core::AnalysisPipeline(opts).Run(w.trace);
+    const auto report = core::AnalysisPipeline(opts).Run(w.trace, &s.stages);
     s.analyze_s = SecondsSince(t0);
 
     std::fprintf(stderr,
                  "threads=%2d  generate %.2fs  analyze %.2fs  "
+                 "(scan %.2f sess %.2f user %.2f fits %.2f)  "
                  "fingerprint %016llx\n",
-                 threads, s.generate_s, s.analyze_s,
+                 threads, s.generate_s, s.analyze_s, s.stages.scan_s,
+                 s.stages.sessionize_s, s.stages.per_user_s, s.stages.fits_s,
                  static_cast<unsigned long long>(s.fingerprint));
     samples.push_back(s);
   }
@@ -134,11 +137,16 @@ int main(int argc, char** argv) {
                  "    {\"threads\": %d, \"generate_seconds\": %.3f, "
                  "\"generate_records_per_second\": %.0f, "
                  "\"generate_speedup\": %.2f, "
-                 "\"analyze_seconds\": %.3f, \"analyze_speedup\": %.2f}%s\n",
+                 "\"analyze_seconds\": %.3f, \"analyze_speedup\": %.2f, "
+                 "\"analyze_scan_seconds\": %.3f, "
+                 "\"analyze_sessionize_seconds\": %.3f, "
+                 "\"analyze_per_user_seconds\": %.3f, "
+                 "\"analyze_fit_seconds\": %.3f}%s\n",
                  s.threads, s.generate_s,
                  static_cast<double>(records) / s.generate_s,
                  base_gen / s.generate_s, s.analyze_s,
-                 base_ana / s.analyze_s,
+                 base_ana / s.analyze_s, s.stages.scan_s,
+                 s.stages.sessionize_s, s.stages.per_user_s, s.stages.fits_s,
                  i + 1 < samples.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -1,0 +1,325 @@
+// AoS vs columnar analysis engine comparison (PR "columnar TraceStore").
+//
+//   bench_pr3_columnar [--users N] [--out FILE.json]
+//                      [--min-engine-speedup X] [--tmp DIR]
+//
+// The parent process generates the PR1 workload once, writes it as both a
+// v1 (row-wise) and a v2 (columnar) binary trace, then re-executes itself
+// once per (engine, threads) configuration so each run's peak RSS is
+// measured in a fresh address space:
+//
+//   * engine "aos":      ReadBinaryTrace(v1)  → AnalysisPipeline::RunAos
+//   * engine "columnar": ReadColumnarTrace(v2, kAnalysisColumns)
+//                        → AnalysisPipeline::Run(TraceStore)
+//
+// Each child prints one JSON object: per-stage timings (StageTimings), the
+// FullReport fingerprint, and getrusage peak RSS. The parent asserts that
+// every configuration produced a bit-identical report and that the columnar
+// engine's record-processing throughput (scan + sessionize + per-user
+// stages; model fitting is shared code and excluded) beats the AoS engine
+// by at least --min-engine-speedup at threads=1, then writes BENCH_PR3.json.
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "trace/log_io.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace mcloud;
+using Clock = std::chrono::steady_clock;
+
+double Since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+long PeakRssKb() {
+  rusage u{};
+  if (getrusage(RUSAGE_SELF, &u) != 0) return 0;
+  return u.ru_maxrss;  // kilobytes on Linux
+}
+
+std::string SelfExe(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
+}
+
+// ---- child: one (engine, threads) measurement ----
+
+int RunChild(const std::string& mode, int threads, const std::string& v1,
+             const std::string& v2) {
+  core::PipelineOptions opts;
+  opts.threads = threads;
+  const core::AnalysisPipeline pipeline(opts);
+  core::StageTimings t;
+  core::FullReport report;
+  std::size_t records = 0;
+
+  const auto t0 = Clock::now();
+  double load_s = 0;
+  if (mode == "aos") {
+    const std::vector<LogRecord> trace = ReadBinaryTrace(v1);
+    load_s = Since(t0);
+    records = trace.size();
+    report = pipeline.RunAos(trace, &t);
+  } else {
+    const TraceStore store = ReadColumnarTrace(v2, kAnalysisColumns);
+    load_s = Since(t0);
+    records = store.rows();
+    report = pipeline.Run(store, &t);
+  }
+
+  std::printf("{\"mode\": \"%s\", \"threads\": %d, \"records\": %zu, "
+              "\"fingerprint\": \"%016" PRIx64 "\", \"load_s\": %.4f, "
+              "\"scan_s\": %.4f, \"sessionize_s\": %.4f, "
+              "\"per_user_s\": %.4f, \"fits_s\": %.4f, \"total_s\": %.4f, "
+              "\"max_rss_kb\": %ld}\n",
+              mode.c_str(), threads, records,
+              core::FingerprintReport(report), load_s, t.scan_s,
+              t.sessionize_s, t.per_user_s, t.fits_s, t.total_s, PeakRssKb());
+  return 0;
+}
+
+// ---- parent: sweep + JSON aggregation ----
+
+struct Sample {
+  std::string mode;
+  int threads = 0;
+  std::size_t records = 0;
+  std::string fingerprint;
+  double load_s = 0, scan_s = 0, sessionize_s = 0, per_user_s = 0;
+  double fits_s = 0, total_s = 0;
+  long max_rss_kb = 0;
+
+  [[nodiscard]] double EngineSeconds() const {
+    return scan_s + sessionize_s + per_user_s;
+  }
+};
+
+double JsonNum(const std::string& s, const char* key) {
+  const std::string needle = std::string("\"") + key + "\": ";
+  const auto pos = s.find(needle);
+  if (pos == std::string::npos) return 0;
+  return std::strtod(s.c_str() + pos + needle.size(), nullptr);
+}
+
+std::string JsonStr(const std::string& s, const char* key) {
+  const std::string needle = std::string("\"") + key + "\": \"";
+  const auto pos = s.find(needle);
+  if (pos == std::string::npos) return "";
+  const auto begin = pos + needle.size();
+  return s.substr(begin, s.find('"', begin) - begin);
+}
+
+bool RunOne(const std::string& exe, const std::string& mode, int threads,
+            const std::string& v1, const std::string& v2, Sample* out) {
+  const std::string cmd = exe + " --child " + mode +
+                          " --threads " + std::to_string(threads) +
+                          " --v1 " + v1 + " --v2 " + v2;
+  std::FILE* p = popen(cmd.c_str(), "r");
+  if (p == nullptr) return false;
+  std::string output;
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), p) != nullptr) output += buf;
+  if (pclose(p) != 0) {
+    std::fprintf(stderr, "child failed: %s\n", cmd.c_str());
+    return false;
+  }
+  out->mode = mode;
+  out->threads = threads;
+  out->records = static_cast<std::size_t>(JsonNum(output, "records"));
+  out->fingerprint = JsonStr(output, "fingerprint");
+  out->load_s = JsonNum(output, "load_s");
+  out->scan_s = JsonNum(output, "scan_s");
+  out->sessionize_s = JsonNum(output, "sessionize_s");
+  out->per_user_s = JsonNum(output, "per_user_s");
+  out->fits_s = JsonNum(output, "fits_s");
+  out->total_s = JsonNum(output, "total_s");
+  out->max_rss_kb = static_cast<long>(JsonNum(output, "max_rss_kb"));
+  return !out->fingerprint.empty() && out->records > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t users = 20000;
+  std::string out_path = "BENCH_PR3.json";
+  std::string tmp_dir = ".";
+  double min_engine_speedup = 3.0;
+  std::string child_mode;
+  int child_threads = 1;
+  std::string v1_path;
+  std::string v2_path;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--users") == 0) {
+      users = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--tmp") == 0) {
+      tmp_dir = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--min-engine-speedup") == 0) {
+      min_engine_speedup = std::strtod(argv[i + 1], nullptr);
+    } else if (std::strcmp(argv[i], "--child") == 0) {
+      child_mode = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      child_threads = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--v1") == 0) {
+      v1_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--v2") == 0) {
+      v2_path = argv[i + 1];
+    }
+  }
+  if (!child_mode.empty()) {
+    return RunChild(child_mode, child_threads, v1_path, v2_path);
+  }
+
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<int> sweep = {1, 4};
+  if (std::find(sweep.begin(), sweep.end(), hw) == sweep.end())
+    sweep.push_back(hw);
+
+  workload::WorkloadConfig cfg;
+  cfg.population.mobile_users = users;
+  cfg.population.pc_only_users = users / 3;
+  cfg.seed = 42;
+  std::fprintf(stderr, "generating %zu mobile users...\n", users);
+  const auto t0 = Clock::now();
+  const auto w = workload::WorkloadGenerator(cfg).GenerateColumnar();
+  std::fprintf(stderr, "generated %zu records in %.1fs\n", w.trace.rows(),
+               Since(t0));
+
+  v1_path = tmp_dir + "/bench_pr3_trace.v1bin";
+  v2_path = tmp_dir + "/bench_pr3_trace.v2";
+  WriteBinaryTrace(v1_path, w.trace.ToRecords());
+  WriteColumnarTrace(v2_path, w.trace);
+  const auto v1_bytes = std::filesystem::file_size(v1_path);
+  const auto v2_bytes = std::filesystem::file_size(v2_path);
+
+  const std::string exe = SelfExe(argv[0]);
+  std::vector<Sample> samples;
+  bool ok = true;
+  for (const char* mode : {"aos", "columnar"}) {
+    for (const int threads : sweep) {
+      Sample s;
+      if (!RunOne(exe, mode, threads, v1_path, v2_path, &s)) {
+        ok = false;
+        continue;
+      }
+      std::fprintf(stderr,
+                   "%-8s threads=%d  load %.2fs  engine %.2fs "
+                   "(scan %.2f sess %.2f user %.2f)  fits %.2fs  "
+                   "total %.2fs  rss %ld MB  fp %s\n",
+                   s.mode.c_str(), s.threads, s.load_s, s.EngineSeconds(),
+                   s.scan_s, s.sessionize_s, s.per_user_s, s.fits_s,
+                   s.total_s, s.max_rss_kb / 1024, s.fingerprint.c_str());
+      samples.push_back(s);
+    }
+  }
+  std::filesystem::remove(v1_path);
+  std::filesystem::remove(v2_path);
+  if (!ok || samples.empty()) {
+    std::fprintf(stderr, "FAIL: child runs failed\n");
+    return 1;
+  }
+
+  bool identical = true;
+  for (const Sample& s : samples)
+    identical = identical && s.fingerprint == samples.front().fingerprint;
+
+  const auto find = [&](const char* mode, int threads) -> const Sample* {
+    for (const Sample& s : samples)
+      if (s.mode == mode && s.threads == threads) return &s;
+    return nullptr;
+  };
+  const Sample* aos1 = find("aos", 1);
+  const Sample* col1 = find("columnar", 1);
+  double engine_speedup = 0;
+  double total_speedup = 0;
+  double rss_ratio = 0;
+  if (aos1 != nullptr && col1 != nullptr) {
+    engine_speedup = aos1->EngineSeconds() / col1->EngineSeconds();
+    total_speedup = aos1->total_s / col1->total_s;
+    rss_ratio = static_cast<double>(aos1->max_rss_kb) /
+                static_cast<double>(col1->max_rss_kb);
+  }
+  const bool pass =
+      identical && engine_speedup >= min_engine_speedup && rss_ratio >= 1.0;
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  const std::size_t records = samples.front().records;
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"benchmark\": \"pr3_columnar_vs_aos\",\n"
+      "  \"mobile_users\": %zu,\n"
+      "  \"trace_records\": %zu,\n"
+      "  \"hardware_threads\": %d,\n"
+      "  \"v1_file_bytes_per_record\": %.1f,\n"
+      "  \"v2_file_bytes_per_record\": %.1f,\n"
+      "  \"reports_bit_identical\": %s,\n"
+      "  \"engine_speedup_threads1\": %.2f,\n"
+      "  \"total_speedup_threads1\": %.2f,\n"
+      "  \"rss_ratio_threads1\": %.2f,\n"
+      "  \"min_engine_speedup_required\": %.2f,\n"
+      "  \"pass\": %s,\n"
+      "  \"note\": \"engine_seconds = scan + sessionize + per-user stage "
+      "time (record processing); model fitting is shared code between both "
+      "engines and reported separately as fits_seconds\",\n"
+      "  \"samples\": [\n",
+      users, records, hw,
+      static_cast<double>(v1_bytes) / static_cast<double>(records),
+      static_cast<double>(v2_bytes) / static_cast<double>(records),
+      identical ? "true" : "false", engine_speedup, total_speedup, rss_ratio,
+      min_engine_speedup, pass ? "true" : "false");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(
+        f,
+        "    {\"engine\": \"%s\", \"threads\": %d, "
+        "\"fingerprint\": \"%s\", \"load_seconds\": %.3f, "
+        "\"scan_seconds\": %.3f, \"sessionize_seconds\": %.3f, "
+        "\"per_user_seconds\": %.3f, \"fits_seconds\": %.3f, "
+        "\"total_seconds\": %.3f, \"engine_records_per_second\": %.0f, "
+        "\"total_records_per_second\": %.0f, \"peak_rss_kb\": %ld, "
+        "\"rss_bytes_per_record\": %.1f}%s\n",
+        s.mode.c_str(), s.threads, s.fingerprint.c_str(), s.load_s, s.scan_s,
+        s.sessionize_s, s.per_user_s, s.fits_s, s.total_s,
+        static_cast<double>(s.records) / s.EngineSeconds(),
+        static_cast<double>(s.records) / s.total_s,
+        s.max_rss_kb,
+        static_cast<double>(s.max_rss_kb) * 1024.0 /
+            static_cast<double>(s.records),
+        i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+
+  std::fprintf(stderr,
+               "wrote %s: identical=%s engine_speedup=%.2fx (need %.2fx) "
+               "rss_ratio=%.2fx -> %s\n",
+               out_path.c_str(), identical ? "yes" : "NO", engine_speedup,
+               min_engine_speedup, rss_ratio, pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -30,6 +30,12 @@ struct FileSizeModelOptions {
   double weight_floor = 2e-3;
   std::size_t chi_square_bins = 40;
   std::size_t grid_points = 48;
+  /// Samples at or above this count are collapsed into `fit_bins` log-spaced
+  /// (mean, count) pairs before EM, making every iteration O(bins) instead
+  /// of O(n). Chi-square and the CCDF series always use the full sample.
+  /// Set to 0 to disable binned fitting.
+  std::size_t binned_fit_threshold = 8192;
+  std::size_t fit_bins = 2048;
 };
 
 /// Fit the full Fig 6 pipeline to per-session average file sizes (MB).

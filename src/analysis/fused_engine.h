@@ -1,0 +1,72 @@
+// Fused single-pass analysis over a columnar TraceStore.
+//
+// The AoS pipeline's first-touch stages — sessionizer, usage_patterns,
+// engagement inputs, interval_model sampling, the §2.2 overview counts —
+// each re-scan the trace and rediscover per-user structure through
+// unordered_map probes on sparse 64-bit user ids. Over a TraceStore those
+// collapse into two passes:
+//
+//   * FusedRowPass — one walk in row (= time) order over the mobile rows,
+//     producing the Fig 1 hourly series, the Fig 3 inter-op interval sample
+//     (via a dense per-user last-op array instead of a hash map), and the
+//     overview's record counts. Row order preserves the AoS floating-point
+//     accumulation order exactly.
+//   * FusedPerUserPass — a second row-order walk carrying dense per-user
+//     cursor arrays (a few MB of hot state instead of per-user row
+//     gathers), producing both sessionizations (full trace and mobile
+//     slice), both per-user usage tables, and the distinct-device count.
+//     Within one user, row order equals run order, so every cursor folds
+//     the exact record sequence the AoS sessionizer sees; a final sort by
+//     (user, begin) — the same sort the AoS path ends with, over unique
+//     keys — restores the canonical order, so downstream consumers receive
+//     bit-identical inputs at every thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/sessionizer.h"
+#include "analysis/usage_patterns.h"
+#include "analysis/workload_timeseries.h"
+#include "trace/trace_store.h"
+#include "util/parallel.h"
+
+namespace mcloud::analysis {
+
+/// Row-order (time-order) results: Fig 1 series, Fig 3 sample, §2.2 counts.
+struct FusedRowPassResult {
+  WorkloadTimeseries timeseries;
+  /// Inter-file-operation gaps (seconds) of mobile users, in trace order —
+  /// the exact sample InterOpIntervalsFrom(mobile view) produces.
+  std::vector<double> intervals;
+  std::size_t mobile_records = 0;
+  std::size_t android_records = 0;
+};
+
+[[nodiscard]] FusedRowPassResult FusedRowPass(const TraceStore& store,
+                                              UnixSeconds trace_start,
+                                              int days);
+
+/// Per-user-run results: sessions, usage tables, device/user counts.
+struct FusedPerUserResult {
+  /// Sessions over the full trace, in (user_id, begin) order.
+  std::vector<Session> sessions;
+  /// Sessions over the mobile rows only, in (user_id, begin) order.
+  std::vector<Session> mobile_sessions;
+  /// Per-user usage over the full trace, ascending user_id (one entry per
+  /// store user — every user has at least one record).
+  std::vector<UserUsage> usage;
+  /// Per-user usage over the mobile rows only, ascending user_id (users
+  /// with no mobile record are absent).
+  std::vector<UserUsage> mobile_usage;
+  std::size_t mobile_users = 0;    ///< users with >= 1 mobile record
+  std::size_t mobile_devices = 0;  ///< distinct mobile device ids
+};
+
+/// One row-order pass with dense per-user cursors. `tau` is the session gap
+/// threshold (see Sessionizer); `pool` runs the final canonical sorts.
+[[nodiscard]] FusedPerUserResult FusedPerUserPass(const TraceStore& store,
+                                                  Seconds tau,
+                                                  ThreadPool& pool);
+
+}  // namespace mcloud::analysis

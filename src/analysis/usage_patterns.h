@@ -2,6 +2,7 @@
 // volumes, the volume-ratio CDFs, and the four-class user taxonomy.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <span>
 #include <unordered_map>
@@ -71,6 +72,13 @@ template <typename Range>
       usage.mobile_devices = it->second.size();
     out.push_back(usage);
   }
+  // Canonical ascending-user order: downstream consumers sum in vector
+  // order, and the columnar engine emits this order natively — sorting here
+  // makes both paths bit-identical (and the result hash-order independent).
+  std::sort(out.begin(), out.end(),
+            [](const UserUsage& a, const UserUsage& b) {
+              return a.user_id < b.user_id;
+            });
   return out;
 }
 

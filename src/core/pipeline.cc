@@ -1,29 +1,170 @@
 #include "core/pipeline.h"
 
+#include <chrono>
 #include <functional>
 #include <unordered_set>
+#include <utility>
 
+#include "analysis/fused_engine.h"
 #include "analysis/sessionizer.h"
 #include "trace/filters.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
 namespace mcloud::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// The stages both engines share once the sessions and usage tables exist.
+/// Every input is read-only and every stage writes disjoint report fields,
+/// so the stages run concurrently; inputs are canonical (ascending user /
+/// (user, begin) order), making the outputs engine-independent bit for bit.
+void RunSharedStages(ThreadPool& pool, const PipelineOptions& options,
+                     const std::vector<analysis::UserUsage>& usage,
+                     const std::vector<analysis::UserUsage>& mobile_usage,
+                     const std::vector<analysis::Session>& sessions,
+                     const std::vector<analysis::Session>& mobile_sessions,
+                     FullReport& report, double& per_user_s, double& fits_s) {
+  double t_columns = 0;
+  double t_stats = 0;
+  double t_store_fit = 0;
+  double t_retrieve_fit = 0;
+  double t_engagement = 0;
+  double t_activity = 0;
+  ParallelInvoke(
+      pool,
+      {
+          [&] {
+            const auto t0 = Clock::now();
+            report.mobile_only_column = analysis::BuildUserTypeColumn(
+                usage, analysis::DeviceProfile::kMobileOnly);
+            report.mobile_pc_column = analysis::BuildUserTypeColumn(
+                usage, analysis::DeviceProfile::kMobileAndPc);
+            report.pc_only_column = analysis::BuildUserTypeColumn(
+                usage, analysis::DeviceProfile::kPcOnly);
+            t_columns = Since(t0);
+          },
+          [&] {
+            const auto t0 = Clock::now();
+            report.session_split = analysis::ClassifySessions(mobile_sessions);
+            report.burstiness =
+                analysis::NormalizedOperatingTimes(mobile_sessions);
+            t_stats = Since(t0);
+          },
+          [&] {
+            const auto t0 = Clock::now();
+            report.store_size_model = analysis::FitFileSizeModel(
+                analysis::AvgFileSizeSample(
+                    mobile_sessions, analysis::Session::Type::kStoreOnly));
+            t_store_fit = Since(t0);
+          },
+          [&] {
+            const auto t0 = Clock::now();
+            report.retrieve_size_model = analysis::FitFileSizeModel(
+                analysis::AvgFileSizeSample(
+                    mobile_sessions, analysis::Session::Type::kRetrieveOnly));
+            t_retrieve_fit = Since(t0);
+          },
+          [&] {
+            const auto t0 = Clock::now();
+            report.engagement = analysis::ReturnCurves(
+                sessions, usage, options.trace_start, options.days);
+            report.retrieval_returns = analysis::RetrievalReturns(
+                sessions, usage, options.trace_start, options.days);
+            t_engagement = Since(t0);
+          },
+          [&] {
+            const auto t0 = Clock::now();
+            report.store_activity =
+                analysis::FitActivity(mobile_usage, Direction::kStore);
+            report.retrieve_activity =
+                analysis::FitActivity(mobile_usage, Direction::kRetrieve);
+            t_activity = Since(t0);
+          },
+      });
+  per_user_s += t_columns + t_stats + t_engagement;
+  fits_s += t_store_fit + t_retrieve_fit + t_activity;
+}
+
+}  // namespace
 
 AnalysisPipeline::AnalysisPipeline(const PipelineOptions& options)
     : options_(options) {
   MCLOUD_REQUIRE(options.days >= 1, "need at least one day");
 }
 
-// The §3 analyses form a small dependency DAG: everything below reads the
-// trace (or its mobile slice) and writes disjoint FullReport fields, so the
-// independent stages of each phase run concurrently on the pool. Only two
-// order edges exist: τ (phase 1, interval model) gates both sessionizations,
-// and the engagement curves (phase 3) additionally need the usage columns'
-// input (phase 1). Every stage is a pure function of read-only inputs, so
-// the report is identical for every thread count.
-FullReport AnalysisPipeline::Run(std::span<const LogRecord> trace) const {
+FullReport AnalysisPipeline::Run(std::span<const LogRecord> trace,
+                                 StageTimings* timings) const {
   MCLOUD_REQUIRE(!trace.empty(), "empty trace");
+  const TraceStore store = TraceStore::FromRecords(trace, options_.trace_start);
+  return Run(store, timings);
+}
+
+// The columnar engine: two fused passes over the store's indexes replace
+// the AoS engine's six first-touch scans, then the shared stages run on
+// the pool. See analysis/fused_engine.h for why each pass reproduces the
+// AoS accumulation order exactly.
+FullReport AnalysisPipeline::Run(const TraceStore& store,
+                                 StageTimings* timings) const {
+  MCLOUD_REQUIRE(!store.empty(), "empty trace");
+  const auto t_total = Clock::now();
+  StageTimings t;
+  ThreadPool pool(options_.threads);
+  FullReport report;
+  report.records = store.rows();
+
+  // Row-order pass: Fig 1 series, Fig 3 sample, §2.2 record counts.
+  auto t0 = Clock::now();
+  analysis::FusedRowPassResult row =
+      analysis::FusedRowPass(store, options_.trace_start, options_.days);
+  t.scan_s += Since(t0);
+  report.timeseries = std::move(row.timeseries);
+  report.android_access_share =
+      row.mobile_records == 0
+          ? 0
+          : static_cast<double>(row.android_records) /
+                static_cast<double>(row.mobile_records);
+
+  t0 = Clock::now();
+  report.interval_model = analysis::FitIntervalModel(row.intervals);
+  t.fits_s += Since(t0);
+  const Seconds tau = options_.session_tau > 0
+                          ? options_.session_tau
+                          : report.interval_model.valley_tau;
+
+  // Per-user-run pass: both sessionizations + both usage tables, fused.
+  t0 = Clock::now();
+  analysis::FusedPerUserResult per_user =
+      analysis::FusedPerUserPass(store, tau, pool);
+  t.sessionize_s += Since(t0);
+  report.mobile_users = per_user.mobile_users;
+  report.mobile_devices = per_user.mobile_devices;
+
+  RunSharedStages(pool, options_, per_user.usage, per_user.mobile_usage,
+                  per_user.sessions, per_user.mobile_sessions, report,
+                  t.per_user_s, t.fits_s);
+  t.total_s = Since(t_total);
+  if (timings) *timings = t;
+  return report;
+}
+
+// The legacy AoS engine. The §3 analyses form a small dependency DAG:
+// everything below reads the trace (or its mobile slice) and writes
+// disjoint FullReport fields, so the independent stages of each phase run
+// concurrently on the pool. Only two order edges exist: τ (phase 1,
+// interval model) gates both sessionizations, and the shared stages need
+// the usage tables and sessions. Every stage is a pure function of
+// read-only inputs, so the report is identical for every thread count.
+FullReport AnalysisPipeline::RunAos(std::span<const LogRecord> trace,
+                                    StageTimings* timings) const {
+  MCLOUD_REQUIRE(!trace.empty(), "empty trace");
+  const auto t_total = Clock::now();
+  StageTimings t;
   ThreadPool pool(options_.threads);
   FullReport report;
 
@@ -33,8 +174,13 @@ FullReport AnalysisPipeline::Run(std::span<const LogRecord> trace) const {
 
   // Cross-phase intermediates.
   Seconds tau = 0;
-  std::vector<analysis::Session> mobile_sessions;
   std::vector<analysis::UserUsage> usage;
+  std::vector<analysis::UserUsage> mobile_usage;
+  double t_overview = 0;
+  double t_interval_scan = 0;
+  double t_interval_fit = 0;
+  double t_usage = 0;
+  double t_mobile_usage = 0;
 
   // --- Phase 1: stages that depend only on the trace / mobile slice.
   ParallelInvoke(
@@ -43,6 +189,7 @@ FullReport AnalysisPipeline::Run(std::span<const LogRecord> trace) const {
           [&] {
             // Dataset overview (§2.2; mobile figures count mobile records
             // only) and the Fig 1 workload pattern (§2.4), in one pass each.
+            const auto t0 = Clock::now();
             report.records = trace.size();
             std::unordered_set<std::uint64_t> users;
             std::unordered_set<std::uint64_t> devices;
@@ -60,78 +207,66 @@ FullReport AnalysisPipeline::Run(std::span<const LogRecord> trace) const {
                                      static_cast<double>(mobile.size());
             report.timeseries = analysis::BuildTimeseriesFrom(
                 mobile, options_.trace_start, options_.days);
+            t_overview = Since(t0);
           },
           [&] {
             // Interval model (§3.1.1) and the τ every sessionization uses.
+            auto t0 = Clock::now();
             const std::vector<double> intervals =
                 analysis::InterOpIntervalsFrom(mobile);
+            t_interval_scan = Since(t0);
+            t0 = Clock::now();
             report.interval_model = analysis::FitIntervalModel(intervals);
+            t_interval_fit = Since(t0);
             tau = options_.session_tau > 0 ? options_.session_tau
                                            : report.interval_model.valley_tau;
           },
           [&] {
             // Usage patterns (§3.2) need the full mobile+PC view.
+            const auto t0 = Clock::now();
             usage = analysis::BuildUserUsage(trace);
+            t_usage = Since(t0);
           },
           [&] {
-            // Activity models (§3.2.3) over mobile users' operations.
-            const std::vector<analysis::UserUsage> mobile_usage =
-                analysis::BuildUserUsageFrom(mobile);
-            report.store_activity =
-                analysis::FitActivity(mobile_usage, Direction::kStore);
-            report.retrieve_activity =
-                analysis::FitActivity(mobile_usage, Direction::kRetrieve);
+            // Per-user activity counts (§3.2.3) over mobile records only.
+            const auto t0 = Clock::now();
+            mobile_usage = analysis::BuildUserUsageFrom(mobile);
+            t_mobile_usage = Since(t0);
           },
       });
+  t.scan_s += t_overview + t_interval_scan;
+  t.fits_s += t_interval_fit;
+  t.per_user_s += t_usage + t_mobile_usage;
 
-  // --- Phase 2: session identification (needs τ) and its dependents.
+  // --- Phase 2: session identification (needs τ).
   const analysis::Sessionizer sessionizer(tau);
+  std::vector<analysis::Session> mobile_sessions;
   std::vector<analysis::Session> all_sessions;
+  double t_sessionize_mobile = 0;
+  double t_sessionize_all = 0;
   ParallelInvoke(pool,
                  {
-                     [&] { mobile_sessions = sessionizer.SessionizeRange(mobile); },
+                     [&] {
+                       const auto t0 = Clock::now();
+                       mobile_sessions = sessionizer.SessionizeRange(mobile);
+                       t_sessionize_mobile = Since(t0);
+                     },
                      [&] {
                        // Engagement counts PC sessions as activity too.
+                       const auto t0 = Clock::now();
                        all_sessions = sessionizer.Sessionize(trace);
-                     },
-                     [&] {
-                       report.mobile_only_column = analysis::BuildUserTypeColumn(
-                           usage, analysis::DeviceProfile::kMobileOnly);
-                       report.mobile_pc_column = analysis::BuildUserTypeColumn(
-                           usage, analysis::DeviceProfile::kMobileAndPc);
-                       report.pc_only_column = analysis::BuildUserTypeColumn(
-                           usage, analysis::DeviceProfile::kPcOnly);
+                       t_sessionize_all = Since(t0);
                      },
                  });
+  t.sessionize_s += t_sessionize_mobile + t_sessionize_all;
 
-  // --- Phase 3: per-session figures and the return curves. The two file-
-  // size EM fits are the heaviest stages of the whole pipeline; they run
-  // concurrently with each other and with the engagement analyses.
-  ParallelInvoke(
-      pool,
-      {
-          [&] {
-            report.session_split = analysis::ClassifySessions(mobile_sessions);
-            report.burstiness =
-                analysis::NormalizedOperatingTimes(mobile_sessions);
-          },
-          [&] {
-            report.store_size_model = analysis::FitFileSizeModel(
-                analysis::AvgFileSizeSample(
-                    mobile_sessions, analysis::Session::Type::kStoreOnly));
-          },
-          [&] {
-            report.retrieve_size_model = analysis::FitFileSizeModel(
-                analysis::AvgFileSizeSample(
-                    mobile_sessions, analysis::Session::Type::kRetrieveOnly));
-          },
-          [&] {
-            report.engagement = analysis::ReturnCurves(
-                all_sessions, usage, options_.trace_start, options_.days);
-            report.retrieval_returns = analysis::RetrievalReturns(
-                all_sessions, usage, options_.trace_start, options_.days);
-          },
-      });
+  // --- Phase 3: per-session figures, return curves, and the fits. The two
+  // file-size EM fits are the heaviest stages of the whole pipeline; they
+  // run concurrently with each other and with everything else here.
+  RunSharedStages(pool, options_, usage, mobile_usage, all_sessions,
+                  mobile_sessions, report, t.per_user_s, t.fits_s);
+  t.total_s = Since(t_total);
+  if (timings) *timings = t;
   return report;
 }
 

@@ -1,12 +1,23 @@
 // AnalysisPipeline: the end-to-end §3 methodology as one call — trace in,
 // FullReport out. This is the primary public entry point of the library for
 // log-analysis consumers (see examples/quickstart.cpp).
+//
+// Two engines produce the same FullReport, bit for bit:
+//   * Run(const TraceStore&) — the columnar engine: fused row-order and
+//     per-user-run passes over the structure-of-arrays store (see
+//     analysis/fused_engine.h), then the shared fit/aggregation stages.
+//   * RunAos(span) — the legacy engine: per-stage scans over the AoS
+//     LogRecord array. Kept as the equivalence baseline and for callers
+//     that cannot build a store.
+// Run(span) is a thin adapter: it builds a TraceStore and runs the columnar
+// engine.
 #pragma once
 
 #include <span>
 
 #include "core/report.h"
 #include "trace/log_record.h"
+#include "trace/trace_store.h"
 
 namespace mcloud::core {
 
@@ -22,12 +33,38 @@ struct PipelineOptions {
   int threads = 0;
 };
 
+/// Wall-clock seconds spent per stage family, for the bench breakdowns.
+/// Stages run concurrently, so the fields can sum to more than `total_s`.
+struct StageTimings {
+  /// Row-order scans: hourly series, interval sample, overview counts.
+  double scan_s = 0;
+  /// Session identification (the columnar engine's fused per-user pass also
+  /// builds the usage tables inside this number).
+  double sessionize_s = 0;
+  /// Per-user aggregations: usage tables (AoS), Table 3 columns,
+  /// engagement curves, session statistics.
+  double per_user_s = 0;
+  /// Numeric fits: interval GMM, activity models, file-size EM mixtures.
+  double fits_s = 0;
+  double total_s = 0;
+};
+
 class AnalysisPipeline {
  public:
   explicit AnalysisPipeline(const PipelineOptions& options = {});
 
   /// Run every §3 analysis over a time-sorted trace (mobile + PC records).
-  [[nodiscard]] FullReport Run(std::span<const LogRecord> trace) const;
+  /// Converts to a TraceStore and runs the columnar engine.
+  [[nodiscard]] FullReport Run(std::span<const LogRecord> trace,
+                               StageTimings* timings = nullptr) const;
+
+  /// Columnar engine over a prebuilt store (needs kAnalysisColumns).
+  [[nodiscard]] FullReport Run(const TraceStore& store,
+                               StageTimings* timings = nullptr) const;
+
+  /// Legacy AoS engine; FullReport is bit-identical to the columnar paths.
+  [[nodiscard]] FullReport RunAos(std::span<const LogRecord> trace,
+                                  StageTimings* timings = nullptr) const;
 
   [[nodiscard]] const PipelineOptions& options() const { return options_; }
 

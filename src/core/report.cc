@@ -1,6 +1,7 @@
 #include "core/report.h"
 
 #include <cstdio>
+#include <cstring>
 
 #include "model/paper_params.h"
 #include "util/summary.h"
@@ -117,6 +118,162 @@ std::string RenderFindings(const FullReport& r) {
          "encoding/compression unnecessary; defer uploads off-peak; "
          "cold-storage friendly; SE (not power-law) activity models.\n";
   return out;
+}
+
+namespace {
+
+/// Incremental FNV-1a over 64-bit words; every scalar is widened to one
+/// word (doubles by bit pattern) so the stream is unambiguous, and vector
+/// lengths are hashed before their elements.
+class Fnv {
+ public:
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xff;
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void Size(std::size_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void Bool(bool v) { U64(v ? 1 : 0); }
+  void D(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Doubles(const std::vector<double>& v) {
+    Size(v.size());
+    for (const double x : v) D(x);
+  }
+  [[nodiscard]] std::uint64_t hash() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+void HashMixtureExponential(Fnv& f, const MixtureExponentialFit& fit) {
+  f.Size(fit.mixture.components().size());
+  for (const auto& c : fit.mixture.components()) {
+    f.D(c.weight);
+    f.D(c.mean);
+  }
+  f.D(fit.log_likelihood);
+  f.I64(fit.iterations);
+  f.Bool(fit.converged);
+}
+
+void HashFileSizeModel(Fnv& f, const analysis::FileSizeModel& m) {
+  HashMixtureExponential(f, m.selection.fit);
+  f.Size(m.selection.selected_n);
+  f.D(m.selection.rejected_weight);
+  f.D(m.chi_square.statistic);
+  f.D(m.chi_square.dof);
+  f.D(m.chi_square.p_value);
+  f.Size(m.chi_square.bins);
+  f.Bool(m.chi_square_valid);
+  f.Doubles(m.grid_mb);
+  f.Doubles(m.empirical_ccdf);
+  f.Doubles(m.model_ccdf);
+}
+
+void HashUserTypeColumn(Fnv& f, const analysis::UserTypeColumn& c) {
+  f.Size(c.users);
+  for (const double v : c.user_share) f.D(v);
+  for (const double v : c.store_share) f.D(v);
+  for (const double v : c.retrieve_share) f.D(v);
+}
+
+void HashActivity(Fnv& f, const analysis::ActivityModelResult& a) {
+  f.D(a.se.c);
+  f.D(a.se.a);
+  f.D(a.se.b);
+  f.D(a.se.x0);
+  f.D(a.se.r_squared);
+  f.D(a.power_law.slope);
+  f.D(a.power_law.intercept);
+  f.D(a.power_law.r_squared);
+  f.Size(a.power_law.n);
+  f.Size(a.active_users);
+  f.Doubles(a.ranked);
+}
+
+}  // namespace
+
+std::uint64_t FingerprintReport(const FullReport& r) {
+  Fnv f;
+  f.Size(r.records);
+  f.Size(r.mobile_users);
+  f.Size(r.mobile_devices);
+  f.D(r.android_access_share);
+
+  f.Size(r.timeseries.hours.size());
+  for (const auto& h : r.timeseries.hours) {
+    f.I64(h.hour);
+    f.D(h.store_volume_gb);
+    f.D(h.retrieve_volume_gb);
+    f.U64(h.stored_files);
+    f.U64(h.retrieved_files);
+  }
+
+  const auto& im = r.interval_model;
+  f.D(im.log10_histogram.lo());
+  f.D(im.log10_histogram.hi());
+  f.Size(im.log10_histogram.bins());
+  for (std::size_t i = 0; i < im.log10_histogram.bins(); ++i)
+    f.U64(im.log10_histogram.Count(i));
+  f.U64(im.log10_histogram.Underflow());
+  f.U64(im.log10_histogram.Overflow());
+  f.Size(im.gmm.mixture.components().size());
+  for (const auto& c : im.gmm.mixture.components()) {
+    f.D(c.weight);
+    f.D(c.mean);
+    f.D(c.stddev);
+  }
+  f.D(im.gmm.log_likelihood);
+  f.I64(im.gmm.iterations);
+  f.Bool(im.gmm.converged);
+  f.D(im.valley_tau);
+  f.D(im.gmm_tau);
+  f.D(im.intra_mean_seconds);
+  f.D(im.inter_mean_seconds);
+
+  f.Size(r.session_split.total);
+  f.Size(r.session_split.store_only);
+  f.Size(r.session_split.retrieve_only);
+  f.Size(r.session_split.mixed);
+
+  f.Size(r.burstiness.size());
+  for (const auto& g : r.burstiness) {
+    f.Size(g.min_ops_exclusive);
+    f.Doubles(g.normalized_times);
+  }
+
+  HashFileSizeModel(f, r.store_size_model);
+  HashFileSizeModel(f, r.retrieve_size_model);
+
+  HashUserTypeColumn(f, r.mobile_only_column);
+  HashUserTypeColumn(f, r.mobile_pc_column);
+  HashUserTypeColumn(f, r.pc_only_column);
+
+  f.Size(r.engagement.size());
+  for (const auto& e : r.engagement) {
+    f.U64(static_cast<std::uint64_t>(e.group));
+    f.Size(e.day1_users);
+    f.Doubles(e.active_on_day);
+    f.D(e.never_returned);
+  }
+  f.Size(r.retrieval_returns.size());
+  for (const auto& e : r.retrieval_returns) {
+    f.U64(static_cast<std::uint64_t>(e.group));
+    f.Size(e.day1_uploaders);
+    f.Doubles(e.retrieved_by_day);
+    f.D(e.never_retrieved);
+  }
+
+  HashActivity(f, r.store_activity);
+  HashActivity(f, r.retrieve_activity);
+  return f.hash();
 }
 
 }  // namespace mcloud::core

@@ -3,6 +3,7 @@
 // summary of findings and implications.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -47,5 +48,11 @@ struct FullReport {
 
 /// Render the Table 4-style findings summary (paper value vs measured).
 [[nodiscard]] std::string RenderFindings(const FullReport& report);
+
+/// Order-sensitive FNV-1a hash over every field of the report (doubles by
+/// bit pattern). Two reports fingerprint equal iff they are bit-identical —
+/// the equivalence oracle for the columnar vs AoS engines and for thread
+/// sweeps.
+[[nodiscard]] std::uint64_t FingerprintReport(const FullReport& report);
 
 }  // namespace mcloud::core

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <numeric>
 
 #include "util/error.h"
 
@@ -38,102 +40,63 @@ double MixtureExponentialLogLikelihood(const MixtureExponential& mixture,
 
 namespace {
 
-/// One EM run from the given initial components. Defined below
-/// FitMixtureExponential's doc contract; shared by the restart loop.
+/// One EM run from the given initial components; `weights` empty means every
+/// sample counts once. Shared by the restart loop of both fit entry points.
 MixtureExponentialFit RunEmFrom(
     std::vector<MixtureExponential::Component> comps,
-    std::span<const double> data, const EmOptions& opts);
-
-}  // namespace
-
-MixtureExponentialFit FitMixtureExponential(std::span<const double> data,
-                                            std::size_t k,
-                                            const EmOptions& opts) {
-  MCLOUD_REQUIRE(k >= 1, "need at least one component");
-  if (data.size() < 2 * k)
-    throw FitError("too few data points for exponential mixture EM");
-  for (double x : data) {
-    if (!(x > 0))
-      throw FitError("mixture-exponential EM needs strictly positive data");
-  }
-
-  std::vector<double> sorted(data.begin(), data.end());
-  std::sort(sorted.begin(), sorted.end());
-
-  // Deterministic multi-restart: exponential-mixture EM is riddled with
-  // local optima (split-the-bulk, merged-tail). Each restart places the
-  // initial means at a different quantile schedule — strongly tail-biased
-  // (0.5, 0.95, 0.995…), mildly tail-biased, and evenly spread — and the
-  // run with the best likelihood wins.
-  const auto means_at = [&](std::span<const double> qs) {
-    std::vector<MixtureExponential::Component> comps(k);
-    for (std::size_t j = 0; j < k; ++j) {
-      const auto idx = static_cast<std::size_t>(
-          qs[j] * static_cast<double>(sorted.size() - 1));
-      comps[j].mean = std::max(sorted[idx], 1e-9);
-      comps[j].weight = 1.0 / static_cast<double>(k);
-    }
-    for (std::size_t j = 1; j < k; ++j) {
-      if (comps[j].mean <= comps[j - 1].mean)
-        comps[j].mean = comps[j - 1].mean * 2.0;
-    }
-    return comps;
-  };
-
-  std::vector<std::vector<double>> schedules;
-  {
-    std::vector<double> strong(k);
-    std::vector<double> mild(k);
-    std::vector<double> even(k);
-    for (std::size_t j = 0; j < k; ++j) {
-      strong[j] = 1.0 - 0.5 * std::pow(0.1, static_cast<double>(j));
-      mild[j] = 1.0 - 0.5 * std::pow(0.3, static_cast<double>(j));
-      even[j] = (static_cast<double>(j) + 0.5) / static_cast<double>(k);
-    }
-    schedules = {strong, mild, even};
-  }
-
-  MixtureExponentialFit best;
-  bool have_best = false;
-  for (const auto& qs : schedules) {
-    MixtureExponentialFit fit = RunEmFrom(means_at(qs), data, opts);
-    if (!have_best || fit.log_likelihood > best.log_likelihood) {
-      best = std::move(fit);
-      have_best = true;
-    }
-  }
-  return best;
-}
-
-namespace {
-
-MixtureExponentialFit RunEmFrom(
-    std::vector<MixtureExponential::Component> comps,
-    std::span<const double> data, const EmOptions& opts) {
+    std::span<const double> data, std::span<const double> weights,
+    const EmOptions& opts) {
   const std::size_t k = comps.size();
+  const std::size_t n = data.size();
+  const bool weighted = !weights.empty();
+  // Total sample mass W replaces n in every place the unweighted algorithm
+  // counted samples (weight floor, mixture-weight normalization).
+  double total = static_cast<double>(n);
+  if (weighted) total = std::accumulate(weights.begin(), weights.end(), 0.0);
 
-  const auto n = data.size();
   std::vector<double> resp(n * k);
   std::vector<double> lp(k);
+  // Per-iteration constants: log α_j + log(1/µ_j) and 1/µ_j. Hoisting them
+  // out of the sample loop removes two log() calls per sample per component;
+  // with the single-exp E step below each sample costs k exp() calls and one
+  // log() total.
+  std::vector<double> lw(k);
+  std::vector<double> inv(k);
 
   MixtureExponentialFit fit;
   double prev_ll = -std::numeric_limits<double>::infinity();
 
   for (int iter = 1; iter <= opts.max_iterations; ++iter) {
-    // E step.
-    double ll = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < k; ++j) {
-        lp[j] = std::log(std::max(comps[j].weight, 1e-300)) +
-                LogExpPdf(data[i], comps[j].mean);
-      }
-      const double lse = LogSumExp(lp);
-      ll += lse;
-      for (std::size_t j = 0; j < k; ++j)
-        resp[i * k + j] = std::exp(lp[j] - lse);
+    for (std::size_t j = 0; j < k; ++j) {
+      lw[j] = std::log(std::max(comps[j].weight, 1e-300)) -
+              std::log(comps[j].mean);
+      inv[j] = 1.0 / comps[j].mean;
     }
 
-    // M step: weight_j = mean responsibility, mean_j = weighted mean of x.
+    // E step: lp_j = log α_j + log f_j(x) = lw_j - x/µ_j; responsibilities
+    // are softmax(lp) scaled by the sample's weight so the M step can sum
+    // them directly.
+    double ll = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = data[i];
+      double m = -std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < k; ++j) {
+        lp[j] = lw[j] - x * inv[j];
+        if (lp[j] > m) m = lp[j];
+      }
+      double s = 0;
+      double* r = &resp[i * k];
+      for (std::size_t j = 0; j < k; ++j) {
+        r[j] = std::exp(lp[j] - m);
+        s += r[j];
+      }
+      const double wi = weighted ? weights[i] : 1.0;
+      ll += wi * (m + std::log(s));
+      const double norm = wi / s;
+      for (std::size_t j = 0; j < k; ++j) r[j] *= norm;
+    }
+
+    // M step: weight_j = responsibility mass / W, mean_j = weighted mean of x.
     for (std::size_t j = 0; j < k; ++j) {
       double nk = 0;
       double sum = 0;
@@ -141,8 +104,8 @@ MixtureExponentialFit RunEmFrom(
         nk += resp[i * k + j];
         sum += resp[i * k + j] * data[i];
       }
-      nk = std::max(nk, opts.min_weight * static_cast<double>(n));
-      comps[j].weight = nk / static_cast<double>(n);
+      nk = std::max(nk, opts.min_weight * total);
+      comps[j].weight = nk / total;
       comps[j].mean = std::max(sum / nk, 1e-12);
     }
     double wsum = 0;
@@ -170,15 +133,103 @@ MixtureExponentialFit RunEmFrom(
   return fit;
 }
 
-}  // namespace
+MixtureExponentialFit FitImpl(std::span<const double> data,
+                              std::span<const double> weights, std::size_t k,
+                              const EmOptions& opts) {
+  MCLOUD_REQUIRE(k >= 1, "need at least one component");
+  if (data.size() < 2 * k)
+    throw FitError("too few data points for exponential mixture EM");
+  for (double x : data) {
+    if (!(x > 0))
+      throw FitError("mixture-exponential EM needs strictly positive data");
+  }
+  const bool weighted = !weights.empty();
+  if (weighted) {
+    MCLOUD_REQUIRE(weights.size() == data.size(),
+                   "weights must match data in length");
+    for (double w : weights) {
+      if (!(w > 0))
+        throw FitError("mixture-exponential EM needs positive weights");
+    }
+  }
 
-MixtureSelection SelectMixtureExponential(std::span<const double> data,
-                                          std::size_t max_components,
-                                          double weight_floor,
-                                          const EmOptions& opts) {
+  // Sorted (value, weight) pairs for quantile-based initialization. The
+  // unweighted quantile keeps the historical index formula; the weighted one
+  // finds the first value whose cumulative mass reaches q·W.
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return data[a] < data[b]; });
+  std::vector<double> cum;
+  double total_w = 0;
+  if (weighted) {
+    cum.reserve(order.size());
+    for (std::size_t idx : order) {
+      total_w += weights[idx];
+      cum.push_back(total_w);
+    }
+  }
+  const auto quantile = [&](double q) {
+    if (!weighted) {
+      const auto idx = static_cast<std::size_t>(
+          q * static_cast<double>(order.size() - 1));
+      return data[order[idx]];
+    }
+    const auto it = std::lower_bound(cum.begin(), cum.end(), q * total_w);
+    const std::size_t pos = std::min<std::size_t>(
+        static_cast<std::size_t>(it - cum.begin()), order.size() - 1);
+    return data[order[pos]];
+  };
+
+  // Deterministic multi-restart: exponential-mixture EM is riddled with
+  // local optima (split-the-bulk, merged-tail). Each restart places the
+  // initial means at a different quantile schedule — strongly tail-biased
+  // (0.5, 0.95, 0.995…), mildly tail-biased, and evenly spread — and the
+  // run with the best likelihood wins.
+  const auto means_at = [&](std::span<const double> qs) {
+    std::vector<MixtureExponential::Component> comps(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      comps[j].mean = std::max(quantile(qs[j]), 1e-9);
+      comps[j].weight = 1.0 / static_cast<double>(k);
+    }
+    for (std::size_t j = 1; j < k; ++j) {
+      if (comps[j].mean <= comps[j - 1].mean)
+        comps[j].mean = comps[j - 1].mean * 2.0;
+    }
+    return comps;
+  };
+
+  std::vector<std::vector<double>> schedules;
+  {
+    std::vector<double> strong(k);
+    std::vector<double> mild(k);
+    std::vector<double> even(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      strong[j] = 1.0 - 0.5 * std::pow(0.1, static_cast<double>(j));
+      mild[j] = 1.0 - 0.5 * std::pow(0.3, static_cast<double>(j));
+      even[j] = (static_cast<double>(j) + 0.5) / static_cast<double>(k);
+    }
+    schedules = {strong, mild, even};
+  }
+
+  MixtureExponentialFit best;
+  bool have_best = false;
+  for (const auto& qs : schedules) {
+    MixtureExponentialFit fit = RunEmFrom(means_at(qs), data, weights, opts);
+    if (!have_best || fit.log_likelihood > best.log_likelihood) {
+      best = std::move(fit);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+MixtureSelection SelectImpl(
+    std::size_t max_components, double weight_floor,
+    const std::function<MixtureExponentialFit(std::size_t)>& fit_k) {
   MCLOUD_REQUIRE(max_components >= 1, "need at least one component");
   MixtureSelection out;
-  out.fit = FitMixtureExponential(data, 1, opts);
+  out.fit = fit_k(1);
   out.selected_n = 1;
   out.rejected_weight = 1.0;
 
@@ -194,7 +245,7 @@ MixtureSelection SelectMixtureExponential(std::span<const double> data,
   // than condemning it; selection stops when the count of *meaningful*
   // components stops growing.
   for (std::size_t k = 2; k <= max_components; ++k) {
-    MixtureExponentialFit candidate = FitMixtureExponential(data, k, opts);
+    MixtureExponentialFit candidate = fit_k(k);
 
     std::vector<MixtureExponential::Component> meaningful;
     double min_weight = 1.0;
@@ -230,6 +281,37 @@ MixtureSelection SelectMixtureExponential(std::span<const double> data,
     out.fit = std::move(candidate);
   }
   return out;
+}
+
+}  // namespace
+
+MixtureExponentialFit FitMixtureExponential(std::span<const double> data,
+                                            std::size_t k,
+                                            const EmOptions& opts) {
+  return FitImpl(data, {}, k, opts);
+}
+
+MixtureExponentialFit FitMixtureExponentialWeighted(
+    std::span<const double> data, std::span<const double> weights,
+    std::size_t k, const EmOptions& opts) {
+  return FitImpl(data, weights, k, opts);
+}
+
+MixtureSelection SelectMixtureExponential(std::span<const double> data,
+                                          std::size_t max_components,
+                                          double weight_floor,
+                                          const EmOptions& opts) {
+  return SelectImpl(max_components, weight_floor, [&](std::size_t k) {
+    return FitImpl(data, {}, k, opts);
+  });
+}
+
+MixtureSelection SelectMixtureExponentialWeighted(
+    std::span<const double> data, std::span<const double> weights,
+    std::size_t max_components, double weight_floor, const EmOptions& opts) {
+  return SelectImpl(max_components, weight_floor, [&](std::size_t k) {
+    return FitImpl(data, weights, k, opts);
+  });
 }
 
 }  // namespace mcloud

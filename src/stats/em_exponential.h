@@ -27,6 +27,15 @@ struct MixtureExponentialFit {
 [[nodiscard]] MixtureExponentialFit FitMixtureExponential(
     std::span<const double> data, std::size_t k, const EmOptions& opts = {});
 
+/// Weighted variant: sample i carries multiplicity `weights[i]` > 0 (e.g. a
+/// histogram-bin count), so a large sample collapsed into per-bin (mean,
+/// count) pairs fits in O(bins) per EM iteration instead of O(n). All sums
+/// (likelihood, responsibilities, component updates) are weighted;
+/// `weights` must match `data` in length.
+[[nodiscard]] MixtureExponentialFit FitMixtureExponentialWeighted(
+    std::span<const double> data, std::span<const double> weights,
+    std::size_t k, const EmOptions& opts = {});
+
 struct MixtureSelection {
   MixtureExponentialFit fit;    ///< the selected model (n components)
   std::size_t selected_n = 0;
@@ -39,6 +48,13 @@ struct MixtureSelection {
 [[nodiscard]] MixtureSelection SelectMixtureExponential(
     std::span<const double> data, std::size_t max_components = 6,
     double weight_floor = 1e-3, const EmOptions& opts = {});
+
+/// Weighted variant of the selection loop (see
+/// FitMixtureExponentialWeighted); every candidate fit is weighted.
+[[nodiscard]] MixtureSelection SelectMixtureExponentialWeighted(
+    std::span<const double> data, std::span<const double> weights,
+    std::size_t max_components = 6, double weight_floor = 1e-3,
+    const EmOptions& opts = {});
 
 /// Log-likelihood under a mixture-exponential model.
 [[nodiscard]] double MixtureExponentialLogLikelihood(

@@ -13,65 +13,11 @@ namespace {
 
 constexpr std::array<char, 8> kMagic = {'M', 'C', 'L', 'O',
                                         'G', 'v', '0', '1'};
+constexpr std::array<char, 8> kMagicV2 = {'M', 'C', 'L', 'O',
+                                          'G', 'v', '0', '2'};
 
-/// Fixed-width on-disk layout of one binary record (little-endian).
-struct PackedRecord {
-  std::int64_t timestamp;
-  std::uint64_t device_id;
-  std::uint64_t user_id;
-  std::uint64_t data_volume;
-  std::int64_t processing_us;
-  std::int64_t server_us;
-  std::int64_t rtt_us;
-  std::uint8_t device_type;
-  std::uint8_t request_type;
-  std::uint8_t direction;
-  std::uint8_t proxied;
-  std::uint8_t pad[4];
-};
-static_assert(sizeof(PackedRecord) == 64, "unexpected record layout");
-
-std::int64_t ToMicros(Seconds s) {
-  return static_cast<std::int64_t>(s * 1e6 + (s >= 0 ? 0.5 : -0.5));
-}
-Seconds FromMicros(std::int64_t us) {
-  return static_cast<Seconds>(us) * 1e-6;
-}
-
-PackedRecord Pack(const LogRecord& r) {
-  PackedRecord p{};
-  p.timestamp = r.timestamp;
-  p.device_id = r.device_id;
-  p.user_id = r.user_id;
-  p.data_volume = r.data_volume;
-  p.processing_us = ToMicros(r.processing_time);
-  p.server_us = ToMicros(r.server_time);
-  p.rtt_us = ToMicros(r.avg_rtt);
-  p.device_type = static_cast<std::uint8_t>(r.device_type);
-  p.request_type = static_cast<std::uint8_t>(r.request_type);
-  p.direction = static_cast<std::uint8_t>(r.direction);
-  p.proxied = r.proxied ? 1 : 0;
-  return p;
-}
-
-LogRecord Unpack(const PackedRecord& p) {
-  LogRecord r;
-  r.timestamp = p.timestamp;
-  r.device_id = p.device_id;
-  r.user_id = p.user_id;
-  r.data_volume = p.data_volume;
-  r.processing_time = FromMicros(p.processing_us);
-  r.server_time = FromMicros(p.server_us);
-  r.avg_rtt = FromMicros(p.rtt_us);
-  if (p.device_type > 2) throw ParseError("bad device type in binary trace");
-  if (p.request_type > 1) throw ParseError("bad request type in binary trace");
-  if (p.direction > 1) throw ParseError("bad direction in binary trace");
-  r.device_type = static_cast<DeviceType>(p.device_type);
-  r.request_type = static_cast<RequestType>(p.request_type);
-  r.direction = static_cast<Direction>(p.direction);
-  r.proxied = p.proxied != 0;
-  return r;
-}
+/// Records per I/O block when streaming the v1 format (256 KiB buffers).
+constexpr std::size_t kScanBlockRecords = 4096;
 
 std::ofstream OpenForWrite(const std::filesystem::path& path, bool binary) {
   std::ofstream out(path, binary ? std::ios::binary | std::ios::trunc
@@ -83,6 +29,19 @@ std::ofstream OpenForWrite(const std::filesystem::path& path, bool binary) {
 std::ifstream OpenForRead(const std::filesystem::path& path, bool binary) {
   std::ifstream in(path, binary ? std::ios::binary : std::ios::in);
   if (!in) throw Error("cannot open for reading: " + path.string());
+  return in;
+}
+
+/// Open a v1 binary trace and return (stream positioned at the first
+/// record, record count).
+std::ifstream OpenV1(const std::filesystem::path& path, std::uint64_t* count) {
+  std::ifstream in = OpenForRead(path, /*binary=*/true);
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic)
+    throw ParseError("not a mcloud binary trace: " + path.string());
+  in.read(reinterpret_cast<char*>(count), sizeof(*count));
+  if (!in) throw ParseError("truncated binary trace: " + path.string());
   return in;
 }
 
@@ -170,42 +129,290 @@ void WriteBinaryTrace(const std::filesystem::path& path,
   out.write(kMagic.data(), kMagic.size());
   const std::uint64_t count = records.size();
   out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  // Pack and flush blockwise rather than one 64-byte write per record.
+  std::vector<detail::PackedRecord> block;
+  block.reserve(kScanBlockRecords);
   for (const auto& r : records) {
-    const PackedRecord p = Pack(r);
-    out.write(reinterpret_cast<const char*>(&p), sizeof(p));
+    block.push_back(detail::Pack(r));
+    if (block.size() == kScanBlockRecords) {
+      out.write(reinterpret_cast<const char*>(block.data()),
+                static_cast<std::streamsize>(block.size() *
+                                             sizeof(detail::PackedRecord)));
+      block.clear();
+    }
+  }
+  if (!block.empty()) {
+    out.write(reinterpret_cast<const char*>(block.data()),
+              static_cast<std::streamsize>(block.size() *
+                                           sizeof(detail::PackedRecord)));
   }
   if (!out) throw Error("write failed: " + path.string());
 }
 
+std::uint64_t BinaryTraceCount(const std::filesystem::path& path) {
+  std::uint64_t count = 0;
+  OpenV1(path, &count);
+  return count;
+}
+
 std::vector<LogRecord> ReadBinaryTrace(const std::filesystem::path& path) {
   std::vector<LogRecord> records;
-  ScanBinaryTrace(path, [&records](const LogRecord& r) {
+  records.reserve(BinaryTraceCount(path));
+  ScanBinaryTraceWith(path, [&records](const LogRecord& r) {
     records.push_back(r);
     return true;
   });
   return records;
 }
 
+namespace detail {
+
+std::size_t ScanPackedBlocks(
+    const std::filesystem::path& path,
+    const std::function<bool(std::span<const PackedRecord>)>& sink) {
+  std::uint64_t count = 0;
+  std::ifstream in = OpenV1(path, &count);
+
+  std::size_t delivered = 0;
+  std::vector<PackedRecord> block(
+      static_cast<std::size_t>(std::min<std::uint64_t>(count,
+                                                       kScanBlockRecords)));
+  while (delivered < count) {
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(count - delivered, block.size()));
+    in.read(reinterpret_cast<char*>(block.data()),
+            static_cast<std::streamsize>(n * sizeof(PackedRecord)));
+    if (!in) throw ParseError("truncated binary trace: " + path.string());
+    delivered += n;
+    if (!sink(std::span<const PackedRecord>(block.data(), n))) break;
+  }
+  return delivered;
+}
+
+}  // namespace detail
+
 std::size_t ScanBinaryTrace(const std::filesystem::path& path,
                             const std::function<bool(const LogRecord&)>& fn) {
-  std::ifstream in = OpenForRead(path, /*binary=*/true);
+  return ScanBinaryTraceWith(path, [&fn](const LogRecord& r) {
+    return fn(r);
+  });
+}
+
+namespace {
+
+/// The fixed on-disk column order of the v2 format. Element width in bytes;
+/// 0 marks the dense user column (uint32) handled specially.
+struct ColumnLayout {
+  std::uint32_t mask;
+  std::size_t width;
+};
+constexpr ColumnLayout kV2Columns[] = {
+    {kColTimestamp, sizeof(std::int64_t)},
+    {kColDeviceType, sizeof(std::uint8_t)},
+    {kColDeviceId, sizeof(std::uint64_t)},
+    {kColUser, sizeof(std::uint32_t)},
+    {kColRequestType, sizeof(std::uint8_t)},
+    {kColDirection, sizeof(std::uint8_t)},
+    {kColDataVolume, sizeof(std::uint64_t)},
+    {kColProcessingTime, sizeof(std::int64_t)},  // microseconds on disk
+    {kColServerTime, sizeof(std::int64_t)},
+    {kColAvgRtt, sizeof(std::int64_t)},
+    {kColProxied, sizeof(std::uint8_t)},
+};
+
+void WriteRaw(std::ofstream& out, const void* data, std::size_t bytes) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+}
+
+template <typename T>
+void WriteColumn(std::ofstream& out, std::span<const T> column) {
+  WriteRaw(out, column.data(), column.size() * sizeof(T));
+}
+
+void WriteMicrosColumn(std::ofstream& out, std::span<const double> seconds) {
+  std::vector<std::int64_t> micros(seconds.size());
+  for (std::size_t i = 0; i < seconds.size(); ++i)
+    micros[i] = detail::ToMicros(seconds[i]);
+  WriteColumn<std::int64_t>(out, micros);
+}
+
+}  // namespace
+
+bool IsColumnarTrace(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
   std::array<char, 8> magic{};
   in.read(magic.data(), magic.size());
-  if (!in || magic != kMagic)
-    throw ParseError("not a mcloud binary trace: " + path.string());
-  std::uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in) throw ParseError("truncated binary trace: " + path.string());
+  return in && magic == kMagicV2;
+}
 
-  std::size_t visited = 0;
-  PackedRecord p{};
-  for (std::uint64_t i = 0; i < count; ++i) {
-    in.read(reinterpret_cast<char*>(&p), sizeof(p));
-    if (!in) throw ParseError("truncated binary trace: " + path.string());
-    ++visited;
-    if (!fn(Unpack(p))) break;
+void WriteColumnarTrace(const std::filesystem::path& path,
+                        const TraceStore& store) {
+  std::ofstream out = OpenForWrite(path, /*binary=*/true);
+  out.write(kMagicV2.data(), kMagicV2.size());
+  const std::uint64_t n_rows = store.rows();
+  const std::uint64_t n_users = store.users();
+  const std::int64_t day_base = store.day_base();
+  const std::uint32_t mask = store.columns_present();
+  const std::uint32_t reserved = 0;
+  WriteRaw(out, &n_rows, sizeof(n_rows));
+  WriteRaw(out, &n_users, sizeof(n_users));
+  WriteRaw(out, &day_base, sizeof(day_base));
+  WriteRaw(out, &mask, sizeof(mask));
+  WriteRaw(out, &reserved, sizeof(reserved));
+  WriteColumn(out, store.user_ids());
+
+  for (const auto& col : kV2Columns) {
+    if (!(mask & col.mask)) continue;
+    switch (col.mask) {
+      case kColTimestamp: WriteColumn(out, store.timestamps()); break;
+      case kColDeviceType: WriteColumn(out, store.device_types()); break;
+      case kColDeviceId: WriteColumn(out, store.device_ids()); break;
+      case kColUser: WriteColumn(out, store.user_index()); break;
+      case kColRequestType: WriteColumn(out, store.request_types()); break;
+      case kColDirection: WriteColumn(out, store.directions()); break;
+      case kColDataVolume: WriteColumn(out, store.data_volumes()); break;
+      case kColProcessingTime:
+        WriteMicrosColumn(out, store.processing_times());
+        break;
+      case kColServerTime: WriteMicrosColumn(out, store.server_times()); break;
+      case kColAvgRtt: WriteMicrosColumn(out, store.avg_rtts()); break;
+      case kColProxied: WriteColumn(out, store.proxied()); break;
+    }
   }
-  return visited;
+  if (!out) throw Error("write failed: " + path.string());
+}
+
+namespace {
+
+struct V2Reader {
+  std::ifstream in;
+  std::filesystem::path path;
+
+  void Read(void* data, std::size_t bytes) {
+    in.read(reinterpret_cast<char*>(data),
+            static_cast<std::streamsize>(bytes));
+    if (!in)
+      throw ParseError("truncated columnar trace: " + path.string());
+  }
+
+  template <typename T>
+  std::vector<T> ReadColumn(std::uint64_t n) {
+    std::vector<T> column(static_cast<std::size_t>(n));
+    Read(column.data(), column.size() * sizeof(T));
+    return column;
+  }
+
+  std::vector<double> ReadMicrosColumn(std::uint64_t n) {
+    const auto micros = ReadColumn<std::int64_t>(n);
+    std::vector<double> seconds(micros.size());
+    for (std::size_t i = 0; i < micros.size(); ++i)
+      seconds[i] = detail::FromMicros(micros[i]);
+    return seconds;
+  }
+
+  void Skip(std::uint64_t bytes) {
+    in.seekg(static_cast<std::streamoff>(bytes), std::ios::cur);
+    if (!in)
+      throw ParseError("truncated columnar trace: " + path.string());
+  }
+};
+
+}  // namespace
+
+TraceStore ReadColumnarTrace(const std::filesystem::path& path,
+                             std::uint32_t want) {
+  V2Reader r{OpenForRead(path, /*binary=*/true), path};
+  std::array<char, 8> magic{};
+  r.in.read(magic.data(), magic.size());
+  if (!r.in || magic != kMagicV2)
+    throw ParseError("not a mcloud columnar trace: " + path.string());
+
+  std::uint64_t n_rows = 0;
+  std::uint64_t n_users = 0;
+  std::int64_t day_base = 0;
+  std::uint32_t file_mask = 0;
+  std::uint32_t reserved = 0;
+  r.Read(&n_rows, sizeof(n_rows));
+  r.Read(&n_users, sizeof(n_users));
+  r.Read(&day_base, sizeof(day_base));
+  r.Read(&file_mask, sizeof(file_mask));
+  r.Read(&reserved, sizeof(reserved));
+  if (n_rows > UINT32_MAX)
+    throw ParseError("columnar trace too large: " + path.string());
+  if ((file_mask & ~kAllColumns) != 0 || !(file_mask & kColTimestamp) ||
+      !(file_mask & kColUser))
+    throw ParseError("bad column mask in columnar trace: " + path.string());
+
+  // Validate the full payload length up front: seeking past EOF would not
+  // fail, so skipped trailing columns must still be accounted for.
+  std::uint64_t expected = 8 + sizeof(n_rows) + sizeof(n_users) +
+                           sizeof(day_base) + sizeof(file_mask) +
+                           sizeof(reserved) + n_users * sizeof(std::uint64_t);
+  for (const auto& col : kV2Columns)
+    if (file_mask & col.mask) expected += n_rows * col.width;
+  std::error_code ec;
+  const std::uint64_t actual = std::filesystem::file_size(path, ec);
+  if (ec || actual < expected)
+    throw ParseError("truncated columnar trace: " + path.string());
+
+  TraceStore::Builder b;
+  b.day_base = day_base;
+  b.user_ids = r.ReadColumn<std::uint64_t>(n_users);
+
+  // The indexes need timestamps and users regardless of the request.
+  const std::uint32_t load = (want | kColTimestamp | kColUser) & file_mask;
+  b.present = load;
+  for (const auto& col : kV2Columns) {
+    if (!(file_mask & col.mask)) continue;
+    if (!(load & col.mask)) {
+      r.Skip(n_rows * col.width);
+      continue;
+    }
+    switch (col.mask) {
+      case kColTimestamp:
+        b.timestamps = r.ReadColumn<std::int64_t>(n_rows);
+        break;
+      case kColDeviceType:
+        b.device_types = r.ReadColumn<std::uint8_t>(n_rows);
+        break;
+      case kColDeviceId:
+        b.device_ids = r.ReadColumn<std::uint64_t>(n_rows);
+        break;
+      case kColUser: {
+        const auto dense = r.ReadColumn<std::uint32_t>(n_rows);
+        b.raw_users.assign(dense.begin(), dense.end());
+        break;
+      }
+      case kColRequestType:
+        b.request_types = r.ReadColumn<std::uint8_t>(n_rows);
+        break;
+      case kColDirection:
+        b.directions = r.ReadColumn<std::uint8_t>(n_rows);
+        break;
+      case kColDataVolume:
+        b.data_volumes = r.ReadColumn<std::uint64_t>(n_rows);
+        break;
+      case kColProcessingTime:
+        b.processing_times = r.ReadMicrosColumn(n_rows);
+        break;
+      case kColServerTime:
+        b.server_times = r.ReadMicrosColumn(n_rows);
+        break;
+      case kColAvgRtt:
+        b.avg_rtts = r.ReadMicrosColumn(n_rows);
+        break;
+      case kColProxied:
+        b.proxied = r.ReadColumn<std::uint8_t>(n_rows);
+        break;
+    }
+  }
+  try {
+    return std::move(b).Build();
+  } catch (const Error& e) {
+    throw ParseError("invalid columnar trace " + path.string() + ": " +
+                     e.what());
+  }
 }
 
 }  // namespace mcloud

@@ -15,24 +15,14 @@
 
 namespace mcloud {
 
-/// Merge `runs` (each sorted by `less`, ties in original order) into one
-/// sorted vector. Consumes the runs; each run's storage is released as soon
-/// as it is exhausted, bounding peak memory at output + the unexhausted
-/// tails.
-template <typename T, typename Less>
-[[nodiscard]] std::vector<T> MergeSortedRuns(std::vector<std::vector<T>>&& runs,
-                                             Less less) {
-  std::size_t total = 0;
-  for (const auto& run : runs) total += run.size();
-  std::vector<T> out;
-  out.reserve(total);
-
-  if (runs.size() == 1) {
-    out = std::move(runs.front());
-    runs.clear();
-    return out;
-  }
-
+/// Merge `runs` (each sorted by `less`, ties in original order) into a sink:
+/// `sink(T&&)` receives the merged elements in order. Consumes the runs;
+/// each run's storage is released as soon as it is exhausted. This is the
+/// core the vector-producing overload wraps — use it directly to merge into
+/// a columnar builder without materializing the merged AoS vector.
+template <typename T, typename Less, typename Sink>
+void MergeSortedRunsInto(std::vector<std::vector<T>>&& runs, Less less,
+                         Sink&& sink) {
   // Heap entry: (run index, position). Ordering: smaller element first;
   // equal elements -> lower run index first (stability across runs).
   struct Head {
@@ -68,7 +58,7 @@ template <typename T, typename Less>
 
   while (!heap.empty()) {
     Head& top = heap.front();
-    out.push_back(std::move(runs[top.run][top.pos]));
+    sink(std::move(runs[top.run][top.pos]));
     if (++top.pos == runs[top.run].size()) {
       // Run exhausted: free its storage and shrink the heap.
       runs[top.run] = std::vector<T>();
@@ -78,6 +68,25 @@ template <typename T, typename Less>
     if (!heap.empty()) sift_down(0);
   }
   runs.clear();
+}
+
+/// Merge `runs` (each sorted by `less`, ties in original order) into one
+/// sorted vector. Consumes the runs; peak memory is output + the
+/// unexhausted tails.
+template <typename T, typename Less>
+[[nodiscard]] std::vector<T> MergeSortedRuns(std::vector<std::vector<T>>&& runs,
+                                             Less less) {
+  if (runs.size() == 1) {
+    std::vector<T> out = std::move(runs.front());
+    runs.clear();
+    return out;
+  }
+  std::size_t total = 0;
+  for (const auto& run : runs) total += run.size();
+  std::vector<T> out;
+  out.reserve(total);
+  MergeSortedRunsInto(std::move(runs), less,
+                      [&out](T&& v) { out.push_back(std::move(v)); });
   return out;
 }
 

@@ -27,7 +27,9 @@ bool SessionStartOrder(const SessionPlan& a, const SessionPlan& b) {
 WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config)
     : config_(config) {}
 
-Workload WorkloadGenerator::GenerateImpl(bool emit_logs) const {
+Workload WorkloadGenerator::PlanAndEmit(
+    std::vector<std::vector<LogRecord>>* trace_runs) const {
+  const bool emit_logs = trace_runs != nullptr;
   ThreadPool pool(config_.threads);
   Rng rng(config_.seed);
 
@@ -53,13 +55,13 @@ Workload WorkloadGenerator::GenerateImpl(bool emit_logs) const {
   // of the shard count.
   const std::size_t shards = ShardCount(pool, w.users.size());
   std::vector<std::vector<SessionPlan>> session_runs(shards);
-  std::vector<std::vector<LogRecord>> trace_runs(shards);
+  std::vector<std::vector<LogRecord>> local_runs(shards);
 
   ParallelForShards(
       pool, w.users.size(),
       [&](std::size_t shard, std::size_t begin, std::size_t end) {
         std::vector<SessionPlan>& sessions = session_runs[shard];
-        std::vector<LogRecord>& trace = trace_runs[shard];
+        std::vector<LogRecord>& trace = local_runs[shard];
         for (std::size_t i = begin; i < end; ++i) {
           const UserProfile& user = w.users[i];
           // Independent per-user stream: adding users or re-sharding never
@@ -82,15 +84,41 @@ Workload WorkloadGenerator::GenerateImpl(bool emit_logs) const {
       });
 
   w.sessions = MergeSortedRuns(std::move(session_runs), SessionStartOrder);
-  if (emit_logs)
-    w.trace = MergeSortedRuns(std::move(trace_runs), LogRecordTimeOrder);
+  if (emit_logs) *trace_runs = std::move(local_runs);
   return w;
 }
 
-Workload WorkloadGenerator::Generate() const { return GenerateImpl(true); }
+Workload WorkloadGenerator::Generate() const {
+  std::vector<std::vector<LogRecord>> trace_runs;
+  Workload w = PlanAndEmit(&trace_runs);
+  w.trace = MergeSortedRuns(std::move(trace_runs), LogRecordTimeOrder);
+  return w;
+}
+
+ColumnarWorkload WorkloadGenerator::GenerateColumnar() const {
+  std::vector<std::vector<LogRecord>> trace_runs;
+  Workload w = PlanAndEmit(&trace_runs);
+
+  std::size_t total = 0;
+  for (const auto& run : trace_runs) total += run.size();
+  TraceStore::Builder b;
+  b.day_base = config_.trace_start;
+  b.Reserve(total);
+  // The stable k-way merge feeds the builder record-by-record; run storage
+  // frees as runs drain, so peak memory is the columns + unexhausted tails
+  // instead of two full AoS copies.
+  MergeSortedRunsInto(std::move(trace_runs), LogRecordTimeOrder,
+                      [&b](LogRecord&& r) { b.Append(r); });
+
+  ColumnarWorkload out;
+  out.users = std::move(w.users);
+  out.sessions = std::move(w.sessions);
+  out.trace = std::move(b).Build();
+  return out;
+}
 
 Workload WorkloadGenerator::GeneratePlansOnly() const {
-  return GenerateImpl(false);
+  return PlanAndEmit(nullptr);
 }
 
 }  // namespace mcloud::workload

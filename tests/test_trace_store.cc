@@ -1,0 +1,265 @@
+// Tests for the columnar TraceStore and the v2 columnar binary format:
+// dense user remapping, run/day indexes, AoS round-trips, selective column
+// reads, corrupt-file handling, and golden equivalence of the AoS and
+// columnar analysis engines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "trace/log_io.h"
+#include "trace/log_record.h"
+#include "trace/trace_store.h"
+#include "util/timeutil.h"
+#include "workload/generator.h"
+
+namespace mcloud {
+namespace {
+
+LogRecord MakeRecord(UnixSeconds ts, std::uint64_t user, Direction dir,
+                     RequestType type = RequestType::kChunkRequest,
+                     DeviceType dev = DeviceType::kAndroid) {
+  LogRecord r;
+  r.timestamp = ts;
+  r.device_type = dev;
+  r.device_id = user * 10;
+  r.user_id = user;
+  r.request_type = type;
+  r.direction = dir;
+  r.data_volume = type == RequestType::kChunkRequest ? kChunkSize : 0;
+  r.processing_time = 1.25;
+  r.server_time = 0.1;
+  r.avg_rtt = 0.089238;
+  r.proxied = false;
+  return r;
+}
+
+std::filesystem::path TempPath(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+/// A small mixed trace: sparse out-of-order user ids, all three device
+/// types, both request types, rows spanning three calendar days around
+/// kTraceStart (including one before it).
+std::vector<LogRecord> MixedTrace() {
+  std::vector<LogRecord> t;
+  t.push_back(MakeRecord(kTraceStart - kDay / 2, 900, Direction::kStore,
+                         RequestType::kFileOperation, DeviceType::kPc));
+  t.push_back(MakeRecord(kTraceStart + 10, 7, Direction::kStore,
+                         RequestType::kFileOperation));
+  t.push_back(MakeRecord(kTraceStart + 20, 900, Direction::kRetrieve));
+  t.push_back(MakeRecord(kTraceStart + 30, 42, Direction::kRetrieve,
+                         RequestType::kChunkRequest, DeviceType::kIos));
+  t.push_back(MakeRecord(kTraceStart + 40, 7, Direction::kStore));
+  t.push_back(MakeRecord(kTraceStart + kDay + 5, 7, Direction::kRetrieve,
+                         RequestType::kFileOperation, DeviceType::kPc));
+  t.push_back(MakeRecord(kTraceStart + kDay + 6, 42, Direction::kStore));
+  return t;
+}
+
+TEST(TraceStore, DenseRemapIsAscendingOriginalOrder) {
+  const auto records = MixedTrace();
+  const auto store = TraceStore::FromRecords(records);
+
+  ASSERT_EQ(store.rows(), records.size());
+  ASSERT_EQ(store.users(), 3u);
+  // Dense ids are assigned in ascending original-id order regardless of
+  // first-appearance order (900 appears first).
+  EXPECT_EQ(store.user_ids()[0], 7u);
+  EXPECT_EQ(store.user_ids()[1], 42u);
+  EXPECT_EQ(store.user_ids()[2], 900u);
+  for (std::size_t row = 0; row < store.rows(); ++row) {
+    EXPECT_EQ(store.user_ids()[store.user_index()[row]],
+              records[row].user_id);
+  }
+}
+
+TEST(TraceStore, UserRunsAreTimeOrderedAndCoverAllRows) {
+  const auto records = MixedTrace();
+  const auto store = TraceStore::FromRecords(records);
+
+  std::vector<int> visits(store.rows(), 0);
+  for (std::size_t u = 0; u < store.users(); ++u) {
+    const auto run = store.UserRun(u);
+    std::int64_t prev = std::numeric_limits<std::int64_t>::min();
+    for (const std::uint32_t row : run) {
+      EXPECT_EQ(store.user_index()[row], u);
+      EXPECT_GE(store.timestamps()[row], prev);
+      prev = store.timestamps()[row];
+      ++visits[row];
+    }
+  }
+  for (const int v : visits) EXPECT_EQ(v, 1);  // a partition of the rows
+}
+
+TEST(TraceStore, DayPartitionsTileTheTraceByCalendarDay) {
+  const auto records = MixedTrace();
+  const auto store = TraceStore::FromRecords(records);
+
+  const auto parts = store.day_partitions();
+  ASSERT_FALSE(parts.empty());
+  std::uint32_t next = 0;
+  for (const auto& p : parts) {
+    EXPECT_EQ(p.begin, next);  // contiguous, in row order
+    EXPECT_LT(p.begin, p.end);
+    for (std::uint32_t row = p.begin; row < p.end; ++row) {
+      const auto day = static_cast<std::int64_t>(
+          std::floor(static_cast<double>(store.timestamps()[row] -
+                                         store.day_base()) /
+                     kDay));
+      EXPECT_EQ(day, p.day);
+    }
+    next = p.end;
+  }
+  EXPECT_EQ(next, store.rows());
+  EXPECT_LT(parts.front().day, 0);  // the pre-epoch row lands in day -1
+}
+
+TEST(TraceStore, ToRecordsRoundTripsTheAosTrace) {
+  const auto records = MixedTrace();
+  EXPECT_EQ(TraceStore::FromRecords(records).ToRecords(), records);
+}
+
+TEST(ColumnarIo, RoundTripAllColumns) {
+  const auto records = MixedTrace();
+  const auto path = TempPath("trace_store_roundtrip.v2");
+  WriteColumnarTrace(path, TraceStore::FromRecords(records));
+
+  const auto store = ReadColumnarTrace(path);
+  EXPECT_EQ(store.columns_present(), kAllColumns);
+  const auto back = store.ToRecords();
+  ASSERT_EQ(back.size(), records.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].timestamp, records[i].timestamp);
+    EXPECT_EQ(back[i].user_id, records[i].user_id);
+    EXPECT_EQ(back[i].device_id, records[i].device_id);
+    EXPECT_EQ(back[i].device_type, records[i].device_type);
+    EXPECT_EQ(back[i].request_type, records[i].request_type);
+    EXPECT_EQ(back[i].direction, records[i].direction);
+    EXPECT_EQ(back[i].data_volume, records[i].data_volume);
+    EXPECT_EQ(back[i].proxied, records[i].proxied);
+    // Times travel as integer microseconds, like the v1 format.
+    EXPECT_DOUBLE_EQ(back[i].processing_time, records[i].processing_time);
+    EXPECT_DOUBLE_EQ(back[i].server_time, records[i].server_time);
+    EXPECT_DOUBLE_EQ(back[i].avg_rtt, records[i].avg_rtt);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ColumnarIo, SelectiveReadSkipsColumnsAndZeroFills) {
+  const auto records = MixedTrace();
+  const auto path = TempPath("trace_store_subset.v2");
+  WriteColumnarTrace(path, TraceStore::FromRecords(records));
+
+  const auto store = ReadColumnarTrace(path, kAnalysisColumns);
+  EXPECT_TRUE(store.has(kAnalysisColumns));
+  EXPECT_FALSE(store.has(kColProcessingTime));
+  EXPECT_FALSE(store.has(kColProxied));
+  EXPECT_TRUE(store.processing_times().empty());
+
+  // Loaded columns match; absent ones read back as zeros.
+  const auto back = store.ToRecords();
+  ASSERT_EQ(back.size(), records.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].timestamp, records[i].timestamp);
+    EXPECT_EQ(back[i].user_id, records[i].user_id);
+    EXPECT_EQ(back[i].device_id, records[i].device_id);
+    EXPECT_EQ(back[i].device_type, records[i].device_type);
+    EXPECT_EQ(back[i].request_type, records[i].request_type);
+    EXPECT_EQ(back[i].direction, records[i].direction);
+    EXPECT_EQ(back[i].data_volume, records[i].data_volume);
+    EXPECT_EQ(back[i].processing_time, 0.0);
+    EXPECT_EQ(back[i].server_time, 0.0);
+    EXPECT_EQ(back[i].avg_rtt, 0.0);
+    EXPECT_FALSE(back[i].proxied);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ColumnarIo, SniffsTheMagic) {
+  const auto records = MixedTrace();
+  const auto v2 = TempPath("trace_store_sniff.v2");
+  const auto v1 = TempPath("trace_store_sniff.v1bin");
+  WriteColumnarTrace(v2, TraceStore::FromRecords(records));
+  WriteBinaryTrace(v1, records);
+
+  EXPECT_TRUE(IsColumnarTrace(v2));
+  EXPECT_FALSE(IsColumnarTrace(v1));
+  EXPECT_FALSE(IsColumnarTrace(TempPath("no_such_trace.v2")));
+
+  const auto tiny = TempPath("trace_store_tiny.v2");
+  std::ofstream(tiny) << "MC";  // shorter than the magic
+  EXPECT_FALSE(IsColumnarTrace(tiny));
+
+  std::filesystem::remove(v2);
+  std::filesystem::remove(v1);
+  std::filesystem::remove(tiny);
+}
+
+TEST(ColumnarIo, RejectsWrongFormatAndTruncation) {
+  const auto records = MixedTrace();
+
+  // A v1 file is not a v2 file.
+  const auto v1 = TempPath("trace_store_bad.v1bin");
+  WriteBinaryTrace(v1, records);
+  EXPECT_THROW((void)ReadColumnarTrace(v1), ParseError);
+  std::filesystem::remove(v1);
+
+  // Truncation anywhere in the column data is detected up front.
+  const auto v2 = TempPath("trace_store_trunc.v2");
+  WriteColumnarTrace(v2, TraceStore::FromRecords(records));
+  const auto full = std::filesystem::file_size(v2);
+  std::filesystem::resize_file(v2, full - 16);
+  EXPECT_THROW((void)ReadColumnarTrace(v2), ParseError);
+  std::filesystem::resize_file(v2, 4);  // shorter than the header
+  EXPECT_THROW((void)ReadColumnarTrace(v2), ParseError);
+  std::filesystem::remove(v2);
+}
+
+/// Golden equivalence: the columnar engine must reproduce the AoS engine's
+/// FullReport bit for bit, whatever the entry point and thread count.
+TEST(EngineEquivalence, ColumnarReportIsBitIdenticalToAos) {
+  workload::WorkloadConfig cfg;
+  cfg.population.mobile_users = 200;
+  cfg.population.pc_only_users = 60;
+  cfg.seed = 7;
+  const auto w = workload::WorkloadGenerator(cfg).Generate();
+  ASSERT_FALSE(w.trace.empty());
+
+  core::PipelineOptions opts;
+  opts.threads = 1;
+  const auto golden =
+      core::FingerprintReport(core::AnalysisPipeline(opts).RunAos(w.trace));
+
+  for (const int threads : {1, 4}) {
+    core::PipelineOptions o;
+    o.threads = threads;
+    const core::AnalysisPipeline pipeline(o);
+    EXPECT_EQ(core::FingerprintReport(pipeline.RunAos(w.trace)), golden);
+    EXPECT_EQ(core::FingerprintReport(pipeline.Run(w.trace)), golden);
+    const auto store = TraceStore::FromRecords(w.trace);
+    EXPECT_EQ(core::FingerprintReport(pipeline.Run(store)), golden);
+  }
+}
+
+TEST(EngineEquivalence, GenerateColumnarEmitsTheSameTrace) {
+  workload::WorkloadConfig cfg;
+  cfg.population.mobile_users = 120;
+  cfg.population.pc_only_users = 40;
+  cfg.seed = 9;
+  const auto aos = workload::WorkloadGenerator(cfg).Generate();
+  const auto columnar = workload::WorkloadGenerator(cfg).GenerateColumnar();
+
+  EXPECT_EQ(columnar.users.size(), aos.users.size());
+  EXPECT_EQ(columnar.sessions.size(), aos.sessions.size());
+  EXPECT_EQ(columnar.trace.ToRecords(), aos.trace);
+}
+
+}  // namespace
+}  // namespace mcloud

@@ -13,12 +13,15 @@
 //                       [--hedge] [--no-retry] [--users N] [--seed S]
 //   mcloudctl help
 //
-// Trace files are CSV (.csv) or the compact binary format (anything else);
-// the format is chosen by extension. `analyze` runs the full §3 pipeline and
-// prints the findings report; `simulate` runs one chunked transfer through
-// the TCP substrate and prints its per-chunk timeline, or — when any fault
-// knob is given — a whole session fleet against the fault-injected service,
-// printing the availability report.
+// Trace files are CSV (.csv), the columnar v2 binary format (.v2), or the
+// row-wise v1 binary format (anything else); writes pick the format by
+// extension, reads additionally sniff the v2 magic so a columnar file is
+// recognized under any name. `analyze` runs the full §3 pipeline and prints
+// the findings report — on a columnar trace it loads only the analysis
+// columns and never materializes row structs; `simulate` runs one chunked
+// transfer through the TCP substrate and prints its per-chunk timeline, or —
+// when any fault knob is given — a whole session fleet against the
+// fault-injected service, printing the availability report.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -101,15 +104,20 @@ Args Parse(int argc, char** argv, int first) {
 }
 
 bool IsCsv(const std::filesystem::path& p) { return p.extension() == ".csv"; }
+bool IsV2(const std::filesystem::path& p) { return p.extension() == ".v2"; }
 
 std::vector<LogRecord> ReadTrace(const std::filesystem::path& p) {
-  return IsCsv(p) ? ReadCsvTrace(p) : ReadBinaryTrace(p);
+  if (IsCsv(p)) return ReadCsvTrace(p);
+  if (IsColumnarTrace(p)) return ReadColumnarTrace(p).ToRecords();
+  return ReadBinaryTrace(p);
 }
 
 void WriteTrace(const std::filesystem::path& p,
                 std::span<const LogRecord> records) {
   if (IsCsv(p)) {
     WriteCsvTrace(p, records);
+  } else if (IsV2(p)) {
+    WriteColumnarTrace(p, TraceStore::FromRecords(records));
   } else {
     WriteBinaryTrace(p, records);
   }
@@ -129,9 +137,10 @@ int Usage() {
       "            [--file-mb N] [--seed S] [--no-ssai] [--pace]\n"
       "  simulate  --fail-rate R [--loss-burst R] [--degraded R] [--hedge]\n"
       "            [--no-retry] [--users N] [--seed S]\n"
-      "Trace format is picked by extension: .csv is CSV, anything else is\n"
-      "the compact binary format. --threads 0 (the default) uses all\n"
-      "hardware threads; output is identical for every thread count.\n",
+      "Trace format: .csv is CSV, .v2 is the columnar binary format,\n"
+      "anything else is the row-wise v1 binary format (reads also sniff\n"
+      "the v2 magic). --threads 0 (the default) uses all hardware\n"
+      "threads; output is identical for every thread count.\n",
       stderr);
   return 2;
 }
@@ -180,12 +189,21 @@ int CmdGenerate(const Args& args) {
 
 int CmdAnalyze(const Args& args) {
   if (args.positional.size() != 1) return Usage();
-  const auto trace = ReadTrace(args.positional[0]);
   core::PipelineOptions opts;
   const std::string tau = args.Get("tau", "3600");
   opts.session_tau = tau == "auto" ? 0 : std::strtod(tau.c_str(), nullptr);
   opts.threads = static_cast<int>(args.GetU64("threads", 0));
-  const auto report = core::AnalysisPipeline(opts).Run(trace);
+  const core::AnalysisPipeline pipeline(opts);
+
+  const std::filesystem::path path = args.positional[0];
+  core::FullReport report;
+  if (!IsCsv(path) && IsColumnarTrace(path)) {
+    // Columnar fast path: load only the columns the pipeline touches and
+    // feed the store directly — no LogRecord vector is ever built.
+    report = pipeline.Run(ReadColumnarTrace(path, kAnalysisColumns));
+  } else {
+    report = pipeline.Run(ReadTrace(path));
+  }
   std::fputs(core::RenderFindings(report).c_str(), stdout);
   return 0;
 }
