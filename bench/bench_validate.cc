@@ -1,0 +1,60 @@
+// Wall-time smoke for the paper-fidelity validator: a full
+// `mcloudctl validate`-equivalent run (generate → analyze → §4 fleet →
+// every FigureCheck) must finish within a fixed budget at the standard
+// 20k-user scale, so the CI validate job and the golden test stay cheap
+// enough to run on every push. Prints the per-phase and per-check wall
+// times recorded in the JSON manifest and exits non-zero over budget.
+//
+// Usage: bench_validate [users] [seed] [budget_seconds]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "validate/validator.h"
+
+int main(int argc, char** argv) {
+  using namespace mcloud;
+
+  validate::ValidateOptions opt;
+  opt.users = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20'000;
+  opt.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  const double budget_s =
+      argc > 3 ? std::strtod(argv[3], nullptr) : 30.0;
+
+  bench::Header("validate smoke",
+                "full FigureCheck registry wall-time budget");
+  std::printf("# %zu mobile users, seed %llu, budget %.1f s\n", opt.users,
+              static_cast<unsigned long long>(opt.seed), budget_s);
+
+  const validate::ValidationRun run = validate::RunValidation(opt);
+
+  std::printf("\nphase wall times:\n");
+  std::printf("  %-12s %8.2f s\n", "generate", run.generate_s);
+  std::printf("  %-12s %8.2f s\n", "analyze", run.analyze_s);
+  std::printf("  %-12s %8.2f s\n", "fleet", run.fleet_s);
+  std::printf("  %-12s %8.2f s\n", "checks", run.checks_s);
+  std::printf("  %-12s %8.2f s\n", "total", run.total_s);
+
+  std::printf("\nper-check wall times:\n");
+  for (const auto& o : run.outcomes)
+    std::printf("  %-28s %8.4f s  %s\n", o.id.c_str(), o.wall_s,
+                o.passed ? "pass" : "FAIL");
+  std::printf("\n%zu/%zu checks passed\n", run.Passed(),
+              run.outcomes.size());
+
+  bool ok = true;
+  if (run.total_s > budget_s) {
+    std::printf("FAIL: total %.2f s exceeds the %.1f s budget\n",
+                run.total_s, budget_s);
+    ok = false;
+  }
+  if (!run.AllPassed()) {
+    std::printf("FAIL: %zu check(s) failed\n",
+                run.outcomes.size() - run.Passed());
+    ok = false;
+  }
+  if (ok)
+    std::printf("OK: %.2f s total, within the %.1f s budget\n", run.total_s,
+                budget_s);
+  return ok ? 0 : 1;
+}

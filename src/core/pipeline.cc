@@ -47,6 +47,12 @@ void RunSharedStages(ThreadPool& pool, const PipelineOptions& options,
                 usage, analysis::DeviceProfile::kMobileAndPc);
             report.pc_only_column = analysis::BuildUserTypeColumn(
                 usage, analysis::DeviceProfile::kPcOnly);
+            if (options.keep_raw_samples) {
+              report.raw.mobile_only_ratio_log10 = analysis::RatioSample(
+                  usage, analysis::DeviceProfile::kMobileOnly);
+              report.raw.mobile_pc_ratio_log10 = analysis::RatioSample(
+                  usage, analysis::DeviceProfile::kMobileAndPc);
+            }
             t_columns = Since(t0);
           },
           [&] {
@@ -54,20 +60,31 @@ void RunSharedStages(ThreadPool& pool, const PipelineOptions& options,
             report.session_split = analysis::ClassifySessions(mobile_sessions);
             report.burstiness =
                 analysis::NormalizedOperatingTimes(mobile_sessions);
+            if (options.keep_raw_samples) {
+              report.raw.session_op_counts.reserve(mobile_sessions.size());
+              for (const auto& s : mobile_sessions) {
+                report.raw.session_op_counts.push_back(
+                    static_cast<double>(s.FileOps()));
+              }
+            }
             t_stats = Since(t0);
           },
           [&] {
             const auto t0 = Clock::now();
-            report.store_size_model = analysis::FitFileSizeModel(
-                analysis::AvgFileSizeSample(
-                    mobile_sessions, analysis::Session::Type::kStoreOnly));
+            std::vector<double> sample = analysis::AvgFileSizeSample(
+                mobile_sessions, analysis::Session::Type::kStoreOnly);
+            report.store_size_model = analysis::FitFileSizeModel(sample);
+            if (options.keep_raw_samples)
+              report.raw.store_avg_mb = std::move(sample);
             t_store_fit = Since(t0);
           },
           [&] {
             const auto t0 = Clock::now();
-            report.retrieve_size_model = analysis::FitFileSizeModel(
-                analysis::AvgFileSizeSample(
-                    mobile_sessions, analysis::Session::Type::kRetrieveOnly));
+            std::vector<double> sample = analysis::AvgFileSizeSample(
+                mobile_sessions, analysis::Session::Type::kRetrieveOnly);
+            report.retrieve_size_model = analysis::FitFileSizeModel(sample);
+            if (options.keep_raw_samples)
+              report.raw.retrieve_avg_mb = std::move(sample);
             t_retrieve_fit = Since(t0);
           },
           [&] {
@@ -132,6 +149,8 @@ FullReport AnalysisPipeline::Run(const TraceStore& store,
 
   t0 = Clock::now();
   report.interval_model = analysis::FitIntervalModel(row.intervals);
+  if (options_.keep_raw_samples)
+    report.raw.intervals_s = std::move(row.intervals);
   t.fits_s += Since(t0);
   const Seconds tau = options_.session_tau > 0
                           ? options_.session_tau
@@ -212,11 +231,13 @@ FullReport AnalysisPipeline::RunAos(std::span<const LogRecord> trace,
           [&] {
             // Interval model (§3.1.1) and the τ every sessionization uses.
             auto t0 = Clock::now();
-            const std::vector<double> intervals =
+            std::vector<double> intervals =
                 analysis::InterOpIntervalsFrom(mobile);
             t_interval_scan = Since(t0);
             t0 = Clock::now();
             report.interval_model = analysis::FitIntervalModel(intervals);
+            if (options_.keep_raw_samples)
+              report.raw.intervals_s = std::move(intervals);
             t_interval_fit = Since(t0);
             tau = options_.session_tau > 0 ? options_.session_tau
                                            : report.interval_model.valley_tau;

@@ -31,6 +31,11 @@ struct PipelineOptions {
   /// concurrency. Results are identical for every thread count — stages
   /// compute disjoint report fields from read-only inputs.
   int threads = 0;
+  /// Keep the raw empirical samples behind the fitted summaries in
+  /// FullReport::raw (the validation layer's KS/AD inputs). Both engines
+  /// export bit-identical samples; off by default because the copies cost
+  /// memory proportional to the trace.
+  bool keep_raw_samples = false;
 };
 
 /// Wall-clock seconds spent per stage family, for the bench breakdowns.

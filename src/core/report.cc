@@ -273,6 +273,13 @@ std::uint64_t FingerprintReport(const FullReport& r) {
 
   HashActivity(f, r.store_activity);
   HashActivity(f, r.retrieve_activity);
+
+  f.Doubles(r.raw.intervals_s);
+  f.Doubles(r.raw.store_avg_mb);
+  f.Doubles(r.raw.retrieve_avg_mb);
+  f.Doubles(r.raw.session_op_counts);
+  f.Doubles(r.raw.mobile_only_ratio_log10);
+  f.Doubles(r.raw.mobile_pc_ratio_log10);
   return f.hash();
 }
 

@@ -18,6 +18,27 @@
 
 namespace mcloud::core {
 
+/// Raw empirical samples behind the fitted summaries. Empty by default;
+/// populated (identically by both engines) when
+/// PipelineOptions::keep_raw_samples is set. The paper-fidelity validation
+/// layer (src/validate/) runs its KS/AD gates on these instead of the
+/// fitted parameters, so a fit that silently absorbs a generator regression
+/// still trips the gate.
+struct RawSamples {
+  /// Mobile inter-file-operation gaps (seconds), trace order (Fig 3 input).
+  std::vector<double> intervals_s;
+  /// Per-session average file size (MB) of mobile store-only / retrieve-only
+  /// sessions (the Table 2 fit inputs).
+  std::vector<double> store_avg_mb;
+  std::vector<double> retrieve_avg_mb;
+  /// File-operation count of every mobile session (Fig 5a input).
+  std::vector<double> session_op_counts;
+  /// log10 store/retrieve volume ratio per user, by device profile
+  /// (Fig 7a input; zero-traffic users skipped).
+  std::vector<double> mobile_only_ratio_log10;
+  std::vector<double> mobile_pc_ratio_log10;
+};
+
 struct FullReport {
   // Dataset overview (§2.2).
   std::size_t records = 0;
@@ -44,6 +65,9 @@ struct FullReport {
   std::vector<analysis::RetrievalReturnCurve> retrieval_returns;
   analysis::ActivityModelResult store_activity;
   analysis::ActivityModelResult retrieve_activity;
+
+  /// Raw validation inputs (empty unless keep_raw_samples was requested).
+  RawSamples raw;
 };
 
 /// Render the Table 4-style findings summary (paper value vs measured).

@@ -69,4 +69,46 @@ ChiSquareResult ChiSquareGoodnessOfFit(
   return out;
 }
 
+ChiSquareResult ChiSquareCounts(std::span<const std::uint64_t> observed,
+                                std::span<const double> expected_probs,
+                                std::size_t fitted_parameters) {
+  MCLOUD_REQUIRE(observed.size() >= 2, "chi-square needs >= 2 categories");
+  MCLOUD_REQUIRE(observed.size() == expected_probs.size(),
+                 "observed/expected size mismatch");
+  MCLOUD_REQUIRE(observed.size() > fitted_parameters + 1,
+                 "not enough categories for the fitted parameter count");
+  double total_prob = 0;
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    MCLOUD_REQUIRE(expected_probs[i] > 0, "expected probs must be positive");
+    total_prob += expected_probs[i];
+    n += observed[i];
+  }
+  MCLOUD_REQUIRE(std::abs(total_prob - 1.0) < 1e-6,
+                 "expected probs must sum to 1");
+  MCLOUD_REQUIRE(n > 0, "chi-square needs observations");
+
+  ChiSquareResult out;
+  out.bins = observed.size();
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double expected = static_cast<double>(n) * expected_probs[i];
+    const double d = static_cast<double>(observed[i]) - expected;
+    out.statistic += d * d / expected;
+  }
+  out.dof = static_cast<double>(observed.size() - 1 - fitted_parameters);
+  out.p_value = ChiSquareSurvival(out.statistic, out.dof);
+  return out;
+}
+
+double ChiSquareQuantile(double upper_tail_alpha, double dof) {
+  MCLOUD_REQUIRE(upper_tail_alpha > 0 && upper_tail_alpha < 1,
+                 "alpha must be in (0,1)");
+  MCLOUD_REQUIRE(dof > 0, "chi-square needs dof > 0");
+  // Survival is monotone decreasing; bracket generously (dof + tail room).
+  const double hi = 10.0 * dof + 100.0;
+  return InvertCdf(
+      [dof](double x) { return 1.0 - ChiSquareSurvival(x, dof); },
+      1.0 - upper_tail_alpha, 0.0, hi);
+}
+
 }  // namespace mcloud

@@ -6,6 +6,7 @@
 // balanced and the statistic well behaved in the heavy tail.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <span>
 
@@ -28,9 +29,25 @@ struct ChiSquareResult {
     const std::function<double(double)>& model_quantile, std::size_t bins,
     std::size_t fitted_parameters);
 
+/// Generalized (categorical) chi-square gate: test observed category counts
+/// against expected probabilities. This is the multinomial form the
+/// validation layer uses for the session-type split and the Table 3 user
+/// classes; `statistic / n` is the per-sample effect size the FigureCheck
+/// thresholds gate on, so a systematic calibration offset is distinguished
+/// from sampling noise. `expected_probs` must sum to ~1; `dof` is
+/// k - 1 - fitted_parameters.
+[[nodiscard]] ChiSquareResult ChiSquareCounts(
+    std::span<const std::uint64_t> observed,
+    std::span<const double> expected_probs, std::size_t fitted_parameters = 0);
+
 /// Numeric inverse of a monotone CDF by bisection on [lo, hi].
 [[nodiscard]] double InvertCdf(const std::function<double(double)>& cdf,
                                double target, double lo, double hi,
                                int iterations = 200);
+
+/// Quantile of the chi-square distribution with `dof` degrees of freedom:
+/// the x with survival(x) = alpha. Used to convert a target false-positive
+/// rate into a gate threshold.
+[[nodiscard]] double ChiSquareQuantile(double upper_tail_alpha, double dof);
 
 }  // namespace mcloud

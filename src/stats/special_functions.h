@@ -1,8 +1,9 @@
 // Special functions needed by the goodness-of-fit machinery.
 //
-// Only what the chi-square p-value computation needs: the regularized
-// incomplete gamma functions P(a, x) and Q(a, x), evaluated with the
-// standard series / continued-fraction split.
+// What the chi-square, Kolmogorov–Smirnov, and Anderson–Darling p-value
+// computations need: the regularized incomplete gamma functions P(a, x) and
+// Q(a, x) (standard series / continued-fraction split), the Kolmogorov
+// limiting distribution, and the asymptotic Anderson–Darling distribution.
 #pragma once
 
 namespace mcloud {
@@ -16,5 +17,18 @@ namespace mcloud {
 /// Survival function of the chi-square distribution with k degrees of
 /// freedom: P(X > x) = Q(k/2, x/2). This is the p-value of a chi-square test.
 [[nodiscard]] double ChiSquareSurvival(double x, double dof);
+
+/// Survival of the Kolmogorov limiting distribution,
+///   Q(t) = 2 Σ_{k>=1} (-1)^{k-1} exp(-2 k² t²),
+/// evaluated with the theta-function dual series for small t where the
+/// alternating series converges slowly. Q(1.358) ≈ 0.05 — the classic KS
+/// critical value. Arguments t <= 0 return 1.
+[[nodiscard]] double KolmogorovSurvival(double t);
+
+/// Survival of the asymptotic (case-0, fully specified null) one-sample
+/// Anderson–Darling A² statistic, using Marsaglia & Marsaglia's rational
+/// approximations of the limiting CDF (accurate to ~1e-6 for z in (0, 32)).
+/// AndersonDarlingSurvival(2.492) ≈ 0.05. Arguments z <= 0 return 1.
+[[nodiscard]] double AndersonDarlingSurvival(double z);
 
 }  // namespace mcloud

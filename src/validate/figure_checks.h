@@ -1,0 +1,74 @@
+// The FigureCheck registry: every figure and table the repo reproduces,
+// mapped to (a) the analysis output that reproduces it and (b) a declarative
+// tolerance — one effect-size statistic, one threshold, pass iff
+// statistic <= threshold.
+//
+// Three gate families (see tolerance.h for the calibration story):
+//   * share / parameter deviations with sample-size-aware bands,
+//   * distributional gates (KS against the paper's Table 2 models, AD
+//     against the refit mixtures, χ²/n against categorical splits),
+//   * structural gates (orderings the paper asserts — peak hour, write
+//     dominance, device asymmetries) where the statistic counts violations
+//     and the threshold is 0.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cloud/storage_service.h"
+#include "core/report.h"
+#include "tcp/flow.h"
+
+namespace mcloud::validate {
+
+/// Everything the checks read: the §2/§3 report (with raw samples kept),
+/// the §4 fleet simulation outputs, and the two Fig 13 single-flow traces.
+struct ValidationInputs {
+  core::FullReport report;
+  /// Per-chunk samples + request logs of the §4 fleet run (single-file
+  /// sessions through the full service stack).
+  std::vector<cloud::ChunkPerf> fleet_perf;
+  std::vector<LogRecord> fleet_logs;
+  /// One 8 MiB store flow per platform, with packet traces (Fig 13).
+  tcp::FlowResult android_flow;
+  tcp::FlowResult ios_flow;
+};
+
+/// What a check measured. `p_value` is the classical test p-value where one
+/// exists (KS/AD/χ² gates) and -1 where the gate is structural; the
+/// pass/fail decision always uses `statistic <= threshold`.
+struct CheckResult {
+  std::string metric;    ///< e.g. "KS D", "chi2/n", "violations"
+  double statistic = 0;
+  double threshold = 0;
+  double p_value = -1;
+  std::size_t n = 0;     ///< sample size behind the statistic
+  std::string detail;    ///< human-readable observed-vs-paper note
+};
+
+struct FigureCheck {
+  std::string id;      ///< stable slug, e.g. "fig02_session_split"
+  std::string figure;  ///< paper anchor, e.g. "Fig 2" / "Table 2"
+  std::string what;    ///< one-line description of the claim
+  std::function<CheckResult(const ValidationInputs&)> run;
+};
+
+/// One evaluated check (CheckResult plus identity, verdict, and wall time).
+struct CheckOutcome {
+  std::string id;
+  std::string figure;
+  std::string what;
+  CheckResult result;
+  bool passed = false;
+  double wall_s = 0;
+};
+
+/// The full registry, in paper order. Built once, immutable.
+[[nodiscard]] const std::vector<FigureCheck>& FigureChecks();
+
+/// Run every registered check against `inputs`, timing each one.
+[[nodiscard]] std::vector<CheckOutcome> EvaluateChecks(
+    const ValidationInputs& inputs);
+
+}  // namespace mcloud::validate

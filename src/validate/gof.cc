@@ -1,0 +1,91 @@
+#include "validate/gof.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/special_functions.h"
+#include "util/error.h"
+
+namespace mcloud::validate {
+namespace {
+
+std::vector<double> Sorted(std::span<const double> sample) {
+  std::vector<double> s(sample.begin(), sample.end());
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+}  // namespace
+
+GofResult KsOneSample(std::span<const double> sample,
+                      const std::function<double(double)>& model_cdf) {
+  MCLOUD_REQUIRE(!sample.empty(), "KS needs a non-empty sample");
+  const std::vector<double> s = Sorted(sample);
+  const auto n = static_cast<double>(s.size());
+  double d = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double f = model_cdf(s[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, f - lo, hi - f});
+  }
+  GofResult r;
+  r.statistic = d;
+  r.n = s.size();
+  const double sqrt_n = std::sqrt(n);
+  r.p_value = KolmogorovSurvival((sqrt_n + 0.12 + 0.11 / sqrt_n) * d);
+  return r;
+}
+
+GofResult KsTwoSample(std::span<const double> a, std::span<const double> b) {
+  MCLOUD_REQUIRE(!a.empty() && !b.empty(), "KS needs non-empty samples");
+  const std::vector<double> sa = Sorted(a);
+  const std::vector<double> sb = Sorted(b);
+  const auto na = static_cast<double>(sa.size());
+  const auto nb = static_cast<double>(sb.size());
+  // Merge walk: the supremum |Fa - Fb| can only change at sample points.
+  double d = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    const double x = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] <= x) ++i;
+    while (j < sb.size() && sb[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+  GofResult r;
+  r.statistic = d;
+  r.n = sa.size();
+  r.m = sb.size();
+  const double ne = na * nb / (na + nb);
+  r.p_value = KolmogorovSurvival(std::sqrt(ne) * d);
+  return r;
+}
+
+GofResult AndersonDarling(std::span<const double> sample,
+                          const std::function<double(double)>& model_cdf) {
+  MCLOUD_REQUIRE(!sample.empty(), "AD needs a non-empty sample");
+  const std::vector<double> s = Sorted(sample);
+  const auto n = static_cast<double>(s.size());
+  // A² = -n - (1/n) Σ (2i-1)[ln F(x_i) + ln(1 - F(x_{n+1-i}))], clamping
+  // F away from {0,1} so boundary samples cannot produce infinities.
+  constexpr double kEps = 1e-12;
+  double sum = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double f_lo =
+        std::clamp(model_cdf(s[i]), kEps, 1.0 - kEps);
+    const double f_hi =
+        std::clamp(model_cdf(s[s.size() - 1 - i]), kEps, 1.0 - kEps);
+    sum += (2.0 * static_cast<double>(i) + 1.0) *
+           (std::log(f_lo) + std::log1p(-f_hi));
+  }
+  GofResult r;
+  r.statistic = -n - sum / n;
+  r.n = s.size();
+  r.p_value = AndersonDarlingSurvival(r.statistic);
+  return r;
+}
+
+}  // namespace mcloud::validate

@@ -1,0 +1,46 @@
+// Goodness-of-fit test statistics for the paper-fidelity validation layer.
+//
+// Three gates, matching the statistical toolset of the paper and the
+// reproducibility literature (PBench, request-cloning): Kolmogorov–Smirnov
+// (one- and two-sample), Anderson–Darling (one-sample, tail-sensitive), and
+// — via src/stats/chi_square — the categorical chi-square. All p-values use
+// asymptotic distributions from stats/special_functions; the FigureCheck
+// thresholds additionally gate on *effect size* (D, A²/n, χ²/n) so that the
+// huge synthetic samples do not reject on statistically-detectable but
+// practically-irrelevant deviations.
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace mcloud::validate {
+
+struct GofResult {
+  double statistic = 0;  ///< D for KS, A² for Anderson–Darling
+  double p_value = 1;    ///< asymptotic, see special_functions
+  std::size_t n = 0;     ///< first (or only) sample size
+  std::size_t m = 0;     ///< second sample size (two-sample KS only)
+};
+
+/// One-sample Kolmogorov–Smirnov test of `sample` against a continuous
+/// model CDF. The p-value applies the Stephens small-sample correction
+/// t = (sqrt(n) + 0.12 + 0.11/sqrt(n)) · D before the Kolmogorov survival.
+[[nodiscard]] GofResult KsOneSample(
+    std::span<const double> sample,
+    const std::function<double(double)>& model_cdf);
+
+/// Two-sample Kolmogorov–Smirnov test: supremum distance between the two
+/// empirical CDFs, p-value via the effective size n·m/(n+m).
+[[nodiscard]] GofResult KsTwoSample(std::span<const double> a,
+                                    std::span<const double> b);
+
+/// One-sample Anderson–Darling test of `sample` against a continuous model
+/// CDF (case 0: fully specified null). More weight in the tails than KS —
+/// the gate of choice for the heavy-tailed file-size models. A²/n converges
+/// to a model-mismatch integral, so thresholds on A²/n are sample-size
+/// stable.
+[[nodiscard]] GofResult AndersonDarling(
+    std::span<const double> sample,
+    const std::function<double(double)>& model_cdf);
+
+}  // namespace mcloud::validate

@@ -1,0 +1,259 @@
+#include "validate/validator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "cloud/storage_service.h"
+#include "core/pipeline.h"
+#include "model/paper_params.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace mcloud::validate {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// The §4 fleet: `flows` single-file sessions (78.4% android, 60/40
+/// store/retrieve, photo-batch uploads vs larger downloads), mirroring the
+/// paper's packet-trace collection at one front-end and the bench_util
+/// Section4Result recipe.
+std::vector<workload::SessionPlan> FleetPlans(const ValidateOptions& o) {
+  Rng rng(o.seed ^ 0x53454331u);  // independent of the workload streams
+  std::vector<workload::SessionPlan> plans;
+  plans.reserve(o.fleet_flows);
+  for (std::size_t i = 0; i < o.fleet_flows; ++i) {
+    workload::SessionPlan s;
+    s.user_id = i + 1;
+    s.device_id = i + 1;
+    s.device_type = rng.Bernoulli(paper::kAndroidShare) ? DeviceType::kAndroid
+                                                        : DeviceType::kIos;
+    s.start = kTraceStart + static_cast<UnixSeconds>(i * 30);
+    workload::FileOp op;
+    if (rng.Bernoulli(0.6)) {
+      op.direction = Direction::kStore;
+      op.size = FromMB(1.0 + rng.ExponentialMean(4.0));
+    } else {
+      op.direction = Direction::kRetrieve;
+      op.size = FromMB(2.0 + rng.ExponentialMean(20.0));
+    }
+    s.ops.push_back(op);
+    plans.push_back(s);
+  }
+  return plans;
+}
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void Append(std::string& out, const char* fmt, auto... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  out += buf;
+}
+
+void AppendOutcome(std::string& out, const CheckOutcome& o) {
+  Append(out, "    {\"id\": \"%s\", \"figure\": \"", o.id.c_str());
+  AppendEscaped(out, o.figure);
+  out += "\", \"what\": \"";
+  AppendEscaped(out, o.what);
+  Append(out, "\", \"metric\": \"%s\", \"statistic\": %.9g, "
+              "\"threshold\": %.9g, \"p_value\": %.9g, \"n\": %zu, "
+              "\"passed\": %s, \"wall_s\": %.6f, \"detail\": \"",
+         o.result.metric.c_str(), o.result.statistic, o.result.threshold,
+         o.result.p_value, o.result.n, o.passed ? "true" : "false",
+         o.wall_s);
+  AppendEscaped(out, o.result.detail);
+  out += "\"}";
+}
+
+void AppendRun(std::string& out, const ValidationRun& r) {
+  Append(out, "{\n  \"users\": %zu,\n  \"seed\": %llu,\n"
+              "  \"fleet_flows\": %zu,\n  \"checks\": %zu,\n"
+              "  \"passed\": %zu,\n  \"all_passed\": %s,\n"
+              "  \"timings_s\": {\"generate\": %.3f, \"analyze\": %.3f, "
+              "\"fleet\": %.3f, \"checks\": %.3f, \"total\": %.3f},\n"
+              "  \"results\": [\n",
+         r.options.users, static_cast<unsigned long long>(r.options.seed),
+         r.options.fleet_flows, r.outcomes.size(), r.Passed(),
+         r.AllPassed() ? "true" : "false", r.generate_s, r.analyze_s,
+         r.fleet_s, r.checks_s, r.total_s);
+  for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
+    AppendOutcome(out, r.outcomes[i]);
+    out += i + 1 < r.outcomes.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}";
+}
+
+}  // namespace
+
+std::size_t ValidationRun::Passed() const {
+  std::size_t n = 0;
+  for (const auto& o : outcomes)
+    if (o.passed) ++n;
+  return n;
+}
+
+ValidationInputs BuildValidationInputs(const ValidateOptions& options,
+                                       ValidationRun* timings) {
+  ValidationInputs in;
+
+  auto t0 = Clock::now();
+  workload::WorkloadConfig cfg;
+  cfg.seed = options.seed;
+  cfg.population.mobile_users = options.users;
+  cfg.population.pc_only_users = options.users / 3;
+  cfg.threads = options.threads;
+  const workload::WorkloadGenerator generator(cfg);
+  const workload::ColumnarWorkload workload = generator.GenerateColumnar();
+  if (timings) timings->generate_s = Since(t0);
+
+  t0 = Clock::now();
+  core::PipelineOptions popts;
+  popts.threads = options.threads;
+  popts.keep_raw_samples = true;
+  in.report = core::AnalysisPipeline(popts).Run(workload.trace);
+  if (timings) timings->analyze_s = Since(t0);
+
+  t0 = Clock::now();
+  cloud::ServiceConfig service_cfg;
+  service_cfg.seed = options.seed;
+  cloud::StorageService service(service_cfg);
+  cloud::ServiceResult fleet = service.Execute(FleetPlans(options));
+  in.fleet_perf = std::move(fleet.chunk_perf);
+  in.fleet_logs = std::move(fleet.logs);
+  // Fig 13: one store flow per platform at the paper's median RTT so the
+  // timeline comparison isolates the platform asymmetry.
+  in.android_flow =
+      service.SimulateFlow(DeviceType::kAndroid, Direction::kStore,
+                           options.flow_file_size, options.seed,
+                           paper::kMedianRtt);
+  in.ios_flow =
+      service.SimulateFlow(DeviceType::kIos, Direction::kStore,
+                           options.flow_file_size, options.seed,
+                           paper::kMedianRtt);
+  if (timings) timings->fleet_s = Since(t0);
+  return in;
+}
+
+ValidationRun RunValidation(const ValidateOptions& options) {
+  const auto t_total = Clock::now();
+  ValidationRun run;
+  run.options = options;
+  const ValidationInputs inputs = BuildValidationInputs(options, &run);
+  const auto t0 = Clock::now();
+  run.outcomes = EvaluateChecks(inputs);
+  run.checks_s = Since(t0);
+  run.total_s = Since(t_total);
+  return run;
+}
+
+SeedSweep RunSeedSweep(const ValidateOptions& options, std::size_t seeds) {
+  SeedSweep sweep;
+  sweep.runs.reserve(seeds);
+  std::map<std::string, std::size_t> failures;
+  std::vector<double> pass_indicator;
+  pass_indicator.reserve(seeds);
+  for (std::size_t i = 0; i < seeds; ++i) {
+    ValidateOptions o = options;
+    o.seed = options.seed + i;
+    ValidationRun run = RunValidation(o);
+    pass_indicator.push_back(run.AllPassed() ? 1.0 : 0.0);
+    for (const auto& c : run.outcomes)
+      if (!c.passed) ++failures[c.id];
+    sweep.runs.push_back(std::move(run));
+  }
+  sweep.run_pass_rate =
+      std::count(pass_indicator.begin(), pass_indicator.end(), 1.0) /
+      static_cast<double>(pass_indicator.size());
+  const std::vector<BootstrapCi> ci = BootstrapPercentileCi(
+      pass_indicator,
+      [](std::span<const double> xs) {
+        double sum = 0;
+        for (const double x : xs) sum += x;
+        return std::vector<double>{sum / static_cast<double>(xs.size())};
+      },
+      1000, 0.95, options.seed);
+  sweep.pass_rate_ci = ci.front();
+  for (const auto& [id, count] : failures)
+    sweep.failures_by_check.emplace_back(id, count);
+  return sweep;
+}
+
+std::string ToJson(const ValidationRun& run) {
+  std::string out;
+  AppendRun(out, run);
+  out += "\n";
+  return out;
+}
+
+std::string ToJson(const SeedSweep& sweep) {
+  std::string out;
+  Append(out, "{\n  \"seeds\": %zu,\n  \"run_pass_rate\": %.4f,\n"
+              "  \"pass_rate_ci95\": [%.4f, %.4f],\n"
+              "  \"failures_by_check\": {",
+         sweep.runs.size(), sweep.run_pass_rate, sweep.pass_rate_ci.lo,
+         sweep.pass_rate_ci.hi);
+  for (std::size_t i = 0; i < sweep.failures_by_check.size(); ++i) {
+    const auto& [id, count] = sweep.failures_by_check[i];
+    Append(out, "%s\"%s\": %zu", i ? ", " : "", id.c_str(), count);
+  }
+  out += "},\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < sweep.runs.size(); ++i) {
+    std::string run_json;
+    AppendRun(run_json, sweep.runs[i]);
+    // Indent the nested run objects two spaces for readability.
+    out += "  ";
+    for (const char c : run_json) {
+      out += c;
+      if (c == '\n') out += "  ";
+    }
+    out += i + 1 < sweep.runs.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string RenderText(const ValidationRun& run) {
+  std::string out;
+  Append(out, "=== paper-fidelity validation: %zu users, seed %llu ===\n",
+         run.options.users,
+         static_cast<unsigned long long>(run.options.seed));
+  Append(out, "%-24s %-10s %-14s %12s %12s  %s\n", "check", "figure",
+         "metric", "statistic", "threshold", "verdict");
+  for (const auto& o : run.outcomes) {
+    Append(out, "%-24s %-10s %-14s %12.5g %12.5g  %s\n", o.id.c_str(),
+           o.figure.c_str(), o.result.metric.c_str(), o.result.statistic,
+           o.result.threshold, o.passed ? "PASS" : "FAIL");
+    if (!o.passed) Append(out, "    %s\n", o.result.detail.c_str());
+  }
+  Append(out, "--- %zu/%zu checks passed; generate %.1fs analyze %.1fs "
+              "fleet %.1fs checks %.1fs (total %.1fs)\n",
+         run.Passed(), run.outcomes.size(), run.generate_s, run.analyze_s,
+         run.fleet_s, run.checks_s, run.total_s);
+  return out;
+}
+
+}  // namespace mcloud::validate

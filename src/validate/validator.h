@@ -1,0 +1,76 @@
+// The validation driver behind `mcloudctl validate`: generate a trace
+// through the columnar path, run the fused analysis engine with raw samples
+// kept, execute the §4 fleet simulation, evaluate every FigureCheck, and
+// emit a machine-readable pass/fail manifest. A seed-sweep mode re-runs the
+// whole thing across seeds and bootstraps a pass-rate confidence interval,
+// which is how the tolerance slacks in figure_checks.cc are calibrated to a
+// false-positive rate (DESIGN.md §7).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/bootstrap.h"
+#include "util/units.h"
+#include "validate/figure_checks.h"
+
+namespace mcloud::validate {
+
+struct ValidateOptions {
+  std::size_t users = 20'000;       ///< mobile users; PC-only = users/3
+  std::uint64_t seed = 42;
+  int threads = 0;                  ///< 0 = hardware concurrency
+  /// §4 fleet: single-file sessions through the full service stack
+  /// (the packet-trace stand-in, ~78% android as in the paper).
+  std::size_t fleet_flows = 3'000;
+  Bytes flow_file_size = 8 * kMiB;  ///< the Fig 13 single-flow transfers
+};
+
+/// One full validation run: every check outcome plus phase wall times.
+struct ValidationRun {
+  ValidateOptions options;
+  std::vector<CheckOutcome> outcomes;
+  double generate_s = 0;  ///< workload generation (columnar)
+  double analyze_s = 0;   ///< fused analysis engine
+  double fleet_s = 0;     ///< §4 service simulation + Fig 13 flows
+  double checks_s = 0;    ///< all FigureCheck evaluations
+  double total_s = 0;
+
+  [[nodiscard]] std::size_t Passed() const;
+  [[nodiscard]] bool AllPassed() const {
+    return Passed() == outcomes.size();
+  }
+};
+
+/// Seed-sweep result: per-seed runs plus the bootstrapped pass-rate CI.
+struct SeedSweep {
+  std::vector<ValidationRun> runs;   ///< seeds seed, seed+1, ...
+  double run_pass_rate = 0;          ///< fraction of runs with AllPassed()
+  BootstrapCi pass_rate_ci;          ///< 95% bootstrap CI of run_pass_rate
+  /// Total failures per check id across the sweep (empty when clean).
+  std::vector<std::pair<std::string, std::size_t>> failures_by_check;
+};
+
+/// Generate the workload, run the analyses and the §4 fleet, and package
+/// everything the checks read. Deterministic in (users, seed, fleet knobs);
+/// thread count never changes the result.
+[[nodiscard]] ValidationInputs BuildValidationInputs(
+    const ValidateOptions& options, ValidationRun* timings = nullptr);
+
+/// BuildValidationInputs + EvaluateChecks, with phase timings.
+[[nodiscard]] ValidationRun RunValidation(const ValidateOptions& options);
+
+/// Run `seeds` validations at seed, seed+1, ... and bootstrap the run-level
+/// pass rate (the calibration target: >= 95% of seeds must pass).
+[[nodiscard]] SeedSweep RunSeedSweep(const ValidateOptions& options,
+                                     std::size_t seeds);
+
+/// Machine-readable manifests (stable field names; consumed by CI).
+[[nodiscard]] std::string ToJson(const ValidationRun& run);
+[[nodiscard]] std::string ToJson(const SeedSweep& sweep);
+
+/// Aligned per-check text table for terminal output.
+[[nodiscard]] std::string RenderText(const ValidationRun& run);
+
+}  // namespace mcloud::validate

@@ -11,6 +11,7 @@
 #include "core/report.h"
 #include "trace/anonymizer.h"
 #include "trace/log_io.h"
+#include "validate/gof.h"
 #include "workload/generator.h"
 
 namespace mcloud {
@@ -210,6 +211,38 @@ TEST(Properties, SmallSampleFileSizeFitSkipsChiSquare) {
   EXPECT_FALSE(model.chi_square_valid);
   EXPECT_GE(model.selection.selected_n, 1u);
   EXPECT_FALSE(model.grid_mb.empty());
+}
+
+TEST(Properties, KsDistanceMetricInvariants) {
+  // The two-sample KS distance behind the validation layer's Table 2 gates
+  // is a metric on empirical distributions: symmetric, bounded in [0, 1],
+  // and exactly zero on identical samples — on every random sample shape.
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    Rng rng(seed);
+    const std::size_t na = 1 + rng.UniformInt(200);
+    const std::size_t nb = 1 + rng.UniformInt(200);
+    std::vector<double> a(na);
+    std::vector<double> b(nb);
+    // Mix of scales (heavy-tailed like the file sizes) and occasional ties.
+    for (auto& x : a)
+      x = rng.Bernoulli(0.2) ? std::floor(rng.Uniform(0.0, 5.0))
+                             : rng.ExponentialMean(3.0);
+    for (auto& x : b)
+      x = rng.Bernoulli(0.2) ? std::floor(rng.Uniform(0.0, 5.0))
+                             : rng.ExponentialMean(1.0 + rng.Uniform());
+
+    const auto ab = validate::KsTwoSample(a, b);
+    const auto ba = validate::KsTwoSample(b, a);
+    EXPECT_DOUBLE_EQ(ab.statistic, ba.statistic) << "seed " << seed;
+    EXPECT_NEAR(ab.p_value, ba.p_value, 1e-12) << "seed " << seed;
+    EXPECT_GE(ab.statistic, 0.0) << "seed " << seed;
+    EXPECT_LE(ab.statistic, 1.0) << "seed " << seed;
+    EXPECT_GE(ab.p_value, 0.0) << "seed " << seed;
+    EXPECT_LE(ab.p_value, 1.0) << "seed " << seed;
+
+    const auto aa = validate::KsTwoSample(a, a);
+    EXPECT_DOUBLE_EQ(aa.statistic, 0.0) << "seed " << seed;
+  }
 }
 
 TEST(Properties, DeterminismAcrossWholeStack) {

@@ -11,6 +11,8 @@
 //                       [--file-mb N] [--seed S] [--no-ssai] [--pace]
 //   mcloudctl simulate  --fail-rate R [--loss-burst R] [--degraded R]
 //                       [--hedge] [--no-retry] [--users N] [--seed S]
+//   mcloudctl validate  [--users N] [--seed S] [--seeds K] [--threads N]
+//                       [--flows N] [--json FILE]
 //   mcloudctl help
 //
 // Trace files are CSV (.csv), the columnar v2 binary format (.v2), or the
@@ -37,6 +39,7 @@
 #include "core/pipeline.h"
 #include "trace/anonymizer.h"
 #include "trace/log_io.h"
+#include "validate/validator.h"
 #include "workload/generator.h"
 
 namespace {
@@ -137,6 +140,8 @@ int Usage() {
       "            [--file-mb N] [--seed S] [--no-ssai] [--pace]\n"
       "  simulate  --fail-rate R [--loss-burst R] [--degraded R] [--hedge]\n"
       "            [--no-retry] [--users N] [--seed S]\n"
+      "  validate  [--users N] [--seed S] [--seeds K] [--threads N]\n"
+      "            [--flows N] [--json FILE]\n"
       "Trace format: .csv is CSV, .v2 is the columnar binary format,\n"
       "anything else is the row-wise v1 binary format (reads also sniff\n"
       "the v2 magic). --threads 0 (the default) uses all hardware\n"
@@ -336,6 +341,55 @@ int CmdSimulate(const Args& args) {
   return 0;
 }
 
+/// Paper-fidelity validation: generate → analyze → fleet-simulate → run
+/// every FigureCheck. Exit 0 iff all checks pass (single run) or the
+/// run-level pass rate is >= 95% (--seeds sweep). --json writes the
+/// machine-readable manifest CI archives.
+int CmdValidate(const Args& args) {
+  validate::ValidateOptions opts;
+  opts.users = args.GetU64("users", opts.users);
+  opts.seed = args.GetU64("seed", opts.seed);
+  opts.threads = static_cast<int>(args.GetU64("threads", 0));
+  opts.fleet_flows = args.GetU64("flows", opts.fleet_flows);
+  const std::uint64_t seeds = args.GetU64("seeds", 1);
+  const std::string json_path = args.Get("json");
+
+  auto write_json = [&](const std::string& json) {
+    if (json_path.empty()) return;
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      std::exit(1);
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  };
+
+  if (seeds <= 1) {
+    const validate::ValidationRun run = validate::RunValidation(opts);
+    std::fputs(validate::RenderText(run).c_str(), stdout);
+    write_json(validate::ToJson(run));
+    return run.AllPassed() ? 0 : 1;
+  }
+
+  const validate::SeedSweep sweep = validate::RunSeedSweep(opts, seeds);
+  for (const auto& run : sweep.runs) {
+    std::printf("seed %-6llu %zu/%zu checks passed (%.1f s)\n",
+                static_cast<unsigned long long>(run.options.seed),
+                run.Passed(), run.outcomes.size(), run.total_s);
+  }
+  std::printf("sweep: %zu seeds, run pass rate %.2f "
+              "(bootstrap 95%% CI [%.2f, %.2f])\n",
+              sweep.runs.size(), sweep.run_pass_rate, sweep.pass_rate_ci.lo,
+              sweep.pass_rate_ci.hi);
+  for (const auto& [id, count] : sweep.failures_by_check)
+    std::printf("  failing check: %-24s %zu/%zu seeds\n", id.c_str(), count,
+                sweep.runs.size());
+  write_json(validate::ToJson(sweep));
+  return sweep.run_pass_rate >= 0.95 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -349,6 +403,7 @@ int main(int argc, char** argv) {
     if (cmd == "convert") return CmdConvert(args);
     if (cmd == "anonymize") return CmdAnonymize(args);
     if (cmd == "simulate") return CmdSimulate(args);
+    if (cmd == "validate") return CmdValidate(args);
     if (cmd == "help" || cmd == "--help") {
       Usage();
       return 0;
