@@ -1,0 +1,360 @@
+// Sharded fleet + event-core benchmark (PR "sharded parallel fleet
+// simulation with an allocation-free event core").
+//
+//   bench_pr5_fleet [--events N] [--sessions N] [--reps N]
+//                   [--min-event-speedup X] [--out FILE.json]
+//
+// Two measurements, both asserted:
+//
+//   1. Event core: the pre-PR EventQueue (binary priority_queue of
+//      std::function entries with two unordered_sets tracking pending and
+//      cancelled ids) is embedded here verbatim as LegacyEventQueue and
+//      driven through an identical schedule/cancel/drain churn loop against
+//      the slot-pooled 4-ary-heap queue. The pooled core must clear
+//      --min-event-speedup (default 3x) in single-thread events/sec.
+//
+//   2. Fleet: ExecuteFleet over a Section4-style session fleet at
+//      --threads 1, 4, and hardware concurrency; the merged-result
+//      fingerprints must be identical at every thread count (the PR's
+//      determinism contract), and sessions/sec + events/sec are recorded
+//      per thread count.
+//
+// Writes BENCH_PR5.json and exits non-zero if either assertion fails.
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "cloud/fleet.h"
+#include "sim/event_queue.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/timeutil.h"
+#include "util/units.h"
+#include "workload/session_plan.h"
+
+namespace {
+
+using namespace mcloud;
+using Clock = std::chrono::steady_clock;
+
+double Since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// The pre-PR event queue, embedded as the baseline under measurement.
+// ---------------------------------------------------------------------------
+
+class LegacyEventQueue {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  EventId ScheduleAt(Seconds at, Callback cb) {
+    MCLOUD_REQUIRE(at >= now_, "cannot schedule an event in the past");
+    MCLOUD_REQUIRE(cb != nullptr, "event callback must not be null");
+    const EventId id = next_seq_++;
+    heap_.push(Entry{at, id, std::move(cb)});
+    pending_.insert(id);
+    ++live_;
+    return id;
+  }
+
+  bool Cancel(EventId id) {
+    if (pending_.erase(id) == 0) return false;
+    cancelled_.insert(id);
+    --live_;
+    return true;
+  }
+
+  [[nodiscard]] Seconds Now() const { return now_; }
+
+  bool RunNext() {
+    DiscardCancelled();
+    if (heap_.empty()) return false;
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    pending_.erase(e.seq);
+    --live_;
+    now_ = e.at;
+    ++executed_;
+    e.cb();
+    return true;
+  }
+
+  std::uint64_t RunAll(std::uint64_t max_events = ~0ULL) {
+    std::uint64_t n = 0;
+    while (n < max_events && RunNext()) ++n;
+    return n;
+  }
+
+ private:
+  struct Entry {
+    Seconds at;
+    EventId seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void DiscardCancelled() {
+    while (!heap_.empty() && cancelled_.count(heap_.top().seq) > 0) {
+      cancelled_.erase(heap_.top().seq);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;
+  std::unordered_set<EventId> cancelled_;
+  Seconds now_ = 0;
+  EventId next_seq_ = 0;
+  std::size_t live_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Event-core churn driver (identical schedule for both queue types)
+// ---------------------------------------------------------------------------
+
+/// The steady-state pattern the fleet drives: a deep standing window of
+/// pending events (the fault scheduler installs full crash/restart
+/// timelines up front; every in-flight flow holds a completion event),
+/// continuous schedule/run churn against it, and a steady stream of live
+/// cancellations (retry hedges retracted when the primary wins, fault
+/// timelines truncated at the horizon). Callbacks capture the context a
+/// real completion closure carries (~32 bytes — past std::function's
+/// small-buffer limit, inside EventCallback's). Times come from a private
+/// LCG, so both queue types see the exact same sequence.
+template <typename Queue>
+std::uint64_t DriveChurn(std::size_t total_events) {
+  constexpr std::size_t kWindow = 1 << 17;  // standing pending events (fleet-scale)
+  Queue q;
+  std::uint64_t counter = 0;
+  std::uint64_t state = 0x9E3779B97F4A7C15ULL;
+  const auto next_u64 = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  const auto schedule = [&] {
+    const double at = q.Now() + static_cast<double>(next_u64() % 1000) * 1e-3;
+    const std::uint64_t v = next_u64();
+    const std::array<std::uint64_t, 3> ctx{v, v ^ 0x9E3779B9ULL, v * 31};
+    return q.ScheduleAt(at, [&counter, ctx] {
+      counter += 1 + ((ctx[0] ^ ctx[1] ^ ctx[2]) & 1);
+    });
+  };
+
+  std::size_t scheduled = 0;
+  for (; scheduled < kWindow && scheduled < total_events; ++scheduled)
+    schedule();
+  while (scheduled < total_events) {
+    // One hedge per three committed events, retracted while still pending.
+    const auto hedge = schedule();
+    schedule();
+    schedule();
+    schedule();
+    scheduled += 4;
+    q.Cancel(hedge);
+    q.RunNext();
+    q.RunNext();
+    q.RunNext();
+  }
+  q.RunAll();
+  return counter;  // defeats dead-code elimination; also sanity-checked
+}
+
+template <typename Queue>
+double BestEventsPerSec(std::size_t events, int reps,
+                        std::uint64_t* executed) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    *executed = DriveChurn<Queue>(events);
+    const double s = Since(t0);
+    best = std::max(best, static_cast<double>(events) / s);
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Fleet sweep
+// ---------------------------------------------------------------------------
+
+/// Section4-style fleet: single-file sessions, 78% Android, 60/40
+/// store/retrieve, users spread so every shard of the 8-way split works.
+std::vector<workload::SessionPlan> FleetPlans(std::size_t sessions) {
+  Rng rng(7);
+  std::vector<workload::SessionPlan> plans;
+  plans.reserve(sessions);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    workload::SessionPlan s;
+    s.user_id = i + 1;
+    s.device_id = i + 1;
+    s.device_type =
+        rng.Bernoulli(0.784) ? DeviceType::kAndroid : DeviceType::kIos;
+    s.start = kTraceStart + static_cast<UnixSeconds>(i * 30);
+    workload::FileOp op;
+    if (rng.Bernoulli(0.6)) {
+      op.direction = Direction::kStore;
+      op.size = FromMB(1.0 + rng.ExponentialMean(4.0));
+    } else {
+      op.direction = Direction::kRetrieve;
+      op.size = FromMB(2.0 + rng.ExponentialMean(20.0));
+    }
+    s.ops.push_back(op);
+    plans.push_back(s);
+  }
+  return plans;
+}
+
+struct FleetSample {
+  int threads = 0;
+  double wall_s = 0;
+  double sessions_per_s = 0;
+  double events_per_s = 0;
+  std::uint64_t events = 0;
+  std::uint64_t fingerprint = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t events = 1'000'000;
+  std::size_t sessions = 3'000;
+  int reps = 3;
+  double min_event_speedup = 3.0;
+  std::string out_path = "BENCH_PR5.json";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--events") == 0) {
+      events = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--sessions") == 0) {
+      sessions = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--reps") == 0) {
+      reps = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--min-event-speedup") == 0) {
+      min_event_speedup = std::strtod(argv[i + 1], nullptr);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = argv[i + 1];
+    }
+  }
+
+  // ---- event core ----
+  std::uint64_t legacy_executed = 0;
+  std::uint64_t pooled_executed = 0;
+  std::fprintf(stderr, "event core: %zu events x %d reps per queue...\n",
+               events, reps);
+  const double legacy_eps =
+      BestEventsPerSec<LegacyEventQueue>(events, reps, &legacy_executed);
+  const double pooled_eps =
+      BestEventsPerSec<EventQueue>(events, reps, &pooled_executed);
+  const double event_speedup = pooled_eps / legacy_eps;
+  const bool same_executed = legacy_executed == pooled_executed;
+  std::fprintf(stderr,
+               "  legacy %.2fM ev/s, pooled %.2fM ev/s -> %.2fx "
+               "(executed %" PRIu64 " vs %" PRIu64 ")\n",
+               legacy_eps / 1e6, pooled_eps / 1e6, event_speedup,
+               legacy_executed, pooled_executed);
+
+  // ---- fleet sweep ----
+  const int hw =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  std::vector<int> sweep = {1, 4};
+  if (std::find(sweep.begin(), sweep.end(), hw) == sweep.end())
+    sweep.push_back(hw);
+
+  const auto plans = FleetPlans(sessions);
+  std::vector<FleetSample> fleet_samples;
+  for (const int threads : sweep) {
+    cloud::FleetConfig cfg;
+    cfg.threads = threads;
+    const auto t0 = Clock::now();
+    const cloud::FleetResult fleet = cloud::ExecuteFleet(cfg, plans);
+    FleetSample s;
+    s.threads = threads;
+    s.wall_s = Since(t0);
+    s.events = fleet.result.queue.executed;
+    s.sessions_per_s = static_cast<double>(plans.size()) / s.wall_s;
+    s.events_per_s = static_cast<double>(s.events) / s.wall_s;
+    s.fingerprint = cloud::FingerprintServiceResult(fleet.result);
+    std::fprintf(stderr,
+                 "fleet threads=%-2d  %.2fs  %.0f sessions/s  "
+                 "%.2fM events/s  fp %016" PRIx64 "\n",
+                 threads, s.wall_s, s.sessions_per_s, s.events_per_s / 1e6,
+                 s.fingerprint);
+    fleet_samples.push_back(s);
+  }
+  bool identical = !fleet_samples.empty();
+  for (const FleetSample& s : fleet_samples)
+    identical = identical && s.fingerprint == fleet_samples.front().fingerprint;
+
+  const bool pass =
+      identical && same_executed && event_speedup >= min_event_speedup;
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"benchmark\": \"pr5_sharded_fleet_event_core\",\n"
+      "  \"hardware_threads\": %d,\n"
+      "  \"event_core\": {\n"
+      "    \"churn_events\": %zu,\n"
+      "    \"legacy_events_per_second\": %.0f,\n"
+      "    \"pooled_events_per_second\": %.0f,\n"
+      "    \"speedup_threads1\": %.2f,\n"
+      "    \"min_speedup_required\": %.2f,\n"
+      "    \"executed_identical\": %s\n"
+      "  },\n"
+      "  \"fleet\": {\n"
+      "    \"sessions\": %zu,\n"
+      "    \"shards\": 8,\n"
+      "    \"fingerprints_identical\": %s,\n"
+      "    \"samples\": [\n",
+      hw, events, legacy_eps, pooled_eps, event_speedup, min_event_speedup,
+      same_executed ? "true" : "false", sessions,
+      identical ? "true" : "false");
+  for (std::size_t i = 0; i < fleet_samples.size(); ++i) {
+    const FleetSample& s = fleet_samples[i];
+    std::fprintf(f,
+                 "      {\"threads\": %d, \"wall_seconds\": %.3f, "
+                 "\"sessions_per_second\": %.1f, "
+                 "\"events_per_second\": %.0f, "
+                 "\"events_executed\": %" PRIu64 ", "
+                 "\"fingerprint\": \"%016" PRIx64 "\"}%s\n",
+                 s.threads, s.wall_s, s.sessions_per_s, s.events_per_s,
+                 s.events, s.fingerprint,
+                 i + 1 < fleet_samples.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "    ]\n  },\n"
+               "  \"pass\": %s\n"
+               "}\n",
+               pass ? "true" : "false");
+  std::fclose(f);
+
+  std::fprintf(stderr,
+               "wrote %s: event speedup %.2fx (need %.2fx), fleet "
+               "fingerprints %s -> %s\n",
+               out_path.c_str(), event_speedup, min_event_speedup,
+               identical ? "identical" : "DIVERGENT",
+               pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -13,20 +13,50 @@
 #include <string>
 #include <vector>
 
+#include <string_view>
+
 #include "core/pipeline.h"
 #include "util/summary.h"
 #include "workload/generator.h"
 
 namespace mcloud::bench {
 
+/// `--threads N` anywhere on the command line (0 = hardware concurrency,
+/// the default). Thread count never changes any bench's output, only its
+/// wall-clock — every parallel path in the library is deterministic.
+inline int ParseThreads(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string_view(argv[i]) == "--threads")
+      return static_cast<int>(std::strtol(argv[i + 1], nullptr, 10));
+  return 0;
+}
+
+/// The idx-th (1-based) positional argument, skipping `--flag value`
+/// pairs, so `bench 4000 --threads 2` and `bench --threads 2 4000` both
+/// read 4000 as the first positional.
+inline const char* Positional(int argc, char** argv, int idx) {
+  int seen = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--", 0) == 0) {
+      ++i;  // skip the flag's value
+      continue;
+    }
+    if (++seen == idx) return argv[i];
+  }
+  return nullptr;
+}
+
 /// Standard bench workload: ~6k mobile users for a week (≈2M records),
-/// overridable via argv[1] (users) and argv[2] (seed).
+/// overridable via positional args (users, seed) plus --threads N.
 inline workload::WorkloadConfig StandardConfig(int argc, char** argv) {
   workload::WorkloadConfig cfg;
+  const char* users = Positional(argc, argv, 1);
+  const char* seed = Positional(argc, argv, 2);
   cfg.population.mobile_users =
-      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6000;
+      users ? std::strtoul(users, nullptr, 10) : 6000;
   cfg.population.pc_only_users = cfg.population.mobile_users / 3;
-  cfg.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  cfg.seed = seed ? std::strtoull(seed, nullptr, 10) : 42;
+  cfg.threads = ParseThreads(argc, argv);
   return cfg;
 }
 
@@ -85,20 +115,22 @@ inline void PaperVsMeasured(const char* what, double paper, double measured,
 
 }  // namespace mcloud::bench
 
+#include "cloud/fleet.h"
 #include "cloud/storage_service.h"
 
 namespace mcloud::bench {
 
 /// Standard §4 workload: `flows` single-file sessions (78% Android) split
-/// between uploads and downloads, executed through the full service stack
-/// (metadata dedup + TCP substrate). Mirrors the paper's packet-trace
-/// collection at one front-end (40,386 flows).
+/// between uploads and downloads, executed through the sharded fleet
+/// executor (metadata dedup + TCP substrate; `--threads N` to spread the
+/// shards, output identical for every thread count). Mirrors the paper's
+/// packet-trace collection at one front-end (40,386 flows).
 inline cloud::ServiceResult Section4Result(
     int argc, char** argv, const cloud::ServiceConfig& config = {}) {
-  const std::size_t flows =
-      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4000;
-  const std::uint64_t seed =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+  const char* a1 = Positional(argc, argv, 1);
+  const char* a2 = Positional(argc, argv, 2);
+  const std::size_t flows = a1 ? std::strtoul(a1, nullptr, 10) : 4000;
+  const std::uint64_t seed = a2 ? std::strtoull(a2, nullptr, 10) : 7;
   std::printf("# service simulation: %zu flows, seed %llu\n", flows,
               static_cast<unsigned long long>(seed));
 
@@ -124,8 +156,10 @@ inline cloud::ServiceResult Section4Result(
     s.ops.push_back(op);
     plans.push_back(s);
   }
-  cloud::StorageService service(config);
-  return service.Execute(plans);
+  cloud::FleetConfig fleet_cfg;
+  fleet_cfg.service = config;
+  fleet_cfg.threads = ParseThreads(argc, argv);
+  return cloud::ExecuteFleet(fleet_cfg, plans).result;
 }
 
 }  // namespace mcloud::bench

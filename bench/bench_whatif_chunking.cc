@@ -26,10 +26,11 @@ int main(int argc, char** argv) {
   bench::Header("§4.3 what-ifs", "transmission optimizations on the TCP sim");
 
   core::WhatIfConfig cfg;
-  cfg.file_size = argc > 1
-                      ? std::strtoull(argv[1], nullptr, 10) * kMiB
-                      : 8 * kMiB;
-  cfg.flows = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 300;
+  const char* mb = bench::Positional(argc, argv, 1);
+  const char* flows = bench::Positional(argc, argv, 2);
+  cfg.file_size = mb ? std::strtoull(mb, nullptr, 10) * kMiB : 8 * kMiB;
+  cfg.flows = flows ? std::strtoul(flows, nullptr, 10) : 300;
+  cfg.threads = bench::ParseThreads(argc, argv);
 
   std::printf("# uploading a %.0f MB file, %zu flows per scenario\n\n",
               ToMB(cfg.file_size), cfg.flows);

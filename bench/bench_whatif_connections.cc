@@ -14,9 +14,11 @@ int main(int argc, char** argv) {
                 "connection per file vs reused connection per batch");
 
   core::ConnectionStrategyConfig cfg;
-  cfg.files = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+  const char* files = bench::Positional(argc, argv, 1);
+  cfg.files = files ? std::strtoul(files, nullptr, 10) : 8;
   cfg.file_size = 2 * kMiB;
   cfg.trials = 150;
+  cfg.threads = bench::ParseThreads(argc, argv);
 
   std::printf("# batch of %zu files x %.0f MB, varying inter-file gap\n\n",
               cfg.files, ToMB(cfg.file_size));

@@ -25,6 +25,34 @@ StorageService::StorageService(const ServiceConfig& config)
     zipf_weights_.push_back(
         std::pow(static_cast<double>(i + 1), -config.zipf_exponent));
   }
+
+  // Freeze the per-device/direction samplers once; the same closures used
+  // to be rebuilt (and heap-allocated) for every flow in BuildFlow.
+  sample_tsrv_ = [spec = config.server.tsrv](Rng& r) { return spec.Sample(r); };
+  for (int d = 0; d < 3; ++d) {
+    const ClientBehavior& client = behaviors_[d] =
+        BehaviorFor(static_cast<DeviceType>(d));
+    SamplerSet& store = samplers_[d][0];
+    store.stall.block = client.stall_block;
+    if (client.stall_block > 0) {
+      store.stall.sample = [spec = client.stall_duration](Rng& r) {
+        return spec.Sample(r);
+      };
+    }
+    store.sample_tclt = [spec = client.store_tclt](Rng& r) {
+      return spec.Sample(r);
+    };
+    SamplerSet& retrieve = samplers_[d][1];
+    retrieve.stall.block = client.retrieve_stall_block;
+    if (client.retrieve_stall_block > 0) {
+      retrieve.stall.sample = [spec = client.retrieve_stall_duration](Rng& r) {
+        return spec.Sample(r);
+      };
+    }
+    retrieve.sample_tclt = [spec = client.retrieve_tclt](Rng& r) {
+      return spec.Sample(r);
+    };
+  }
 }
 
 StorageService::FlowSetup StorageService::BuildFlow(DeviceType device,
@@ -32,7 +60,8 @@ StorageService::FlowSetup StorageService::BuildFlow(DeviceType device,
                                                     Seconds rtt,
                                                     double bandwidth_bps,
                                                     bool record_trace) const {
-  const ClientBehavior client = BehaviorFor(device);
+  const auto d = static_cast<int>(device);
+  const ClientBehavior& client = behaviors_[d];
   const ServerBehavior& server = config_.server;
 
   FlowSetup setup;
@@ -51,31 +80,14 @@ StorageService::FlowSetup StorageService::BuildFlow(DeviceType device,
     setup.config.sender_window = config_.server_window_scaling
                                      ? config_.scaled_server_window
                                      : server.receive_window;
-    setup.stall.block = client.stall_block;
-    if (client.stall_block > 0) {
-      setup.stall.sample = [spec = client.stall_duration](Rng& r) {
-        return spec.Sample(r);
-      };
-    }
-    setup.sample_tclt = [spec = client.store_tclt](Rng& r) {
-      return spec.Sample(r);
-    };
+    setup.samplers = &samplers_[d][0];
   } else {
     // Server is the sender; mobile clients enable window scaling, so the
     // effective cap is the client's multi-MB window. Slow readers stall the
     // sender through flow control (receive-side stalls).
     setup.config.sender_window = client.receive_window;
-    setup.stall.block = client.retrieve_stall_block;
-    if (client.retrieve_stall_block > 0) {
-      setup.stall.sample = [spec = client.retrieve_stall_duration](Rng& r) {
-        return spec.Sample(r);
-      };
-    }
-    setup.sample_tclt = [spec = client.retrieve_tclt](Rng& r) {
-      return spec.Sample(r);
-    };
+    setup.samplers = &samplers_[d][1];
   }
-  setup.sample_tsrv = [spec = server.tsrv](Rng& r) { return spec.Sample(r); };
   return setup;
 }
 
@@ -96,8 +108,8 @@ tcp::FlowResult StorageService::SimulateFlow(DeviceType device,
   std::vector<Bytes> chunks = tcp::SplitIntoChunks(
       file_size, config_.chunk_size * config_.batch_chunks);
   const tcp::FlowSimulator sim(setup.config);
-  return sim.Run(chunks, setup.sample_tsrv, setup.sample_tclt, setup.stall,
-                 rng);
+  return sim.Run(chunks, sample_tsrv_, setup.samplers->sample_tclt,
+                 setup.samplers->stall, rng);
 }
 
 void StorageService::ExecuteSession(const workload::SessionPlan& session,
@@ -135,16 +147,19 @@ void StorageService::ExecuteSession(const workload::SessionPlan& session,
     const UnixSeconds op_time =
         session.start + static_cast<UnixSeconds>(op.offset);
 
-    // --- Resolve content identity and consult the metadata server.
+    // --- Resolve content identity and consult the metadata server. The
+    // manifest is a pure function of (content seed, size); compute it once
+    // per op and reuse it everywhere below.
     std::uint64_t content_seed;
     Bytes size = op.size;
     bool upload_needed = true;
     FrontEndId fe_id = 0;
+    FileManifest manifest;
 
     bool shared_content = false;
     if (op.direction == Direction::kStore) {
       content_seed = next_content_seed_++;
-      const FileManifest manifest = chunker_.Manifest(content_seed, size);
+      manifest = chunker_.Manifest(content_seed, size);
       const StoreDecision decision =
           metadata_.QueryStore(session.user_id, manifest);
       fe_id = decision.front_end;
@@ -166,7 +181,7 @@ void StorageService::ExecuteSession(const workload::SessionPlan& session,
         size = FromMB(2.0 + content_rng.ExponentialMean(120.0));
         shared_content = true;
       }
-      const FileManifest manifest = chunker_.Manifest(content_seed, size);
+      manifest = chunker_.Manifest(content_seed, size);
       const StoreDecision registered =
           metadata_.QueryStore(0 /* origin uploader */, manifest);
       const auto located =
@@ -200,8 +215,7 @@ void StorageService::ExecuteSession(const workload::SessionPlan& session,
       if (*healthy != fe_id) {
         ++result.faults.failovers;
         if (op.direction == Direction::kStore && upload_needed) {
-          metadata_.Relocate(chunker_.Manifest(content_seed, size).file_md5,
-                             *healthy);
+          metadata_.Relocate(manifest.file_md5, *healthy);
           ++result.faults.relocations;
         }
         fe_id = *healthy;
@@ -222,7 +236,6 @@ void StorageService::ExecuteSession(const workload::SessionPlan& session,
     const double bw = (op.direction == Direction::kStore)
                           ? client.uplink_bps.Sample(rng)
                           : client.downlink_bps.Sample(rng);
-    const FileManifest manifest = chunker_.Manifest(content_seed, size);
 
     if (FaultsOn()) {
       if (!ExecuteFaultedTransfer(session, op, base, session_rtt, bw,
@@ -232,19 +245,22 @@ void StorageService::ExecuteSession(const workload::SessionPlan& session,
       continue;
     }
 
-    FlowSetup setup = BuildFlow(session.device_type, op.direction,
-                                session_rtt, bw, false);
-    std::vector<Bytes> wire_chunks;
+    const FlowSetup setup = BuildFlow(session.device_type, op.direction,
+                                      session_rtt, bw, false);
     if (config_.batch_chunks <= 1) {
-      for (const ChunkInfo& c : manifest.chunks) wire_chunks.push_back(c.size);
+      wire_scratch_.clear();
+      wire_scratch_.reserve(manifest.chunks.size());
+      for (const ChunkInfo& c : manifest.chunks)
+        wire_scratch_.push_back(c.size);
     } else {
-      wire_chunks = tcp::SplitIntoChunks(
-          size, config_.chunk_size * config_.batch_chunks);
+      tcp::SplitIntoChunksInto(size, config_.chunk_size * config_.batch_chunks,
+                               wire_scratch_);
     }
 
     const tcp::FlowSimulator sim(setup.config);
-    const tcp::FlowResult flow = sim.Run(
-        wire_chunks, setup.sample_tsrv, setup.sample_tclt, setup.stall, rng);
+    sim.RunInto(wire_scratch_, sample_tsrv_, setup.samplers->sample_tclt,
+                setup.samplers->stall, rng, flow_scratch_);
+    const tcp::FlowResult& flow = flow_scratch_;
     ++result.flows;
     result.slow_start_restarts += flow.restarts;
 
@@ -285,6 +301,8 @@ void StorageService::ExecuteSession(const workload::SessionPlan& session,
       perf.restarted = t.restarted;
       perf.rtt = flow.avg_rtt;
       perf.proxied = proxied;
+      perf.session_seq =
+          static_cast<std::uint32_t>(result.session_outcomes.size());
       result.chunk_perf.push_back(perf);
     }
   }
@@ -369,18 +387,23 @@ bool StorageService::ExecuteFaultedTransfer(
                                 session_rtt, bandwidth_bps, false);
     setup.config.chunk_deadline = policy.chunk_timeout;
     setup.config.random_loss_prob += schedule_->ExtraLossProb(clock);
-    if (const double f = schedule_->TsrvFactor(fe_id, clock); f != 1.0)
-      setup.sample_tsrv = [inner = setup.sample_tsrv, f](Rng& r) {
-        return inner(r) * f;
+    const tcp::DurationSampler* tsrv = &sample_tsrv_;
+    tcp::DurationSampler degraded_tsrv;
+    if (const double f = schedule_->TsrvFactor(fe_id, clock); f != 1.0) {
+      degraded_tsrv = [spec = config_.server.tsrv, f](Rng& r) {
+        return spec.Sample(r) * f;
       };
+      tsrv = &degraded_tsrv;
+    }
 
     std::vector<Bytes> sizes;
     sizes.reserve(pending.size());
     for (const Pending& p : pending) sizes.push_back(p.bytes);
 
     const tcp::FlowSimulator sim(setup.config);
-    const tcp::FlowResult flow = sim.Run(sizes, setup.sample_tsrv,
-                                         setup.sample_tclt, setup.stall, rng);
+    const tcp::FlowResult flow =
+        sim.Run(sizes, *tsrv, setup.samplers->sample_tclt,
+                setup.samplers->stall, rng);
     ++result.flows;
     result.slow_start_restarts += flow.restarts;
     first_attempt = false;
@@ -438,10 +461,10 @@ bool StorageService::ExecuteFaultedTransfer(
         // on total chunk service time (transfer + server processing): a
         // degraded server shows up in T_srv, not in the transfer itself.
         Seconds ttran = t.transfer_time;
-        Seconds tsrv = t.server_time;
+        Seconds srv_time = t.server_time;
         RequestOutcome oc = RequestOutcome::kOk;
         FrontEndId serve_fe = fe_id;
-        if (policy.hedge && ttran + tsrv > policy.hedge_delay &&
+        if (policy.hedge && ttran + srv_time > policy.hedge_delay &&
             front_ends_.size() > 1) {
           const auto alt = PickHealthyFrontEnd(
               (fe_id + 1) % static_cast<FrontEndId>(front_ends_.size()),
@@ -456,8 +479,9 @@ bool StorageService::ExecuteFaultedTransfer(
                   return spec.Sample(r) * alt_f;
                 };
             const Bytes one[] = {t.bytes};
-            const tcp::FlowResult dup = sim.Run(
-                one, dup_tsrv, setup.sample_tclt, setup.stall, fault_rng);
+            const tcp::FlowResult dup =
+                sim.Run(one, dup_tsrv, setup.samplers->sample_tclt,
+                        setup.samplers->stall, fault_rng);
             // The duplicate fires hedge_delay into the original's service
             // time and pays a fresh connection handshake.
             if (!dup.aborted && !dup.chunks.empty()) {
@@ -465,10 +489,10 @@ bool StorageService::ExecuteFaultedTransfer(
               const Seconds dup_total = policy.hedge_delay +
                                         setup.config.rtt + d.transfer_time +
                                         d.server_time;
-              if (dup_total < ttran + tsrv) {
+              if (dup_total < ttran + srv_time) {
                 ttran = policy.hedge_delay + setup.config.rtt +
                         d.transfer_time;
-                tsrv = d.server_time;
+                srv_time = d.server_time;
                 oc = RequestOutcome::kHedged;
                 serve_fe = *alt;
                 ++result.faults.hedge_wins;
@@ -484,10 +508,10 @@ bool StorageService::ExecuteFaultedTransfer(
         const UnixSeconds at = to_unix(chunk_end);
         FrontEndServer& srv = front_ends_[serve_fe];
         if (op.direction == Direction::kStore) {
-          srv.CommitChunkStore(base, at, wire_info, ttran, tsrv,
+          srv.CommitChunkStore(base, at, wire_info, ttran, srv_time,
                                flow.avg_rtt, result.logs, p.attempts, oc);
         } else {
-          if (srv.ServeChunkRetrieve(base, at, wire_info, ttran, tsrv,
+          if (srv.ServeChunkRetrieve(base, at, wire_info, ttran, srv_time,
                                      flow.avg_rtt, result.logs, p.attempts,
                                      oc) == RetrieveOutcome::kServedMissing)
             ++result.missing_chunk_serves;
@@ -498,7 +522,7 @@ bool StorageService::ExecuteFaultedTransfer(
         perf.direction = op.direction;
         perf.bytes = t.bytes;
         perf.ttran = ttran;
-        perf.tsrv = tsrv;
+        perf.tsrv = srv_time;
         perf.tclt = t.client_time;
         perf.idle_before = t.idle_before;
         perf.rto_at_idle = t.rto_at_idle;
@@ -506,6 +530,8 @@ bool StorageService::ExecuteFaultedTransfer(
         perf.rtt = flow.avg_rtt;
         perf.proxied = proxied;
         perf.attempt = p.attempts;
+        perf.session_seq =
+            static_cast<std::uint32_t>(result.session_outcomes.size());
         result.chunk_perf.push_back(perf);
         result.faults.goodput_bytes += t.bytes;
         ++completed;
@@ -592,6 +618,7 @@ ServiceResult StorageService::Execute(
     for (const EventQueue::EventId id : health_events) queue.Cancel(id);
   }
   queue.RunAll();
+  result.queue = queue.GetStats();
 
   std::sort(result.logs.begin(), result.logs.end(), LogRecordTimeOrder);
   std::sort(result.retrievals.begin(), result.retrievals.end(),

@@ -71,6 +71,10 @@ struct ChunkPerf {
   Seconds rtt = 0;          ///< flow average RTT
   bool proxied = false;
   std::uint32_t attempt = 1;  ///< which try delivered the chunk (1-based)
+  /// Ordinal of the owning session in this run's execution order (== index
+  /// into ServiceResult::session_outcomes). The sharded fleet executor
+  /// rewrites it to the canonical global rank when merging shards.
+  std::uint32_t session_seq = 0;
 };
 
 /// One file retrieval, as seen by a front-end cache: which content, how
@@ -126,6 +130,7 @@ struct ServiceResult {
   std::uint64_t slow_start_restarts = 0;
   std::uint64_t skipped_uploads = 0;    ///< file-level dedup hits
   std::uint64_t missing_chunk_serves = 0;  ///< retrievals served via replica
+  EventQueue::Stats queue;  ///< event-core counters for this run
 };
 
 class StorageService {
@@ -148,11 +153,16 @@ class StorageService {
   [[nodiscard]] const ServiceConfig& config() const { return config_; }
 
  private:
+  /// Per device×direction sampler bundle, built once at construction. The
+  /// old per-op lambda construction allocated a std::function per flow; the
+  /// hot path now borrows these by pointer and allocates nothing.
+  struct SamplerSet {
+    tcp::StallModel stall;
+    tcp::DurationSampler sample_tclt;
+  };
   struct FlowSetup {
     tcp::FlowConfig config;
-    tcp::StallModel stall;
-    tcp::DurationSampler sample_tsrv;
-    tcp::DurationSampler sample_tclt;
+    const SamplerSet* samplers = nullptr;
   };
   [[nodiscard]] FlowSetup BuildFlow(DeviceType device, Direction direction,
                                     Seconds rtt, double bandwidth_bps,
@@ -182,6 +192,13 @@ class StorageService {
   Chunker chunker_;
   MetadataServer metadata_;
   std::vector<FrontEndServer> front_ends_;
+  /// Cached behaviour + samplers: [device][direction] (0 = store).
+  ClientBehavior behaviors_[3];
+  SamplerSet samplers_[3][2];
+  tcp::DurationSampler sample_tsrv_;
+  /// Steady-state scratch buffers reused across flows within Execute().
+  std::vector<Bytes> wire_scratch_;
+  tcp::FlowResult flow_scratch_;
   std::vector<std::uint64_t> popular_seeds_;
   std::vector<double> zipf_weights_;
   std::uint64_t next_content_seed_ = 1;

@@ -4,6 +4,7 @@
 
 #include "cloud/client_model.h"
 #include "util/error.h"
+#include "util/parallel.h"
 #include "util/summary.h"
 
 namespace mcloud::core {
@@ -80,20 +81,26 @@ std::vector<WhatIfOutcome> RunWhatIf(
   std::vector<WhatIfOutcome> outcomes;
   outcomes.reserve(scenarios.size());
 
+  ThreadPool pool(config.threads);
   for (const WhatIfScenario& scenario : scenarios) {
     const cloud::StorageService service(scenario.service);
+    // Flow i is seeded config.seed + i regardless of which worker runs it,
+    // and the reduction below walks flows in index order, so the outcome is
+    // identical at every thread count. (Same seed base across scenarios:
+    // each flow i sees identical device draws, so differences are
+    // attributable to the knobs alone.)
+    std::vector<tcp::FlowResult> flows(config.flows);
+    ParallelFor(pool, config.flows, [&](std::size_t i) {
+      flows[i] = service.SimulateFlow(config.device, config.direction,
+                                      config.file_size, config.seed + i);
+    });
+
     std::vector<double> file_times;
     std::vector<double> chunk_ttrans;
     std::size_t gaps = 0;
     std::size_t restarts = 0;
     std::uint64_t timeouts = 0;
-
-    for (std::size_t i = 0; i < config.flows; ++i) {
-      // Same seed base across scenarios: each flow i sees identical device
-      // draws, so differences are attributable to the knobs alone.
-      const tcp::FlowResult flow = service.SimulateFlow(
-          config.device, config.direction, config.file_size,
-          config.seed + i);
+    for (const tcp::FlowResult& flow : flows) {
       file_times.push_back(flow.duration);
       timeouts += flow.timeouts;
       for (const auto& c : flow.chunks) {
@@ -129,12 +136,17 @@ ConnectionStrategyOutcome CompareConnectionStrategies(
   MCLOUD_REQUIRE(config.trials >= 1, "need at least one trial");
 
   const cloud::ClientBehavior client = cloud::BehaviorFor(config.device);
-  std::vector<double> per_file_times;
-  std::vector<double> reused_times;
-  double reused_restarts = 0;
-  double per_file_restarts = 0;
-
-  for (std::size_t t = 0; t < config.trials; ++t) {
+  // Each trial owns its Rng(seed + t), so trials parallelize with the same
+  // index-ordered reduction determinism as RunWhatIf.
+  struct Trial {
+    double per_file_time = 0;
+    double reused_time = 0;
+    std::uint64_t per_file_restarts = 0;
+    std::uint64_t reused_restarts = 0;
+  };
+  std::vector<Trial> trials(config.trials);
+  ThreadPool pool(config.threads);
+  ParallelFor(pool, config.trials, [&](std::size_t t) {
     Rng rng(config.seed + t);
     const Seconds rtt = cloud::MobileRttSpec().Sample(rng);
     const double bw = client.uplink_bps.Sample(rng);
@@ -176,8 +188,8 @@ ConnectionStrategyOutcome CompareConnectionStrategies(
         total += result.duration + config.inter_file_gap;
         restarts += result.restarts;
       }
-      per_file_times.push_back(total);
-      per_file_restarts += static_cast<double>(restarts);
+      trials[t].per_file_time = total;
+      trials[t].per_file_restarts = restarts;
     }
 
     // (b) One reused connection: chunks of all files concatenate onto the
@@ -205,9 +217,22 @@ ConnectionStrategyOutcome CompareConnectionStrategies(
       };
       const auto result =
           sim.Run(chunks, tsrv, tclt_with_gaps, stall, flow_rng);
-      reused_times.push_back(result.duration);
-      reused_restarts += static_cast<double>(result.restarts);
+      trials[t].reused_time = result.duration;
+      trials[t].reused_restarts = result.restarts;
     }
+  });
+
+  std::vector<double> per_file_times;
+  std::vector<double> reused_times;
+  per_file_times.reserve(trials.size());
+  reused_times.reserve(trials.size());
+  double per_file_restarts = 0;
+  double reused_restarts = 0;
+  for (const Trial& t : trials) {
+    per_file_times.push_back(t.per_file_time);
+    reused_times.push_back(t.reused_time);
+    per_file_restarts += static_cast<double>(t.per_file_restarts);
+    reused_restarts += static_cast<double>(t.reused_restarts);
   }
 
   ConnectionStrategyOutcome out;

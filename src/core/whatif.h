@@ -33,6 +33,10 @@ struct WhatIfConfig {
   Bytes file_size = 8 * kMiB;      ///< a multi-chunk upload
   std::size_t flows = 400;
   std::uint64_t seed = 99;
+  /// Worker threads for the per-flow sweep (0 = hardware concurrency).
+  /// Each flow is seeded independently, so the outcome is identical for
+  /// every thread count.
+  int threads = 0;
 };
 
 /// The paper's four §4.3 levers plus the baseline, pre-configured.
@@ -66,6 +70,9 @@ struct ConnectionStrategyConfig {
   Seconds inter_file_gap = 2.0;  ///< user gap between file completions
   std::size_t trials = 200;
   std::uint64_t seed = 17;
+  /// Worker threads for the per-trial sweep (0 = hardware concurrency);
+  /// trials are independently seeded, so output never depends on it.
+  int threads = 0;
 };
 [[nodiscard]] ConnectionStrategyOutcome CompareConnectionStrategies(
     const ConnectionStrategyConfig& config);

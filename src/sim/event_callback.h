@@ -1,0 +1,146 @@
+// Small-buffer move-only callback for the event core.
+//
+// `std::function<void()>` heap-allocates for any capture larger than the
+// implementation's tiny inline buffer (two pointers on libstdc++) and drags a
+// copy-constructibility requirement along with it. Event callbacks in this
+// codebase capture a handful of pointers plus a few integers — comfortably
+// small, but over libstdc++'s limit — so the old queue paid one allocation
+// per scheduled event. EventCallback keeps a 48-byte inline buffer, erases
+// the callable through a static ops table (invoke / relocate / destroy
+// function pointers; no vtable object), and is move-only, which lets it hold
+// move-only captures (e.g. a pooled buffer) that std::function rejects.
+// Callables that do not fit inline fall back to a single heap allocation,
+// exactly like std::function, so correctness never depends on the size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mcloud {
+
+class EventCallback {
+ public:
+  /// Inline capture budget. Sized for the hot chunk-timer closures in
+  /// cloud::StorageService (this pointer + flow state + a few ids) with room
+  /// to spare; anything bigger silently takes the heap path.
+  static constexpr std::size_t kInlineSize = 48;
+
+  EventCallback() = default;
+  EventCallback(std::nullptr_t) {}  // NOLINT: mirror std::function
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventCallback(F&& f) {  // NOLINT: implicit like std::function
+    using D = std::decay_t<F>;
+    if constexpr (FitsInline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept { MoveFrom(other); }
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { Reset(); }
+
+  /// Destroy the held callable (if any) and become empty.
+  void Reset() {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+  friend bool operator==(const EventCallback& c, std::nullptr_t) {
+    return !static_cast<bool>(c);
+  }
+  friend bool operator!=(const EventCallback& c, std::nullptr_t) {
+    return static_cast<bool>(c);
+  }
+
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-construct the callable from `src` storage into `dst` storage and
+    // destroy the source. Everything stored is nothrow-relocatable: inline
+    // callables require nothrow move construction, heap callables just move
+    // the owning pointer. Null means "memcpy the whole inline buffer" —
+    // the fast path for trivially copyable captures (pointers + integers),
+    // which skips an indirect call on the hot schedule/run cycle.
+    void (*relocate)(void* dst, void* src) noexcept;
+    // Null means trivially destructible: Reset() skips the indirect call.
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool FitsInline() {
+    return sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); },
+      std::is_trivially_copyable_v<D>
+          ? nullptr
+          : +[](void* dst, void* src) noexcept {
+              D* from = std::launder(reinterpret_cast<D*>(src));
+              ::new (dst) D(std::move(*from));
+              from->~D();
+            },
+      std::is_trivially_destructible_v<D>
+          ? nullptr
+          : +[](void* p) noexcept {
+              std::launder(reinterpret_cast<D*>(p))->~D();
+            },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**std::launder(reinterpret_cast<D**>(p)))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+      },
+      [](void* p) noexcept { delete *std::launder(reinterpret_cast<D**>(p)); },
+  };
+
+  void MoveFrom(EventCallback& other) noexcept {
+    if (other.ops_ != nullptr) {
+      if (other.ops_->relocate == nullptr) {
+        // Trivially copyable capture: blind copy of the whole buffer beats
+        // an indirect call that copies a prefix of it.
+        __builtin_memcpy(storage_, other.storage_, kInlineSize);
+      } else {
+        other.ops_->relocate(storage_, other.storage_);
+      }
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace mcloud

@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace mcloud {
@@ -7,39 +8,113 @@ namespace mcloud {
 EventQueue::EventId EventQueue::ScheduleAt(Seconds at, Callback cb) {
   MCLOUD_REQUIRE(at >= now_, "cannot schedule an event in the past");
   MCLOUD_REQUIRE(cb != nullptr, "event callback must not be null");
-  const EventId id = next_seq_++;
-  heap_.push(Entry{at, id, std::move(cb)});
-  pending_.insert(id);
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    MCLOUD_REQUIRE(slots_.size() < kMaxSlots, "event slot pool exhausted");
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  MCLOUD_REQUIRE(next_seq_ < kMaxSeq, "event sequence space exhausted");
+  Slot& s = slots_[idx];
+  s.cb = std::move(cb);
+  s.live = true;
+  HeapPush(HeapItem{at, (next_seq_++ << kSlotBits) | idx});
   ++live_;
-  return id;
+  ++stats_.scheduled;
+  stats_.peak_pending = std::max<std::uint64_t>(stats_.peak_pending, live_);
+  return MakeId(s.gen, idx);
 }
 
 bool EventQueue::Cancel(EventId id) {
-  if (pending_.erase(id) == 0) return false;  // already ran or cancelled
-  cancelled_.insert(id);
+  const std::uint32_t idx = SlotOf(id);
+  if (idx >= slots_.size()) return false;
+  Slot& s = slots_[idx];
+  if (!s.live || s.gen != GenOf(id)) return false;  // already ran or cancelled
+  s.live = false;
+  ++s.gen;       // stale handles die immediately, before the slot recycles
+  s.cb.Reset();  // release captured resources now, not at lazy heap removal
   --live_;
+  ++stats_.cancelled;
   return true;
 }
 
-void EventQueue::DiscardCancelled() {
-  while (!heap_.empty() && cancelled_.count(heap_.top().seq) > 0) {
-    cancelled_.erase(heap_.top().seq);
-    heap_.pop();
+void EventQueue::HeapPush(const HeapItem& item) {
+  heap_.push_back(item);
+  std::size_t i = HeapSize() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!Earlier(item, HeapAt(parent))) break;
+    HeapAt(i) = HeapAt(parent);
+    i = parent;
+  }
+  HeapAt(i) = item;
+}
+
+EventQueue::HeapItem EventQueue::HeapPopTop() {
+  const HeapItem top = HeapAt(0);
+  const HeapItem hole = heap_.back();
+  heap_.pop_back();
+  if (!HeapEmpty()) {
+    // Sift the former last element down from the root. Each level's four
+    // children share one cache line (see kHeapPad); prefetching the
+    // contiguous grandchild block hides the next level's miss.
+    const std::size_t n = HeapSize();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      const std::size_t gfirst = 4 * first + 1;
+      if (gfirst < n) {
+        const HeapItem* g = &HeapAt(gfirst);
+        __builtin_prefetch(g);
+        __builtin_prefetch(g + 4);
+        __builtin_prefetch(g + 8);
+        __builtin_prefetch(g + 12);
+      }
+      std::size_t best = first;
+      const std::size_t end = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < end; ++c) {
+        // Ternary instead of `if`: selects with a conditional move, since
+        // which child wins is data-random and would mispredict.
+        best = Earlier(HeapAt(c), HeapAt(best)) ? c : best;
+      }
+      if (!Earlier(HeapAt(best), hole)) break;
+      HeapAt(i) = HeapAt(best);
+      i = best;
+    }
+    HeapAt(i) = hole;
+  }
+  return top;
+}
+
+void EventQueue::DiscardCancelledTop() {
+  // Cancelled slots already had their generation bumped and callback
+  // destroyed; here they just leave the heap and return to the free list.
+  while (!HeapEmpty() && !slots_[SlotOfItem(HeapAt(0))].live) {
+    free_.push_back(SlotOfItem(HeapPopTop()));
   }
 }
 
 bool EventQueue::RunNext() {
-  DiscardCancelled();
-  if (heap_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast, which is safe
-  // because the entry is popped immediately after.
-  Entry e = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
-  pending_.erase(e.seq);
+  DiscardCancelledTop();
+  if (HeapEmpty()) return false;
+  const HeapItem top = HeapPopTop();
+  const std::uint32_t idx = SlotOfItem(top);
+  Slot& s = slots_[idx];
+  // Move the callback out and retire the slot *before* invoking: the
+  // callback may schedule new events (possibly reusing this very slot) or
+  // cancel others, and a stale handle to this event must already be dead.
+  Callback cb = std::move(s.cb);
+  now_ = top.at;
+  s.live = false;
+  ++s.gen;
+  free_.push_back(idx);
   --live_;
-  now_ = e.at;
-  ++executed_;
-  e.cb();
+  ++stats_.executed;
+  cb();
   return true;
 }
 
@@ -52,11 +127,11 @@ std::uint64_t EventQueue::RunAll(std::uint64_t max_events) {
 std::uint64_t EventQueue::RunUntil(Seconds t) {
   MCLOUD_REQUIRE(t >= now_, "cannot run backwards");
   std::uint64_t n = 0;
-  DiscardCancelled();
-  while (!heap_.empty() && heap_.top().at <= t) {
+  DiscardCancelledTop();
+  while (!HeapEmpty() && HeapAt(0).at <= t) {
     RunNext();
     ++n;
-    DiscardCancelled();
+    DiscardCancelledTop();
   }
   now_ = t;
   return n;

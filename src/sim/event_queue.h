@@ -1,24 +1,31 @@
 // Discrete-event simulation core.
 //
-// A minimal calendar queue: events are (time, sequence, callback) tuples;
-// RunNext() pops the earliest event, advances the simulated clock, and runs
-// it. Sequence numbers make execution order deterministic for simultaneous
-// events (insertion order), which keeps every simulation reproducible from
-// its seed.
+// Events are (time, sequence, callback) tuples; RunNext() pops the earliest
+// event, advances the simulated clock, and runs it. Sequence numbers make
+// execution order deterministic for simultaneous events (insertion order),
+// which keeps every simulation reproducible from its seed.
 //
-// Scheduling returns an EventId that can be passed to Cancel(): a cancelled
-// event never runs and never counts as executed. Cancellation is lazy — the
-// entry stays in the heap until it reaches the top — so Cancel is O(1) and
+// Storage layout: callbacks live in a pool of generation-counted slots and
+// the scheduling order is kept in a 4-ary min-heap of 16-byte records that
+// carry their own (time, sequence) sort keys, so sift comparisons walk
+// contiguous memory and never dereference into the slot pool.
+// An EventId packs {generation, slot index}, so Cancel() is a bounds check
+// plus a generation compare — O(1), no hash lookups — and a recycled slot
+// automatically invalidates every stale handle to its previous occupant.
+// Cancellation stays lazy: a cancelled slot is marked dead (its callback is
+// destroyed immediately) and discarded when it surfaces at the heap top, so
 // the fault scheduler can install a full crash/restart timeline up front and
 // retract the part beyond the simulation horizon.
+//
+// Callbacks are mcloud::EventCallback (48-byte small-buffer, move-only), so
+// the steady-state schedule/run cycle performs no heap allocation once the
+// pool and heap vectors have reached their high-water marks.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/event_callback.h"
 #include "util/error.h"
 #include "util/units.h"
 
@@ -26,10 +33,20 @@ namespace mcloud {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
-  /// Handle for a scheduled event; valid until the event runs or is
-  /// cancelled.
+  using Callback = EventCallback;
+  /// Handle for a scheduled event: {generation:32 | slot:32}. Valid until
+  /// the event runs or is cancelled; handles to recycled slots are rejected
+  /// by the generation check.
   using EventId = std::uint64_t;
+
+  /// Lifetime counters, cheap enough to keep always-on. `peak_pending` is
+  /// the high-water mark of live events, i.e. the pool size a shard needs.
+  struct Stats {
+    std::uint64_t scheduled = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t peak_pending = 0;
+  };
 
   /// Schedule `cb` at absolute simulated time `at` (must be >= Now()).
   EventId ScheduleAt(Seconds at, Callback cb);
@@ -48,7 +65,14 @@ class EventQueue {
   [[nodiscard]] bool Empty() const { return live_ == 0; }
   /// Live (non-cancelled) events still scheduled.
   [[nodiscard]] std::size_t Pending() const { return live_; }
-  [[nodiscard]] std::uint64_t Executed() const { return executed_; }
+  [[nodiscard]] std::uint64_t Executed() const { return stats_.executed; }
+  /// Events retracted via Cancel() over the queue's lifetime.
+  [[nodiscard]] std::uint64_t Cancelled() const { return stats_.cancelled; }
+  /// High-water mark of simultaneously pending live events.
+  [[nodiscard]] std::uint64_t PeakPending() const {
+    return stats_.peak_pending;
+  }
+  [[nodiscard]] const Stats& GetStats() const { return stats_; }
 
   /// Pop and run the earliest live event. Returns false if none remain.
   /// Cancelled events encountered on the way are discarded without running
@@ -63,28 +87,107 @@ class EventQueue {
   std::uint64_t RunUntil(Seconds t);
 
  private:
-  struct Entry {
-    Seconds at;
-    EventId seq;
+  struct Slot {
     Callback cb;
+    std::uint32_t gen = 0;  ///< bumped on run/cancel; stale ids never match
+    bool live = false;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+
+  /// Heap record: the sort keys travel with the heap entry so sift
+  /// comparisons stay in the contiguous heap array. A slot referenced by a
+  /// heap item is never recycled before that item is popped or discarded,
+  /// so the slot index alone identifies the callback. To keep the record at
+  /// 16 bytes (four children per cache-line pair), the schedule sequence and
+  /// the slot index share one word: key = seq << kSlotBits | slot. Sequence
+  /// numbers are unique, so ordering by key at equal times is exactly
+  /// ordering by seq — execution order is unchanged by the packing.
+  struct HeapItem {
+    Seconds at = 0;
+    std::uint64_t key = 0;  ///< seq:40 | slot:24
+  };
+
+  /// Bits of the heap key reserved for the slot index. Caps the pool at
+  /// 2^24 simultaneously pending events per queue (a shard holds thousands)
+  /// and the lifetime schedule count at 2^40 events; both enforced.
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint64_t kMaxSlots = 1ULL << kSlotBits;
+  static constexpr std::uint64_t kMaxSeq = 1ULL << (64 - kSlotBits);
+
+  static EventId MakeId(std::uint32_t gen, std::uint32_t slot) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+  static std::uint32_t GenOf(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static std::uint32_t SlotOf(EventId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+
+  /// Strict-weak ordering by (at, key); key's high bits are seq, so ties in
+  /// time resolve FIFO. Written branch-free: sift comparisons see random
+  /// priorities, where a conditional branch mispredicts about half the time.
+  [[nodiscard]] static bool Earlier(const HeapItem& a, const HeapItem& b) {
+    return (a.at < b.at) |
+           (static_cast<int>(a.at == b.at) & static_cast<int>(a.key < b.key));
+  }
+
+  static std::uint32_t SlotOfItem(const HeapItem& item) {
+    return static_cast<std::uint32_t>(item.key & (kMaxSlots - 1));
+  }
+
+  /// Minimal 64-byte-aligned allocator for the heap array, so a 4-child
+  /// group (4 x 16 bytes) occupies exactly one cache line (see kHeapPad).
+  template <typename T>
+  struct CacheAlignedAlloc {
+    using value_type = T;
+    CacheAlignedAlloc() = default;
+    template <typename U>
+    CacheAlignedAlloc(const CacheAlignedAlloc<U>&) noexcept {}  // NOLINT
+    T* allocate(std::size_t n) {
+      return static_cast<T*>(
+          ::operator new(n * sizeof(T), std::align_val_t{64}));
+    }
+    void deallocate(T* p, std::size_t n) noexcept {
+      ::operator delete(p, n * sizeof(T), std::align_val_t{64});
+    }
+    template <typename U>
+    bool operator==(const CacheAlignedAlloc<U>&) const noexcept {
+      return true;
     }
   };
 
-  /// Drop cancelled entries sitting at the top of the heap.
-  void DiscardCancelled();
+  /// The heap array keeps three unused pad records in front, so logical
+  /// node j lives at heap_[kHeapPad + j] and the child group of j (logical
+  /// 4j+1..4j+4, physical 4j+4..4j+7) starts at byte 64*(j+1) of the
+  /// 64-byte-aligned array: a sift-down touches one cache line per level.
+  static constexpr std::size_t kHeapPad = 3;
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> pending_;    ///< scheduled, not yet run/cancelled
-  std::unordered_set<EventId> cancelled_;  ///< awaiting lazy heap removal
+  [[nodiscard]] std::size_t HeapSize() const {
+    return heap_.size() - kHeapPad;
+  }
+  [[nodiscard]] bool HeapEmpty() const { return heap_.size() == kHeapPad; }
+  [[nodiscard]] const HeapItem& HeapAt(std::size_t j) const {
+    return heap_[kHeapPad + j];
+  }
+  [[nodiscard]] HeapItem& HeapAt(std::size_t j) {
+    return heap_[kHeapPad + j];
+  }
+
+  void HeapPush(const HeapItem& item);
+  /// Remove and return the root record (heap must be non-empty).
+  HeapItem HeapPopTop();
+  /// Free cancelled slots sitting at the heap top.
+  void DiscardCancelledTop();
+
+  std::vector<Slot> slots_;
+  /// 4-ary min-heap, keys inline, cache-line-aligned child groups.
+  std::vector<HeapItem, CacheAlignedAlloc<HeapItem>> heap_ =
+      std::vector<HeapItem, CacheAlignedAlloc<HeapItem>>(kHeapPad);
+  std::vector<std::uint32_t> free_;  ///< recycled slot indices
   Seconds now_ = 0;
-  EventId next_seq_ = 0;
+  std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
-  std::uint64_t executed_ = 0;
+  Stats stats_;
 };
 
 }  // namespace mcloud

@@ -16,18 +16,35 @@ FlowSimulator::FlowSimulator(const FlowConfig& config) : config_(config) {
 }
 
 std::vector<Bytes> SplitIntoChunks(Bytes file_size, Bytes chunk_size) {
+  std::vector<Bytes> chunks;
+  SplitIntoChunksInto(file_size, chunk_size, chunks);
+  return chunks;
+}
+
+void SplitIntoChunksInto(Bytes file_size, Bytes chunk_size,
+                         std::vector<Bytes>& out) {
   MCLOUD_REQUIRE(chunk_size > 0, "chunk size must be positive");
   MCLOUD_REQUIRE(file_size > 0, "file size must be positive");
-  std::vector<Bytes> chunks(file_size / chunk_size, chunk_size);
+  out.clear();
+  out.resize(static_cast<std::size_t>(file_size / chunk_size), chunk_size);
   if (const Bytes tail = file_size % chunk_size; tail > 0)
-    chunks.push_back(tail);
-  return chunks;
+    out.push_back(tail);
 }
 
 FlowResult FlowSimulator::Run(std::span<const Bytes> chunk_sizes,
                               const DurationSampler& sample_tsrv,
                               const DurationSampler& sample_tclt,
                               const StallModel& stall, Rng& rng) const {
+  FlowResult result;
+  RunInto(chunk_sizes, sample_tsrv, sample_tclt, stall, rng, result);
+  return result;
+}
+
+void FlowSimulator::RunInto(std::span<const Bytes> chunk_sizes,
+                            const DurationSampler& sample_tsrv,
+                            const DurationSampler& sample_tclt,
+                            const StallModel& stall, Rng& rng,
+                            FlowResult& result) const {
   MCLOUD_REQUIRE(!chunk_sizes.empty(), "flow needs at least one chunk");
   MCLOUD_REQUIRE(sample_tsrv != nullptr && sample_tclt != nullptr,
                  "processing-time samplers are required");
@@ -38,7 +55,14 @@ FlowResult FlowSimulator::Run(std::span<const Bytes> chunk_sizes,
   CongestionController cc(config_.cc);
   RttEstimator rtt_est;
 
-  FlowResult result;
+  result.chunks.clear();
+  result.trace.clear();
+  result.duration = 0;
+  result.restarts = 0;
+  result.timeouts = 0;
+  result.fast_retransmits = 0;
+  result.aborted = false;
+  result.avg_rtt = 0;
   result.chunks.reserve(chunk_sizes.size());
 
   Seconds now = 0;
@@ -197,7 +221,6 @@ FlowResult FlowSimulator::Run(std::span<const Bytes> chunk_sizes,
   result.avg_rtt =
       rtt_samples > 0 ? rtt_sum / static_cast<double>(rtt_samples)
                       : config_.rtt;
-  return result;
 }
 
 }  // namespace mcloud::tcp

@@ -113,6 +113,14 @@ class FlowSimulator {
                                const DurationSampler& sample_tclt,
                                const StallModel& stall, Rng& rng) const;
 
+  /// Allocation-free variant: resets `out` (keeping vector capacity) and
+  /// fills it in place. A caller simulating millions of flows reuses one
+  /// scratch FlowResult and stops paying two vector allocations per flow.
+  void RunInto(std::span<const Bytes> chunk_sizes,
+               const DurationSampler& sample_tsrv,
+               const DurationSampler& sample_tclt, const StallModel& stall,
+               Rng& rng, FlowResult& out) const;
+
  private:
   FlowConfig config_;
 };
@@ -121,5 +129,10 @@ class FlowSimulator {
 /// be short), as the service does for files larger than the chunk size.
 [[nodiscard]] std::vector<Bytes> SplitIntoChunks(Bytes file_size,
                                                  Bytes chunk_size);
+
+/// In-place variant of SplitIntoChunks: clears `out` (keeping capacity) and
+/// appends the chunk sizes.
+void SplitIntoChunksInto(Bytes file_size, Bytes chunk_size,
+                         std::vector<Bytes>& out);
 
 }  // namespace mcloud::tcp

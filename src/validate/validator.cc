@@ -1,6 +1,7 @@
 #include "validate/validator.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -93,13 +94,33 @@ void AppendRun(std::string& out, const ValidationRun& r) {
   Append(out, "{\n  \"users\": %zu,\n  \"seed\": %llu,\n"
               "  \"fleet_flows\": %zu,\n  \"checks\": %zu,\n"
               "  \"passed\": %zu,\n  \"all_passed\": %s,\n"
+              "  \"fingerprint\": \"%016llx\",\n"
               "  \"timings_s\": {\"generate\": %.3f, \"analyze\": %.3f, "
-              "\"fleet\": %.3f, \"checks\": %.3f, \"total\": %.3f},\n"
-              "  \"results\": [\n",
+              "\"fleet\": %.3f, \"checks\": %.3f, \"total\": %.3f,\n"
+              "    \"fleet_shards\": %zu, \"fleet_fingerprint\": \"%016llx\","
+              " \"per_shard\": [",
          r.options.users, static_cast<unsigned long long>(r.options.seed),
          r.options.fleet_flows, r.outcomes.size(), r.Passed(),
-         r.AllPassed() ? "true" : "false", r.generate_s, r.analyze_s,
-         r.fleet_s, r.checks_s, r.total_s);
+         r.AllPassed() ? "true" : "false",
+         static_cast<unsigned long long>(ManifestFingerprint(r)),
+         r.generate_s, r.analyze_s, r.fleet_s, r.checks_s, r.total_s,
+         r.fleet_shards.size(),
+         static_cast<unsigned long long>(r.fleet_fingerprint));
+  for (std::size_t i = 0; i < r.fleet_shards.size(); ++i) {
+    const cloud::ShardTelemetry& t = r.fleet_shards[i];
+    Append(out, "%s\n      {\"shard\": %u, \"sessions\": %llu, "
+                "\"scheduled\": %llu, \"executed\": %llu, "
+                "\"cancelled\": %llu, \"peak_pending\": %llu, "
+                "\"wall_s\": %.6f}",
+           i ? "," : "", t.shard,
+           static_cast<unsigned long long>(t.sessions),
+           static_cast<unsigned long long>(t.queue.scheduled),
+           static_cast<unsigned long long>(t.queue.executed),
+           static_cast<unsigned long long>(t.queue.cancelled),
+           static_cast<unsigned long long>(t.queue.peak_pending), t.wall_s);
+  }
+  out += r.fleet_shards.empty() ? "]},\n  \"results\": [\n"
+                                : "\n    ]},\n  \"results\": [\n";
   for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
     AppendOutcome(out, r.outcomes[i]);
     out += i + 1 < r.outcomes.size() ? ",\n" : "\n";
@@ -138,14 +159,22 @@ ValidationInputs BuildValidationInputs(const ValidateOptions& options,
   if (timings) timings->analyze_s = Since(t0);
 
   t0 = Clock::now();
-  cloud::ServiceConfig service_cfg;
-  service_cfg.seed = options.seed;
-  cloud::StorageService service(service_cfg);
-  cloud::ServiceResult fleet = service.Execute(FleetPlans(options));
-  in.fleet_perf = std::move(fleet.chunk_perf);
-  in.fleet_logs = std::move(fleet.logs);
+  cloud::FleetConfig fleet_cfg;
+  fleet_cfg.service.seed = options.seed;
+  fleet_cfg.shards = options.fleet_shards;
+  fleet_cfg.threads = options.threads;
+  cloud::FleetResult fleet = cloud::ExecuteFleet(fleet_cfg, FleetPlans(options));
+  if (timings) {
+    timings->fleet_fingerprint = cloud::FingerprintServiceResult(fleet.result);
+    timings->fleet_shards = std::move(fleet.shards);
+  }
+  in.fleet_perf = std::move(fleet.result.chunk_perf);
+  in.fleet_logs = std::move(fleet.result.logs);
   // Fig 13: one store flow per platform at the paper's median RTT so the
   // timeline comparison isolates the platform asymmetry.
+  cloud::ServiceConfig service_cfg;
+  service_cfg.seed = options.seed;
+  const cloud::StorageService service(service_cfg);
   in.android_flow =
       service.SimulateFlow(DeviceType::kAndroid, Direction::kStore,
                            options.flow_file_size, options.seed,
@@ -202,6 +231,56 @@ SeedSweep RunSeedSweep(const ValidateOptions& options, std::size_t seeds) {
   return sweep;
 }
 
+std::uint64_t ManifestFingerprint(const ValidationRun& run) {
+  // FNV-1a, byte-wise, matching the constants in cloud/fleet.cc. Everything
+  // here is a pure function of (options minus threads, build); no wall
+  // clocks, so --threads 1 and --threads N runs fingerprint identically.
+  std::uint64_t h = 14695981039346656037ULL;
+  const auto mix_u64 = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  const auto mix_double = [&mix_u64](double d) {
+    mix_u64(std::bit_cast<std::uint64_t>(d));
+  };
+  const auto mix_str = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    h ^= 0xFF;  // length delimiter
+    h *= 1099511628211ULL;
+  };
+
+  mix_u64(run.options.users);
+  mix_u64(run.options.seed);
+  mix_u64(run.options.fleet_flows);
+  mix_u64(run.options.flow_file_size);
+  mix_u64(run.options.fleet_shards);
+  mix_u64(run.fleet_fingerprint);
+  mix_u64(run.outcomes.size());
+  for (const CheckOutcome& o : run.outcomes) {
+    mix_str(o.id);
+    mix_double(o.result.statistic);
+    mix_double(o.result.threshold);
+    mix_double(o.result.p_value);
+    mix_u64(o.result.n);
+    mix_u64(o.passed ? 1 : 0);
+  }
+  mix_u64(run.fleet_shards.size());
+  for (const cloud::ShardTelemetry& t : run.fleet_shards) {
+    mix_u64(t.shard);
+    mix_u64(t.sessions);
+    mix_u64(t.queue.scheduled);
+    mix_u64(t.queue.executed);
+    mix_u64(t.queue.cancelled);
+    mix_u64(t.queue.peak_pending);
+  }
+  return h;
+}
+
 std::string ToJson(const ValidationRun& run) {
   std::string out;
   AppendRun(out, run);
@@ -253,6 +332,19 @@ std::string RenderText(const ValidationRun& run) {
               "fleet %.1fs checks %.1fs (total %.1fs)\n",
          run.Passed(), run.outcomes.size(), run.generate_s, run.analyze_s,
          run.fleet_s, run.checks_s, run.total_s);
+  if (!run.fleet_shards.empty()) {
+    std::uint64_t events = 0, cancelled = 0;
+    for (const cloud::ShardTelemetry& t : run.fleet_shards) {
+      events += t.queue.executed;
+      cancelled += t.queue.cancelled;
+    }
+    Append(out, "--- fleet: %zu shards, %llu events executed "
+                "(%llu cancelled); manifest fingerprint %016llx\n",
+           run.fleet_shards.size(),
+           static_cast<unsigned long long>(events),
+           static_cast<unsigned long long>(cancelled),
+           static_cast<unsigned long long>(ManifestFingerprint(run)));
+  }
   return out;
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "cloud/fleet.h"
 #include "stats/bootstrap.h"
 #include "util/units.h"
 #include "validate/figure_checks.h"
@@ -25,6 +26,10 @@ struct ValidateOptions {
   /// (the packet-trace stand-in, ~78% android as in the paper).
   std::size_t fleet_flows = 3'000;
   Bytes flow_file_size = 8 * kMiB;  ///< the Fig 13 single-flow transfers
+  /// Shard count of the fleet simulation — the unit of determinism, fixed
+  /// independently of `threads` (see cloud/fleet.h). Part of the sample
+  /// identity: changing it reseeds the fleet.
+  std::uint32_t fleet_shards = 8;
 };
 
 /// One full validation run: every check outcome plus phase wall times.
@@ -36,6 +41,10 @@ struct ValidationRun {
   double fleet_s = 0;     ///< §4 service simulation + Fig 13 flows
   double checks_s = 0;    ///< all FigureCheck evaluations
   double total_s = 0;
+  /// Per-shard event-core observability from the sharded fleet run.
+  std::vector<cloud::ShardTelemetry> fleet_shards;
+  /// FingerprintServiceResult of the merged fleet ServiceResult.
+  std::uint64_t fleet_fingerprint = 0;
 
   [[nodiscard]] std::size_t Passed() const;
   [[nodiscard]] bool AllPassed() const {
@@ -65,6 +74,14 @@ struct SeedSweep {
 /// pass rate (the calibration target: >= 95% of seeds must pass).
 [[nodiscard]] SeedSweep RunSeedSweep(const ValidateOptions& options,
                                      std::size_t seeds);
+
+/// FNV-1a fingerprint of a run's deterministic content: the options that
+/// define the sample (threads excluded — it never changes output), every
+/// check verdict/statistic, the fleet fingerprint, and the per-shard event
+/// counters. Wall-clock times are excluded, so two runs of the same build
+/// at different `--threads` values produce the same fingerprint — the CI
+/// fleet-determinism job compares exactly this value.
+[[nodiscard]] std::uint64_t ManifestFingerprint(const ValidationRun& run);
 
 /// Machine-readable manifests (stable field names; consumed by CI).
 [[nodiscard]] std::string ToJson(const ValidationRun& run);

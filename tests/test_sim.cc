@@ -1,0 +1,278 @@
+// Tests for the discrete-event core: the slot-pooled 4-ary heap EventQueue
+// (generation-counted EventIds, O(1) lazy cancel, lifetime stats) and the
+// small-buffer EventCallback it schedules. The basic ordering/cancel tests
+// moved here from test_tcp.cc when the event core grew its own test binary.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event_callback.h"
+#include "sim/event_queue.h"
+#include "util/error.h"
+
+namespace mcloud {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventCallback
+// ---------------------------------------------------------------------------
+
+TEST(EventCallback, EmptyAndNullptrStates) {
+  EventCallback empty;
+  EXPECT_FALSE(empty);
+  EXPECT_TRUE(empty == nullptr);
+  EventCallback null_cb(nullptr);
+  EXPECT_FALSE(null_cb);
+  int ran = 0;
+  EventCallback cb([&] { ++ran; });
+  EXPECT_TRUE(cb);
+  EXPECT_TRUE(cb != nullptr);
+  cb();
+  EXPECT_EQ(ran, 1);
+  cb.Reset();
+  EXPECT_FALSE(cb);
+}
+
+TEST(EventCallback, HoldsMoveOnlyCallable) {
+  // std::function rejects move-only captures; EventCallback must not.
+  auto p = std::make_unique<int>(41);
+  EventCallback cb([p = std::move(p)] { ++*p; EXPECT_EQ(*p, 42); });
+  EventCallback moved = std::move(cb);
+  EXPECT_FALSE(cb);  // NOLINT: moved-from state is defined as empty
+  ASSERT_TRUE(moved);
+  moved();
+}
+
+TEST(EventCallback, HeapFallbackForLargeCaptures) {
+  // Captures beyond the inline buffer transparently take the heap path.
+  struct Big {
+    unsigned char pad[2 * EventCallback::kInlineSize] = {};
+    int value = 7;
+  };
+  Big big;
+  big.value = 11;
+  EventCallback cb([big] { EXPECT_EQ(big.value, 11); });
+  EventCallback moved = std::move(cb);
+  ASSERT_TRUE(moved);
+  moved();
+}
+
+TEST(EventCallback, AcceptsCopyableLvalues) {
+  // Call sites pass lvalue std::functions (e.g. a self-rescheduling
+  // closure); construction copies the lvalue once and never again.
+  int ran = 0;
+  const std::function<void()> fn = [&ran] { ++ran; };
+  EventCallback cb(fn);
+  cb();
+  EXPECT_EQ(ran, 1);
+}
+
+struct CopyMoveCounter {
+  int* copies;
+  int* moves;
+  CopyMoveCounter(int* c, int* m) : copies(c), moves(m) {}
+  CopyMoveCounter(const CopyMoveCounter& o) noexcept
+      : copies(o.copies), moves(o.moves) {
+    ++*copies;
+  }
+  CopyMoveCounter(CopyMoveCounter&& o) noexcept
+      : copies(o.copies), moves(o.moves) {
+    ++*moves;
+  }
+  CopyMoveCounter& operator=(const CopyMoveCounter&) = delete;
+  CopyMoveCounter& operator=(CopyMoveCounter&&) = delete;
+  void operator()() const {}
+};
+
+// Satellite regression: the old queue moved entries out of
+// priority_queue::top() via const_cast; the slot pool made that disappear,
+// but the contract — a scheduled callback is never copied, only moved —
+// must hold forever.
+TEST(EventQueue, PoppedCallbacksAreMovedNotCopied) {
+  int copies = 0;
+  int moves = 0;
+  EventQueue q;
+  q.ScheduleAt(1.0, CopyMoveCounter(&copies, &moves));
+  q.ScheduleAt(2.0, CopyMoveCounter(&copies, &moves));
+  EXPECT_EQ(q.RunAll(), 2u);
+  EXPECT_EQ(copies, 0);
+  EXPECT_GT(moves, 0);  // into the slot, out at pop
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue ordering / clock (moved from test_tcp.cc)
+// ---------------------------------------------------------------------------
+
+TEST(EventQueue, OrdersByTimeThenFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(2.0, [&] { order.push_back(3); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(1.0, [&] { order.push_back(2); });  // same time: FIFO
+  EXPECT_EQ(q.RunAll(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.Now(), 2.0);
+}
+
+TEST(EventQueue, RunUntilAdvancesClock) {
+  EventQueue q;
+  int ran = 0;
+  q.ScheduleAt(1.0, [&] { ++ran; });
+  q.ScheduleAt(5.0, [&] { ++ran; });
+  EXPECT_EQ(q.RunUntil(3.0), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_DOUBLE_EQ(q.Now(), 3.0);
+  EXPECT_EQ(q.Pending(), 1u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) q.ScheduleIn(1.0, recurse);
+  };
+  q.ScheduleAt(0.0, recurse);
+  q.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(q.Now(), 4.0);
+}
+
+TEST(EventQueue, RejectsPastAndNull) {
+  EventQueue q;
+  q.ScheduleAt(1.0, [] {});
+  q.RunAll();
+  EXPECT_THROW(q.ScheduleAt(0.5, [] {}), Error);
+  EXPECT_THROW(q.ScheduleAt(2.0, nullptr), Error);
+}
+
+TEST(EventQueue, HeapOrderSurvivesInterleavedLoad) {
+  // Exercise the 4-ary sift paths well past trivial sizes: a deterministic
+  // pseudo-shuffled schedule must still run in exact (time, seq) order.
+  EventQueue q;
+  std::vector<std::pair<double, int>> ran;
+  for (int i = 0; i < 500; ++i) {
+    const double at = static_cast<double>((i * 7919) % 101);
+    q.ScheduleAt(at, [&ran, at, i] { ran.emplace_back(at, i); });
+  }
+  EXPECT_EQ(q.RunAll(), 500u);
+  ASSERT_EQ(ran.size(), 500u);
+  for (std::size_t i = 1; i < ran.size(); ++i) {
+    ASSERT_TRUE(ran[i - 1].first < ran[i].first ||
+                (ran[i - 1].first == ran[i].first &&
+                 ran[i - 1].second < ran[i].second))
+        << "order violated at " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation edge cases
+// ---------------------------------------------------------------------------
+
+TEST(EventQueue, SameTimestampKeepsScheduleOrderAcrossCancellation) {
+  // Cancelling one of several simultaneous events must not disturb the
+  // FIFO order of the survivors.
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  const auto victim = q.ScheduleAt(1.0, [&] { order.push_back(2); });
+  q.ScheduleAt(1.0, [&] { order.push_back(3); });
+  EXPECT_TRUE(q.Cancel(victim));
+  EXPECT_EQ(q.RunAll(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelPendingEvent) {
+  EventQueue q;
+  int ran = 0;
+  const auto id = q.ScheduleAt(1.0, [&] { ++ran; });
+  EXPECT_EQ(q.Pending(), 1u);
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_EQ(q.Pending(), 0u);
+  EXPECT_TRUE(q.Empty());
+  // Cancelled events neither run nor count as executed.
+  EXPECT_EQ(q.RunAll(), 0u);
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(q.Executed(), 0u);
+  EXPECT_EQ(q.Cancelled(), 1u);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndRejectsRunIds) {
+  EventQueue q;
+  const auto id = q.ScheduleAt(1.0, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));  // second cancel is a no-op
+  const auto ran_id = q.ScheduleAt(2.0, [] {});
+  q.RunAll();
+  EXPECT_FALSE(q.Cancel(ran_id));  // already executed: cancel-after-run
+  EXPECT_FALSE(q.Cancel(123456));  // never issued
+}
+
+TEST(EventQueue, CancelFromInsideAnEarlierEvent) {
+  // An event may retract a later one while the queue is running.
+  EventQueue q;
+  int ran = 0;
+  EventQueue::EventId later = 0;
+  q.ScheduleAt(1.0, [&] { EXPECT_TRUE(q.Cancel(later)); });
+  later = q.ScheduleAt(2.0, [&] { ++ran; });
+  EXPECT_EQ(q.RunAll(), 1u);
+  EXPECT_EQ(ran, 0);
+  EXPECT_DOUBLE_EQ(q.Now(), 1.0);
+}
+
+TEST(EventQueue, StaleIdToRecycledSlotIsRejected) {
+  // A cancelled event's slot is recycled for a later event; the stale
+  // handle's generation no longer matches, so cancelling it again must not
+  // kill the new occupant.
+  EventQueue q;
+  const auto stale = q.ScheduleAt(1.0, [] {});
+  EXPECT_TRUE(q.Cancel(stale));
+  EXPECT_EQ(q.RunAll(), 0u);  // surfaces the dead slot, frees it
+  int ran = 0;
+  const auto fresh = q.ScheduleAt(2.0, [&] { ++ran; });  // reuses the slot
+  EXPECT_FALSE(q.Cancel(stale));  // generation mismatch
+  EXPECT_EQ(q.Pending(), 1u);
+  EXPECT_EQ(q.RunAll(), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(q.Cancel(fresh));  // cancel-after-run on the recycled slot
+}
+
+TEST(EventQueue, RunIdToRecycledSlotIsRejected) {
+  // Same as above but the slot retires by *running*, not by cancellation.
+  EventQueue q;
+  const auto stale = q.ScheduleAt(1.0, [] {});
+  EXPECT_EQ(q.RunAll(), 1u);
+  int ran = 0;
+  q.ScheduleAt(2.0, [&] { ++ran; });  // reuses the slot
+  EXPECT_FALSE(q.Cancel(stale));
+  EXPECT_EQ(q.RunAll(), 1u);
+  EXPECT_EQ(ran, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+TEST(EventQueue, StatsTrackLifetimeCounts) {
+  EventQueue q;
+  const auto a = q.ScheduleAt(1.0, [] {});
+  q.ScheduleAt(2.0, [] {});
+  q.ScheduleAt(3.0, [] {});
+  EXPECT_EQ(q.PeakPending(), 3u);
+  EXPECT_TRUE(q.Cancel(a));
+  EXPECT_EQ(q.RunAll(), 2u);
+  const EventQueue::Stats& s = q.GetStats();
+  EXPECT_EQ(s.scheduled, 3u);
+  EXPECT_EQ(s.executed, 2u);
+  EXPECT_EQ(s.cancelled, 1u);
+  EXPECT_EQ(s.peak_pending, 3u);
+  // Refilling after drain does not shrink the peak.
+  q.ScheduleAt(10.0, [] {});
+  EXPECT_EQ(q.PeakPending(), 3u);
+  q.RunAll();
+  EXPECT_EQ(q.Executed(), 3u);
+}
+
+}  // namespace
+}  // namespace mcloud

@@ -1,9 +1,8 @@
 // Tests for the TCP substrate: RTO estimation, congestion control with
 // slow-start-after-idle, and the chunked flow simulator — the mechanisms
-// behind the paper's §4 findings.
+// behind the paper's §4 findings. (EventQueue tests live in test_sim.cc.)
 #include <gtest/gtest.h>
 
-#include "sim/event_queue.h"
 #include "tcp/congestion.h"
 #include "tcp/flow.h"
 #include "tcp/rtt_estimator.h"
@@ -383,98 +382,6 @@ TEST(Flow, RandomLossTriggersFastRetransmit) {
                                                  Constant(0.01), {}, rb);
   EXPECT_EQ(lossless.fast_retransmits, 0u);
   EXPECT_LT(lossless.duration, lossy.duration);
-}
-
-TEST(EventQueue, OrdersByTimeThenFifo) {
-  EventQueue q;
-  std::vector<int> order;
-  q.ScheduleAt(2.0, [&] { order.push_back(3); });
-  q.ScheduleAt(1.0, [&] { order.push_back(1); });
-  q.ScheduleAt(1.0, [&] { order.push_back(2); });  // same time: FIFO
-  EXPECT_EQ(q.RunAll(), 3u);
-  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-  EXPECT_DOUBLE_EQ(q.Now(), 2.0);
-}
-
-TEST(EventQueue, RunUntilAdvancesClock) {
-  EventQueue q;
-  int ran = 0;
-  q.ScheduleAt(1.0, [&] { ++ran; });
-  q.ScheduleAt(5.0, [&] { ++ran; });
-  EXPECT_EQ(q.RunUntil(3.0), 1u);
-  EXPECT_EQ(ran, 1);
-  EXPECT_DOUBLE_EQ(q.Now(), 3.0);
-  EXPECT_EQ(q.Pending(), 1u);
-}
-
-TEST(EventQueue, EventsCanScheduleEvents) {
-  EventQueue q;
-  int depth = 0;
-  std::function<void()> recurse = [&] {
-    if (++depth < 5) q.ScheduleIn(1.0, recurse);
-  };
-  q.ScheduleAt(0.0, recurse);
-  q.RunAll();
-  EXPECT_EQ(depth, 5);
-  EXPECT_DOUBLE_EQ(q.Now(), 4.0);
-}
-
-TEST(EventQueue, RejectsPastAndNull) {
-  EventQueue q;
-  q.ScheduleAt(1.0, [] {});
-  q.RunAll();
-  EXPECT_THROW(q.ScheduleAt(0.5, [] {}), Error);
-  EXPECT_THROW(q.ScheduleAt(2.0, nullptr), Error);
-}
-
-TEST(EventQueue, SameTimestampKeepsScheduleOrderAcrossCancellation) {
-  // Cancelling one of several simultaneous events must not disturb the
-  // FIFO order of the survivors.
-  EventQueue q;
-  std::vector<int> order;
-  q.ScheduleAt(1.0, [&] { order.push_back(1); });
-  const auto victim = q.ScheduleAt(1.0, [&] { order.push_back(2); });
-  q.ScheduleAt(1.0, [&] { order.push_back(3); });
-  EXPECT_TRUE(q.Cancel(victim));
-  EXPECT_EQ(q.RunAll(), 2u);
-  EXPECT_EQ(order, (std::vector<int>{1, 3}));
-}
-
-TEST(EventQueue, CancelPendingEvent) {
-  EventQueue q;
-  int ran = 0;
-  const auto id = q.ScheduleAt(1.0, [&] { ++ran; });
-  EXPECT_EQ(q.Pending(), 1u);
-  EXPECT_TRUE(q.Cancel(id));
-  EXPECT_EQ(q.Pending(), 0u);
-  EXPECT_TRUE(q.Empty());
-  // Cancelled events neither run nor count as executed.
-  EXPECT_EQ(q.RunAll(), 0u);
-  EXPECT_EQ(ran, 0);
-  EXPECT_EQ(q.Executed(), 0u);
-}
-
-TEST(EventQueue, CancelIsIdempotentAndRejectsRunIds) {
-  EventQueue q;
-  const auto id = q.ScheduleAt(1.0, [] {});
-  EXPECT_TRUE(q.Cancel(id));
-  EXPECT_FALSE(q.Cancel(id));  // second cancel is a no-op
-  const auto ran_id = q.ScheduleAt(2.0, [] {});
-  q.RunAll();
-  EXPECT_FALSE(q.Cancel(ran_id));  // already executed
-  EXPECT_FALSE(q.Cancel(123456));  // never issued
-}
-
-TEST(EventQueue, CancelFromInsideAnEarlierEvent) {
-  // An event may retract a later one while the queue is running.
-  EventQueue q;
-  int ran = 0;
-  EventQueue::EventId later = 0;
-  q.ScheduleAt(1.0, [&] { EXPECT_TRUE(q.Cancel(later)); });
-  later = q.ScheduleAt(2.0, [&] { ++ran; });
-  EXPECT_EQ(q.RunAll(), 1u);
-  EXPECT_EQ(ran, 0);
-  EXPECT_DOUBLE_EQ(q.Now(), 1.0);
 }
 
 TEST(Flow, ChunkDeadlineAbortsTransfer) {

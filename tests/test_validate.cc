@@ -262,6 +262,35 @@ TEST(Manifest, JsonCarriesVerdictsAndPerCheckWallTimes) {
   EXPECT_NE(text.find("PASS"), std::string::npos);
 }
 
+TEST(Manifest, FingerprintIdenticalAcrossThreadCounts) {
+  // The CI fleet-determinism job in miniature: a full validation run at
+  // --threads 1 and --threads 4 must produce the same manifest fingerprint
+  // (and the same sharded-fleet fingerprint), because the shard count — not
+  // the thread count — is the unit of decomposition. Small scale keeps the
+  // double generation cheap; the fingerprint covers every check statistic,
+  // so any thread-dependent divergence anywhere in the pipeline trips it.
+  validate::ValidateOptions opts;
+  opts.users = 400;
+  opts.fleet_flows = 300;
+  opts.threads = 1;
+  const validate::ValidationRun serial = validate::RunValidation(opts);
+  opts.threads = 4;
+  const validate::ValidationRun parallel = validate::RunValidation(opts);
+
+  EXPECT_NE(serial.fleet_fingerprint, 0u);
+  EXPECT_EQ(serial.fleet_fingerprint, parallel.fleet_fingerprint);
+  EXPECT_EQ(validate::ManifestFingerprint(serial),
+            validate::ManifestFingerprint(parallel));
+  ASSERT_EQ(serial.fleet_shards.size(), opts.fleet_shards);
+  // The fingerprint must ignore wall clocks: zeroing them changes nothing.
+  validate::ValidationRun scrubbed = serial;
+  scrubbed.generate_s = scrubbed.analyze_s = scrubbed.fleet_s = 0;
+  scrubbed.total_s = 0;
+  for (auto& t : scrubbed.fleet_shards) t.wall_s = 0;
+  EXPECT_EQ(validate::ManifestFingerprint(scrubbed),
+            validate::ManifestFingerprint(serial));
+}
+
 TEST(Manifest, RunIsDeterministicInSeed) {
   // The manifest is a regression anchor: two builds of the same options
   // must produce identical statistics. (Thread count must not matter —

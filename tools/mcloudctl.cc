@@ -11,8 +11,9 @@
 //                       [--file-mb N] [--seed S] [--no-ssai] [--pace]
 //   mcloudctl simulate  --fail-rate R [--loss-burst R] [--degraded R]
 //                       [--hedge] [--no-retry] [--users N] [--seed S]
+//                       [--threads N] [--shards K]
 //   mcloudctl validate  [--users N] [--seed S] [--seeds K] [--threads N]
-//                       [--flows N] [--json FILE]
+//                       [--flows N] [--shards K] [--json FILE]
 //   mcloudctl help
 //
 // Trace files are CSV (.csv), the columnar v2 binary format (.v2), or the
@@ -35,6 +36,7 @@
 
 #include "analysis/availability.h"
 #include "analysis/sessionizer.h"
+#include "cloud/fleet.h"
 #include "cloud/storage_service.h"
 #include "core/pipeline.h"
 #include "trace/anonymizer.h"
@@ -139,9 +141,10 @@ int Usage() {
       "  simulate  [--device android|ios|pc] [--direction store|retrieve]\n"
       "            [--file-mb N] [--seed S] [--no-ssai] [--pace]\n"
       "  simulate  --fail-rate R [--loss-burst R] [--degraded R] [--hedge]\n"
-      "            [--no-retry] [--users N] [--seed S]\n"
+      "            [--no-retry] [--users N] [--seed S] [--threads N]\n"
+      "            [--shards K]\n"
       "  validate  [--users N] [--seed S] [--seeds K] [--threads N]\n"
-      "            [--flows N] [--json FILE]\n"
+      "            [--flows N] [--shards K] [--json FILE]\n"
       "Trace format: .csv is CSV, .v2 is the columnar binary format,\n"
       "anything else is the row-wise v1 binary format (reads also sniff\n"
       "the v2 magic). --threads 0 (the default) uses all hardware\n"
@@ -278,21 +281,24 @@ int CmdSimulateFleet(const Args& args) {
   wcfg.seed = args.GetU64("seed", 42);
   const auto w = workload::WorkloadGenerator(wcfg).GeneratePlansOnly();
 
-  cloud::ServiceConfig cfg;
-  cfg.faults = FaultsFrom(args);
-  if (args.Has("no-retry")) cfg.retry = fault::RetryPolicy::None();
-  if (args.Has("hedge")) cfg.retry.hedge = true;
+  cloud::FleetConfig cfg;
+  cfg.service.faults = FaultsFrom(args);
+  if (args.Has("no-retry")) cfg.service.retry = fault::RetryPolicy::None();
+  if (args.Has("hedge")) cfg.service.retry.hedge = true;
+  cfg.shards = static_cast<std::uint32_t>(args.GetU64("shards", cfg.shards));
+  cfg.threads = static_cast<int>(args.GetU64("threads", 0));
 
   std::fprintf(stderr,
-               "simulating %zu sessions: fail-rate %.3f, loss-burst %.3f, "
-               "degraded %.3f, %s\n",
-               w.sessions.size(), cfg.faults.frontend_fail_rate,
-               cfg.faults.loss_burst_rate, cfg.faults.degraded_rate,
+               "simulating %zu sessions (%u shards): fail-rate %.3f, "
+               "loss-burst %.3f, degraded %.3f, %s\n",
+               w.sessions.size(), cfg.shards,
+               cfg.service.faults.frontend_fail_rate,
+               cfg.service.faults.loss_burst_rate,
+               cfg.service.faults.degraded_rate,
                args.Has("no-retry")  ? "no retries"
-               : cfg.retry.hedge ? "default retry policy + hedging"
-                                 : "default retry policy");
-  cloud::StorageService service(cfg);
-  const auto result = service.Execute(w.sessions);
+               : cfg.service.retry.hedge ? "default retry policy + hedging"
+                                         : "default retry policy");
+  const auto result = cloud::ExecuteFleet(cfg, w.sessions).result;
   std::fputs(
       analysis::RenderAvailability(analysis::Availability(result)).c_str(),
       stdout);
@@ -351,6 +357,8 @@ int CmdValidate(const Args& args) {
   opts.seed = args.GetU64("seed", opts.seed);
   opts.threads = static_cast<int>(args.GetU64("threads", 0));
   opts.fleet_flows = args.GetU64("flows", opts.fleet_flows);
+  opts.fleet_shards =
+      static_cast<std::uint32_t>(args.GetU64("shards", opts.fleet_shards));
   const std::uint64_t seeds = args.GetU64("seeds", 1);
   const std::string json_path = args.Get("json");
 
