@@ -1,0 +1,311 @@
+// Resident vs out-of-core pipeline comparison (PR "out-of-core paper
+// scale").
+//
+//   bench_pr6_outofcore [--users N[,N...]] [--out FILE.json] [--tmp DIR]
+//                       [--memory-mb M] [--rss-limit-mb L]
+//
+// For each user-population size the parent re-executes itself once per
+// configuration so every run's peak RSS is measured in a fresh address
+// space:
+//
+//   * "resident" (threads=1): GenerateColumnar → AnalysisPipeline::Run
+//   * "ooc" (threads=1 and 4): GenerateToPartitions (spill budget
+//     --memory-mb) → PartitionedTrace::Open → RunOutOfCore
+//
+// Each child prints one JSON object: records, FullReport fingerprint,
+// generate/analyze wall times, and getrusage peak RSS. The parent asserts
+// that every configuration of a given size produced a bit-identical
+// report and that every out-of-core run stayed under --rss-limit-mb, then
+// writes BENCH_PR6.json (records/sec and RSS-per-user for each sample)
+// via EmitBenchJson. The default sizes are 20k and 200k users; the 1.1M
+// paper-scale run is invoked explicitly (see EXPERIMENTS.md):
+//
+//   bench_pr6_outofcore --users 1100000 --memory-mb 512
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "trace/partitioned_trace.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace mcloud;
+using Clock = std::chrono::steady_clock;
+
+double Since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::string SelfExe(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
+}
+
+workload::WorkloadConfig ConfigFor(std::size_t users) {
+  workload::WorkloadConfig cfg;
+  cfg.population.mobile_users = users;
+  cfg.population.pc_only_users = users / 3;
+  cfg.seed = 42;
+  return cfg;
+}
+
+// ---- child: one (mode, threads, users) measurement ----
+
+int RunChild(const std::string& mode, int threads, std::size_t users,
+             std::size_t memory_mb, const std::string& tmp_dir) {
+  const workload::WorkloadConfig cfg = ConfigFor(users);
+  core::PipelineOptions opts;
+  opts.threads = threads;
+  core::FullReport report;
+  std::size_t records = 0;
+  double generate_s = 0;
+  double analyze_s = 0;
+
+  if (mode == "resident") {
+    const auto t0 = Clock::now();
+    const workload::ColumnarWorkload w =
+        workload::WorkloadGenerator(cfg).GenerateColumnar();
+    generate_s = Since(t0);
+    records = w.trace.rows();
+    const auto t1 = Clock::now();
+    report = core::AnalysisPipeline(opts).Run(w.trace);
+    analyze_s = Since(t1);
+  } else {
+    const std::filesystem::path spill_dir =
+        std::filesystem::path(tmp_dir) /
+        ("bench_pr6_spill-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(spill_dir);
+    workload::SpillConfig spill;
+    spill.dir = spill_dir;
+    spill.max_buffer_bytes = memory_mb * (1024 * 1024 / 3);
+    const auto t0 = Clock::now();
+    const workload::SpillSummary summary =
+        workload::WorkloadGenerator(cfg).GenerateToPartitions(spill);
+    generate_s = Since(t0);
+    records = summary.records;
+    opts.max_memory_mb = memory_mb;
+    const auto t1 = Clock::now();
+    const PartitionedTrace partitions = PartitionedTrace::Open(spill_dir);
+    report = core::AnalysisPipeline(opts).RunOutOfCore(partitions);
+    analyze_s = Since(t1);
+    std::error_code ec;
+    std::filesystem::remove_all(spill_dir, ec);
+  }
+
+  std::printf("{\"mode\": \"%s\", \"threads\": %d, \"users\": %zu, "
+              "\"records\": %zu, \"fingerprint\": \"%016" PRIx64 "\", "
+              "\"generate_s\": %.4f, \"analyze_s\": %.4f, "
+              "\"max_rss_kb\": %llu}\n",
+              mode.c_str(), threads, users, records,
+              core::FingerprintReport(report), generate_s, analyze_s,
+              static_cast<unsigned long long>(bench::PeakRssBytes() / 1024));
+  return 0;
+}
+
+// ---- parent: sweep + JSON aggregation ----
+
+struct Sample {
+  std::string mode;
+  int threads = 0;
+  std::size_t users = 0;
+  std::size_t records = 0;
+  std::string fingerprint;
+  double generate_s = 0;
+  double analyze_s = 0;
+  std::uint64_t max_rss_kb = 0;
+};
+
+double JsonNum(const std::string& s, const char* key) {
+  const std::string needle = std::string("\"") + key + "\": ";
+  const auto pos = s.find(needle);
+  if (pos == std::string::npos) return 0;
+  return std::strtod(s.c_str() + pos + needle.size(), nullptr);
+}
+
+std::string JsonStr(const std::string& s, const char* key) {
+  const std::string needle = std::string("\"") + key + "\": \"";
+  const auto pos = s.find(needle);
+  if (pos == std::string::npos) return "";
+  const auto begin = pos + needle.size();
+  return s.substr(begin, s.find('"', begin) - begin);
+}
+
+bool RunOne(const std::string& exe, const std::string& mode, int threads,
+            std::size_t users, std::size_t memory_mb,
+            const std::string& tmp_dir, Sample* out) {
+  const std::string cmd = exe + " --child " + mode +
+                          " --child-threads " + std::to_string(threads) +
+                          " --child-users " + std::to_string(users) +
+                          " --memory-mb " + std::to_string(memory_mb) +
+                          " --tmp " + tmp_dir;
+  std::FILE* p = popen(cmd.c_str(), "r");
+  if (p == nullptr) return false;
+  std::string output;
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), p) != nullptr) output += buf;
+  if (pclose(p) != 0) {
+    std::fprintf(stderr, "child failed: %s\n", cmd.c_str());
+    return false;
+  }
+  out->mode = mode;
+  out->threads = threads;
+  out->users = users;
+  out->records = static_cast<std::size_t>(JsonNum(output, "records"));
+  out->fingerprint = JsonStr(output, "fingerprint");
+  out->generate_s = JsonNum(output, "generate_s");
+  out->analyze_s = JsonNum(output, "analyze_s");
+  out->max_rss_kb = static_cast<std::uint64_t>(JsonNum(output, "max_rss_kb"));
+  return !out->fingerprint.empty() && out->records > 0;
+}
+
+std::vector<std::size_t> ParseSizes(const char* arg) {
+  std::vector<std::size_t> sizes;
+  for (const char* p = arg; *p != '\0';) {
+    char* end = nullptr;
+    const std::size_t v = std::strtoull(p, &end, 10);
+    if (end == p) break;
+    if (v > 0) sizes.push_back(v);
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return sizes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> sizes = {20'000, 200'000};
+  std::string out_path = "BENCH_PR6.json";
+  std::string tmp_dir = ".";
+  std::size_t memory_mb = 512;
+  std::size_t rss_limit_mb = 1024;
+  std::string child_mode;
+  int child_threads = 1;
+  std::size_t child_users = 20'000;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--users") == 0) {
+      sizes = ParseSizes(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--tmp") == 0) {
+      tmp_dir = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--memory-mb") == 0) {
+      memory_mb = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--rss-limit-mb") == 0) {
+      rss_limit_mb = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--child") == 0) {
+      child_mode = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--child-threads") == 0) {
+      child_threads = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--child-users") == 0) {
+      child_users = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  if (!child_mode.empty())
+    return RunChild(child_mode, child_threads, child_users, memory_mb,
+                    tmp_dir);
+  if (sizes.empty()) {
+    std::fprintf(stderr, "no sizes given\n");
+    return 1;
+  }
+
+  struct Config {
+    const char* mode;
+    int threads;
+  };
+  const Config kConfigs[] = {{"resident", 1}, {"ooc", 1}, {"ooc", 4}};
+
+  const std::string exe = SelfExe(argv[0]);
+  std::vector<Sample> samples;
+  bool ok = true;
+  bool identical = true;
+  bool under_limit = true;
+  for (const std::size_t users : sizes) {
+    std::string size_fp;
+    for (const Config& c : kConfigs) {
+      std::fprintf(stderr, "running %s threads=%d users=%zu...\n", c.mode,
+                   c.threads, users);
+      Sample s;
+      if (!RunOne(exe, c.mode, c.threads, users, memory_mb, tmp_dir, &s)) {
+        ok = false;
+        continue;
+      }
+      std::fprintf(stderr,
+                   "%-8s threads=%d users=%-8zu records=%-10zu "
+                   "gen %.1fs  analyze %.1fs  rss %llu MB  fp %s\n",
+                   s.mode.c_str(), s.threads, s.users, s.records,
+                   s.generate_s, s.analyze_s,
+                   static_cast<unsigned long long>(s.max_rss_kb / 1024),
+                   s.fingerprint.c_str());
+      if (size_fp.empty())
+        size_fp = s.fingerprint;
+      else if (s.fingerprint != size_fp)
+        identical = false;
+      if (s.mode == "ooc" && s.max_rss_kb > rss_limit_mb * 1024)
+        under_limit = false;
+      samples.push_back(s);
+    }
+  }
+  if (!ok || samples.empty()) {
+    std::fprintf(stderr, "FAIL: child runs failed\n");
+    return 1;
+  }
+  const bool pass = identical && under_limit;
+
+  std::string body;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"memory_budget_mb\": %zu,\n"
+                "  \"ooc_rss_limit_mb\": %zu,\n"
+                "  \"reports_bit_identical\": %s,\n"
+                "  \"ooc_under_rss_limit\": %s,\n"
+                "  \"pass\": %s,\n",
+                memory_mb, rss_limit_mb, identical ? "true" : "false",
+                under_limit ? "true" : "false", pass ? "true" : "false");
+  body += buf;
+  body += "  \"samples\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"mode\": \"%s\", \"threads\": %d, \"users\": %zu, "
+        "\"records\": %zu, \"fingerprint\": \"%s\", "
+        "\"generate_seconds\": %.2f, \"analyze_seconds\": %.2f, "
+        "\"generate_records_per_second\": %.0f, "
+        "\"analyze_records_per_second\": %.0f, \"peak_rss_kb\": %llu, "
+        "\"rss_bytes_per_user\": %.1f}%s\n",
+        s.mode.c_str(), s.threads, s.users, s.records, s.fingerprint.c_str(),
+        s.generate_s, s.analyze_s,
+        static_cast<double>(s.records) / s.generate_s,
+        static_cast<double>(s.records) / s.analyze_s,
+        static_cast<unsigned long long>(s.max_rss_kb),
+        static_cast<double>(s.max_rss_kb) * 1024.0 /
+            static_cast<double>(s.users),
+        i + 1 < samples.size() ? "," : "");
+    body += buf;
+  }
+  body += "  ]\n";
+  bench::EmitBenchJson(out_path, "pr6_outofcore", body);
+
+  std::fprintf(stderr,
+               "identical=%s ooc_under_%zuMB=%s -> %s\n",
+               identical ? "yes" : "NO", rss_limit_mb,
+               under_limit ? "yes" : "NO", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

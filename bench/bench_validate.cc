@@ -5,21 +5,39 @@
 // enough to run on every push. Prints the per-phase and per-check wall
 // times recorded in the JSON manifest and exits non-zero over budget.
 //
-// Usage: bench_validate [users] [seed] [budget_seconds]
+// Usage: bench_validate [users] [seed] [budget_seconds] [--json FILE]
+//
+// --json FILE additionally writes the timing/pass-rate manifest as a bench
+// JSON artifact (the committed BENCH_PR4.json) via EmitBenchJson.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "bench_util.h"
 #include "validate/validator.h"
 
+namespace {
+
+const char* FlagValue(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string_view(argv[i]) == flag) return argv[i + 1];
+  return nullptr;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace mcloud;
 
+  const char* a1 = bench::Positional(argc, argv, 1);
+  const char* a2 = bench::Positional(argc, argv, 2);
+  const char* a3 = bench::Positional(argc, argv, 3);
   validate::ValidateOptions opt;
-  opt.users = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20'000;
-  opt.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
-  const double budget_s =
-      argc > 3 ? std::strtod(argv[3], nullptr) : 30.0;
+  opt.users = a1 ? std::strtoul(a1, nullptr, 10) : 20'000;
+  opt.seed = a2 ? std::strtoull(a2, nullptr, 10) : 42;
+  opt.threads = bench::ParseThreads(argc, argv);
+  const double budget_s = a3 ? std::strtod(a3, nullptr) : 30.0;
+  const char* json_path = FlagValue(argc, argv, "--json");
 
   bench::Header("validate smoke",
                 "full FigureCheck registry wall-time budget");
@@ -41,6 +59,43 @@ int main(int argc, char** argv) {
                 o.passed ? "pass" : "FAIL");
   std::printf("\n%zu/%zu checks passed\n", run.Passed(),
               run.outcomes.size());
+
+  if (json_path) {
+    std::string body;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"users\": %zu,\n  \"seed\": %llu,\n"
+                  "  \"checks\": %zu,\n  \"passed\": %zu,\n"
+                  "  \"pass_rate\": %.4f,\n"
+                  "  \"fingerprint\": \"%016llx\",\n",
+                  run.options.users,
+                  static_cast<unsigned long long>(run.options.seed),
+                  run.outcomes.size(), run.Passed(),
+                  run.outcomes.empty()
+                      ? 0.0
+                      : static_cast<double>(run.Passed()) /
+                            static_cast<double>(run.outcomes.size()),
+                  static_cast<unsigned long long>(
+                      validate::ManifestFingerprint(run)));
+    body += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"timings_s\": {\"generate\": %.3f, \"analyze\": %.3f, "
+                  "\"fleet\": %.3f, \"checks\": %.3f, \"total\": %.3f},\n",
+                  run.generate_s, run.analyze_s, run.fleet_s, run.checks_s,
+                  run.total_s);
+    body += buf;
+    body += "  \"per_check\": [\n";
+    for (std::size_t i = 0; i < run.outcomes.size(); ++i) {
+      const auto& o = run.outcomes[i];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"id\": \"%s\", \"wall_s\": %.6f, \"passed\": %s}%s\n",
+                    o.id.c_str(), o.wall_s, o.passed ? "true" : "false",
+                    i + 1 < run.outcomes.size() ? "," : "");
+      body += buf;
+    }
+    body += "  ]\n";
+    bench::EmitBenchJson(json_path, "validate", body);
+  }
 
   bool ok = true;
   if (run.total_s > budget_s) {

@@ -1,302 +1,43 @@
 #include "analysis/fused_engine.h"
 
-#include <algorithm>
-
+#include "analysis/stream_engine.h"
+#include "trace/partitioned_trace.h"
 #include "util/error.h"
-#include "util/timeutil.h"
 
 namespace mcloud::analysis {
 
-namespace {
-
-constexpr std::uint8_t kPcRaw = static_cast<std::uint8_t>(DeviceType::kPc);
-constexpr std::uint8_t kAndroidRaw =
-    static_cast<std::uint8_t>(DeviceType::kAndroid);
-constexpr std::uint8_t kFileOpRaw =
-    static_cast<std::uint8_t>(RequestType::kFileOperation);
-constexpr std::uint8_t kStoreRaw = static_cast<std::uint8_t>(Direction::kStore);
-
-}  // namespace
+// Both passes are thin wrappers over the streaming cores in
+// analysis/stream_engine.h: the resident store is fed as day-partition (or
+// whole-trace) blocks, which is exactly what the out-of-core reader does —
+// one implementation, two data sources, bit-identical results.
 
 FusedRowPassResult FusedRowPass(const TraceStore& store,
                                 UnixSeconds trace_start, int days) {
-  MCLOUD_REQUIRE(days >= 1, "need at least one day");
   MCLOUD_REQUIRE(store.has(kAnalysisColumns),
                  "row pass needs the analysis columns");
-  const auto ts = store.timestamps();
-  const auto dev = store.device_types();
-  const auto req = store.request_types();
-  const auto dir = store.directions();
-  const auto vol = store.data_volumes();
-  const auto user = store.user_index();
-
-  FusedRowPassResult out;
-  auto& hours = out.timeseries.hours;
-  hours.resize(static_cast<std::size_t>(days) * 24);
-  for (std::size_t i = 0; i < hours.size(); ++i)
-    hours[i].hour = static_cast<int>(i);
-
-  // Dense per-user last-file-op state replaces the hash map of
-  // InterOpIntervalsFrom; row order keeps the sample identical.
-  std::vector<std::int64_t> last_op(store.users(), 0);
-  std::vector<std::uint8_t> seen(store.users(), 0);
-
-  const std::int64_t window_begin = trace_start;
-  const std::int64_t window_end =
-      trace_start + static_cast<std::int64_t>(days) * kDay;
-
-  for (const TraceStore::DayPartition& part : store.day_partitions()) {
-    // Day partitions let the hourly binning skip out-of-window days
-    // wholesale; the interval sample and overview counts are unwindowed and
-    // still visit every row.
-    const std::int64_t part_begin = store.day_base() + part.day * kDay;
-    const bool in_window =
-        part_begin < window_end && part_begin + kDay > window_begin;
-    for (std::uint32_t row = part.begin; row < part.end; ++row) {
-      if (dev[row] == kPcRaw) continue;
-      ++out.mobile_records;
-      if (dev[row] == kAndroidRaw) ++out.android_records;
-
-      const bool is_op = req[row] == kFileOpRaw;
-      const bool is_store = dir[row] == kStoreRaw;
-      if (in_window) {
-        const int hour = HourIndex(ts[row], trace_start);
-        if (hour >= 0 && hour < static_cast<int>(hours.size())) {
-          HourBin& bin = hours[static_cast<std::size_t>(hour)];
-          if (is_op) {
-            (is_store ? bin.stored_files : bin.retrieved_files)++;
-          } else {
-            const double gb = static_cast<double>(vol[row]) / 1e9;
-            (is_store ? bin.store_volume_gb : bin.retrieve_volume_gb) += gb;
-          }
-        }
-      }
-      if (is_op) {
-        const std::uint32_t u = user[row];
-        if (seen[u]) {
-          const auto gap = static_cast<double>(ts[row] - last_op[u]);
-          if (gap > 0) out.intervals.push_back(gap);
-        }
-        seen[u] = 1;
-        last_op[u] = ts[row];
-      }
-    }
-  }
-  return out;
+  StreamingRowPass pass(store.users(), trace_start, days, store.day_base());
+  for (const TraceStore::DayPartition& part : store.day_partitions())
+    pass.Consume(part.day, BlockOf(store, part.begin, part.end));
+  return pass.TakeResult();
 }
-
-namespace {
-
-/// Open-session state for one user during the fused pass — the columnar
-/// twin of Sessionizer::SessionizeRange's OpenSession.
-struct SessionCursor {
-  Session s;
-  std::int64_t last_file_op = 0;
-  bool has_file_op = false;
-  bool open = false;
-};
-
-/// Per-user mobility classes, filled by a cheap pre-pass.
-constexpr std::uint8_t kMobileBit = 1;
-constexpr std::uint8_t kPcBit = 2;
-constexpr std::uint8_t kMixed = kMobileBit | kPcBit;
-
-}  // namespace
 
 FusedPerUserResult FusedPerUserPass(const TraceStore& store, Seconds tau,
                                     ThreadPool& pool) {
   MCLOUD_REQUIRE(store.has(kAnalysisColumns),
                  "per-user pass needs the analysis columns");
-  const auto ts = store.timestamps();
-  const auto dev = store.device_types();
-  const auto dev_id = store.device_ids();
-  const auto req = store.request_types();
-  const auto dir = store.directions();
-  const auto vol = store.data_volumes();
-  const auto uid = store.user_ids();
-  const auto user = store.user_index();
-  const std::size_t n_users = store.users();
-  const std::size_t n_rows = store.rows();
-
-  const auto fold = [&](SessionCursor& c, std::vector<Session>& sink,
-                        std::uint64_t user_id, std::size_t row, bool is_op,
-                        bool is_store, bool mobile_row) {
-    const std::int64_t t = ts[row];
-    const bool splits = c.open && is_op && c.has_file_op &&
-                        static_cast<Seconds>(t - c.last_file_op) > tau;
-    if (!c.open || splits) {
-      if (c.open) sink.push_back(c.s);
-      c.s = Session{};
-      c.s.user_id = user_id;
-      c.s.begin = c.s.end = c.s.first_op = c.s.last_op = t;
-      c.has_file_op = false;
-      c.open = true;
-    }
-    if (is_op) {
-      c.last_file_op = t;
-      c.has_file_op = true;
-    }
-    if (t > c.s.end) c.s.end = t;
-    if (!mobile_row) c.s.mobile = false;
-    if (is_op) {
-      c.s.last_op = t;
-      if (c.s.FileOps() == 0) c.s.first_op = t;
-      (is_store ? c.s.store_ops : c.s.retrieve_ops)++;
-    } else {
-      ++c.s.chunk_requests;
-      (is_store ? c.s.store_volume : c.s.retrieve_volume) += vol[row];
-    }
-  };
-
   // Mobility pre-pass: two sequential byte/word columns, so it streams at
-  // memory speed. Knowing each user's class up front lets the main pass run
-  // the mobile-filtered fold only for mixed users — for mobile-only users
-  // the full fold IS the mobile fold, for PC-only users it folds nothing.
-  std::vector<std::uint8_t> mobility(n_users, 0);
-  for (std::size_t row = 0; row < n_rows; ++row)
+  // memory speed (the out-of-core path instead collects mobility during its
+  // row-pass walk — same table either way).
+  constexpr std::uint8_t kPcRaw = static_cast<std::uint8_t>(DeviceType::kPc);
+  const auto dev = store.device_types();
+  const auto user = store.user_index();
+  std::vector<std::uint8_t> mobility(store.users(), 0);
+  for (std::size_t row = 0; row < store.rows(); ++row)
     mobility[user[row]] |= dev[row] == kPcRaw ? kPcBit : kMobileBit;
 
-  // Main pass in row (= time) order: every column is read sequentially and
-  // the per-user state lives in dense arrays a few MB wide, instead of
-  // gathering each user's rows from all over the store. Within one user,
-  // row order equals run order, so each cursor sees the exact record
-  // sequence SessionizeRange folds.
-  std::vector<SessionCursor> cur(n_users);
-  std::vector<SessionCursor> mob_cur(n_users);
-  std::vector<UserUsage> usage(n_users);
-  std::vector<UserUsage> mob_usage(n_users);
-  std::vector<std::vector<std::uint64_t>> devs(n_users);
-  std::vector<Session> sessions;
-  std::vector<Session> mixed_mobile;  // mobile sessions of mixed users only
-
-  for (std::size_t row = 0; row < n_rows; ++row) {
-    const std::uint32_t u = user[row];
-    const std::uint64_t user_id = uid[u];
-    const bool mobile_row = dev[row] != kPcRaw;
-    const bool is_op = req[row] == kFileOpRaw;
-    const bool is_store = dir[row] == kStoreRaw;
-
-    UserUsage& full = usage[u];
-    if (mobile_row) {
-      auto& d = devs[u];
-      if (std::find(d.begin(), d.end(), dev_id[row]) == d.end())
-        d.push_back(dev_id[row]);
-    } else {
-      full.uses_pc = true;
-    }
-    if (is_op) {
-      (is_store ? full.stored_files : full.retrieved_files)++;
-    } else {
-      (is_store ? full.store_volume : full.retrieve_volume) += vol[row];
-    }
-    fold(cur[u], sessions, user_id, row, is_op, is_store, mobile_row);
-
-    if (mobile_row && mobility[u] == kMixed) {
-      UserUsage& m = mob_usage[u];
-      if (is_op) {
-        (is_store ? m.stored_files : m.retrieved_files)++;
-      } else {
-        (is_store ? m.store_volume : m.retrieve_volume) += vol[row];
-      }
-      fold(mob_cur[u], mixed_mobile, user_id, row, is_op, is_store,
-           /*mobile_row=*/true);
-    }
-  }
-
-  // Flush open sessions, then restore the canonical (user, begin) order the
-  // AoS sessionizer ends with. Per-user session begins strictly increase
-  // (a split needs a gap > tau > 0), so the sort keys are unique and the
-  // result is independent of the emission order and of std::sort's tie
-  // handling.
-  for (std::size_t u = 0; u < n_users; ++u) {
-    if (cur[u].open) sessions.push_back(cur[u].s);
-    if (mob_cur[u].open) mixed_mobile.push_back(mob_cur[u].s);
-  }
-  cur = {};
-  mob_cur = {};
-  const auto by_user_begin = [](const Session& a, const Session& b) {
-    if (a.user_id != b.user_id) return a.user_id < b.user_id;
-    return a.begin < b.begin;
-  };
-  ParallelInvoke(pool, {
-                           [&] {
-                             std::sort(sessions.begin(), sessions.end(),
-                                       by_user_begin);
-                           },
-                           [&] {
-                             std::sort(mixed_mobile.begin(),
-                                       mixed_mobile.end(), by_user_begin);
-                           },
-                       });
-
-  FusedPerUserResult out;
-  out.usage = std::move(usage);
-  std::size_t n_mobile_users = 0;
-  std::size_t n_device_ids = 0;
-  for (std::size_t u = 0; u < n_users; ++u) {
-    out.usage[u].user_id = uid[u];
-    out.usage[u].mobile_devices = devs[u].size();
-    n_device_ids += devs[u].size();
-    if (mobility[u] & kMobileBit) ++n_mobile_users;
-  }
-
-  // Mobile usage, ascending user order: mobile-only users reuse their full
-  // row (all rows mobile, so the filtered counters are identical), mixed
-  // users take the separately accumulated mobile counters.
-  out.mobile_usage.reserve(n_mobile_users);
-  for (std::size_t u = 0; u < n_users; ++u) {
-    if (!(mobility[u] & kMobileBit)) continue;
-    if (mobility[u] == kMixed) {
-      UserUsage m = mob_usage[u];
-      m.user_id = uid[u];
-      m.mobile_devices = devs[u].size();
-      out.mobile_usage.push_back(m);
-    } else {
-      out.mobile_usage.push_back(out.usage[u]);
-    }
-  }
-  out.mobile_users = n_mobile_users;
-
-  // Mobile sessions: splice per user in ascending order — mobile-only
-  // users' slices of the sorted full list (bit-identical, no PC rows) and
-  // mixed users' slices of the sorted mixed list.
-  std::size_t n_uniform = 0;
-  {
-    std::size_t u = 0;
-    for (const Session& s : sessions) {
-      while (uid[u] != s.user_id) ++u;
-      if (mobility[u] == kMobileBit) ++n_uniform;
-    }
-  }
-  out.mobile_sessions.reserve(n_uniform + mixed_mobile.size());
-  {
-    std::size_t i = 0;
-    std::size_t j = 0;
-    for (std::size_t u = 0; u < n_users; ++u) {
-      const std::uint64_t id = uid[u];
-      if (mobility[u] == kMobileBit) {
-        while (i < sessions.size() && sessions[i].user_id == id)
-          out.mobile_sessions.push_back(sessions[i++]);
-      } else {
-        while (i < sessions.size() && sessions[i].user_id == id) ++i;
-        while (j < mixed_mobile.size() && mixed_mobile[j].user_id == id)
-          out.mobile_sessions.push_back(mixed_mobile[j++]);
-      }
-    }
-  }
-  out.sessions = std::move(sessions);
-
-  // Per-user lists are already deduplicated; a final sort+unique handles
-  // devices shared across users.
-  std::vector<std::uint64_t> device_ids;
-  device_ids.reserve(n_device_ids);
-  for (const auto& d : devs) {
-    device_ids.insert(device_ids.end(), d.begin(), d.end());
-  }
-  std::sort(device_ids.begin(), device_ids.end());
-  out.mobile_devices = static_cast<std::size_t>(
-      std::unique(device_ids.begin(), device_ids.end()) - device_ids.begin());
-  return out;
+  StreamingPerUserPass pass(store.user_ids(), tau, std::move(mobility));
+  pass.Consume(BlockOf(store, 0, store.rows()));
+  return pass.Finish(pool);
 }
 
 }  // namespace mcloud::analysis

@@ -1,0 +1,108 @@
+// Streaming (partition-at-a-time) analysis cores.
+//
+// These two classes are the fused engine's row-order walks (see
+// analysis/fused_engine.h) factored into incremental consumers of
+// TraceRowBlock slices. Per-user state lives in dense arrays keyed by the
+// *global* uint32 user remap and survives across blocks and calendar-day
+// partitions, so feeding the blocks of an out-of-core PartitionedTrace::Scan
+// produces bit-identical results to feeding one resident TraceStore whole —
+// the resident FusedRowPass/FusedPerUserPass are now thin wrappers that do
+// exactly that. The only requirement is that blocks arrive in global row
+// (= time) order, which both sources guarantee.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "analysis/fused_engine.h"
+#include "analysis/sessionizer.h"
+#include "analysis/usage_patterns.h"
+#include "trace/partitioned_trace.h"
+#include "util/parallel.h"
+
+namespace mcloud::analysis {
+
+/// Per-user mobility classes, accumulated as rows stream by.
+inline constexpr std::uint8_t kMobileBit = 1;
+inline constexpr std::uint8_t kPcBit = 2;
+inline constexpr std::uint8_t kMixedMobility = kMobileBit | kPcBit;
+
+/// Walk 1: hourly series, inter-op interval sample, overview counts — and,
+/// as a free by-product, each user's mobility class (the out-of-core path
+/// cannot afford the resident engine's dedicated mobility pre-pass, so this
+/// walk collects it for walk 2).
+class StreamingRowPass {
+ public:
+  /// `trace_start`/`days` bound the Fig 1 hourly window; `day_base` anchors
+  /// the calendar-day keys passed to Consume (same epoch as the trace).
+  StreamingRowPass(std::size_t n_users, UnixSeconds trace_start, int days,
+                   UnixSeconds day_base);
+
+  /// Feed the next block. All rows must be in calendar day `day`, and
+  /// blocks must arrive in global time order.
+  void Consume(std::int64_t day, const TraceRowBlock& block);
+
+  /// The fused row-pass result (call once, after the last block).
+  [[nodiscard]] FusedRowPassResult TakeResult();
+  /// Per-user mobility classes (kMobileBit/kPcBit), for StreamingPerUserPass.
+  [[nodiscard]] std::vector<std::uint8_t> TakeMobility();
+
+ private:
+  UnixSeconds day_base_;
+  UnixSeconds trace_start_;
+  std::int64_t window_begin_;
+  std::int64_t window_end_;
+  FusedRowPassResult out_;
+  std::vector<std::int64_t> last_op_;
+  std::vector<std::uint8_t> seen_;
+  std::vector<std::uint8_t> mobility_;
+};
+
+/// Walk 2: both sessionizations (full trace and mobile slice), both
+/// per-user usage tables, distinct-device counts. Needs the session gap
+/// threshold `tau` — fitted from walk 1's interval sample — and the
+/// mobility classes, so it necessarily runs as a second pass.
+class StreamingPerUserPass {
+ public:
+  /// `user_ids` maps global dense index -> original id and must outlive the
+  /// pass; `mobility` is TakeMobility()'s output (or any per-user class
+  /// table of the same semantics).
+  StreamingPerUserPass(std::span<const std::uint64_t> user_ids, Seconds tau,
+                       std::vector<std::uint8_t> mobility);
+
+  /// Feed the next block (global time order; day boundaries irrelevant —
+  /// sessions span days).
+  void Consume(const TraceRowBlock& block);
+
+  /// Flush open sessions, restore canonical (user, begin) order, assemble
+  /// the result. Call once, after the last block.
+  [[nodiscard]] FusedPerUserResult Finish(ThreadPool& pool);
+
+ private:
+  /// Open-session state for one user — the columnar twin of
+  /// Sessionizer::SessionizeRange's OpenSession.
+  struct SessionCursor {
+    Session s;
+    std::int64_t last_file_op = 0;
+    bool has_file_op = false;
+    bool open = false;
+  };
+
+  void Fold(SessionCursor& c, std::vector<Session>& sink,
+            std::uint64_t user_id, std::int64_t t, bool is_op, bool is_store,
+            bool mobile_row, std::uint64_t volume);
+
+  std::span<const std::uint64_t> user_ids_;
+  Seconds tau_;
+  std::vector<std::uint8_t> mobility_;
+  std::vector<SessionCursor> cur_;
+  std::vector<SessionCursor> mob_cur_;
+  std::vector<UserUsage> usage_;
+  std::vector<UserUsage> mob_usage_;
+  std::vector<std::vector<std::uint64_t>> devs_;
+  std::vector<Session> sessions_;
+  std::vector<Session> mixed_mobile_;  ///< mobile sessions of mixed users
+};
+
+}  // namespace mcloud::analysis

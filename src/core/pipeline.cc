@@ -1,5 +1,6 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <unordered_set>
@@ -7,6 +8,7 @@
 
 #include "analysis/fused_engine.h"
 #include "analysis/sessionizer.h"
+#include "analysis/stream_engine.h"
 #include "trace/filters.h"
 #include "util/error.h"
 #include "util/parallel.h"
@@ -160,6 +162,77 @@ FullReport AnalysisPipeline::Run(const TraceStore& store,
   t0 = Clock::now();
   analysis::FusedPerUserResult per_user =
       analysis::FusedPerUserPass(store, tau, pool);
+  t.sessionize_s += Since(t0);
+  report.mobile_users = per_user.mobile_users;
+  report.mobile_devices = per_user.mobile_devices;
+
+  RunSharedStages(pool, options_, per_user.usage, per_user.mobile_usage,
+                  per_user.sessions, per_user.mobile_sessions, report,
+                  t.per_user_s, t.fits_s);
+  t.total_s = Since(t_total);
+  if (timings) *timings = t;
+  return report;
+}
+
+// The out-of-core engine: the same two fused walks as Run(const
+// TraceStore&), but each walk is a PartitionedTrace::Scan that streams one
+// calendar-day partition at a time through the shared streaming cores —
+// only the bounded staging block and the dense per-user state are resident.
+// Walk 1 additionally collects per-user mobility (the resident engine's
+// dedicated pre-pass would cost a third full disk scan here), walk 2 runs
+// once τ is fitted. Block boundaries never change any accumulation order,
+// so the report is bit-identical to the resident engines.
+FullReport AnalysisPipeline::RunOutOfCore(const PartitionedTrace& trace,
+                                          StageTimings* timings) const {
+  MCLOUD_REQUIRE(trace.rows() > 0, "empty trace");
+  const auto t_total = Clock::now();
+  StageTimings t;
+  ThreadPool pool(options_.threads);
+  FullReport report;
+  report.records = static_cast<std::size_t>(trace.rows());
+
+  // Staging budget in rows: a staged row costs ~31 bytes across the seven
+  // analysis columns; give the scan an eighth of the budget so the dense
+  // per-user state and the session output stay the dominant terms.
+  const std::size_t budget_mb =
+      options_.max_memory_mb ? options_.max_memory_mb : 1024;
+  const std::size_t staging_rows = std::max<std::size_t>(
+      std::size_t{64} * 1024, budget_mb * (1024 * 1024 / 8) / 32);
+
+  // Walk 1 (row order): Fig 1 series, Fig 3 sample, §2.2 counts, mobility.
+  auto t0 = Clock::now();
+  analysis::StreamingRowPass row_pass(trace.users(), options_.trace_start,
+                                      options_.days, trace.day_base());
+  trace.Scan(staging_rows, [&](std::int64_t day, const TraceRowBlock& block) {
+    row_pass.Consume(day, block);
+  });
+  analysis::FusedRowPassResult row = row_pass.TakeResult();
+  std::vector<std::uint8_t> mobility = row_pass.TakeMobility();
+  t.scan_s += Since(t0);
+  report.timeseries = std::move(row.timeseries);
+  report.android_access_share =
+      row.mobile_records == 0
+          ? 0
+          : static_cast<double>(row.android_records) /
+                static_cast<double>(row.mobile_records);
+
+  t0 = Clock::now();
+  report.interval_model = analysis::FitIntervalModel(row.intervals);
+  if (options_.keep_raw_samples)
+    report.raw.intervals_s = std::move(row.intervals);
+  t.fits_s += Since(t0);
+  const Seconds tau = options_.session_tau > 0
+                          ? options_.session_tau
+                          : report.interval_model.valley_tau;
+
+  // Walk 2 (row order, needs τ): both sessionizations + both usage tables.
+  t0 = Clock::now();
+  analysis::StreamingPerUserPass per_user_pass(trace.user_ids(), tau,
+                                               std::move(mobility));
+  trace.Scan(staging_rows, [&](std::int64_t, const TraceRowBlock& block) {
+    per_user_pass.Consume(block);
+  });
+  analysis::FusedPerUserResult per_user = per_user_pass.Finish(pool);
   t.sessionize_s += Since(t0);
   report.mobile_users = per_user.mobile_users;
   report.mobile_devices = per_user.mobile_devices;

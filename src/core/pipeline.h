@@ -13,10 +13,12 @@
 // engine.
 #pragma once
 
+#include <cstddef>
 #include <span>
 
 #include "core/report.h"
 #include "trace/log_record.h"
+#include "trace/partitioned_trace.h"
 #include "trace/trace_store.h"
 
 namespace mcloud::core {
@@ -36,6 +38,10 @@ struct PipelineOptions {
   /// export bit-identical samples; off by default because the copies cost
   /// memory proportional to the trace.
   bool keep_raw_samples = false;
+  /// Approximate resident budget (MB) for RunOutOfCore's streaming buffers;
+  /// 0 = a 1 GiB default. Only a tuning knob — the report is bit-identical
+  /// at every budget.
+  std::size_t max_memory_mb = 0;
 };
 
 /// Wall-clock seconds spent per stage family, for the bench breakdowns.
@@ -70,6 +76,14 @@ class AnalysisPipeline {
   /// Legacy AoS engine; FullReport is bit-identical to the columnar paths.
   [[nodiscard]] FullReport RunAos(std::span<const LogRecord> trace,
                                   StageTimings* timings = nullptr) const;
+
+  /// Out-of-core engine: two streaming walks over a partitioned on-disk
+  /// trace, one calendar-day partition at a time, under the
+  /// `max_memory_mb` staging budget. The FullReport is bit-identical to
+  /// Run(const TraceStore&) on the merged resident trace, at every thread
+  /// count and every budget (see analysis/stream_engine.h).
+  [[nodiscard]] FullReport RunOutOfCore(const PartitionedTrace& trace,
+                                        StageTimings* timings = nullptr) const;
 
   [[nodiscard]] const PipelineOptions& options() const { return options_; }
 

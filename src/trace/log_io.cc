@@ -239,6 +239,65 @@ void WriteMicrosColumn(std::ofstream& out, std::span<const double> seconds) {
 
 }  // namespace
 
+namespace detail {
+
+std::size_t V2ColumnWidth(std::uint32_t col) {
+  for (const auto& c : kV2Columns)
+    if (c.mask == col) return c.width;
+  throw Error("unknown v2 column bit: " + std::to_string(col));
+}
+
+std::uint64_t V2FileInfo::ColumnOffset(std::uint32_t col) const {
+  if (!(mask & col)) throw Error("column absent from v2 file");
+  std::uint64_t offset = user_table_offset + users * sizeof(std::uint64_t);
+  for (const auto& c : kV2Columns) {
+    if (c.mask == col) return offset;
+    if (mask & c.mask) offset += rows * c.width;
+  }
+  throw Error("unknown v2 column bit: " + std::to_string(col));
+}
+
+V2FileInfo ReadV2FileInfo(const std::filesystem::path& path) {
+  // Not OpenForRead: a partitioned trace names its runs in the MANIFEST,
+  // so a missing run is a malformed trace (ParseError), not an IO error.
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw ParseError("missing columnar trace file: " + path.string());
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagicV2)
+    throw ParseError("not a mcloud columnar trace: " + path.string());
+
+  V2FileInfo info;
+  std::uint32_t reserved = 0;
+  in.read(reinterpret_cast<char*>(&info.rows), sizeof(info.rows));
+  in.read(reinterpret_cast<char*>(&info.users), sizeof(info.users));
+  in.read(reinterpret_cast<char*>(&info.day_base), sizeof(info.day_base));
+  in.read(reinterpret_cast<char*>(&info.mask), sizeof(info.mask));
+  in.read(reinterpret_cast<char*>(&reserved), sizeof(reserved));
+  if (!in) throw ParseError("truncated columnar trace: " + path.string());
+  if ((info.mask & ~kAllColumns) != 0 || !(info.mask & kColTimestamp) ||
+      !(info.mask & kColUser))
+    throw ParseError("bad column mask in columnar trace: " + path.string());
+  info.user_table_offset = 8 + sizeof(info.rows) + sizeof(info.users) +
+                           sizeof(info.day_base) + sizeof(info.mask) +
+                           sizeof(reserved);
+
+  // Validate the full payload length up front: seeks past EOF would not
+  // fail, so even columns a reader skips must be accounted for here.
+  std::uint64_t expected =
+      info.user_table_offset + info.users * sizeof(std::uint64_t);
+  for (const auto& col : kV2Columns)
+    if (info.mask & col.mask) expected += info.rows * col.width;
+  std::error_code ec;
+  const std::uint64_t actual = std::filesystem::file_size(path, ec);
+  if (ec || actual < expected)
+    throw ParseError("truncated columnar trace: " + path.string());
+  return info;
+}
+
+}  // namespace detail
+
 bool IsColumnarTrace(const std::filesystem::path& path) {
   std::ifstream in(path, std::ios::binary);
   std::array<char, 8> magic{};
@@ -322,42 +381,19 @@ struct V2Reader {
 
 TraceStore ReadColumnarTrace(const std::filesystem::path& path,
                              std::uint32_t want) {
-  V2Reader r{OpenForRead(path, /*binary=*/true), path};
-  std::array<char, 8> magic{};
-  r.in.read(magic.data(), magic.size());
-  if (!r.in || magic != kMagicV2)
-    throw ParseError("not a mcloud columnar trace: " + path.string());
-
-  std::uint64_t n_rows = 0;
-  std::uint64_t n_users = 0;
-  std::int64_t day_base = 0;
-  std::uint32_t file_mask = 0;
-  std::uint32_t reserved = 0;
-  r.Read(&n_rows, sizeof(n_rows));
-  r.Read(&n_users, sizeof(n_users));
-  r.Read(&day_base, sizeof(day_base));
-  r.Read(&file_mask, sizeof(file_mask));
-  r.Read(&reserved, sizeof(reserved));
+  // The probe validates the magic, mask, and full expected byte length.
+  const detail::V2FileInfo info = detail::ReadV2FileInfo(path);
+  const std::uint64_t n_rows = info.rows;
+  const std::uint64_t n_users = info.users;
+  const std::uint32_t file_mask = info.mask;
   if (n_rows > UINT32_MAX)
     throw ParseError("columnar trace too large: " + path.string());
-  if ((file_mask & ~kAllColumns) != 0 || !(file_mask & kColTimestamp) ||
-      !(file_mask & kColUser))
-    throw ParseError("bad column mask in columnar trace: " + path.string());
 
-  // Validate the full payload length up front: seeking past EOF would not
-  // fail, so skipped trailing columns must still be accounted for.
-  std::uint64_t expected = 8 + sizeof(n_rows) + sizeof(n_users) +
-                           sizeof(day_base) + sizeof(file_mask) +
-                           sizeof(reserved) + n_users * sizeof(std::uint64_t);
-  for (const auto& col : kV2Columns)
-    if (file_mask & col.mask) expected += n_rows * col.width;
-  std::error_code ec;
-  const std::uint64_t actual = std::filesystem::file_size(path, ec);
-  if (ec || actual < expected)
-    throw ParseError("truncated columnar trace: " + path.string());
+  V2Reader r{OpenForRead(path, /*binary=*/true), path};
+  r.Skip(info.user_table_offset);
 
   TraceStore::Builder b;
-  b.day_base = day_base;
+  b.day_base = info.day_base;
   b.user_ids = r.ReadColumn<std::uint64_t>(n_users);
 
   // The indexes need timestamps and users regardless of the request.

@@ -171,4 +171,34 @@ void WriteColumnarTrace(const std::filesystem::path& path,
 [[nodiscard]] TraceStore ReadColumnarTrace(const std::filesystem::path& path,
                                            std::uint32_t want = kAllColumns);
 
+namespace detail {
+
+/// Parsed and validated header of one MCLOGv02 columnar file. Offsets are
+/// absolute byte positions, precomputed from the fixed column order, so
+/// out-of-core readers can seek straight to a column's row range.
+struct V2FileInfo {
+  std::uint64_t rows = 0;
+  std::uint64_t users = 0;
+  std::int64_t day_base = 0;
+  std::uint32_t mask = 0;
+  std::uint64_t user_table_offset = 0;  ///< byte offset of the user-id table
+
+  /// Byte offset of column `col`'s data. Throws Error when the file does
+  /// not carry `col` (check `mask` first).
+  [[nodiscard]] std::uint64_t ColumnOffset(std::uint32_t col) const;
+};
+
+/// Element width in bytes of `col` in the v2 on-disk layout (times are
+/// stored as int64 microseconds). Throws Error for an unknown column bit.
+[[nodiscard]] std::size_t V2ColumnWidth(std::uint32_t col);
+
+/// Read and validate a v2 columnar header: magic, column mask, and the full
+/// expected byte length (header + user table + every present column). A
+/// missing, short, or truncated file throws ParseError here — this is the
+/// single truncation gate shared by ReadColumnarTrace and the partitioned
+/// multi-file reader, so a partition can never silently drop rows.
+[[nodiscard]] V2FileInfo ReadV2FileInfo(const std::filesystem::path& path);
+
+}  // namespace detail
+
 }  // namespace mcloud

@@ -8,18 +8,6 @@
 
 namespace mcloud {
 
-namespace {
-
-/// Floor division of a signed offset by a positive day length.
-std::int64_t FloorDay(std::int64_t offset) {
-  const auto day = static_cast<std::int64_t>(kDay);
-  std::int64_t q = offset / day;
-  if (offset % day != 0 && offset < 0) --q;
-  return q;
-}
-
-}  // namespace
-
 void TraceStore::Builder::Reserve(std::size_t n) {
   timestamps.reserve(n);
   device_types.reserve(n);
@@ -167,9 +155,9 @@ void TraceStore::BuildIndexes() {
   partitions_.clear();
   std::size_t begin = 0;
   while (begin < n) {
-    const std::int64_t day = FloorDay(timestamps_[begin] - day_base_);
+    const std::int64_t day = FloorDayIndex(timestamps_[begin] - day_base_);
     std::size_t end = begin + 1;
-    while (end < n && FloorDay(timestamps_[end] - day_base_) == day) ++end;
+    while (end < n && FloorDayIndex(timestamps_[end] - day_base_) == day) ++end;
     partitions_.push_back({day, static_cast<std::uint32_t>(begin),
                            static_cast<std::uint32_t>(end)});
     begin = end;

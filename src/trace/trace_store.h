@@ -64,7 +64,8 @@ inline constexpr std::uint32_t kAnalysisColumns =
 class TraceStore {
  public:
   /// One contiguous run of rows sharing a calendar day relative to
-  /// day_base(): rows [begin, end) all have FloorDay(ts - day_base) == day.
+  /// day_base(): rows [begin, end) all have FloorDayIndex(ts - day_base)
+  /// == day (see util/timeutil.h).
   struct DayPartition {
     std::int64_t day = 0;  ///< days since day_base (may be negative)
     std::uint32_t begin = 0;

@@ -70,6 +70,56 @@ void MergeSortedRunsInto(std::vector<std::vector<T>>&& runs, Less less,
   runs.clear();
 }
 
+/// Generalization of MergeSortedRunsInto to *streaming* sources: merge k
+/// sorted cursors whose backing data need not be resident (the out-of-core
+/// partition reader refills each cursor from disk blockwise). A Cursor must
+/// provide `bool empty() const` and `void pop()`; `less(a, b)` orders two
+/// non-empty cursors by their current heads. Each step calls
+/// `sink(cursors[i])` for the cursor holding the smallest head, then pops
+/// it. Ties across cursors go to the lower index and elements within one
+/// cursor keep their order — the same stability contract as
+/// MergeSortedRunsInto, so merging stably-sorted contiguous partitions
+/// reproduces std::stable_sort of their concatenation.
+template <typename Cursor, typename Less, typename Sink>
+void MergeSortedCursorsInto(std::vector<Cursor>& cursors, Less less,
+                            Sink&& sink) {
+  std::vector<std::size_t> heap;
+  heap.reserve(cursors.size());
+  const auto head_after = [&](std::size_t a, std::size_t b) {
+    if (less(cursors[a], cursors[b])) return false;
+    if (less(cursors[b], cursors[a])) return true;
+    return a > b;
+  };
+  const auto sift_down = [&](std::size_t i) {
+    for (;;) {
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = l + 1;
+      std::size_t best = i;
+      if (l < heap.size() && head_after(heap[best], heap[l])) best = l;
+      if (r < heap.size() && head_after(heap[best], heap[r])) best = r;
+      if (best == i) return;
+      std::swap(heap[i], heap[best]);
+      i = best;
+    }
+  };
+
+  for (std::size_t c = 0; c < cursors.size(); ++c) {
+    if (!cursors[c].empty()) heap.push_back(c);
+  }
+  for (std::size_t i = heap.size(); i-- > 0;) sift_down(i);
+
+  while (!heap.empty()) {
+    Cursor& top = cursors[heap.front()];
+    sink(top);
+    top.pop();
+    if (top.empty()) {
+      heap.front() = heap.back();
+      heap.pop_back();
+    }
+    if (!heap.empty()) sift_down(0);
+  }
+}
+
 /// Merge `runs` (each sorted by `less`, ties in original order) into one
 /// sorted vector. Consumes the runs; peak memory is output + the
 /// unexhausted tails.

@@ -4,6 +4,7 @@
 // M–Su x-axis in Fig 1); these helpers convert timestamps to day/hour bins.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "util/units.h"
@@ -30,6 +31,17 @@ inline constexpr UnixSeconds kTraceStart = 1438560000;
 [[nodiscard]] constexpr int HourOfDay(UnixSeconds ts,
                                       UnixSeconds start = kTraceStart) {
   return HourIndex(ts, start) % 24;
+}
+
+/// Floor division of a signed second offset into calendar days: negative
+/// offsets round toward -inf, so a record just before the day base lands in
+/// day -1, not day 0. This is the day key of TraceStore's partitions and of
+/// the partitioned on-disk trace layout — the two must always agree.
+[[nodiscard]] constexpr std::int64_t FloorDayIndex(std::int64_t offset) {
+  const auto day = static_cast<std::int64_t>(kDay);
+  std::int64_t q = offset / day;
+  if (offset % day != 0 && offset < 0) --q;
+  return q;
 }
 
 /// "Mon".."Sun" label for a day index (day 0 = Monday).

@@ -1,14 +1,18 @@
 #include "validate/validator.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <utility>
 
 #include "cloud/storage_service.h"
 #include "core/pipeline.h"
+#include "trace/partitioned_trace.h"
 #include "model/paper_params.h"
 #include "util/rng.h"
 #include "workload/generator.h"
@@ -92,6 +96,7 @@ void AppendOutcome(std::string& out, const CheckOutcome& o) {
 
 void AppendRun(std::string& out, const ValidationRun& r) {
   Append(out, "{\n  \"users\": %zu,\n  \"seed\": %llu,\n"
+              "  \"out_of_core\": %s,\n"
               "  \"fleet_flows\": %zu,\n  \"checks\": %zu,\n"
               "  \"passed\": %zu,\n  \"all_passed\": %s,\n"
               "  \"fingerprint\": \"%016llx\",\n"
@@ -100,6 +105,7 @@ void AppendRun(std::string& out, const ValidationRun& r) {
               "    \"fleet_shards\": %zu, \"fleet_fingerprint\": \"%016llx\","
               " \"per_shard\": [",
          r.options.users, static_cast<unsigned long long>(r.options.seed),
+         r.options.out_of_core ? "true" : "false",
          r.options.fleet_flows, r.outcomes.size(), r.Passed(),
          r.AllPassed() ? "true" : "false",
          static_cast<unsigned long long>(ManifestFingerprint(r)),
@@ -148,15 +154,49 @@ ValidationInputs BuildValidationInputs(const ValidateOptions& options,
   cfg.population.pc_only_users = options.users / 3;
   cfg.threads = options.threads;
   const workload::WorkloadGenerator generator(cfg);
-  const workload::ColumnarWorkload workload = generator.GenerateColumnar();
-  if (timings) timings->generate_s = Since(t0);
-
-  t0 = Clock::now();
   core::PipelineOptions popts;
   popts.threads = options.threads;
   popts.keep_raw_samples = true;
-  in.report = core::AnalysisPipeline(popts).Run(workload.trace);
-  if (timings) timings->analyze_s = Since(t0);
+  if (options.out_of_core) {
+    // Bounded-memory path: spill the generation into a partitioned on-disk
+    // trace, then stream it back through the out-of-core engine. Both
+    // phases share options.max_memory_mb; generation gets a third of it as
+    // the AoS emission buffer (records cost ~80 B buffered vs ~31 B
+    // staged, and the analysis walks also carry dense per-user state).
+    namespace fs = std::filesystem;
+    const bool owned = options.spill_dir.empty();
+    const fs::path dir =
+        owned ? fs::temp_directory_path() /
+                    ("mcloud-spill-" + std::to_string(::getpid()) + "-" +
+                     std::to_string(options.seed) + "-" +
+                     std::to_string(options.users))
+              : fs::path(options.spill_dir);
+    fs::create_directories(dir);
+    workload::SpillConfig spill;
+    spill.dir = dir;
+    spill.max_buffer_bytes =
+        std::max<std::size_t>(options.max_memory_mb, std::size_t{64}) *
+        (1024 * 1024 / 3);
+    (void)generator.GenerateToPartitions(spill);
+    if (timings) timings->generate_s = Since(t0);
+
+    t0 = Clock::now();
+    popts.max_memory_mb = options.max_memory_mb;
+    const PartitionedTrace part = PartitionedTrace::Open(dir);
+    in.report = core::AnalysisPipeline(popts).RunOutOfCore(part);
+    if (timings) timings->analyze_s = Since(t0);
+    if (owned) {
+      std::error_code ec;
+      fs::remove_all(dir, ec);  // best-effort cleanup of the temp spill
+    }
+  } else {
+    const workload::ColumnarWorkload workload = generator.GenerateColumnar();
+    if (timings) timings->generate_s = Since(t0);
+
+    t0 = Clock::now();
+    in.report = core::AnalysisPipeline(popts).Run(workload.trace);
+    if (timings) timings->analyze_s = Since(t0);
+  }
 
   t0 = Clock::now();
   cloud::FleetConfig fleet_cfg;

@@ -30,6 +30,17 @@ struct ValidateOptions {
   /// independently of `threads` (see cloud/fleet.h). Part of the sample
   /// identity: changing it reseeds the fleet.
   std::uint32_t fleet_shards = 8;
+  /// Out-of-core mode: generate with bounded-memory spilling into a
+  /// partitioned on-disk trace and analyze it via RunOutOfCore. Execution
+  /// strategy, not sample identity — none of these three knobs enter
+  /// ManifestFingerprint, and an out-of-core run fingerprints identically
+  /// to the resident run it mirrors (the CI smoke job checks exactly that).
+  bool out_of_core = false;
+  /// Approximate resident budget (MB) for out-of-core generation+analysis.
+  std::size_t max_memory_mb = 2048;
+  /// Spill directory for out-of-core mode; empty = a unique temp directory,
+  /// removed when the run finishes.
+  std::string spill_dir;
 };
 
 /// One full validation run: every check outcome plus phase wall times.

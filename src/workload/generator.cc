@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "trace/partitioned_trace.h"
 #include "util/merge.h"
 #include "util/parallel.h"
 #include "workload/calibration.h"
@@ -119,6 +120,96 @@ ColumnarWorkload WorkloadGenerator::GenerateColumnar() const {
 
 Workload WorkloadGenerator::GeneratePlansOnly() const {
   return PlanAndEmit(nullptr);
+}
+
+// Bounded-memory twin of PlanAndEmit + GenerateColumnar. The RNG sequence
+// is replicated exactly (population build, then session_root, then pure
+// per-user streams), so each user's records match the resident path byte
+// for byte. Users are processed in fixed-size chunks in user order; the
+// buffer therefore always holds a contiguous user range, and flushing it
+// as a stably-sorted slice makes every spill a stably-sorted contiguous
+// partition of the user-ordered emission — exactly what the partitioned
+// reader's stable merge needs to reconstruct the global stable sort.
+// Chunk boundaries and flush points depend only on the config, never on
+// the thread count.
+SpillSummary WorkloadGenerator::GenerateToPartitions(
+    const SpillConfig& spill) const {
+  ThreadPool pool(config_.threads);
+  Rng rng(config_.seed);
+
+  PopulationBuilder population(config_.population);
+  const std::vector<UserProfile> users = population.Build(rng, &pool);
+  const std::uint64_t session_root = rng.NextU64();
+
+  const DiurnalPattern diurnal(cal::kHourOfDayWeights);
+  SessionModelConfig smc;
+  smc.trace_start = config_.trace_start;
+  smc.days = config_.population.days;
+  const SessionModel session_model(smc, diurnal);
+  const FastLogEmitter emitter;
+
+  PartitionedTraceWriter writer(spill.dir, config_.trace_start);
+
+  const std::size_t budget_records = std::max<std::size_t>(
+      spill.max_buffer_bytes / sizeof(LogRecord), std::size_t{64} * 1024);
+  const std::size_t users_per_chunk =
+      std::max<std::size_t>(spill.users_per_chunk, 1);
+
+  SpillSummary sum;
+  sum.users = users.size();
+
+  std::vector<LogRecord> buffer;
+  const auto flush = [&] {
+    if (buffer.empty()) return;
+    std::stable_sort(buffer.begin(), buffer.end(), LogRecordTimeOrder);
+    writer.WriteSortedSlice(buffer);
+    ++sum.spills;
+    buffer.clear();
+    buffer.shrink_to_fit();
+  };
+
+  const std::size_t n_chunks =
+      (users.size() + users_per_chunk - 1) / users_per_chunk;
+  const std::size_t window =
+      std::max<std::size_t>(static_cast<std::size_t>(pool.threads()), 1) * 2;
+  const auto emit_chunk = [&](std::size_t chunk) {
+    const std::size_t begin = chunk * users_per_chunk;
+    const std::size_t end =
+        std::min(begin + users_per_chunk, users.size());
+    std::vector<LogRecord> out;
+    for (std::size_t i = begin; i < end; ++i) {
+      const UserProfile& user = users[i];
+      Rng user_rng = Rng::ForStream(session_root, user.user_id);
+      // Plans are emitted and dropped — only the records survive.
+      const std::vector<SessionPlan> planned =
+          session_model.PlanUser(user, user_rng);
+      for (const SessionPlan& s : planned)
+        emitter.EmitSession(s, user_rng, out);
+    }
+    return out;
+  };
+
+  for (std::size_t next = 0; next < n_chunks; next += window) {
+    const std::size_t batch = std::min(window, n_chunks - next);
+    std::vector<std::vector<LogRecord>> emitted =
+        ParallelMap<std::vector<LogRecord>>(
+            pool, batch, [&](std::size_t i) { return emit_chunk(next + i); });
+    for (auto& chunk : emitted) {
+      // Flush *before* appending, so the buffer never reallocates past the
+      // budget mid-append (the doubling growth of push_back would briefly
+      // double the footprint otherwise).
+      if (!buffer.empty() && buffer.size() + chunk.size() > budget_records)
+        flush();
+      sum.records += chunk.size();
+      buffer.insert(buffer.end(), std::make_move_iterator(chunk.begin()),
+                    std::make_move_iterator(chunk.end()));
+      chunk = std::vector<LogRecord>();
+    }
+  }
+  flush();
+  writer.Finish();
+  sum.run_files = writer.run_files();
+  return sum;
 }
 
 }  // namespace mcloud::workload

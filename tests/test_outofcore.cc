@@ -1,0 +1,114 @@
+// The out-of-core pipeline's determinism contract: spill-generate +
+// RunOutOfCore must produce the bit-identical FullReport of the resident
+// GenerateColumnar + Run path, at every thread count and every spill-buffer
+// size (DESIGN.md, "Out-of-core pipeline").
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "trace/partitioned_trace.h"
+#include "validate/validator.h"
+#include "workload/generator.h"
+
+namespace mcloud {
+namespace {
+
+workload::WorkloadConfig SmallConfig() {
+  workload::WorkloadConfig cfg;
+  cfg.population.mobile_users = 600;
+  cfg.population.pc_only_users = 200;
+  cfg.seed = 17;
+  return cfg;
+}
+
+std::filesystem::path SpillDir(const char* name) {
+  const auto dir = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(OutOfCore, SpilledGenerationMatchesResidentReport) {
+  const workload::WorkloadConfig cfg = SmallConfig();
+  const workload::ColumnarWorkload resident =
+      workload::WorkloadGenerator(cfg).GenerateColumnar();
+  const core::FullReport want =
+      core::AnalysisPipeline(core::PipelineOptions{}).Run(resident.trace);
+  const std::uint64_t want_fp = core::FingerprintReport(want);
+
+  // Small chunks + the minimum buffer budget force several spills at this
+  // scale; thread count and analysis staging must not matter either.
+  for (const int threads : {1, 3}) {
+    const auto dir = SpillDir("mcloud_ooc_report_test");
+    workload::SpillConfig spill;
+    spill.dir = dir;
+    spill.max_buffer_bytes = 1;  // clamped to the 64k-record floor
+    spill.users_per_chunk = 64;
+    workload::WorkloadConfig gen_cfg = cfg;
+    gen_cfg.threads = threads;
+    const workload::SpillSummary summary =
+        workload::WorkloadGenerator(gen_cfg).GenerateToPartitions(spill);
+    EXPECT_EQ(summary.records, resident.trace.rows());
+    EXPECT_GT(summary.spills, 1u) << "buffer too big to exercise spilling";
+
+    const PartitionedTrace trace = PartitionedTrace::Open(dir);
+    EXPECT_EQ(trace.rows(), resident.trace.rows());
+    EXPECT_EQ(trace.users(), resident.trace.users());
+
+    core::PipelineOptions opts;
+    opts.threads = threads;
+    opts.max_memory_mb = 1;  // minimum staging: many refills per day
+    const core::FullReport got =
+        core::AnalysisPipeline(opts).RunOutOfCore(trace);
+    EXPECT_EQ(core::FingerprintReport(got), want_fp)
+        << "threads=" << threads;
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(OutOfCore, ValidatorFingerprintMatchesResident) {
+  validate::ValidateOptions opt;
+  opt.users = 800;
+  opt.seed = 5;
+  opt.fleet_flows = 200;
+
+  validate::ValidationRun resident;
+  (void)validate::BuildValidationInputs(opt, &resident);
+
+  opt.out_of_core = true;
+  opt.max_memory_mb = 64;
+  validate::ValidationRun ooc;
+  (void)validate::BuildValidationInputs(opt, &ooc);
+
+  // The execution-strategy knobs are not part of the sample identity: an
+  // out-of-core run must fingerprint identically to the resident run.
+  EXPECT_EQ(validate::ManifestFingerprint(ooc),
+            validate::ManifestFingerprint(resident));
+}
+
+TEST(OutOfCore, GenerateToPartitionsIsIdenticalAcrossThreadCounts) {
+  const auto ReportOf = [](int threads) {
+    const auto dir = SpillDir("mcloud_ooc_threads_test");
+    workload::WorkloadConfig cfg = SmallConfig();
+    cfg.threads = threads;
+    workload::SpillConfig spill;
+    spill.dir = dir;
+    spill.max_buffer_bytes = 1;  // clamped to the 64k-record floor
+    spill.users_per_chunk = 64;
+    (void)workload::WorkloadGenerator(cfg).GenerateToPartitions(spill);
+    const core::FullReport report =
+        core::AnalysisPipeline(core::PipelineOptions{}).RunOutOfCore(PartitionedTrace::Open(dir));
+    std::filesystem::remove_all(dir);
+    return core::FingerprintReport(report);
+  };
+  const std::uint64_t fp1 = ReportOf(1);
+  EXPECT_EQ(ReportOf(2), fp1);
+  EXPECT_EQ(ReportOf(5), fp1);
+}
+
+}  // namespace
+}  // namespace mcloud

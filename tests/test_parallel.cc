@@ -130,6 +130,87 @@ TEST(MergeSortedRuns, HandlesEmptyAndSingleRuns) {
   EXPECT_EQ(merged, (std::vector<int>{1, 2, 3}));
 }
 
+// The sink-based core is what the out-of-core spill writer and the
+// columnar builder feed from, so its edge cases get their own coverage
+// (the vector overload short-circuits single runs and never exercises
+// some of these paths).
+
+TEST(MergeSortedRunsInto, ZeroRunsNeverCallsSink) {
+  std::vector<std::vector<int>> runs;
+  std::size_t calls = 0;
+  MergeSortedRunsInto(std::move(runs), std::less<int>{},
+                      [&calls](int&&) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+}
+
+TEST(MergeSortedRunsInto, AllEmptyRunsNeverCallSink) {
+  std::vector<std::vector<int>> runs(5);
+  std::size_t calls = 0;
+  MergeSortedRunsInto(std::move(runs), std::less<int>{},
+                      [&calls](int&&) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+}
+
+TEST(MergeSortedRunsInto, SingleRunStreamsInOrder) {
+  std::vector<std::vector<int>> runs;
+  runs.push_back({1, 1, 2, 3, 5, 8});
+  std::vector<int> out;
+  MergeSortedRunsInto(std::move(runs), std::less<int>{},
+                      [&out](int&& v) { out.push_back(v); });
+  EXPECT_EQ(out, (std::vector<int>{1, 1, 2, 3, 5, 8}));
+}
+
+TEST(MergeSortedRunsInto, DuplicateKeysKeepLowerRunFirst) {
+  // Every element of every run has the same key: the merged order must be
+  // run 0's elements in order, then run 1's, then run 2's — the exact
+  // tie-break the out-of-core day merge relies on for determinism.
+  struct Item {
+    int key;
+    int origin;
+  };
+  std::vector<std::vector<Item>> runs(3);
+  for (int r = 0; r < 3; ++r)
+    for (int i = 0; i < 4; ++i) runs[r].push_back({7, r * 10 + i});
+  std::vector<int> origins;
+  MergeSortedRunsInto(
+      std::move(runs),
+      [](const Item& a, const Item& b) { return a.key < b.key; },
+      [&origins](Item&& v) { origins.push_back(v.origin); });
+  EXPECT_EQ(origins, (std::vector<int>{0, 1, 2, 3, 10, 11, 12, 13, 20, 21,
+                                       22, 23}));
+}
+
+TEST(MergeSortedCursorsInto, MatchesRunMergeIncludingTies) {
+  // The streaming generalization must produce the identical sequence for
+  // the same runs, including cross-cursor ties and empty cursors.
+  struct VecCursor {
+    std::vector<int> data;
+    std::size_t pos = 0;
+    [[nodiscard]] bool empty() const { return pos == data.size(); }
+    void pop() { ++pos; }
+    [[nodiscard]] int head() const { return data[pos]; }
+  };
+  std::vector<std::vector<int>> runs = {
+      {1, 3, 3, 9}, {}, {2, 3, 4}, {3, 3}};
+  std::vector<VecCursor> cursors;
+  for (const auto& r : runs) cursors.push_back({r, 0});
+
+  std::vector<std::pair<int, std::size_t>> streamed;  // (value, cursor)
+  MergeSortedCursorsInto(
+      cursors,
+      [](const VecCursor& a, const VecCursor& b) {
+        return a.head() < b.head();
+      },
+      [&streamed, &cursors](const VecCursor& c) {
+        streamed.emplace_back(c.head(),
+                              static_cast<std::size_t>(&c - cursors.data()));
+      });
+
+  const std::vector<std::pair<int, std::size_t>> expected = {
+      {1, 0}, {2, 2}, {3, 0}, {3, 0}, {3, 2}, {3, 3}, {3, 3}, {4, 2}, {9, 0}};
+  EXPECT_EQ(streamed, expected);
+}
+
 // ------------------------------------------------------- Generator goldens
 
 workload::Workload Generate(std::size_t mobile, std::size_t pc, int threads,

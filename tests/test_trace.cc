@@ -2,13 +2,17 @@
 // anonymization, and the CSV tokenizer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <vector>
 
 #include "trace/anonymizer.h"
 #include "trace/filters.h"
 #include "trace/log_io.h"
 #include "trace/log_record.h"
+#include "trace/partitioned_trace.h"
 #include "util/csv.h"
 #include "util/rng.h"
 #include "util/timeutil.h"
@@ -242,6 +246,186 @@ TEST(Timeutil, DayAndHourIndexing) {
   EXPECT_EQ(DayLabel(6), "Sun");
   EXPECT_EQ(DayLabel(7), "Mon");
   EXPECT_EQ(TimestampLabel(kTraceStart + kDay + 3661), "Tue 01:01:01");
+}
+
+// ------------------------------------------------------- PartitionedTrace
+
+/// Deterministic emission spanning `days` calendar days with heavy
+/// timestamp collisions, in generator order (user-major). data_volume is a
+/// serial number so merge stability is observable on otherwise-equal keys.
+std::vector<LogRecord> MakeEmission(std::size_t n, int days) {
+  std::vector<LogRecord> all;
+  Rng rng(99);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t user = i * 40 / n + 1;  // user-ordered chunks
+    const auto ts = kTraceStart +
+                    static_cast<UnixSeconds>(rng.UniformInt(
+                        static_cast<std::uint64_t>(days) * kDay / 16)) *
+                        16;
+    LogRecord r = MakeRecord(ts, user, Direction::kStore);
+    r.device_type = static_cast<DeviceType>(i % 3);
+    r.device_id = user * 10 + i % 2;
+    r.data_volume = i;
+    all.push_back(r);
+  }
+  return all;
+}
+
+/// Split `all` into `spills` contiguous slices, stable-sort each, and
+/// write them as a partitioned trace — exactly the generator's spill
+/// discipline.
+void WritePartitioned(const std::filesystem::path& dir,
+                      std::vector<LogRecord> all, std::size_t spills) {
+  std::filesystem::create_directories(dir);
+  PartitionedTraceWriter writer(dir, kTraceStart);
+  const std::size_t per = (all.size() + spills - 1) / spills;
+  for (std::size_t s = 0; s < spills; ++s) {
+    const std::size_t begin = std::min(s * per, all.size());
+    const std::size_t end = std::min(begin + per, all.size());
+    std::stable_sort(all.begin() + static_cast<std::ptrdiff_t>(begin),
+                     all.begin() + static_cast<std::ptrdiff_t>(end),
+                     LogRecordTimeOrder);
+    writer.WriteSortedSlice(
+        std::span<const LogRecord>(all.data() + begin, end - begin));
+  }
+  writer.Finish();
+}
+
+TEST(PartitionedTrace, ScanMatchesStableSortOfEmission) {
+  const auto dir = TempPath("mcloud_part_roundtrip");
+  std::filesystem::remove_all(dir);
+  std::vector<LogRecord> all = MakeEmission(18'000, 3);
+  WritePartitioned(dir, all, 4);
+
+  const PartitionedTrace trace = PartitionedTrace::Open(dir);
+  EXPECT_EQ(trace.rows(), all.size());
+  EXPECT_GT(trace.run_count(), 4u);  // every spill split across 3 days
+
+  // Small staging budget: forces several blocks per day and tiny per-run
+  // read buffers, which must not change the merged order.
+  std::vector<LogRecord> merged;
+  std::int64_t last_day = -1;
+  trace.Scan(8'192, [&](std::int64_t day, const TraceRowBlock& b) {
+    EXPECT_GE(day, last_day);
+    last_day = day;
+    for (std::size_t i = 0; i < b.rows(); ++i) {
+      LogRecord r;
+      r.timestamp = b.timestamps[i];
+      r.device_type = static_cast<DeviceType>(b.device_types[i]);
+      r.device_id = b.device_ids[i];
+      r.user_id = trace.user_ids()[b.users[i]];
+      r.request_type = static_cast<RequestType>(b.request_types[i]);
+      r.direction = static_cast<Direction>(b.directions[i]);
+      r.data_volume = b.data_volumes[i];
+      merged.push_back(r);
+      EXPECT_EQ(day, DayIndex(r.timestamp));
+    }
+  });
+
+  std::stable_sort(all.begin(), all.end(), LogRecordTimeOrder);
+  ASSERT_EQ(merged.size(), all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(merged[i].timestamp, all[i].timestamp) << "at " << i;
+    EXPECT_EQ(merged[i].user_id, all[i].user_id) << "at " << i;
+    EXPECT_EQ(merged[i].device_id, all[i].device_id) << "at " << i;
+    // The serial number: proves cross-run ties kept emission order.
+    EXPECT_EQ(merged[i].data_volume, all[i].data_volume) << "at " << i;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+std::filesystem::path FirstRunFile(const std::filesystem::path& dir) {
+  std::vector<std::filesystem::path> runs;
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    if (e.path().extension() == ".v2") runs.push_back(e.path());
+  std::sort(runs.begin(), runs.end());
+  EXPECT_FALSE(runs.empty());
+  return runs.front();
+}
+
+TEST(PartitionedTrace, OpenRejectsMissingRunFile) {
+  const auto dir = TempPath("mcloud_part_missing");
+  std::filesystem::remove_all(dir);
+  WritePartitioned(dir, MakeEmission(2'000, 2), 2);
+  std::filesystem::remove(FirstRunFile(dir));
+  EXPECT_THROW((void)PartitionedTrace::Open(dir), ParseError);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PartitionedTrace, OpenRejectsTruncatedRunFile) {
+  const auto dir = TempPath("mcloud_part_truncated");
+  std::filesystem::remove_all(dir);
+  WritePartitioned(dir, MakeEmission(2'000, 2), 2);
+  const auto run = FirstRunFile(dir);
+  // Header and user table intact, column payload short: exactly the
+  // failure mode a killed spill leaves behind.
+  std::filesystem::resize_file(run, std::filesystem::file_size(run) - 9);
+  EXPECT_THROW((void)PartitionedTrace::Open(dir), ParseError);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PartitionedTrace, OpenRejectsManifestWithoutEndSentinel) {
+  const auto dir = TempPath("mcloud_part_noend");
+  std::filesystem::remove_all(dir);
+  WritePartitioned(dir, MakeEmission(2'000, 2), 2);
+  std::string manifest;
+  {
+    std::ifstream in(dir / "MANIFEST");
+    std::string line;
+    while (std::getline(in, line))
+      if (line != "end") manifest += line + "\n";
+  }
+  std::ofstream(dir / "MANIFEST", std::ios::trunc) << manifest;
+  EXPECT_THROW((void)PartitionedTrace::Open(dir), ParseError);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PartitionedTrace, OpenRejectsRunRowCountMismatch) {
+  const auto dir = TempPath("mcloud_part_rows");
+  std::filesystem::remove_all(dir);
+  WritePartitioned(dir, MakeEmission(2'000, 2), 2);
+  std::string manifest;
+  {
+    std::ifstream in(dir / "MANIFEST");
+    std::string line;
+    bool bumped = false;
+    while (std::getline(in, line)) {
+      if (!bumped && line.rfind("run ", 0) == 0) {
+        // Bump the row count of the first run entry.
+        const auto last_space = line.find_last_of(' ');
+        auto prev_space = line.find_last_of(' ', last_space - 1);
+        const std::uint64_t rows =
+            std::strtoull(line.c_str() + prev_space + 1, nullptr, 10);
+        line = line.substr(0, prev_space + 1) + std::to_string(rows + 1) +
+               line.substr(last_space);
+        bumped = true;
+      }
+      manifest += line + "\n";
+    }
+    EXPECT_TRUE(bumped);
+  }
+  std::ofstream(dir / "MANIFEST", std::ios::trunc) << manifest;
+  EXPECT_THROW((void)PartitionedTrace::Open(dir), ParseError);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LogIo, V2FileInfoValidatesFullExpectedLength) {
+  // Regression: a v2 file whose header and user table parse cleanly but
+  // whose column payload is short must fail at ReadV2FileInfo — the
+  // single truncation gate every partitioned-run open goes through.
+  const auto path = TempPath("mcloud_v2_truncation.v2");
+  std::vector<LogRecord> records;
+  for (int i = 0; i < 500; ++i)
+    records.push_back(MakeRecord(kTraceStart + i, 1 + i % 7,
+                                 Direction::kStore));
+  WriteColumnarTrace(path, TraceStore::FromRecords(records));
+
+  const detail::V2FileInfo info = detail::ReadV2FileInfo(path);
+  EXPECT_EQ(info.rows, 500u);
+
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 1);
+  EXPECT_THROW((void)detail::ReadV2FileInfo(path), ParseError);
+  std::filesystem::remove(path);
 }
 
 }  // namespace

@@ -2,8 +2,10 @@
 //
 //   mcloudctl generate  --users N [--pc N] [--seed S] [--threads N]
 //                       [--anonymize KEY] [--faults] [--fail-rate R]
-//                       [--loss-burst R] [--degraded R] [--hedge] OUT
+//                       [--loss-burst R] [--degraded R] [--hedge]
+//                       [--out-of-core [--max-memory-mb M]] OUT
 //   mcloudctl analyze   TRACE [--tau SECONDS|auto] [--threads N]
+//                       [--max-memory-mb M]
 //   mcloudctl sessions  TRACE [--tau SECONDS] [--top N]
 //   mcloudctl convert   IN OUT
 //   mcloudctl anonymize IN OUT --key KEY
@@ -14,6 +16,7 @@
 //                       [--threads N] [--shards K]
 //   mcloudctl validate  [--users N] [--seed S] [--seeds K] [--threads N]
 //                       [--flows N] [--shards K] [--json FILE]
+//                       [--out-of-core] [--max-memory-mb M] [--spill-dir D]
 //   mcloudctl help
 //
 // Trace files are CSV (.csv), the columnar v2 binary format (.v2), or the
@@ -25,6 +28,13 @@
 // transfer through the TCP substrate and prints its per-chunk timeline, or —
 // when any fault knob is given — a whole session fleet against the
 // fault-injected service, printing the availability report.
+//
+// Out-of-core mode: `generate --out-of-core OUT` writes a *partitioned
+// trace directory* (per-day sorted run files + MANIFEST, see
+// trace/partitioned_trace.h) under a bounded emission buffer, and `analyze`
+// and `validate` stream such a directory through the out-of-core engine —
+// same reports/fingerprints as the resident paths, at any --max-memory-mb.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +51,7 @@
 #include "core/pipeline.h"
 #include "trace/anonymizer.h"
 #include "trace/log_io.h"
+#include "trace/partitioned_trace.h"
 #include "validate/validator.h"
 #include "workload/generator.h"
 
@@ -89,7 +100,7 @@ Args Parse(int argc, char** argv, int first) {
   // Flags that never take a value, so a following positional (e.g. the
   // output path after `--faults`) is not swallowed as their argument.
   static const std::set<std::string> kBooleanFlags = {
-      "no-ssai", "pace", "faults", "hedge", "no-retry"};
+      "no-ssai", "pace", "faults", "hedge", "no-retry", "out-of-core"};
   Args args;
   for (int i = first; i < argc; ++i) {
     const std::string_view a = argv[i];
@@ -133,8 +144,10 @@ int Usage() {
       "usage: mcloudctl COMMAND ...\n"
       "  generate  --users N [--pc N] [--seed S] [--threads N]\n"
       "            [--anonymize KEY] [--faults] [--fail-rate R]\n"
-      "            [--loss-burst R] [--degraded R] [--hedge] OUT\n"
+      "            [--loss-burst R] [--degraded R] [--hedge]\n"
+      "            [--out-of-core [--max-memory-mb M]] OUT\n"
       "  analyze   TRACE [--tau SECONDS|auto] [--threads N]\n"
+      "            [--max-memory-mb M]\n"
       "  sessions  TRACE [--tau SECONDS] [--top N]\n"
       "  convert   IN OUT\n"
       "  anonymize IN OUT --key KEY\n"
@@ -145,10 +158,14 @@ int Usage() {
       "            [--shards K]\n"
       "  validate  [--users N] [--seed S] [--seeds K] [--threads N]\n"
       "            [--flows N] [--shards K] [--json FILE]\n"
+      "            [--out-of-core] [--max-memory-mb M] [--spill-dir D]\n"
       "Trace format: .csv is CSV, .v2 is the columnar binary format,\n"
       "anything else is the row-wise v1 binary format (reads also sniff\n"
-      "the v2 magic). --threads 0 (the default) uses all hardware\n"
-      "threads; output is identical for every thread count.\n",
+      "the v2 magic). With --out-of-core, generate's OUT (and analyze's\n"
+      "TRACE) is a partitioned trace *directory*; --max-memory-mb bounds\n"
+      "the resident footprint. --threads 0 (the default) uses all hardware\n"
+      "threads; output is identical for every thread count and memory\n"
+      "budget.\n",
       stderr);
   return 2;
 }
@@ -166,6 +183,26 @@ int CmdGenerate(const Args& args) {
                "generating: %zu mobile users, %zu PC-only, seed %llu...\n",
                cfg.population.mobile_users, cfg.population.pc_only_users,
                static_cast<unsigned long long>(cfg.seed));
+  if (args.Has("out-of-core")) {
+    if (args.Has("faults") || args.Has("anonymize")) {
+      std::fprintf(stderr, "mcloudctl: --out-of-core cannot be combined "
+                           "with --faults or --anonymize\n");
+      return 2;
+    }
+    std::filesystem::create_directories(args.positional[0]);
+    workload::SpillConfig spill;
+    spill.dir = args.positional[0];
+    spill.max_buffer_bytes =
+        std::max<std::uint64_t>(args.GetU64("max-memory-mb", 2048),
+                                64) * (1024 * 1024 / 3);
+    const workload::SpillSummary s =
+        workload::WorkloadGenerator(cfg).GenerateToPartitions(spill);
+    std::fprintf(stderr,
+                 "wrote %llu records to %s (%zu spills, %zu run files)\n",
+                 static_cast<unsigned long long>(s.records),
+                 args.positional[0].c_str(), s.spills, s.run_files);
+    return 0;
+  }
   workload::Workload w;
   if (args.Has("faults")) {
     // Route the plans through the full storage service under fault
@@ -205,7 +242,14 @@ int CmdAnalyze(const Args& args) {
 
   const std::filesystem::path path = args.positional[0];
   core::FullReport report;
-  if (!IsCsv(path) && IsColumnarTrace(path)) {
+  if (std::filesystem::is_directory(path)) {
+    // Partitioned trace directory: stream it through the out-of-core
+    // engine under the requested budget.
+    opts.max_memory_mb =
+        static_cast<std::size_t>(args.GetU64("max-memory-mb", 0));
+    report = core::AnalysisPipeline(opts).RunOutOfCore(
+        PartitionedTrace::Open(path));
+  } else if (!IsCsv(path) && IsColumnarTrace(path)) {
     // Columnar fast path: load only the columns the pipeline touches and
     // feed the store directly — no LogRecord vector is ever built.
     report = pipeline.Run(ReadColumnarTrace(path, kAnalysisColumns));
@@ -359,6 +403,10 @@ int CmdValidate(const Args& args) {
   opts.fleet_flows = args.GetU64("flows", opts.fleet_flows);
   opts.fleet_shards =
       static_cast<std::uint32_t>(args.GetU64("shards", opts.fleet_shards));
+  opts.out_of_core = args.Has("out-of-core");
+  opts.max_memory_mb = static_cast<std::size_t>(
+      args.GetU64("max-memory-mb", opts.max_memory_mb));
+  opts.spill_dir = args.Get("spill-dir");
   const std::uint64_t seeds = args.GetU64("seeds", 1);
   const std::string json_path = args.Get("json");
 
