@@ -28,6 +28,12 @@ int main(int argc, char** argv) {
                 std::string(static_cast<std::size_t>(bar), '#').c_str());
   }
 
+  std::printf("\nhistogram quantiles (Histogram::ValueAtQuantile over "
+              "log10 s): p50=%.3gs p90=%.3gs p99=%.3gs\n",
+              std::pow(10.0, h.ValueAtQuantile(0.50)),
+              std::pow(10.0, h.ValueAtQuantile(0.90)),
+              std::pow(10.0, h.ValueAtQuantile(0.99)));
+
   std::printf("\nTwo-component Gaussian mixture over log10 intervals:\n");
   for (const auto& c : model.gmm.mixture.components()) {
     std::printf("  weight=%.3f mean=10^%.2f (~%.3gs) stddev(log10)=%.2f\n",

@@ -41,6 +41,12 @@ int main(int argc, char** argv) {
   bench::PaperVsMeasured("p99 swnd vs 64KB cap (bytes)",
                          static_cast<double>(paper::kServerReceiveWindow),
                          Percentile(swnd, 99), "B");
+  // Same statistic extracted from the binned distribution itself — the
+  // shared Histogram::ValueAtQuantile implementation the live load
+  // generator uses for its latency percentiles.
+  bench::PaperVsMeasured("p99 swnd from histogram (bytes)",
+                         static_cast<double>(paper::kServerReceiveWindow),
+                         std::pow(2.0, hist.ValueAtQuantile(0.99)), "B");
   std::printf("\nNote: the estimator divides by t_tran, which includes "
               "Android's client-side\nstalls, so the bulk of the mass sits "
               "below the cap; the upper edge of the\ndistribution pinning "

@@ -1,0 +1,165 @@
+// PR 7 bench — simulated vs live T_tran.
+//
+//   bench_pr7_live [USERS] [SEED] [--duration S] [--connections N]
+//                  [--max-chunk-kb K] [--out FILE.json]
+//
+// Generates one synthetic workload trace and measures its per-chunk
+// transfer time (t_tran = T_chunk − T_srv) twice over the *same* request
+// population:
+//   * simulated — the calibrated generative model's timings carried in the
+//     trace records (the paper-fidelity numbers: WAN RTTs, device radios,
+//     server windows);
+//   * live      — the same records replayed open-loop by the src/net stack
+//     against an in-process `mcloudd` server on loopback TCP, T_chunk
+//     measured first-byte-in → last-byte-out on the real kernel.
+// The gap between the two columns is exactly the WAN: loopback has ~50 µs
+// RTT and no radio wakeups, so live percentiles sit orders of magnitude
+// below simulated ones. The bench exists to (a) prove the live path
+// produces the same log schema and per-session record counts, and (b) pin
+// the loopback baseline so regressions in the server/event-loop show up as
+// a live-percentile drift. Writes BENCH_PR7.json (see EXPERIMENTS.md).
+#include "bench_util.h"
+
+#include <atomic>
+#include <thread>
+
+#include "net/epoll_server.h"
+#include "net/live_service.h"
+#include "net/replay.h"
+
+int main(int argc, char** argv) {
+  using namespace mcloud;
+  bench::Header("PR 7", "live service mode: simulated vs live t_tran");
+
+  const char* a1 = bench::Positional(argc, argv, 1);
+  const char* a2 = bench::Positional(argc, argv, 2);
+  double duration = 15.0;
+  Bytes max_chunk_kb = 32;
+  int connections = 4;
+  std::string out_path = "BENCH_PR7.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--duration") duration = std::strtod(argv[i + 1], nullptr);
+    if (a == "--connections")
+      connections = static_cast<int>(std::strtol(argv[i + 1], nullptr, 10));
+    if (a == "--max-chunk-kb")
+      max_chunk_kb = std::strtoull(argv[i + 1], nullptr, 10);
+    if (a == "--out") out_path = argv[i + 1];
+  }
+
+  workload::WorkloadConfig wc;
+  wc.population.mobile_users = a1 ? std::strtoul(a1, nullptr, 10) : 40;
+  wc.population.pc_only_users = 0;
+  wc.seed = a2 ? std::strtoull(a2, nullptr, 10) : 7;
+  wc.threads = 1;
+  std::printf("# workload: %zu mobile users, seed %llu\n",
+              wc.population.mobile_users,
+              static_cast<unsigned long long>(wc.seed));
+  const std::vector<LogRecord> trace =
+      workload::WorkloadGenerator(wc).Generate().trace;
+
+  // Simulated t_tran: the calibrated model's chunk timings in the trace.
+  std::vector<double> sim_ttran;
+  for (const LogRecord& r : trace) {
+    if (r.request_type == RequestType::kChunkRequest) {
+      sim_ttran.push_back(r.processing_time - r.server_time);
+    }
+  }
+
+  // Live side: in-process mcloudd on an ephemeral loopback port.
+  net::LiveServiceConfig service_config;
+  net::LiveService service(service_config);
+  net::ServerConfig server_config;
+  net::EpollServer server(
+      server_config,
+      [&service](const net::HttpRequest& req, const net::RequestContext& ctx) {
+        return service.Handle(req, ctx);
+      });
+  const std::uint16_t port = server.Start();
+  std::thread server_thread([&server] { server.Run(); });
+
+  net::ReplayPlanOptions plan_options;
+  plan_options.max_chunk_bytes = max_chunk_kb * kKiB;
+  plan_options.target_qps = static_cast<double>(trace.size()) / duration;
+  const net::ReplayPlan plan = net::BuildReplayPlan(trace, plan_options);
+  net::ReplayOptions replay_options;
+  replay_options.port = port;
+  replay_options.connections = connections;
+  std::printf("# replay: %zu requests over ~%.0fs on %d connections, "
+              "chunk bodies capped at %llu KiB\n",
+              plan.items.size(), duration, connections,
+              static_cast<unsigned long long>(max_chunk_kb));
+  const net::ReplayReport report = net::ExecuteReplay(plan, replay_options);
+
+  server.RequestStop();
+  server_thread.join();
+  const std::vector<LogRecord> live = service.TakeLog();
+  const auto mismatch = net::LiveLogMatchesTrace(trace, live);
+
+  std::vector<double> live_ttran;
+  for (const LogRecord& r : live) {
+    if (r.request_type == RequestType::kChunkRequest) {
+      live_ttran.push_back(r.processing_time - r.server_time);
+    }
+  }
+
+  std::printf("\nper-chunk t_tran, simulated (WAN model) vs live (loopback):\n");
+  std::printf("  %-10s %12s %12s\n", "quantile", "simulated", "live");
+  const double cuts[] = {50, 90, 99, 99.9};
+  double sim_q[4] = {}, live_q[4] = {};
+  for (int i = 0; i < 4; ++i) {
+    sim_q[i] = Percentile(sim_ttran, cuts[i]);
+    live_q[i] = Percentile(live_ttran, cuts[i]);
+    std::printf("  p%-9.4g %10.4g s %10.4g s\n", cuts[i], sim_q[i],
+                live_q[i]);
+  }
+  std::printf("\nreplay client (open-loop, from scheduled send instant):\n");
+  std::printf("  p50 %.3f ms  p90 %.3f ms  p99 %.3f ms  p999 %.3f ms; "
+              "%.0f req/s achieved\n",
+              report.LatencyQuantile(0.50) * 1e3,
+              report.LatencyQuantile(0.90) * 1e3,
+              report.LatencyQuantile(0.99) * 1e3,
+              report.LatencyQuantile(0.999) * 1e3, report.achieved_qps);
+  std::printf("  %llu sent, %llu ok, %llu verify failures; live log %s\n",
+              static_cast<unsigned long long>(report.sent),
+              static_cast<unsigned long long>(report.ok),
+              static_cast<unsigned long long>(report.verify_failures),
+              mismatch ? mismatch->c_str() : "matches trace 1:1");
+
+  char body[2048];
+  std::snprintf(
+      body, sizeof(body),
+      "  \"users\": %zu,\n"
+      "  \"seed\": %llu,\n"
+      "  \"records\": %zu,\n"
+      "  \"chunk_requests\": %zu,\n"
+      "  \"connections\": %d,\n"
+      "  \"max_chunk_kb\": %llu,\n"
+      "  \"achieved_qps\": %.1f,\n"
+      "  \"sent\": %llu,\n"
+      "  \"ok\": %llu,\n"
+      "  \"verify_failures\": %llu,\n"
+      "  \"live_log_matches_trace\": %s,\n"
+      "  \"sim_ttran_s\": {\"p50\": %.6g, \"p90\": %.6g, \"p99\": %.6g, "
+      "\"p999\": %.6g},\n"
+      "  \"live_ttran_s\": {\"p50\": %.6g, \"p90\": %.6g, \"p99\": %.6g, "
+      "\"p999\": %.6g},\n"
+      "  \"client_latency_s\": {\"p50\": %.6g, \"p90\": %.6g, \"p99\": "
+      "%.6g, \"p999\": %.6g}\n",
+      wc.population.mobile_users,
+      static_cast<unsigned long long>(wc.seed), trace.size(),
+      sim_ttran.size(), connections,
+      static_cast<unsigned long long>(max_chunk_kb), report.achieved_qps,
+      static_cast<unsigned long long>(report.sent),
+      static_cast<unsigned long long>(report.ok),
+      static_cast<unsigned long long>(report.verify_failures),
+      mismatch ? "false" : "true", sim_q[0], sim_q[1], sim_q[2], sim_q[3],
+      live_q[0], live_q[1], live_q[2], live_q[3],
+      report.LatencyQuantile(0.50), report.LatencyQuantile(0.90),
+      report.LatencyQuantile(0.99), report.LatencyQuantile(0.999));
+  bench::EmitBenchJson(out_path, "pr7_live", body);
+  return (mismatch || report.verify_failures > 0 ||
+          report.transport_errors > 0)
+             ? 1
+             : 0;
+}

@@ -1,0 +1,356 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace mcloud::net {
+
+namespace {
+
+[[nodiscard]] bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Byte offset one past the blank line ending the header block, or npos.
+/// Accepts CRLF and bare LF line endings.
+[[nodiscard]] std::size_t HeaderBlockEnd(std::string_view buf) {
+  const std::size_t crlf = buf.find("\r\n\r\n");
+  const std::size_t lf = buf.find("\n\n");
+  if (crlf == std::string_view::npos) {
+    return lf == std::string_view::npos ? std::string_view::npos : lf + 2;
+  }
+  if (lf != std::string_view::npos && lf < crlf) return lf + 2;
+  return crlf + 4;
+}
+
+/// Pop one header-block line [start of `rest`, first LF), trimming the line
+/// ending. Returns false when `rest` is exhausted.
+bool NextLine(std::string_view& rest, std::string_view& line) {
+  if (rest.empty()) return false;
+  const std::size_t lf = rest.find('\n');
+  if (lf == std::string_view::npos) {
+    line = rest;
+    rest = {};
+  } else {
+    line = rest.substr(0, lf);
+    rest.remove_prefix(lf + 1);
+  }
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return true;
+}
+
+[[nodiscard]] bool ParseU64(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+/// Parse "Name: value" lines into `headers`; empty return on success, else
+/// the offending line.
+[[nodiscard]] std::string_view ParseHeaderLines(std::string_view block,
+                                                HeaderList& headers) {
+  std::string_view line;
+  while (NextLine(block, line)) {
+    if (line.empty()) continue;  // the terminating blank line
+    if (std::isspace(static_cast<unsigned char>(line.front()))) {
+      return line;  // obs-fold continuations are rejected
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) return line;
+    std::string_view name = line.substr(0, colon);
+    std::string_view value = line.substr(colon + 1);
+    if (name.find(' ') != std::string_view::npos) return line;
+    while (!value.empty() &&
+           std::isspace(static_cast<unsigned char>(value.front()))) {
+      value.remove_prefix(1);
+    }
+    while (!value.empty() &&
+           std::isspace(static_cast<unsigned char>(value.back()))) {
+      value.remove_suffix(1);
+    }
+    headers.emplace_back(std::string(name), std::string(value));
+  }
+  return {};
+}
+
+}  // namespace
+
+const std::string* FindHeader(const HeaderList& headers,
+                              std::string_view name) {
+  for (const auto& [n, v] : headers) {
+    if (EqualsIgnoreCase(n, name)) return &v;
+  }
+  return nullptr;
+}
+
+std::uint64_t HttpRequest::HeaderU64(std::string_view name,
+                                     std::uint64_t fallback) const {
+  const std::string* v = Header(name);
+  std::uint64_t out = 0;
+  if (v != nullptr && ParseU64(*v, out)) return out;
+  return fallback;
+}
+
+bool HttpRequest::KeepAlive() const {
+  const std::string* c = Header("Connection");
+  if (c != nullptr) {
+    if (EqualsIgnoreCase(*c, "close")) return false;
+    if (EqualsIgnoreCase(*c, "keep-alive")) return true;
+  }
+  return version != "HTTP/1.0";
+}
+
+std::string_view StatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& r) {
+  std::string out;
+  out.reserve(r.body.size() + 256);
+  char line[96];
+  std::snprintf(line, sizeof(line), "HTTP/1.1 %d ", r.status);
+  out.append(line).append(StatusReason(r.status)).append("\r\n");
+  for (const auto& [n, v] : r.headers) {
+    out.append(n).append(": ").append(v).append("\r\n");
+  }
+  if (r.close) out.append("Connection: close\r\n");
+  if (r.chunked) {
+    out.append("Transfer-Encoding: chunked\r\n\r\n");
+    std::size_t off = 0;
+    const std::size_t slice = std::max<std::size_t>(r.chunk_size, 1);
+    while (off < r.body.size()) {
+      const std::size_t n = std::min(slice, r.body.size() - off);
+      std::snprintf(line, sizeof(line), "%zx\r\n", n);
+      out.append(line);
+      out.append(r.body, off, n);
+      out.append("\r\n");
+      off += n;
+    }
+    out.append("0\r\n\r\n");
+  } else {
+    std::snprintf(line, sizeof(line), "Content-Length: %zu\r\n\r\n",
+                  r.body.size());
+    out.append(line);
+    out.append(r.body);
+  }
+  return out;
+}
+
+std::string SerializeRequest(std::string_view method, std::string_view target,
+                             const HeaderList& headers,
+                             std::string_view body) {
+  std::string out;
+  out.reserve(body.size() + 192);
+  out.append(method).append(" ").append(target).append(" HTTP/1.1\r\n");
+  for (const auto& [n, v] : headers) {
+    out.append(n).append(": ").append(v).append("\r\n");
+  }
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    char line[64];
+    std::snprintf(line, sizeof(line), "Content-Length: %zu\r\n",
+                  body.size());
+    out.append(line);
+  }
+  out.append("\r\n").append(body);
+  return out;
+}
+
+HttpParser::Result HttpParser::Fail(int status, std::string message) {
+  failed_ = true;
+  error_status_ = status;
+  error_ = std::move(message);
+  return Result::kError;
+}
+
+HttpParser::Result HttpParser::Poll(HttpRequest& out) {
+  if (failed_) return Result::kError;
+  const std::string_view buf = buf_;
+  const std::size_t header_end = HeaderBlockEnd(buf);
+  if (header_end == std::string_view::npos) {
+    if (buf.size() > limits_.max_header_bytes) {
+      return Fail(431, "header block exceeds limit");
+    }
+    return Result::kNeedMore;
+  }
+  if (header_end > limits_.max_header_bytes) {
+    return Fail(431, "header block exceeds limit");
+  }
+
+  std::string_view block = buf.substr(0, header_end);
+  std::string_view request_line;
+  NextLine(block, request_line);
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp1 == 0 || sp2 == sp1 + 1 ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Fail(400, "malformed request line");
+  }
+  const std::string_view method = request_line.substr(0, sp1);
+  const std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Fail(400, "unsupported HTTP version");
+  }
+
+  HttpRequest req;
+  req.method = std::string(method);
+  req.target = std::string(target);
+  req.version = std::string(version);
+  const std::string_view bad = ParseHeaderLines(block, req.headers);
+  if (!bad.empty()) {
+    return Fail(400, "malformed header line: " + std::string(bad));
+  }
+  if (FindHeader(req.headers, "Transfer-Encoding") != nullptr) {
+    return Fail(400, "chunked request bodies are not supported");
+  }
+
+  std::uint64_t content_length = 0;
+  if (const std::string* cl = FindHeader(req.headers, "Content-Length")) {
+    if (!ParseU64(*cl, content_length)) {
+      return Fail(400, "malformed Content-Length");
+    }
+    if (content_length > limits_.max_body_bytes) {
+      return Fail(413, "request body exceeds limit");
+    }
+  }
+  const std::size_t total = header_end + content_length;
+  if (buf.size() < total) return Result::kNeedMore;
+
+  req.body = buf_.substr(header_end, content_length);
+  buf_.erase(0, total);
+  out = std::move(req);
+  return Result::kRequest;
+}
+
+HttpResponseParser::Result HttpResponseParser::Fail(std::string message) {
+  failed_ = true;
+  error_ = std::move(message);
+  return Result::kError;
+}
+
+HttpResponseParser::Result HttpResponseParser::Poll(HttpResponseMsg& out) {
+  if (failed_) return Result::kError;
+  const std::string_view buf = buf_;
+  const std::size_t header_end = HeaderBlockEnd(buf);
+  if (header_end == std::string_view::npos) {
+    if (buf.size() > 64 * 1024) return Fail("response header block too large");
+    return Result::kNeedMore;
+  }
+
+  std::string_view block = buf.substr(0, header_end);
+  std::string_view status_line;
+  NextLine(block, status_line);
+  const std::size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string_view::npos || status_line.substr(0, 5) != "HTTP/") {
+    return Fail("malformed status line");
+  }
+  const std::size_t sp2 = status_line.find(' ', sp1 + 1);
+  const std::string_view code = status_line.substr(
+      sp1 + 1, (sp2 == std::string_view::npos ? status_line.size() : sp2) -
+                   sp1 - 1);
+  std::uint64_t status = 0;
+  if (!ParseU64(code, status) || status < 100 || status > 599) {
+    return Fail("malformed status code");
+  }
+
+  HttpResponseMsg msg;
+  msg.version = std::string(status_line.substr(0, sp1));
+  msg.status = static_cast<int>(status);
+  if (sp2 != std::string_view::npos) {
+    msg.reason = std::string(status_line.substr(sp2 + 1));
+  }
+  const std::string_view bad = ParseHeaderLines(block, msg.headers);
+  if (!bad.empty()) {
+    return Fail("malformed header line: " + std::string(bad));
+  }
+
+  const std::string* te = FindHeader(msg.headers, "Transfer-Encoding");
+  if (te != nullptr && EqualsIgnoreCase(*te, "chunked")) {
+    // Decode chunked framing. Incomplete input re-parses from scratch on
+    // the next Poll — fine at chunk-retrieval sizes.
+    std::string body;
+    std::size_t pos = header_end;
+    for (;;) {
+      const std::size_t lf = buf.find('\n', pos);
+      if (lf == std::string_view::npos) return Result::kNeedMore;
+      std::string_view size_line = buf.substr(pos, lf - pos);
+      if (!size_line.empty() && size_line.back() == '\r') {
+        size_line.remove_suffix(1);
+      }
+      const std::size_t semi = size_line.find(';');
+      if (semi != std::string_view::npos) size_line = size_line.substr(0, semi);
+      std::uint64_t n = 0;
+      const auto [ptr, ec] = std::from_chars(
+          size_line.data(), size_line.data() + size_line.size(), n, 16);
+      if (ec != std::errc() || ptr != size_line.data() + size_line.size()) {
+        return Fail("malformed chunk size");
+      }
+      pos = lf + 1;
+      if (n == 0) break;
+      if (body.size() + n > max_body_bytes_) return Fail("body too large");
+      if (buf.size() < pos + n) return Result::kNeedMore;
+      body.append(buf.substr(pos, n));
+      pos += n;
+      // Consume the CRLF (or LF) after the chunk data.
+      if (buf.size() < pos + 1) return Result::kNeedMore;
+      if (buf[pos] == '\r') {
+        if (buf.size() < pos + 2) return Result::kNeedMore;
+        pos += 2;
+      } else if (buf[pos] == '\n') {
+        pos += 1;
+      } else {
+        return Fail("missing chunk terminator");
+      }
+    }
+    // Trailers: consume lines until a blank one.
+    for (;;) {
+      const std::size_t lf = buf.find('\n', pos);
+      if (lf == std::string_view::npos) return Result::kNeedMore;
+      std::string_view line = buf.substr(pos, lf - pos);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      pos = lf + 1;
+      if (line.empty()) break;
+    }
+    msg.body = std::move(body);
+    buf_.erase(0, pos);
+    out = std::move(msg);
+    return Result::kResponse;
+  }
+
+  std::uint64_t content_length = 0;
+  if (const std::string* cl = FindHeader(msg.headers, "Content-Length")) {
+    if (!ParseU64(*cl, content_length)) return Fail("bad Content-Length");
+    if (content_length > max_body_bytes_) return Fail("body too large");
+  }
+  const std::size_t total = header_end + content_length;
+  if (buf.size() < total) return Result::kNeedMore;
+  msg.body = buf_.substr(header_end, content_length);
+  buf_.erase(0, total);
+  out = std::move(msg);
+  return Result::kResponse;
+}
+
+}  // namespace mcloud::net

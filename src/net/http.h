@@ -1,0 +1,161 @@
+// Minimal HTTP/1.1 message layer for the live service mode (DESIGN.md §11).
+//
+// The paper's front-ends speak plain HTTP/1.1: a file operation announces an
+// upcoming store/retrieve, then each (up to) 512 KB chunk moves in its own
+// request (§2.1). This header provides exactly what `mcloudd` and the replay
+// client need and nothing more:
+//   * HttpParser — an incremental *request* parser: feed bytes as they
+//     arrive off a nonblocking socket, pop complete requests. Handles split
+//     reads, pipelined requests, Content-Length bodies, and turns malformed
+//     or oversized input into a definite error status (400/413/431).
+//   * HttpResponseParser — the client-side mirror: status line + headers +
+//     Content-Length or chunked transfer-coded bodies.
+//   * SerializeResponse / SerializeRequest — wire encoding, including the
+//     chunked response writer used for chunk retrievals.
+// No std::regex, no allocations beyond the message strings themselves.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mcloud::net {
+
+/// Size gates applied while parsing. Exceeding a gate is a protocol error
+/// with a definite HTTP status, not an exception: the server answers and
+/// closes, exactly like a production front-end.
+struct HttpLimits {
+  std::size_t max_header_bytes = 16 * 1024;      ///< request line + headers
+  std::size_t max_body_bytes = 4 * 1024 * 1024;  ///< > one 512 KB chunk
+};
+
+using HeaderList = std::vector<std::pair<std::string, std::string>>;
+
+/// Case-insensitive header lookup shared by requests and responses.
+[[nodiscard]] const std::string* FindHeader(const HeaderList& headers,
+                                            std::string_view name);
+
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string version;  ///< "HTTP/1.0" or "HTTP/1.1"
+  HeaderList headers;
+  std::string body;
+
+  [[nodiscard]] const std::string* Header(std::string_view name) const {
+    return FindHeader(headers, name);
+  }
+  /// Parse a header as u64; `fallback` when absent or non-numeric.
+  [[nodiscard]] std::uint64_t HeaderU64(std::string_view name,
+                                        std::uint64_t fallback) const;
+  /// HTTP/1.1 defaults to persistent connections; "Connection: close" (or
+  /// HTTP/1.0 without keep-alive) ends the connection after the response.
+  [[nodiscard]] bool KeepAlive() const;
+};
+
+/// A response as built by a handler. `chunked` selects chunked
+/// transfer-coding (the chunk-retrieval path uses it); otherwise the body is
+/// framed with Content-Length. `on_flushed` — if set — is invoked by the
+/// server when the *last byte* of this response has been handed to the
+/// kernel, which is how the live service measures T_chunk (first byte in →
+/// last byte out) on retrievals.
+struct HttpResponse {
+  int status = 200;
+  HeaderList headers;
+  std::string body;
+  bool chunked = false;
+  std::size_t chunk_size = 64 * 1024;  ///< chunked-framing slice size
+  bool close = false;                  ///< force Connection: close
+  std::function<void()> on_flushed;
+};
+
+/// Canonical reason phrase for the statuses this layer emits.
+[[nodiscard]] std::string_view StatusReason(int status);
+
+/// Wire-encode a response (status line, headers, framing, body).
+[[nodiscard]] std::string SerializeResponse(const HttpResponse& r);
+
+/// Wire-encode a request with a Content-Length body (empty body ⇒ no
+/// Content-Length header for GET-style requests).
+[[nodiscard]] std::string SerializeRequest(std::string_view method,
+                                           std::string_view target,
+                                           const HeaderList& headers,
+                                           std::string_view body);
+
+/// Incremental HTTP/1.1 request parser.
+///
+///   parser.Feed(bytes_from_socket);
+///   HttpRequest req;
+///   while (parser.Poll(req) == HttpParser::Result::kRequest) { ... }
+///
+/// Poll() returning kError is terminal for the connection: error_status()
+/// is the status to answer with (400 malformed, 413 oversized body, 431
+/// oversized headers) before closing. Line endings may be CRLF or bare LF.
+class HttpParser {
+ public:
+  enum class Result { kNeedMore, kRequest, kError };
+
+  explicit HttpParser(const HttpLimits& limits = {}) : limits_(limits) {}
+
+  void Feed(std::string_view bytes) { buf_.append(bytes); }
+
+  /// Try to pop one complete request from the buffered bytes.
+  Result Poll(HttpRequest& out);
+
+  [[nodiscard]] int error_status() const { return error_status_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  /// Bytes buffered but not yet consumed (e.g. a pipelined next request).
+  [[nodiscard]] bool HasBufferedData() const { return !buf_.empty(); }
+
+ private:
+  Result Fail(int status, std::string message);
+
+  HttpLimits limits_;
+  std::string buf_;
+  int error_status_ = 0;
+  std::string error_;
+  bool failed_ = false;
+};
+
+/// Client-side response message.
+struct HttpResponseMsg {
+  std::string version;
+  int status = 0;
+  std::string reason;
+  HeaderList headers;
+  std::string body;
+
+  [[nodiscard]] const std::string* Header(std::string_view name) const {
+    return FindHeader(headers, name);
+  }
+};
+
+/// Incremental HTTP/1.1 response parser: Content-Length and chunked bodies
+/// (trailers after the last chunk are consumed and discarded). Same
+/// Feed/Poll discipline as HttpParser.
+class HttpResponseParser {
+ public:
+  enum class Result { kNeedMore, kResponse, kError };
+
+  explicit HttpResponseParser(std::size_t max_body_bytes = 64 * 1024 * 1024)
+      : max_body_bytes_(max_body_bytes) {}
+
+  void Feed(std::string_view bytes) { buf_.append(bytes); }
+  Result Poll(HttpResponseMsg& out);
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  Result Fail(std::string message);
+
+  std::size_t max_body_bytes_;
+  std::string buf_;
+  std::string error_;
+  bool failed_ = false;
+};
+
+}  // namespace mcloud::net

@@ -1,0 +1,108 @@
+// Wire protocol of the live service mode (DESIGN.md §11) — the pieces the
+// server (`mcloudd` / LiveService) and the replay client (`mcloudload`)
+// must agree on byte-for-byte.
+//
+// Grammar (HTTP/1.1 over loopback TCP, §2.1's store/retrieve protocol):
+//   POST /fileop           announce a file store/retrieve (metadata only)
+//   PUT  /chunk            move one (up to) 512 KB chunk; body = chunk bytes
+//   GET  /chunk/<hex-md5>  fetch a chunk by content hash (chunked response)
+//   GET  /stats            service counters (JSON)
+//   GET  /healthz          liveness probe
+// Request metadata rides in X-Mc-* headers (Table 1 fields the real
+// front-ends read from the request line + auth context).
+//
+// Chunk bodies are synthesized deterministically — the trace carries no real
+// bytes — from (content_seed, chunk_index) via a SplitMix64 keystream, so
+// identical logical content hashes identically everywhere (what the dedup
+// index needs) and the client can verify retrieved bytes by MD5 alone.
+// A chunk the server never saw is still served (a replica elsewhere in the
+// real fleet holds it): those bodies derive from the *requested md5*, again
+// deterministically, so both sides can check them.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/md5.h"
+#include "util/units.h"
+
+namespace mcloud::net {
+
+// --- header names ---------------------------------------------------------
+inline constexpr std::string_view kHdrUser = "X-Mc-User";
+inline constexpr std::string_view kHdrDevice = "X-Mc-Device";
+inline constexpr std::string_view kHdrDeviceType = "X-Mc-Device-Type";
+inline constexpr std::string_view kHdrDirection = "X-Mc-Direction";
+inline constexpr std::string_view kHdrContentSeed = "X-Mc-Content-Seed";
+inline constexpr std::string_view kHdrBytes = "X-Mc-Bytes";
+inline constexpr std::string_view kHdrChunkIndex = "X-Mc-Chunk-Index";
+inline constexpr std::string_view kHdrFrontEnd = "X-Mc-Front-End";
+/// Response header on GET /chunk: "index" (served from this front-end's
+/// chunk index) or "replica" (unknown here, synthesized replica).
+inline constexpr std::string_view kHdrSource = "X-Mc-Source";
+
+namespace detail {
+
+[[nodiscard]] inline std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+inline void FillKeystream(std::uint64_t seed0, std::uint64_t seed1,
+                          std::string& out, Bytes size) {
+  out.clear();
+  out.reserve(size);
+  std::uint64_t state = seed0 ^ (seed1 * 0xD1B54A32D192ED03ull);
+  while (out.size() < size) {
+    std::uint64_t w = SplitMix64(state);
+    const std::size_t take =
+        std::min<std::size_t>(8, static_cast<std::size_t>(size) - out.size());
+    out.append(reinterpret_cast<const char*>(&w), take);
+  }
+}
+
+}  // namespace detail
+
+/// Deterministic bytes of chunk `index` of logical content `content_seed`.
+/// Same (seed, index, size) ⇒ same bytes ⇒ same MD5: chunk-level dedup in
+/// the front-end index works exactly as it does in the simulation.
+inline void FillChunkBody(std::uint64_t content_seed, std::uint32_t index,
+                          Bytes size, std::string& out) {
+  detail::FillKeystream(content_seed, 0x6368756E6Bull + index, out, size);
+}
+
+/// Deterministic replica bytes for a chunk known only by its md5 — what the
+/// wider fleet would serve for content this front-end never ingested.
+inline void FillReplicaBody(const Md5Digest& md5, Bytes size,
+                            std::string& out) {
+  std::uint64_t hi = 0;
+  for (int i = 8; i < 16; ++i) {
+    hi = (hi << 8) | md5.bytes[static_cast<std::size_t>(i)];
+  }
+  detail::FillKeystream(md5.Low64(), hi ^ 0x7265706C696361ull, out, size);
+}
+
+/// Parse a 32-hex-digit MD5. Returns false on malformed input.
+[[nodiscard]] inline bool ParseHexMd5(std::string_view hex, Md5Digest& out) {
+  if (hex.size() != 32) return false;
+  auto nib = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  for (std::size_t i = 0; i < 16; ++i) {
+    const int hi = nib(hex[2 * i]);
+    const int lo = nib(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out.bytes[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return true;
+}
+
+}  // namespace mcloud::net

@@ -1,0 +1,108 @@
+// The live storage front-end: routes the wire protocol of live_protocol.h
+// into the existing metadata/dedup + front-end machinery and emits the same
+// LogRecord schema (Table 1) the analysis pipeline consumes — but with
+// timings measured on the real kernel TCP stack instead of the simulated
+// `src/tcp` substrate (DESIGN.md §11).
+//
+// One LiveService instance is owned by one EpollServer and its Handle()
+// runs exclusively on the server thread, so no locking is needed; read the
+// log after the server loop has returned (or via GET /stats from a client).
+//
+// Timing semantics, mirroring Table 1:
+//   * chunk store  (PUT /chunk):  T_chunk ≈ first request byte in → request
+//     fully received. The response is a few dozen bytes, so receive time is
+//     the transfer time; the record is emitted at handler time.
+//   * chunk retrieve (GET /chunk/<md5>): T_chunk = first request byte in →
+//     last response byte handed to the kernel, measured via the server's
+//     on_flushed hook; the record is emitted when the flush completes.
+//   * T_srv is 0: live mode has no upstream storage tier — the dissection
+//     t_tran = T_chunk − T_srv therefore equals processing_time.
+//   * avg_rtt is the kernel's smoothed RTT (TCP_INFO) of the carrying
+//     connection at request time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cloud/chunker.h"
+#include "cloud/front_end_server.h"
+#include "cloud/metadata_server.h"
+#include "net/epoll_server.h"
+#include "trace/log_record.h"
+
+namespace mcloud::net {
+
+struct LiveServiceConfig {
+  std::uint32_t front_ends = 4;
+  Bytes chunk_size = kChunkSize;
+  /// Retain PUT bodies (keyed by md5, deduplicated) so retrievals serve the
+  /// exact stored bytes. Past this cap new bodies are not retained and
+  /// their retrievals fall back to the deterministic replica path.
+  Bytes max_stored_body_bytes = 256 * kMiB;
+};
+
+struct LiveCounters {
+  std::uint64_t fileops = 0;
+  std::uint64_t chunk_puts = 0;
+  std::uint64_t chunk_gets = 0;
+  std::uint64_t dedup_hits = 0;       ///< chunk-level (front-end index)
+  std::uint64_t file_dedup_hits = 0;  ///< file-level (metadata server)
+  std::uint64_t retrieve_misses = 0;  ///< fileop retrieve of unknown content
+  std::uint64_t replica_serves = 0;   ///< GET of a chunk never PUT here
+  std::uint64_t bad_requests = 0;
+  Bytes bytes_in = 0;
+  Bytes bytes_out = 0;
+};
+
+class LiveService {
+ public:
+  explicit LiveService(const LiveServiceConfig& config);
+
+  /// The EpollServer handler. Runs on the server thread only.
+  [[nodiscard]] HttpResponse Handle(const HttpRequest& req,
+                                    const RequestContext& ctx);
+
+  /// The live request log (Table 1 schema). Chunk-retrieve records land
+  /// when their response flush completes, so snapshot only after the server
+  /// loop has returned.
+  [[nodiscard]] const std::vector<LogRecord>& log() const { return log_; }
+  [[nodiscard]] std::vector<LogRecord> TakeLog() { return std::move(log_); }
+
+  [[nodiscard]] const LiveCounters& counters() const { return counters_; }
+  [[nodiscard]] const cloud::MetadataStats& metadata_stats() const {
+    return metadata_.stats();
+  }
+  [[nodiscard]] const std::vector<cloud::FrontEndServer>& front_ends() const {
+    return front_ends_;
+  }
+  /// The JSON served by GET /stats.
+  [[nodiscard]] std::string StatsJson() const;
+
+ private:
+  [[nodiscard]] HttpResponse HandleFileOp(const HttpRequest& req,
+                                          const RequestContext& ctx);
+  [[nodiscard]] HttpResponse HandleChunkPut(const HttpRequest& req,
+                                            const RequestContext& ctx);
+  [[nodiscard]] HttpResponse HandleChunkGet(const HttpRequest& req,
+                                            const RequestContext& ctx,
+                                            std::string_view hex_md5);
+  [[nodiscard]] HttpResponse BadRequest(std::string why);
+  /// Table 1 identity fields from the X-Mc-* headers; false on a missing or
+  /// malformed user/device.
+  [[nodiscard]] bool BaseRecord(const HttpRequest& req, LogRecord& base);
+
+  LiveServiceConfig config_;
+  cloud::Chunker chunker_;
+  cloud::MetadataServer metadata_;
+  std::vector<cloud::FrontEndServer> front_ends_;
+  /// Retained PUT bodies (md5 → bytes) and chunk → front-end homes.
+  std::unordered_map<Md5Digest, std::string> bodies_;
+  std::unordered_map<Md5Digest, cloud::FrontEndId> chunk_home_;
+  Bytes stored_body_bytes_ = 0;
+  std::vector<LogRecord> log_;
+  LiveCounters counters_;
+};
+
+}  // namespace mcloud::net

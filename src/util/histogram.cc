@@ -21,6 +21,30 @@ std::vector<double> Histogram::Smoothed(std::size_t radius) const {
   return out;
 }
 
+double Histogram::ValueAtQuantile(double q) const {
+  MCLOUD_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto c = static_cast<double>(counts_[i]);
+    if (c == 0) continue;
+    if (cum + c >= target) {
+      // q == 0 lands here with target == 0: return the left edge of the
+      // first non-empty bin. Otherwise interpolate within the bin.
+      const double within = c > 0 ? (target - cum) / c : 0.0;
+      return BinLeft(i) + within * BinWidth();
+    }
+    cum += c;
+  }
+  // Rounding left target a hair past the accumulated mass: right edge of
+  // the last non-empty bin.
+  for (std::size_t i = counts_.size(); i-- > 0;) {
+    if (counts_[i] > 0) return BinLeft(i) + BinWidth();
+  }
+  return hi_;
+}
+
 std::size_t Histogram::DeepestValley(std::size_t smooth_radius) const {
   const std::vector<double> s = Smoothed(smooth_radius);
   const std::size_t n = s.size();

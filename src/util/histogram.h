@@ -71,6 +71,15 @@ class Histogram {
   /// the histogram is monotone (no interior valley).
   [[nodiscard]] std::size_t DeepestValley(std::size_t smooth_radius = 2) const;
 
+  /// Value at quantile q ∈ [0, 1] of the *in-range* mass, with linear
+  /// interpolation inside the containing bin (mass is treated as uniform
+  /// within a bin, so the result is exact for piecewise-uniform data).
+  /// Underflow/overflow are excluded, matching Fraction()/Density().
+  /// Returns lo() on an empty histogram. This is the one quantile
+  /// implementation shared by the Fig 3/15 reproductions and the live
+  /// load-generator's latency histograms (p50/p90/p99/p999).
+  [[nodiscard]] double ValueAtQuantile(double q) const;
+
  private:
   [[nodiscard]] std::vector<double> Smoothed(std::size_t radius) const;
 

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "util/rng.h"
 
 namespace mcloud {
@@ -80,6 +83,71 @@ TEST(Histogram, NoValleyOnTinyHistogram) {
   h.Add(0.1);
   h.Add(0.9);
   EXPECT_EQ(h.DeepestValley(), h.bins());
+}
+
+TEST(Histogram, QuantileUniformExact) {
+  // One count per unit-width bin: the quantile function is the identity
+  // (up to the uniform-within-bin interpolation, which is exact here).
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.Add(i + 0.5);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBin) {
+  Histogram h(0.0, 4.0, 4);
+  h.Add(0.5, 2);  // bin [0,1): 2 counts
+  h.Add(2.5, 6);  // bin [2,3): 6 counts
+  // q=0.25 -> target mass 2 -> exactly exhausts bin 0 -> its right edge.
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.25), 1.0);
+  // q=0.5 -> target 4 -> 2 counts into bin [2,3): 2/6 of the width.
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.5), 2.0 + 2.0 / 6.0);
+  // q=1 -> right edge of the last non-empty bin, not hi().
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(1.0), 3.0);
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram empty(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(empty.ValueAtQuantile(0.5), 0.0);  // lo() on empty
+  Histogram h(0.0, 1.0, 4);
+  h.Add(0.9);
+  // All mass in one bin: q=0 gives its left edge, q=1 its right edge.
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.0), 0.75);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(1.0), 1.0);
+  EXPECT_THROW((void)h.ValueAtQuantile(-0.1), Error);
+  EXPECT_THROW((void)h.ValueAtQuantile(1.1), Error);
+}
+
+TEST(Histogram, QuantileIgnoresOutOfRangeMass) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(-5.0, 100);  // underflow
+  h.Add(5.0, 100);   // overflow
+  h.Add(0.25, 1);
+  h.Add(0.75, 1);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.5), 0.5);
+}
+
+TEST(Histogram, QuantileMatchesSampleQuantilesWithinBinWidth) {
+  Histogram h(0.0, 10.0, 200);
+  Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.Normal(5.0, 1.2);
+    xs.push_back(x);
+    h.Add(x);
+  }
+  std::sort(xs.begin(), xs.end());
+  double prev = 0.0;
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    const double hist_q = h.ValueAtQuantile(q);
+    const double sample_q =
+        xs[static_cast<std::size_t>(q * (xs.size() - 1))];
+    EXPECT_NEAR(hist_q, sample_q, 2 * h.BinWidth()) << "q=" << q;
+    EXPECT_GE(hist_q, prev);  // monotone in q
+    prev = hist_q;
+  }
 }
 
 // The Fig 3 use case: bimodal in log10 space with unbalanced masses.
