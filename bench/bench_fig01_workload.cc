@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
     if (h.hour % 3 != 0) continue;
     std::printf("%-3s %02d:00     %12.2f %12.2f %12llu %12llu\n",
                 DayLabel(h.hour / 24).c_str(), h.hour % 24,
-                h.store_volume_gb, h.retrieve_volume_gb,
+                h.StoreVolumeGb(), h.RetrieveVolumeGb(),
                 static_cast<unsigned long long>(h.stored_files),
                 static_cast<unsigned long long>(h.retrieved_files));
   }

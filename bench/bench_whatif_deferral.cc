@@ -29,8 +29,9 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < result.before.hours.size() && i < 48; i += 2) {
     std::printf("  %-3s %02d:00  %12.2f %12.2f\n",
                 DayLabel(static_cast<int>(i) / 24).c_str(),
-                static_cast<int>(i) % 24, result.before.hours[i].store_volume_gb,
-                result.after.hours[i].store_volume_gb);
+                static_cast<int>(i) % 24,
+                result.before.hours[i].StoreVolumeGb(),
+                result.after.hours[i].StoreVolumeGb());
   }
 
   std::printf("\npolicy comparison:\n");

@@ -38,8 +38,8 @@ int main(int argc, char** argv) {
     double after = 0;
     int days = 0;
     for (std::size_t i = hod; i < result.before.hours.size(); i += 24) {
-      before += result.before.hours[i].store_volume_gb;
-      after += result.after.hours[i].store_volume_gb;
+      before += result.before.hours[i].StoreVolumeGb();
+      after += result.after.hours[i].StoreVolumeGb();
       ++days;
     }
     std::printf("  %02d:00 %12.2f %12.2f  %s\n", hod, before / days,

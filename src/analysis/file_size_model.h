@@ -8,6 +8,7 @@
 
 #include "stats/chi_square.h"
 #include "stats/em_exponential.h"
+#include "stats/tdigest.h"
 
 namespace mcloud::analysis {
 
@@ -41,6 +42,26 @@ struct FileSizeModelOptions {
 /// Fit the full Fig 6 pipeline to per-session average file sizes (MB).
 [[nodiscard]] FileSizeModel FitFileSizeModel(
     std::span<const double> avg_sizes_mb,
+    const FileSizeModelOptions& options = {});
+
+/// Fixed geometry of the size sketch: 96 log10 bins per decade over
+/// [1e-4 MB, 1e5 MB); out-of-range sizes clamp into the edge bins, whose
+/// exact per-bin means keep the EM moments unbiased. EM time is linear in
+/// occupied bins, so the resolution is the fit-stage budget knob: 96/decade
+/// keeps the grouped KS/AD statistics far inside the check slacks while
+/// halving the fit cost of the 192/decade geometry.
+[[nodiscard]] inline LogBins MakeSizeSketch() {
+  return LogBins(-4.0, 5.0, 9 * 96);
+}
+
+/// Sketch-backed variant of the Fig 6 pipeline: the weighted EM consumes the
+/// sketch's exact per-bin (mean, count) moments, goodness-of-fit becomes a
+/// grouped chi-square over the same bins (each bin's count assigned to the
+/// model-quantile interval containing its mean), and the empirical CCDF
+/// series is read off the t-digest. Memory and fit time are O(bins), not
+/// O(sessions).
+[[nodiscard]] FileSizeModel FitFileSizeModel(
+    const LogBins& sketch, const TDigest& digest,
     const FileSizeModelOptions& options = {});
 
 }  // namespace mcloud::analysis

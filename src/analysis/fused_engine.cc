@@ -15,7 +15,8 @@ FusedRowPassResult FusedRowPass(const TraceStore& store,
                                 UnixSeconds trace_start, int days) {
   MCLOUD_REQUIRE(store.has(kAnalysisColumns),
                  "row pass needs the analysis columns");
-  StreamingRowPass pass(store.users(), trace_start, days, store.day_base());
+  StreamingRowPass pass(store.user_ids(), trace_start, days,
+                        store.day_base());
   for (const TraceStore::DayPartition& part : store.day_partitions())
     pass.Consume(part.day, BlockOf(store, part.begin, part.end));
   return pass.TakeResult();

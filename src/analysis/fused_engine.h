@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/interval_model.h"
 #include "analysis/sessionizer.h"
 #include "analysis/usage_patterns.h"
 #include "analysis/workload_timeseries.h"
@@ -33,12 +34,14 @@
 
 namespace mcloud::analysis {
 
-/// Row-order (time-order) results: Fig 1 series, Fig 3 sample, §2.2 counts.
+/// Row-order (time-order) results: Fig 1 series, Fig 3 sketch, §2.2 counts.
 struct FusedRowPassResult {
   WorkloadTimeseries timeseries;
-  /// Inter-file-operation gaps (seconds) of mobile users, in trace order —
-  /// the exact sample InterOpIntervalsFrom(mobile view) produces.
-  std::vector<double> intervals;
+  /// Inter-file-operation gaps of mobile users as the jitter-binned log10
+  /// sketch — the exact sketch AddInterOpIntervalsToSketch(mobile view)
+  /// builds, and mergeable across trace slices (the jitter is a stateless
+  /// hash of (user, timestamp) and per-bin sums are integer-exact).
+  LogBins intervals = MakeIntervalSketch();
   std::size_t mobile_records = 0;
   std::size_t android_records = 0;
 };
@@ -61,6 +64,10 @@ struct FusedPerUserResult {
   std::vector<UserUsage> mobile_usage;
   std::size_t mobile_users = 0;    ///< users with >= 1 mobile record
   std::size_t mobile_devices = 0;  ///< distinct mobile device ids
+  /// The distinct mobile device ids themselves, sorted ascending — lets the
+  /// concurrent pipeline union device sets across independently analyzed
+  /// trace slices (a count alone cannot be merged).
+  std::vector<std::uint64_t> mobile_device_ids;
 };
 
 /// One row-order pass with dense per-user cursors. `tau` is the session gap

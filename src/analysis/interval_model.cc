@@ -68,4 +68,44 @@ IntervalModel FitIntervalModel(std::span<const double> intervals_seconds,
   return model;
 }
 
+IntervalModel FitIntervalModel(const LogBins& sketch,
+                               const IntervalModelOptions& options) {
+  if (sketch.Total() < 10)
+    throw FitError("too few positive intervals for the Fig 3 pipeline");
+
+  IntervalModel model{
+      Histogram(options.log10_min, options.log10_max,
+                options.histogram_bins),
+      {}, 0, 0, 0, 0};
+
+  // Reconstruct the coarse histogram and collect the weighted GMM sample in
+  // one pass. The fine geometry nests inside the coarse one, so every fine
+  // center maps to exactly one coarse bin (or to underflow below log10_min).
+  std::vector<double> centers;
+  std::vector<double> weights;
+  centers.reserve(sketch.bins());
+  weights.reserve(sketch.bins());
+  for (std::size_t i = 0; i < sketch.bins(); ++i) {
+    const std::uint64_t c = sketch.Count(i);
+    if (c == 0) continue;
+    const double center = sketch.Log10Center(i);
+    model.log10_histogram.Add(center, c);
+    centers.push_back(center);
+    weights.push_back(static_cast<double>(c));
+  }
+
+  const std::size_t valley = model.log10_histogram.DeepestValley();
+  if (valley < model.log10_histogram.bins()) {
+    model.valley_tau =
+        std::pow(10.0, model.log10_histogram.BinCenter(valley));
+  }
+
+  model.gmm = FitGaussianMixtureWeighted(centers, weights, 2);
+  const auto& comps = model.gmm.mixture.components();
+  model.intra_mean_seconds = std::pow(10.0, comps[0].mean);
+  model.inter_mean_seconds = std::pow(10.0, comps[1].mean);
+  model.gmm_tau = std::pow(10.0, MixtureCrossover(model.gmm.mixture));
+  return model;
+}
+
 }  // namespace mcloud::analysis

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/interval_model.h"
 #include "model/paper_params.h"
 #include "trace/log_record.h"
 #include "util/error.h"
@@ -164,5 +165,27 @@ template <typename Range>
 
 [[nodiscard]] std::vector<double> InterOpIntervals(
     std::span<const LogRecord> trace);
+
+/// Streaming twin of InterOpIntervalsFrom: feed every inter-file-operation
+/// gap straight into the Fig 3 interval sketch (see interval_model.h). The
+/// jitter key is (user, ending timestamp), so the sketch is identical to the
+/// one the columnar/streaming engines build from the same records.
+template <typename Range>
+void AddInterOpIntervalsToSketch(const Range& records, LogBins& sketch) {
+  std::unordered_map<std::uint64_t, UnixSeconds> last_op;
+  for (const LogRecord& r : records) {
+    if (r.request_type != RequestType::kFileOperation) continue;
+    if (const auto it = last_op.find(r.user_id); it != last_op.end()) {
+      const auto gap = static_cast<double>(r.timestamp - it->second);
+      if (gap > 0) {
+        AddIntervalToSketch(sketch, r.user_id,
+                            static_cast<std::uint64_t>(r.timestamp), gap);
+      }
+      it->second = r.timestamp;
+    } else {
+      last_op.emplace(r.user_id, r.timestamp);
+    }
+  }
+}
 
 }  // namespace mcloud::analysis

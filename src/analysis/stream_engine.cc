@@ -19,16 +19,17 @@ constexpr std::uint8_t kStoreRaw = static_cast<std::uint8_t>(Direction::kStore);
 
 }  // namespace
 
-StreamingRowPass::StreamingRowPass(std::size_t n_users,
+StreamingRowPass::StreamingRowPass(std::span<const std::uint64_t> user_ids,
                                    UnixSeconds trace_start, int days,
                                    UnixSeconds day_base)
-    : day_base_(day_base),
+    : user_ids_(user_ids),
+      day_base_(day_base),
       trace_start_(trace_start),
       window_begin_(trace_start),
       window_end_(trace_start + static_cast<std::int64_t>(days) * kDay),
-      last_op_(n_users, 0),
-      seen_(n_users, 0),
-      mobility_(n_users, 0) {
+      last_op_(user_ids.size(), 0),
+      seen_(user_ids.size(), 0),
+      mobility_(user_ids.size(), 0) {
   MCLOUD_REQUIRE(days >= 1, "need at least one day");
   auto& hours = out_.timeseries.hours;
   hours.resize(static_cast<std::size_t>(days) * 24);
@@ -68,15 +69,18 @@ void StreamingRowPass::Consume(std::int64_t day, const TraceRowBlock& block) {
         if (is_op) {
           (is_store ? bin.stored_files : bin.retrieved_files)++;
         } else {
-          const double gb = static_cast<double>(vol[row]) / 1e9;
-          (is_store ? bin.store_volume_gb : bin.retrieve_volume_gb) += gb;
+          (is_store ? bin.store_volume_bytes : bin.retrieve_volume_bytes) +=
+              vol[row];
         }
       }
     }
     if (is_op) {
       if (seen_[u]) {
         const auto gap = static_cast<double>(ts[row] - last_op_[u]);
-        if (gap > 0) out_.intervals.push_back(gap);
+        if (gap > 0) {
+          AddIntervalToSketch(out_.intervals, user_ids_[u],
+                              static_cast<std::uint64_t>(ts[row]), gap);
+        }
       }
       seen_[u] = 1;
       last_op_[u] = ts[row];
@@ -104,6 +108,18 @@ StreamingPerUserPass::StreamingPerUserPass(
   MCLOUD_REQUIRE(mobility_.size() == user_ids_.size(),
                  "mobility table size mismatch");
 }
+
+StreamingPerUserPass::StreamingPerUserPass(
+    std::span<const std::uint64_t> user_ids, Seconds tau)
+    : user_ids_(user_ids),
+      tau_(tau),
+      inline_mobility_(true),
+      mobility_(user_ids.size(), 0),
+      cur_(user_ids.size()),
+      mob_cur_(user_ids.size()),
+      usage_(user_ids.size()),
+      mob_usage_(user_ids.size()),
+      devs_(user_ids.size()) {}
 
 void StreamingPerUserPass::Fold(SessionCursor& c, std::vector<Session>& sink,
                                 std::uint64_t user_id, std::int64_t t,
@@ -153,6 +169,8 @@ void StreamingPerUserPass::Consume(const TraceRowBlock& block) {
     const bool mobile_row = dev[row] != kPcRaw;
     const bool is_op = req[row] == kFileOpRaw;
     const bool is_store = dir[row] == kStoreRaw;
+    if (inline_mobility_)
+      mobility_[u] |= mobile_row ? kMobileBit : kPcBit;
 
     UserUsage& full = usage_[u];
     if (mobile_row) {
@@ -172,8 +190,11 @@ void StreamingPerUserPass::Consume(const TraceRowBlock& block) {
 
     // Knowing each user's class up front lets the mobile-filtered fold run
     // only for mixed users — for mobile-only users the full fold IS the
-    // mobile fold, for PC-only users it folds nothing.
-    if (mobile_row && mobility_[u] == kMixedMobility) {
+    // mobile fold, for PC-only users it folds nothing. Inline-mobility mode
+    // cannot know the class yet, so it folds every user's mobile rows and
+    // discards the mobile-only users' speculative results at Finish.
+    if (mobile_row &&
+        (inline_mobility_ || mobility_[u] == kMixedMobility)) {
       UserUsage& m = mob_usage_[u];
       if (is_op) {
         (is_store ? m.stored_files : m.retrieved_files)++;
@@ -264,6 +285,11 @@ FusedPerUserResult StreamingPerUserPass::Finish(ThreadPool& pool) {
       if (mobility_[u] == kMobileBit) {
         while (i < sessions_.size() && sessions_[i].user_id == id)
           out.mobile_sessions.push_back(sessions_[i++]);
+        // Inline-mobility mode speculatively folded this mobile-only user
+        // into the mixed list too; the full-list slice above is the
+        // canonical copy, so drop the duplicates.
+        while (j < mixed_mobile_.size() && mixed_mobile_[j].user_id == id)
+          ++j;
       } else {
         while (i < sessions_.size() && sessions_[i].user_id == id) ++i;
         while (j < mixed_mobile_.size() && mixed_mobile_[j].user_id == id)
@@ -281,8 +307,10 @@ FusedPerUserResult StreamingPerUserPass::Finish(ThreadPool& pool) {
     device_ids.insert(device_ids.end(), d.begin(), d.end());
   }
   std::sort(device_ids.begin(), device_ids.end());
-  out.mobile_devices = static_cast<std::size_t>(
-      std::unique(device_ids.begin(), device_ids.end()) - device_ids.begin());
+  device_ids.erase(std::unique(device_ids.begin(), device_ids.end()),
+                   device_ids.end());
+  out.mobile_devices = device_ids.size();
+  out.mobile_device_ids = std::move(device_ids);
   return out;
 }
 

@@ -34,10 +34,13 @@ inline constexpr std::uint8_t kMixedMobility = kMobileBit | kPcBit;
 /// walk collects it for walk 2).
 class StreamingRowPass {
  public:
+  /// `user_ids` maps global dense index -> original id (the interval
+  /// sketch's jitter is keyed by original user ids so every engine and
+  /// slicing computes identical jitter) and must outlive the pass;
   /// `trace_start`/`days` bound the Fig 1 hourly window; `day_base` anchors
   /// the calendar-day keys passed to Consume (same epoch as the trace).
-  StreamingRowPass(std::size_t n_users, UnixSeconds trace_start, int days,
-                   UnixSeconds day_base);
+  StreamingRowPass(std::span<const std::uint64_t> user_ids,
+                   UnixSeconds trace_start, int days, UnixSeconds day_base);
 
   /// Feed the next block. All rows must be in calendar day `day`, and
   /// blocks must arrive in global time order.
@@ -49,6 +52,7 @@ class StreamingRowPass {
   [[nodiscard]] std::vector<std::uint8_t> TakeMobility();
 
  private:
+  std::span<const std::uint64_t> user_ids_;
   UnixSeconds day_base_;
   UnixSeconds trace_start_;
   std::int64_t window_begin_;
@@ -70,6 +74,14 @@ class StreamingPerUserPass {
   /// table of the same semantics).
   StreamingPerUserPass(std::span<const std::uint64_t> user_ids, Seconds tau,
                        std::vector<std::uint8_t> mobility);
+
+  /// Inline-mobility mode for single-walk pipelines that have no mobility
+  /// table yet: the pass accumulates mobility as rows stream by and runs
+  /// the mobile-filtered fold for *every* user's mobile rows. At Finish the
+  /// classes are known, and the speculative mobile results of users that
+  /// turned out mobile-only are discarded (their full fold IS the mobile
+  /// fold), producing output identical to the two-walk form.
+  StreamingPerUserPass(std::span<const std::uint64_t> user_ids, Seconds tau);
 
   /// Feed the next block (global time order; day boundaries irrelevant —
   /// sessions span days).
@@ -95,6 +107,7 @@ class StreamingPerUserPass {
 
   std::span<const std::uint64_t> user_ids_;
   Seconds tau_;
+  bool inline_mobility_ = false;
   std::vector<std::uint8_t> mobility_;
   std::vector<SessionCursor> cur_;
   std::vector<SessionCursor> mob_cur_;

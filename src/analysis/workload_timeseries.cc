@@ -7,15 +7,15 @@
 namespace mcloud::analysis {
 
 double WorkloadTimeseries::TotalStoreGb() const {
-  double v = 0;
-  for (const auto& h : hours) v += h.store_volume_gb;
-  return v;
+  std::uint64_t v = 0;
+  for (const auto& h : hours) v += h.store_volume_bytes;
+  return static_cast<double>(v) / 1e9;
 }
 
 double WorkloadTimeseries::TotalRetrieveGb() const {
-  double v = 0;
-  for (const auto& h : hours) v += h.retrieve_volume_gb;
-  return v;
+  std::uint64_t v = 0;
+  for (const auto& h : hours) v += h.retrieve_volume_bytes;
+  return static_cast<double>(v) / 1e9;
 }
 
 std::uint64_t WorkloadTimeseries::TotalStoredFiles() const {
@@ -31,10 +31,10 @@ std::uint64_t WorkloadTimeseries::TotalRetrievedFiles() const {
 }
 
 int WorkloadTimeseries::PeakHourOfDay() const {
-  std::array<double, 24> by_hour{};
+  std::array<std::uint64_t, 24> by_hour{};
   for (const auto& h : hours)
     by_hour[static_cast<std::size_t>(h.hour % 24)] +=
-        h.store_volume_gb + h.retrieve_volume_gb;
+        h.store_volume_bytes + h.retrieve_volume_bytes;
   int best = 0;
   for (int i = 1; i < 24; ++i) {
     if (by_hour[static_cast<std::size_t>(i)] >

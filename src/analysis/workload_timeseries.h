@@ -14,11 +14,22 @@
 namespace mcloud::analysis {
 
 struct HourBin {
-  int hour = 0;                 ///< hour since trace start
-  double store_volume_gb = 0;   ///< chunk payload volume (decimal GB)
-  double retrieve_volume_gb = 0;
+  int hour = 0;  ///< hour since trace start
+  // Volumes are kept as exact integer bytes: integer addition is
+  // associative, so partial bins merged across trace slices (the concurrent
+  // analyze-while-generate walk) sum to exactly the same totals as one
+  // resident pass. Figures read the decimal-GB accessors.
+  std::uint64_t store_volume_bytes = 0;  ///< chunk payload volume
+  std::uint64_t retrieve_volume_bytes = 0;
   std::uint64_t stored_files = 0;      ///< file storage operations
   std::uint64_t retrieved_files = 0;   ///< file retrieval operations
+
+  [[nodiscard]] double StoreVolumeGb() const {
+    return static_cast<double>(store_volume_bytes) / 1e9;
+  }
+  [[nodiscard]] double RetrieveVolumeGb() const {
+    return static_cast<double>(retrieve_volume_bytes) / 1e9;
+  }
 };
 
 struct WorkloadTimeseries {
@@ -53,9 +64,9 @@ template <typename Range>
       (r.direction == Direction::kStore ? bin.stored_files
                                         : bin.retrieved_files)++;
     } else {
-      const double gb = static_cast<double>(r.data_volume) / 1e9;
-      (r.direction == Direction::kStore ? bin.store_volume_gb
-                                        : bin.retrieve_volume_gb) += gb;
+      (r.direction == Direction::kStore ? bin.store_volume_bytes
+                                        : bin.retrieve_volume_bytes) +=
+          r.data_volume;
     }
   }
   return ts;

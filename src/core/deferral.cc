@@ -87,9 +87,9 @@ DeferralResult SimulateDeferral(std::span<const LogRecord> trace,
 
   for (const auto& h : result.before.hours)
     result.peak_before_gb = std::max(result.peak_before_gb,
-                                     h.store_volume_gb);
+                                     h.StoreVolumeGb());
   for (const auto& h : result.after.hours)
-    result.peak_after_gb = std::max(result.peak_after_gb, h.store_volume_gb);
+    result.peak_after_gb = std::max(result.peak_after_gb, h.StoreVolumeGb());
   result.peak_reduction =
       result.peak_before_gb > 0
           ? 1.0 - result.peak_after_gb / result.peak_before_gb

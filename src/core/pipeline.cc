@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <exception>
 #include <functional>
+#include <mutex>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
@@ -12,6 +17,7 @@
 #include "trace/filters.h"
 #include "util/error.h"
 #include "util/parallel.h"
+#include "util/units.h"
 
 namespace mcloud::core {
 namespace {
@@ -49,11 +55,15 @@ void RunSharedStages(ThreadPool& pool, const PipelineOptions& options,
                 usage, analysis::DeviceProfile::kMobileAndPc);
             report.pc_only_column = analysis::BuildUserTypeColumn(
                 usage, analysis::DeviceProfile::kPcOnly);
-            if (options.keep_raw_samples) {
-              report.raw.mobile_only_ratio_log10 = analysis::RatioSample(
-                  usage, analysis::DeviceProfile::kMobileOnly);
-              report.raw.mobile_pc_ratio_log10 = analysis::RatioSample(
-                  usage, analysis::DeviceProfile::kMobileAndPc);
+            // Fig 7a counters: RatioSample's membership tests, without
+            // materializing the sample (usage is canonical, so the counts
+            // are engine- and thread-count-independent).
+            for (const analysis::UserUsage& u : usage) {
+              if (!u.MobileOnly()) continue;
+              if (u.store_volume == 0 && u.retrieve_volume == 0) continue;
+              ++report.sketches.ratio_sample_users;
+              if (std::abs(std::log10(u.VolumeRatio())) < 5.0)
+                ++report.sketches.ratio_middle_users;
             }
             t_columns = Since(t0);
           },
@@ -62,31 +72,46 @@ void RunSharedStages(ThreadPool& pool, const PipelineOptions& options,
             report.session_split = analysis::ClassifySessions(mobile_sessions);
             report.burstiness =
                 analysis::NormalizedOperatingTimes(mobile_sessions);
-            if (options.keep_raw_samples) {
-              report.raw.session_op_counts.reserve(mobile_sessions.size());
-              for (const auto& s : mobile_sessions) {
-                report.raw.session_op_counts.push_back(
-                    static_cast<double>(s.FileOps()));
-              }
+            // Fig 5a counters (denominator = session_split.total).
+            for (const auto& s : mobile_sessions) {
+              if (s.FileOps() == 1) ++report.sketches.single_op_sessions;
+              if (s.FileOps() > 20) ++report.sketches.over20_op_sessions;
             }
             t_stats = Since(t0);
           },
           [&] {
             const auto t0 = Clock::now();
-            std::vector<double> sample = analysis::AvgFileSizeSample(
-                mobile_sessions, analysis::Session::Type::kStoreOnly);
-            report.store_size_model = analysis::FitFileSizeModel(sample);
-            if (options.keep_raw_samples)
-              report.raw.store_avg_mb = std::move(sample);
+            // One pass in canonical session order feeds the bin sketch and
+            // the t-digest (AvgFileSizeSample's membership and value rules);
+            // the fit then runs on the sketch's exact per-bin moments.
+            auto& sk = report.sketches;
+            for (const auto& s : mobile_sessions) {
+              if (s.SessionType() != analysis::Session::Type::kStoreOnly)
+                continue;
+              if (s.FileOps() == 0 || s.Volume() == 0) continue;
+              const double mb =
+                  ToMB(s.Volume()) / static_cast<double>(s.FileOps());
+              sk.store_avg_mb.Add(mb);
+              sk.store_avg_mb_digest.Add(mb);
+            }
+            report.store_size_model = analysis::FitFileSizeModel(
+                sk.store_avg_mb, sk.store_avg_mb_digest);
             t_store_fit = Since(t0);
           },
           [&] {
             const auto t0 = Clock::now();
-            std::vector<double> sample = analysis::AvgFileSizeSample(
-                mobile_sessions, analysis::Session::Type::kRetrieveOnly);
-            report.retrieve_size_model = analysis::FitFileSizeModel(sample);
-            if (options.keep_raw_samples)
-              report.raw.retrieve_avg_mb = std::move(sample);
+            auto& sk = report.sketches;
+            for (const auto& s : mobile_sessions) {
+              if (s.SessionType() != analysis::Session::Type::kRetrieveOnly)
+                continue;
+              if (s.FileOps() == 0 || s.Volume() == 0) continue;
+              const double mb =
+                  ToMB(s.Volume()) / static_cast<double>(s.FileOps());
+              sk.retrieve_avg_mb.Add(mb);
+              sk.retrieve_avg_mb_digest.Add(mb);
+            }
+            report.retrieve_size_model = analysis::FitFileSizeModel(
+                sk.retrieve_avg_mb, sk.retrieve_avg_mb_digest);
             t_retrieve_fit = Since(t0);
           },
           [&] {
@@ -133,7 +158,7 @@ FullReport AnalysisPipeline::Run(const TraceStore& store,
   MCLOUD_REQUIRE(!store.empty(), "empty trace");
   const auto t_total = Clock::now();
   StageTimings t;
-  ThreadPool pool(options_.threads);
+  ThreadPool pool(ClampThreadsToHardware(options_.threads));
   FullReport report;
   report.records = store.rows();
 
@@ -151,8 +176,7 @@ FullReport AnalysisPipeline::Run(const TraceStore& store,
 
   t0 = Clock::now();
   report.interval_model = analysis::FitIntervalModel(row.intervals);
-  if (options_.keep_raw_samples)
-    report.raw.intervals_s = std::move(row.intervals);
+  report.sketches.intervals = std::move(row.intervals);
   t.fits_s += Since(t0);
   const Seconds tau = options_.session_tau > 0
                           ? options_.session_tau
@@ -187,7 +211,7 @@ FullReport AnalysisPipeline::RunOutOfCore(const PartitionedTrace& trace,
   MCLOUD_REQUIRE(trace.rows() > 0, "empty trace");
   const auto t_total = Clock::now();
   StageTimings t;
-  ThreadPool pool(options_.threads);
+  ThreadPool pool(ClampThreadsToHardware(options_.threads));
   FullReport report;
   report.records = static_cast<std::size_t>(trace.rows());
 
@@ -201,7 +225,7 @@ FullReport AnalysisPipeline::RunOutOfCore(const PartitionedTrace& trace,
 
   // Walk 1 (row order): Fig 1 series, Fig 3 sample, §2.2 counts, mobility.
   auto t0 = Clock::now();
-  analysis::StreamingRowPass row_pass(trace.users(), options_.trace_start,
+  analysis::StreamingRowPass row_pass(trace.user_ids(), options_.trace_start,
                                       options_.days, trace.day_base());
   trace.Scan(staging_rows, [&](std::int64_t day, const TraceRowBlock& block) {
     row_pass.Consume(day, block);
@@ -218,8 +242,7 @@ FullReport AnalysisPipeline::RunOutOfCore(const PartitionedTrace& trace,
 
   t0 = Clock::now();
   report.interval_model = analysis::FitIntervalModel(row.intervals);
-  if (options_.keep_raw_samples)
-    report.raw.intervals_s = std::move(row.intervals);
+  report.sketches.intervals = std::move(row.intervals);
   t.fits_s += Since(t0);
   const Seconds tau = options_.session_tau > 0
                           ? options_.session_tau
@@ -257,7 +280,7 @@ FullReport AnalysisPipeline::RunAos(std::span<const LogRecord> trace,
   MCLOUD_REQUIRE(!trace.empty(), "empty trace");
   const auto t_total = Clock::now();
   StageTimings t;
-  ThreadPool pool(options_.threads);
+  ThreadPool pool(ClampThreadsToHardware(options_.threads));
   FullReport report;
 
   // Mobile slice as an index view: 4 bytes per record instead of a full
@@ -304,13 +327,12 @@ FullReport AnalysisPipeline::RunAos(std::span<const LogRecord> trace,
           [&] {
             // Interval model (§3.1.1) and the τ every sessionization uses.
             auto t0 = Clock::now();
-            std::vector<double> intervals =
-                analysis::InterOpIntervalsFrom(mobile);
+            LogBins intervals = analysis::MakeIntervalSketch();
+            analysis::AddInterOpIntervalsToSketch(mobile, intervals);
             t_interval_scan = Since(t0);
             t0 = Clock::now();
             report.interval_model = analysis::FitIntervalModel(intervals);
-            if (options_.keep_raw_samples)
-              report.raw.intervals_s = std::move(intervals);
+            report.sketches.intervals = std::move(intervals);
             t_interval_fit = Since(t0);
             tau = options_.session_tau > 0 ? options_.session_tau
                                            : report.interval_model.valley_tau;
@@ -359,6 +381,300 @@ FullReport AnalysisPipeline::RunAos(std::span<const LogRecord> trace,
   // run concurrently with each other and with everything else here.
   RunSharedStages(pool, options_, usage, mobile_usage, all_sessions,
                   mobile_sessions, report, t.per_user_s, t.fits_s);
+  t.total_s = Since(t_total);
+  if (timings) *timings = t;
+  return report;
+}
+
+// The single-walk out-of-core engine: both streaming passes ride the same
+// Scan. The per-user pass runs in inline-mobility mode — it speculatively
+// folds every user's mobile rows and discards the mobile-only users'
+// speculative results at Finish, which is provably the same output as the
+// two-walk form (see stream_engine.h) — so nothing gates walk 2 on walk 1
+// and one disk pass suffices.
+FullReport AnalysisPipeline::RunStreaming(const PartitionedTrace& trace,
+                                          StageTimings* timings) const {
+  MCLOUD_REQUIRE(trace.rows() > 0, "empty trace");
+  MCLOUD_REQUIRE(options_.session_tau > 0,
+                 "the single-walk engine needs a fixed session tau: the "
+                 "valley-derived tau would gate sessionization on the "
+                 "completed interval sketch");
+  const auto t_total = Clock::now();
+  StageTimings t;
+  ThreadPool pool(ClampThreadsToHardware(options_.threads));
+  FullReport report;
+  report.records = static_cast<std::size_t>(trace.rows());
+
+  const std::size_t budget_mb =
+      options_.max_memory_mb ? options_.max_memory_mb : 1024;
+  const std::size_t staging_rows = std::max<std::size_t>(
+      std::size_t{64} * 1024, budget_mb * (1024 * 1024 / 8) / 32);
+
+  auto t0 = Clock::now();
+  analysis::StreamingRowPass row_pass(trace.user_ids(), options_.trace_start,
+                                      options_.days, trace.day_base());
+  analysis::StreamingPerUserPass per_user_pass(trace.user_ids(),
+                                               options_.session_tau);
+  trace.Scan(staging_rows, [&](std::int64_t day, const TraceRowBlock& block) {
+    row_pass.Consume(day, block);
+    per_user_pass.Consume(block);
+  });
+  analysis::FusedRowPassResult row = row_pass.TakeResult();
+  t.scan_s += Since(t0);
+  report.timeseries = std::move(row.timeseries);
+  report.android_access_share =
+      row.mobile_records == 0
+          ? 0
+          : static_cast<double>(row.android_records) /
+                static_cast<double>(row.mobile_records);
+
+  t0 = Clock::now();
+  report.interval_model = analysis::FitIntervalModel(row.intervals);
+  report.sketches.intervals = std::move(row.intervals);
+  t.fits_s += Since(t0);
+
+  t0 = Clock::now();
+  analysis::FusedPerUserResult per_user = per_user_pass.Finish(pool);
+  t.sessionize_s += Since(t0);
+  report.mobile_users = per_user.mobile_users;
+  report.mobile_devices = per_user.mobile_devices;
+
+  RunSharedStages(pool, options_, per_user.usage, per_user.mobile_usage,
+                  per_user.sessions, per_user.mobile_sessions, report,
+                  t.per_user_s, t.fits_s);
+  t.total_s = Since(t_total);
+  if (timings) *timings = t;
+  return report;
+}
+
+// The analyze-while-generate engine. The producer (typically
+// GenerateToPartitions' spill path) hands over sealed slices through a
+// depth-1 bounded queue; a consumer thread transposes each slice into lean
+// analysis columns and drives the same streaming cores RunStreaming uses
+// while the producer builds the next one. Because every
+// slice is time-sorted and carries a contiguous ascending user range's
+// complete history, per-slice results are already in canonical order and
+// concatenate (sessions/usage) or sum (hour bins, interval sketch, counts)
+// into exactly the inputs the resident engine hands RunSharedStages — so
+// the report is bit-identical to Run on the concatenated trace.
+FullReport AnalysisPipeline::RunConcurrent(
+    const std::function<void(const SliceConsumer&)>& produce,
+    StageTimings* timings) const {
+  MCLOUD_REQUIRE(options_.session_tau > 0,
+                 "analyze-while-generate needs a fixed session tau: the "
+                 "valley-derived tau is only known after the last slice");
+  const auto t_total = Clock::now();
+  StageTimings t;
+  FullReport report;
+
+  // State below the line is owned by the consumer thread until join().
+  analysis::FusedRowPassResult row;
+  analysis::FusedPerUserResult per_user;
+  std::size_t records = 0;
+  double slice_scan_s = 0;
+  double slice_sessionize_s = 0;
+  std::exception_ptr consumer_error;
+
+  // Depth-1 queue: one slice being analyzed, one being generated. The
+  // producer blocks in the sink while the consumer is busy, bounding
+  // resident data to two slices and pacing generation to analysis.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<LogRecord> slot;
+  bool full = false;
+  bool done = false;
+
+  std::thread consumer([&] {
+    // Finish's canonical sorts run inline here: ThreadPool::Run must not be
+    // entered from two threads, and the caller owns the real pool.
+    ThreadPool slice_pool(1);
+    // Slice staging, reused across slices: the seven analysis columns plus
+    // the slice-local user table. No TraceStore is built — the slice feeds
+    // the same streaming cores RunStreaming drives, so the only per-slice
+    // overhead on top of the analysis itself is this one lean transpose.
+    std::vector<std::int64_t> ts;
+    std::vector<std::uint8_t> dev;
+    std::vector<std::uint64_t> dev_id;
+    std::vector<std::uint32_t> users;
+    std::vector<std::uint8_t> req;
+    std::vector<std::uint8_t> dir;
+    std::vector<std::uint64_t> vol;
+    std::vector<std::uint64_t> raw_users;
+    std::vector<std::uint64_t> user_ids;
+    for (;;) {
+      std::vector<LogRecord> slice;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return full || done; });
+        if (!full && done) return;
+        slice = std::move(slot);
+        slot.clear();
+        full = false;
+      }
+      cv.notify_all();
+      // After a failure, keep draining so the producer never deadlocks.
+      if (slice.empty() || consumer_error) continue;
+      try {
+        auto t0 = Clock::now();
+        const std::size_t n = slice.size();
+        ts.resize(n);
+        dev.resize(n);
+        dev_id.resize(n);
+        users.resize(n);
+        req.resize(n);
+        dir.resize(n);
+        vol.resize(n);
+        raw_users.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          const LogRecord& rec = slice[i];
+          ts[i] = rec.timestamp;
+          dev[i] = static_cast<std::uint8_t>(rec.device_type);
+          dev_id[i] = rec.device_id;
+          raw_users[i] = rec.user_id;
+          req[i] = static_cast<std::uint8_t>(rec.request_type);
+          dir[i] = static_cast<std::uint8_t>(rec.direction);
+          vol[i] = rec.data_volume;
+        }
+        slice = std::vector<LogRecord>();  // release before analysis peaks
+        // Slice-local dense user remap (ascending original ids) — the same
+        // remap TraceStore would build, scoped to this slice's users.
+        user_ids = raw_users;
+        std::sort(user_ids.begin(), user_ids.end());
+        user_ids.erase(std::unique(user_ids.begin(), user_ids.end()),
+                       user_ids.end());
+        for (std::size_t i = 0; i < n; ++i) {
+          users[i] = static_cast<std::uint32_t>(
+              std::lower_bound(user_ids.begin(), user_ids.end(),
+                               raw_users[i]) -
+              user_ids.begin());
+        }
+
+        analysis::StreamingRowPass row_pass(user_ids, options_.trace_start,
+                                            options_.days,
+                                            options_.trace_start);
+        analysis::StreamingPerUserPass per_user_pass(user_ids,
+                                                     options_.session_tau);
+        // Feed calendar-day segments (StreamingRowPass's Consume contract;
+        // the per-user pass ignores day boundaries).
+        const auto day_of = [&](std::int64_t t) {
+          const std::int64_t rel = t - options_.trace_start;
+          return rel >= 0 ? rel / kDay : -((-rel + kDay - 1) / kDay);
+        };
+        std::size_t begin = 0;
+        while (begin < n) {
+          const std::int64_t day = day_of(ts[begin]);
+          std::size_t end = begin + 1;
+          while (end < n && day_of(ts[end]) == day) ++end;
+          const std::size_t len = end - begin;
+          const TraceRowBlock block{
+              std::span(ts).subspan(begin, len),
+              std::span(dev).subspan(begin, len),
+              std::span(dev_id).subspan(begin, len),
+              std::span(users).subspan(begin, len),
+              std::span(req).subspan(begin, len),
+              std::span(dir).subspan(begin, len),
+              std::span(vol).subspan(begin, len)};
+          row_pass.Consume(day, block);
+          per_user_pass.Consume(block);
+          begin = end;
+        }
+        analysis::FusedRowPassResult r = row_pass.TakeResult();
+        slice_scan_s += Since(t0);
+        t0 = Clock::now();
+        analysis::FusedPerUserResult p = per_user_pass.Finish(slice_pool);
+        slice_sessionize_s += Since(t0);
+
+        records += n;
+        if (row.timeseries.hours.empty()) {
+          row.timeseries = std::move(r.timeseries);
+        } else {
+          MCLOUD_REQUIRE(
+              row.timeseries.hours.size() == r.timeseries.hours.size(),
+              "slice hour windows disagree");
+          for (std::size_t i = 0; i < row.timeseries.hours.size(); ++i) {
+            auto& dst = row.timeseries.hours[i];
+            const auto& src = r.timeseries.hours[i];
+            dst.store_volume_bytes += src.store_volume_bytes;
+            dst.retrieve_volume_bytes += src.retrieve_volume_bytes;
+            dst.stored_files += src.stored_files;
+            dst.retrieved_files += src.retrieved_files;
+          }
+        }
+        row.intervals.Merge(r.intervals);
+        row.mobile_records += r.mobile_records;
+        row.android_records += r.android_records;
+
+        auto append = [](auto& dst, auto& src) {
+          dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+                     std::make_move_iterator(src.end()));
+        };
+        append(per_user.sessions, p.sessions);
+        append(per_user.mobile_sessions, p.mobile_sessions);
+        append(per_user.usage, p.usage);
+        append(per_user.mobile_usage, p.mobile_usage);
+        append(per_user.mobile_device_ids, p.mobile_device_ids);
+        per_user.mobile_users += p.mobile_users;
+      } catch (...) {
+        consumer_error = std::current_exception();
+      }
+    }
+  });
+
+  const SliceConsumer sink = [&](std::vector<LogRecord>&& slice) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return !full; });
+    slot = std::move(slice);
+    full = true;
+    lock.unlock();
+    cv.notify_all();
+  };
+  try {
+    produce(sink);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      done = true;
+    }
+    cv.notify_all();
+    consumer.join();
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+  }
+  cv.notify_all();
+  consumer.join();
+  if (consumer_error) std::rethrow_exception(consumer_error);
+  MCLOUD_REQUIRE(records > 0, "empty trace");
+  t.scan_s += slice_scan_s;
+  t.sessionize_s += slice_sessionize_s;
+
+  ThreadPool pool(ClampThreadsToHardware(options_.threads));
+  report.records = records;
+  report.timeseries = std::move(row.timeseries);
+  report.android_access_share =
+      row.mobile_records == 0
+          ? 0
+          : static_cast<double>(row.android_records) /
+                static_cast<double>(row.mobile_records);
+
+  auto t0 = Clock::now();
+  report.interval_model = analysis::FitIntervalModel(row.intervals);
+  report.sketches.intervals = std::move(row.intervals);
+  t.fits_s += Since(t0);
+
+  // Device ids can recur across slices (a device id is only distinct per
+  // user within a slice): union them for the global distinct count.
+  auto& ids = per_user.mobile_device_ids;
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  report.mobile_users = per_user.mobile_users;
+  report.mobile_devices = ids.size();
+
+  RunSharedStages(pool, options_, per_user.usage, per_user.mobile_usage,
+                  per_user.sessions, per_user.mobile_sessions, report,
+                  t.per_user_s, t.fits_s);
   t.total_s = Since(t_total);
   if (timings) *timings = t;
   return report;

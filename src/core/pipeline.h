@@ -14,7 +14,9 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <span>
+#include <vector>
 
 #include "core/report.h"
 #include "trace/log_record.h"
@@ -30,17 +32,14 @@ struct PipelineOptions {
   /// Fig 3 histogram-valley method instead of assuming one hour.
   Seconds session_tau = kHour;
   /// Worker threads for the independent analysis stages; 0 = hardware
-  /// concurrency. Results are identical for every thread count — stages
-  /// compute disjoint report fields from read-only inputs.
+  /// concurrency, and requests wider than the hardware are clamped to it
+  /// (oversubscribing the CPU-bound fit stages only slows them down).
+  /// Results are identical for every thread count — stages compute disjoint
+  /// report fields from read-only inputs.
   int threads = 0;
-  /// Keep the raw empirical samples behind the fitted summaries in
-  /// FullReport::raw (the validation layer's KS/AD inputs). Both engines
-  /// export bit-identical samples; off by default because the copies cost
-  /// memory proportional to the trace.
-  bool keep_raw_samples = false;
-  /// Approximate resident budget (MB) for RunOutOfCore's streaming buffers;
-  /// 0 = a 1 GiB default. Only a tuning knob — the report is bit-identical
-  /// at every budget.
+  /// Approximate resident budget (MB) for the streaming engines' staging
+  /// buffers; 0 = a 1 GiB default. Only a tuning knob — the report is
+  /// bit-identical at every budget.
   std::size_t max_memory_mb = 0;
 };
 
@@ -84,6 +83,33 @@ class AnalysisPipeline {
   /// count and every budget (see analysis/stream_engine.h).
   [[nodiscard]] FullReport RunOutOfCore(const PartitionedTrace& trace,
                                         StageTimings* timings = nullptr) const;
+
+  /// Single-walk out-of-core engine: ONE disk scan feeds both streaming
+  /// passes at once — the per-user pass runs in inline-mobility mode (see
+  /// stream_engine.h), so it needs no mobility table from walk 1. Requires
+  /// a fixed `session_tau` (> 0): the valley-derived τ would gate
+  /// sessionization on the completed interval sketch. Bit-identical to
+  /// RunOutOfCore at half the disk traffic.
+  [[nodiscard]] FullReport RunStreaming(const PartitionedTrace& trace,
+                                        StageTimings* timings = nullptr) const;
+
+  /// Sink for RunConcurrent's producer: hand over one sealed, time-sorted
+  /// trace slice. Blocks while the analysis side is busy (bounded queue,
+  /// depth 1), which backpressures generation to the analysis rate.
+  using SliceConsumer = std::function<void(std::vector<LogRecord>&&)>;
+
+  /// Analyze-while-generate engine: `produce` emits sealed trace slices into
+  /// a bounded queue; a consumer thread analyzes each slice with the fused
+  /// columnar passes while the producer builds the next one, and the merged
+  /// results feed the same shared fit stages. Requires a fixed
+  /// `session_tau` (> 0) and slices that (a) are time-sorted internally,
+  /// (b) partition the user space into contiguous ascending ranges — every
+  /// user's full history in exactly one slice — as
+  /// GenerateToPartitions' spill slices do. Under those invariants the
+  /// FullReport is bit-identical to Run on the concatenated trace.
+  [[nodiscard]] FullReport RunConcurrent(
+      const std::function<void(const SliceConsumer&)>& produce,
+      StageTimings* timings = nullptr) const;
 
   [[nodiscard]] const PipelineOptions& options() const { return options_; }
 

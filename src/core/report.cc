@@ -198,6 +198,31 @@ void HashActivity(Fnv& f, const analysis::ActivityModelResult& a) {
   f.Doubles(a.ranked);
 }
 
+void HashLogBins(Fnv& f, const LogBins& b) {
+  f.D(b.log10_lo());
+  f.D(b.log10_hi());
+  f.Size(b.bins());
+  for (std::size_t i = 0; i < b.bins(); ++i) {
+    f.U64(b.Count(i));
+    f.D(b.Sum(i));
+  }
+  f.U64(b.Total());
+  f.D(b.Min());
+  f.D(b.Max());
+}
+
+void HashTDigest(Fnv& f, const TDigest& d) {
+  const std::vector<Centroid> cs = d.CanonicalCentroids();
+  f.Size(cs.size());
+  for (const Centroid& c : cs) {
+    f.D(c.mean);
+    f.U64(c.weight);
+  }
+  f.U64(d.Count());
+  f.D(d.Min());
+  f.D(d.Max());
+}
+
 }  // namespace
 
 std::uint64_t FingerprintReport(const FullReport& r) {
@@ -210,8 +235,8 @@ std::uint64_t FingerprintReport(const FullReport& r) {
   f.Size(r.timeseries.hours.size());
   for (const auto& h : r.timeseries.hours) {
     f.I64(h.hour);
-    f.D(h.store_volume_gb);
-    f.D(h.retrieve_volume_gb);
+    f.U64(h.store_volume_bytes);
+    f.U64(h.retrieve_volume_bytes);
     f.U64(h.stored_files);
     f.U64(h.retrieved_files);
   }
@@ -274,12 +299,15 @@ std::uint64_t FingerprintReport(const FullReport& r) {
   HashActivity(f, r.store_activity);
   HashActivity(f, r.retrieve_activity);
 
-  f.Doubles(r.raw.intervals_s);
-  f.Doubles(r.raw.store_avg_mb);
-  f.Doubles(r.raw.retrieve_avg_mb);
-  f.Doubles(r.raw.session_op_counts);
-  f.Doubles(r.raw.mobile_only_ratio_log10);
-  f.Doubles(r.raw.mobile_pc_ratio_log10);
+  HashLogBins(f, r.sketches.intervals);
+  HashLogBins(f, r.sketches.store_avg_mb);
+  HashLogBins(f, r.sketches.retrieve_avg_mb);
+  HashTDigest(f, r.sketches.store_avg_mb_digest);
+  HashTDigest(f, r.sketches.retrieve_avg_mb_digest);
+  f.U64(r.sketches.single_op_sessions);
+  f.U64(r.sketches.over20_op_sessions);
+  f.U64(r.sketches.ratio_middle_users);
+  f.U64(r.sketches.ratio_sample_users);
   return f.hash();
 }
 

@@ -18,25 +18,36 @@
 
 namespace mcloud::core {
 
-/// Raw empirical samples behind the fitted summaries. Empty by default;
-/// populated (identically by both engines) when
-/// PipelineOptions::keep_raw_samples is set. The paper-fidelity validation
-/// layer (src/validate/) runs its KS/AD gates on these instead of the
-/// fitted parameters, so a fit that silently absorbs a generator regression
-/// still trips the gate.
-struct RawSamples {
-  /// Mobile inter-file-operation gaps (seconds), trace order (Fig 3 input).
-  std::vector<double> intervals_s;
-  /// Per-session average file size (MB) of mobile store-only / retrieve-only
-  /// sessions (the Table 2 fit inputs).
-  std::vector<double> store_avg_mb;
-  std::vector<double> retrieve_avg_mb;
-  /// File-operation count of every mobile session (Fig 5a input).
-  std::vector<double> session_op_counts;
-  /// log10 store/retrieve volume ratio per user, by device profile
-  /// (Fig 7a input; zero-traffic users skipped).
-  std::vector<double> mobile_only_ratio_log10;
-  std::vector<double> mobile_pc_ratio_log10;
+/// Streaming sketches and exact counters behind the fitted summaries —
+/// the O(sketch) replacement for the retained raw-sample vectors (DESIGN.md
+/// §12). Always populated, identically by every engine and at every thread
+/// count. The paper-fidelity validation layer (src/validate/) runs its
+/// grouped KS/AD gates and share checks on these instead of the fitted
+/// parameters, so a fit that silently absorbs a generator regression still
+/// trips the gate.
+struct ReportSketches {
+  /// Mobile inter-file-operation gaps: jitter-binned log10 sketch
+  /// (Fig 3 input; see interval_model.h).
+  LogBins intervals = analysis::MakeIntervalSketch();
+  /// Per-session average file size (MB) of mobile store-only /
+  /// retrieve-only sessions (Table 2 / Fig 6 inputs).
+  LogBins store_avg_mb = analysis::MakeSizeSketch();
+  LogBins retrieve_avg_mb = analysis::MakeSizeSketch();
+  TDigest store_avg_mb_digest;
+  TDigest retrieve_avg_mb_digest;
+  /// Fig 5a counters over all mobile sessions.
+  std::uint64_t single_op_sessions = 0;
+  std::uint64_t over20_op_sessions = 0;
+  /// Fig 7a counters: mobile-only users with |log10 ratio| < 5, and the
+  /// ratio-sample size (zero-traffic users skipped).
+  std::uint64_t ratio_middle_users = 0;
+  std::uint64_t ratio_sample_users = 0;
+
+  [[nodiscard]] std::size_t MemoryBytes() const {
+    return intervals.MemoryBytes() + store_avg_mb.MemoryBytes() +
+           retrieve_avg_mb.MemoryBytes() + store_avg_mb_digest.MemoryBytes() +
+           retrieve_avg_mb_digest.MemoryBytes() + 4 * sizeof(std::uint64_t);
+  }
 };
 
 struct FullReport {
@@ -66,8 +77,8 @@ struct FullReport {
   analysis::ActivityModelResult store_activity;
   analysis::ActivityModelResult retrieve_activity;
 
-  /// Raw validation inputs (empty unless keep_raw_samples was requested).
-  RawSamples raw;
+  /// Streaming validation inputs (always populated; O(sketch) memory).
+  ReportSketches sketches;
 };
 
 /// Render the Table 4-style findings summary (paper value vs measured).

@@ -54,14 +54,21 @@ MixtureExponentialFit RunEmFrom(
   double total = static_cast<double>(n);
   if (weighted) total = std::accumulate(weights.begin(), weights.end(), 0.0);
 
-  std::vector<double> resp(n * k);
   std::vector<double> lp(k);
+  std::vector<double> r(k);
+  std::vector<double> nk(k);
+  std::vector<double> sum(k);
   // Per-iteration constants: log α_j + log(1/µ_j) and 1/µ_j. Hoisting them
   // out of the sample loop removes two log() calls per sample per component;
   // with the single-exp E step below each sample costs k exp() calls and one
   // log() total.
   std::vector<double> lw(k);
   std::vector<double> inv(k);
+  // exp() underflows to exactly +0.0 below this argument, so skipping the
+  // call is bit-identical — and on heavy-tailed data with well-separated
+  // means most (sample, component) pairs land here, past the subnormal
+  // range where exp() is slowest.
+  constexpr double kExpUnderflow = -746.0;
 
   MixtureExponentialFit fit;
   double prev_ll = -std::numeric_limits<double>::infinity();
@@ -71,11 +78,15 @@ MixtureExponentialFit RunEmFrom(
       lw[j] = std::log(std::max(comps[j].weight, 1e-300)) -
               std::log(comps[j].mean);
       inv[j] = 1.0 / comps[j].mean;
+      nk[j] = 0;
+      sum[j] = 0;
     }
 
-    // E step: lp_j = log α_j + log f_j(x) = lw_j - x/µ_j; responsibilities
-    // are softmax(lp) scaled by the sample's weight so the M step can sum
-    // them directly.
+    // Fused E+M sweep: lp_j = log α_j + log f_j(x) = lw_j - x/µ_j;
+    // responsibilities are softmax(lp) scaled by the sample's weight and
+    // folded into the M-step accumulators immediately (the additions run in
+    // the same ascending-i order a separate M pass would use, so fusing is
+    // bit-identical and the n×k responsibility matrix never materializes).
     double ll = 0;
     for (std::size_t i = 0; i < n; ++i) {
       const double x = data[i];
@@ -85,28 +96,26 @@ MixtureExponentialFit RunEmFrom(
         if (lp[j] > m) m = lp[j];
       }
       double s = 0;
-      double* r = &resp[i * k];
       for (std::size_t j = 0; j < k; ++j) {
-        r[j] = std::exp(lp[j] - m);
+        const double d = lp[j] - m;
+        r[j] = d < kExpUnderflow ? 0.0 : std::exp(d);
         s += r[j];
       }
       const double wi = weighted ? weights[i] : 1.0;
       ll += wi * (m + std::log(s));
       const double norm = wi / s;
-      for (std::size_t j = 0; j < k; ++j) r[j] *= norm;
+      for (std::size_t j = 0; j < k; ++j) {
+        const double rj = r[j] * norm;
+        nk[j] += rj;
+        sum[j] += rj * x;
+      }
     }
 
     // M step: weight_j = responsibility mass / W, mean_j = weighted mean of x.
     for (std::size_t j = 0; j < k; ++j) {
-      double nk = 0;
-      double sum = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        nk += resp[i * k + j];
-        sum += resp[i * k + j] * data[i];
-      }
-      nk = std::max(nk, opts.min_weight * total);
-      comps[j].weight = nk / total;
-      comps[j].mean = std::max(sum / nk, 1e-12);
+      const double mass = std::max(nk[j], opts.min_weight * total);
+      comps[j].weight = mass / total;
+      comps[j].mean = std::max(sum[j] / mass, 1e-12);
     }
     double wsum = 0;
     for (const auto& c : comps) wsum += c.weight;

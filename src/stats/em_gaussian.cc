@@ -5,6 +5,7 @@
 #include <limits>
 #include <numbers>
 
+#include "stats/tdigest.h"
 #include "util/error.h"
 #include "util/summary.h"
 
@@ -134,6 +135,102 @@ GaussianMixtureFit FitGaussianMixture(std::span<const double> data,
 
   // Report components sorted by mean for stable downstream interpretation
   // (component 0 = intra-session, component 1 = inter-session in Fig 3).
+  std::sort(comps.begin(), comps.end(),
+            [](const auto& a, const auto& b) { return a.mean < b.mean; });
+  fit.mixture = GaussianMixture(std::move(comps));
+  return fit;
+}
+
+GaussianMixtureFit FitGaussianMixtureWeighted(std::span<const double> values,
+                                              std::span<const double> weights,
+                                              std::size_t k,
+                                              const EmOptions& opts) {
+  MCLOUD_REQUIRE(k >= 1, "need at least one component");
+  MCLOUD_REQUIRE(values.size() == weights.size(),
+                 "values/weights size mismatch");
+
+  StreamingMoments overall;
+  for (std::size_t i = 0; i < values.size(); ++i)
+    overall.Add(values[i], weights[i]);
+  const double wtotal = overall.WeightSum();
+  if (wtotal < 2.0 * static_cast<double>(k))
+    throw FitError("too little weight for Gaussian mixture EM");
+  if (overall.StdDev() <= 0)
+    throw FitError("degenerate data: zero variance");
+  const double range = overall.Max() - overall.Min();
+
+  // Identical initialization to FitGaussianMixture (see the rationale
+  // there): means spread across the weighted data range, narrow stddevs.
+  std::vector<GaussianMixture::Component> comps(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const double frac =
+        (static_cast<double>(j) + 0.5) / static_cast<double>(k);
+    comps[j].mean = overall.Min() + frac * range;
+    comps[j].stddev = std::max(
+        std::min(overall.StdDev() / 2.0,
+                 range / (4.0 * static_cast<double>(k))),
+        1e-6);
+    comps[j].weight = 1.0 / static_cast<double>(k);
+  }
+
+  const auto n = values.size();
+  std::vector<double> resp(n * k);
+  std::vector<double> lp(k);
+
+  GaussianMixtureFit fit;
+  double prev_ll = -std::numeric_limits<double>::infinity();
+
+  for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    // E step: responsibilities per distinct value; log-likelihood terms are
+    // weighted by the value's multiplicity.
+    double ll = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        lp[j] = std::log(std::max(comps[j].weight, 1e-300)) +
+                LogNormalPdf(values[i], comps[j].mean, comps[j].stddev);
+      }
+      const double lse = LogSumExp(lp);
+      ll += weights[i] * lse;
+      for (std::size_t j = 0; j < k; ++j)
+        resp[i * k + j] = std::exp(lp[j] - lse);
+    }
+
+    // M step with weighted sums.
+    for (std::size_t j = 0; j < k; ++j) {
+      double nk = 0;
+      double mean = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double wr = weights[i] * resp[i * k + j];
+        nk += wr;
+        mean += wr * values[i];
+      }
+      nk = std::max(nk, opts.min_weight * wtotal);
+      mean /= nk;
+      double var = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double d = values[i] - mean;
+        var += weights[i] * resp[i * k + j] * d * d;
+      }
+      var = std::max(var / nk, 1e-4);
+      comps[j].weight = nk / wtotal;
+      comps[j].mean = mean;
+      comps[j].stddev = std::sqrt(var);
+    }
+    double wsum = 0;
+    for (const auto& c : comps) wsum += c.weight;
+    for (auto& c : comps) c.weight /= wsum;
+
+    fit.iterations = iter;
+    fit.log_likelihood = ll;
+    if (std::isfinite(prev_ll) &&
+        std::abs(ll - prev_ll) <=
+            opts.tolerance * (std::abs(prev_ll) + 1.0)) {
+      fit.converged = true;
+      break;
+    }
+    prev_ll = ll;
+  }
+
   std::sort(comps.begin(), comps.end(),
             [](const auto& a, const auto& b) { return a.mean < b.mean; });
   fit.mixture = GaussianMixture(std::move(comps));

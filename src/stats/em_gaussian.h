@@ -36,6 +36,17 @@ struct GaussianMixtureFit {
 [[nodiscard]] GaussianMixtureFit FitGaussianMixture(
     std::span<const double> data, std::size_t k, const EmOptions& opts = {});
 
+/// Weighted-sample variant: fit a k-component mixture to `values` where
+/// values[i] carries weight weights[i] (e.g. a sketch bin representative
+/// with its count). Exactly mirrors FitGaussianMixture — same deterministic
+/// range-based initialization, floors, and convergence test — with every
+/// per-point sum weighted; FitGaussianMixture(data, k) is the special case
+/// of unit weights. Throws FitError when total weight < 2*k or the weighted
+/// variance is zero.
+[[nodiscard]] GaussianMixtureFit FitGaussianMixtureWeighted(
+    std::span<const double> values, std::span<const double> weights,
+    std::size_t k, const EmOptions& opts = {});
+
 /// Log-likelihood of data under a mixture (for model comparison / tests).
 [[nodiscard]] double GaussianMixtureLogLikelihood(
     const GaussianMixture& mixture, std::span<const double> data);

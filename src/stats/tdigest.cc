@@ -1,0 +1,248 @@
+#include "stats/tdigest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace mcloud {
+namespace {
+
+/// k1 scale function (Dunning): k(q) = delta/(2*pi) * asin(2q - 1). Bins are
+/// allowed to span one unit of k, which concentrates resolution in the tails.
+double ScaleK(double q, double compression) {
+  q = std::clamp(q, 0.0, 1.0);
+  return compression / (2.0 * std::numbers::pi) * std::asin(2.0 * q - 1.0);
+}
+
+double Interpolate(double x, double x0, double x1, double y0, double y1) {
+  if (x1 <= x0) return y0;
+  return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+}
+
+}  // namespace
+
+TDigest::TDigest(double compression)
+    : compression_(compression),
+      buffer_capacity_(static_cast<std::size_t>(8.0 * compression)) {
+  MCLOUD_REQUIRE(compression >= 20.0, "t-digest compression too small");
+  buffer_.reserve(buffer_capacity_);
+}
+
+void TDigest::Add(double x, std::uint64_t count) {
+  if (count == 0) return;
+  MCLOUD_REQUIRE(std::isfinite(x), "t-digest input must be finite");
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  count_ += count;
+  buffer_.push_back({x, count});
+  if (buffer_.size() >= buffer_capacity_) FlushBuffer();
+}
+
+void TDigest::FlushBuffer() {
+  if (buffer_.empty()) return;
+  centroids_.insert(centroids_.end(), buffer_.begin(), buffer_.end());
+  buffer_.clear();
+  centroids_ = Compress(std::move(centroids_), compression_);
+}
+
+std::vector<Centroid> TDigest::Compress(std::vector<Centroid> cs,
+                                        double compression) {
+  if (cs.size() <= 1) return cs;
+  // Deterministic order: by mean, then weight. Equal (mean, weight) pairs
+  // are interchangeable, so this fully determines the merge result.
+  std::sort(cs.begin(), cs.end(), [](const Centroid& a, const Centroid& b) {
+    return a.mean != b.mean ? a.mean < b.mean : a.weight < b.weight;
+  });
+  double total = 0;
+  for (const Centroid& c : cs) total += static_cast<double>(c.weight);
+
+  std::vector<Centroid> out;
+  out.reserve(static_cast<std::size_t>(2.0 * compression) + 8);
+  Centroid cur = cs.front();
+  double cum = 0;  // weight strictly before `cur`
+  double k_lo = ScaleK(0.0, compression);
+  for (std::size_t i = 1; i < cs.size(); ++i) {
+    const Centroid& c = cs[i];
+    const double q_new =
+        (cum + static_cast<double>(cur.weight + c.weight)) / total;
+    if (ScaleK(q_new, compression) - k_lo <= 1.0) {
+      const double w = static_cast<double>(cur.weight + c.weight);
+      cur.mean += static_cast<double>(c.weight) / w * (c.mean - cur.mean);
+      cur.weight += c.weight;
+    } else {
+      out.push_back(cur);
+      cum += static_cast<double>(cur.weight);
+      k_lo = ScaleK(cum / total, compression);
+      cur = c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+void TDigest::Merge(const TDigest& other) {
+  MCLOUD_REQUIRE(compression_ == other.compression_,
+                 "cannot merge t-digests with different compression");
+  if (other.count_ == 0) return;
+  FlushBuffer();
+  const std::vector<Centroid> oc = other.CanonicalCentroids();
+  centroids_.insert(centroids_.end(), oc.begin(), oc.end());
+  centroids_ = Compress(std::move(centroids_), compression_);
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+}
+
+std::vector<Centroid> TDigest::CanonicalCentroids() const {
+  if (buffer_.empty()) return centroids_;
+  std::vector<Centroid> cs = centroids_;
+  cs.insert(cs.end(), buffer_.begin(), buffer_.end());
+  return Compress(std::move(cs), compression_);
+}
+
+double TDigest::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (min_ == max_) return min_;
+  const std::vector<Centroid> cs = CanonicalCentroids();
+  const double total = static_cast<double>(count_);
+  const double target = std::clamp(q, 0.0, 1.0) * total;
+
+  // Node list: (0, min), (midpoint-of-centroid-i, mean_i)..., (total, max).
+  double cum = 0;
+  double prev_pos = 0;
+  double prev_val = min_;
+  for (const Centroid& c : cs) {
+    const double mid = cum + static_cast<double>(c.weight) / 2.0;
+    if (target <= mid)
+      return Interpolate(target, prev_pos, mid, prev_val, c.mean);
+    prev_pos = mid;
+    prev_val = c.mean;
+    cum += static_cast<double>(c.weight);
+  }
+  return Interpolate(target, prev_pos, total, prev_val, max_);
+}
+
+double TDigest::Cdf(double x) const {
+  if (count_ == 0) return 0.0;
+  if (x < min_) return 0.0;
+  if (x >= max_) return 1.0;
+  if (min_ == max_) return 1.0;  // unreachable given the guards, but safe
+  const std::vector<Centroid> cs = CanonicalCentroids();
+  const double total = static_cast<double>(count_);
+
+  double cum = 0;
+  double prev_pos = 0;
+  double prev_val = min_;
+  for (const Centroid& c : cs) {
+    const double mid = cum + static_cast<double>(c.weight) / 2.0;
+    if (x < c.mean)
+      return Interpolate(x, prev_val, c.mean, prev_pos, mid) / total;
+    prev_pos = mid;
+    prev_val = c.mean;
+    cum += static_cast<double>(c.weight);
+  }
+  return Interpolate(x, prev_val, max_, prev_pos, total) / total;
+}
+
+std::size_t TDigest::MemoryBytes() const {
+  return sizeof(*this) + centroids_.capacity() * sizeof(Centroid) +
+         buffer_.capacity() * sizeof(Centroid);
+}
+
+LogBins::LogBins(double log10_lo, double log10_hi, std::size_t bins)
+    : log10_lo_(log10_lo),
+      log10_hi_(log10_hi),
+      width_((log10_hi - log10_lo) / static_cast<double>(bins)),
+      counts_(bins, 0),
+      sums_(bins, 0.0) {
+  MCLOUD_REQUIRE(log10_hi > log10_lo, "log-bin range must be non-empty");
+  MCLOUD_REQUIRE(bins > 0, "log bins need at least one bin");
+}
+
+void LogBins::Add(double bin_by, double accumulate, std::uint64_t count) {
+  if (count == 0) return;
+  MCLOUD_REQUIRE(bin_by > 0, "log bins take positive values");
+  const double lg = std::log10(bin_by);
+  const auto raw = static_cast<std::ptrdiff_t>(
+      std::floor((lg - log10_lo_) / width_));
+  const auto idx = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+      raw, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1));
+  if (total_ == 0) {
+    min_ = max_ = bin_by;
+  } else {
+    min_ = std::min(min_, bin_by);
+    max_ = std::max(max_, bin_by);
+  }
+  counts_[idx] += count;
+  sums_[idx] += accumulate;
+  total_ += count;
+}
+
+void LogBins::Merge(const LogBins& other) {
+  MCLOUD_REQUIRE(counts_.size() == other.counts_.size() &&
+                     log10_lo_ == other.log10_lo_ &&
+                     log10_hi_ == other.log10_hi_,
+                 "cannot merge log bins with different geometry");
+  if (other.total_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+    sums_[i] += other.sums_[i];
+  }
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  total_ += other.total_;
+}
+
+std::size_t LogBins::MemoryBytes() const {
+  return sizeof(*this) + counts_.capacity() * sizeof(std::uint64_t) +
+         sums_.capacity() * sizeof(double);
+}
+
+void StreamingMoments::Add(double x, double weight) {
+  if (weight <= 0) return;
+  if (wsum_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  wsum_ += weight;
+  const double d = x - mean_;
+  mean_ += weight / wsum_ * d;
+  m2_ += weight * d * (x - mean_);
+}
+
+void StreamingMoments::Merge(const StreamingMoments& other) {
+  if (other.wsum_ == 0) return;
+  if (wsum_ == 0) {
+    *this = other;
+    return;
+  }
+  const double d = other.mean_ - mean_;
+  const double w = wsum_ + other.wsum_;
+  m2_ += other.m2_ + d * d * wsum_ * other.wsum_ / w;
+  mean_ += d * other.wsum_ / w;
+  wsum_ = w;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StreamingMoments::StdDev() const { return std::sqrt(Variance()); }
+
+}  // namespace mcloud

@@ -1,0 +1,173 @@
+// Mergeable streaming sketches for the online analysis engine.
+//
+// Three accumulators that let the 20-check figure pipeline run on bounded
+// memory (DESIGN.md §12):
+//
+//  - TDigest: a deterministic merging t-digest (Dunning's k1 scale function,
+//    fixed compression). The centroid state is a pure function of the
+//    ingestion + merge *sequence*: buffered points are compressed only at
+//    fixed capacity boundaries and at Merge(), never on query, so two runs
+//    that feed the same values in the same order — regardless of when or
+//    whether quantiles were read — hold byte-identical centroids. Production
+//    builds the per-shard digests over a fixed shard count and merges them
+//    in ascending shard order, which makes the result independent of
+//    --threads. (It is *not* invariant to re-sharding the same multiset —
+//    no t-digest is; the determinism contract is fixed ingestion order +
+//    fixed merge order.)
+//
+//  - LogBins: fixed-geometry log10 bins with exact per-bin counts and sums.
+//    Counts are integers and sums are either integers-in-double (inter-op
+//    gaps) or merged in a canonical order (file sizes), so LogBins merges
+//    are order-independent in production use and per-bin means are exact
+//    moments for the weighted EM fitters.
+//
+//  - StreamingMoments: weighted count/mean/variance/min/max accumulator
+//    (West's algorithm), mergeable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mcloud {
+
+/// One t-digest centroid: `weight` samples with mean `mean`.
+struct Centroid {
+  double mean = 0;
+  std::uint64_t weight = 0;
+};
+
+class TDigest {
+ public:
+  /// `compression` bounds the centroid count (~2x compression centroids);
+  /// 200 gives ~1e-3 absolute quantile error in the tails at the sample
+  /// sizes the validator uses. All production digests share the default so
+  /// merges are geometry-compatible by construction.
+  explicit TDigest(double compression = 200.0);
+
+  /// Add `count` samples of value `x`. Buffered; the buffer is compressed
+  /// into the centroid list only when it reaches its fixed capacity.
+  void Add(double x, std::uint64_t count = 1);
+
+  /// Fold `other` into this digest: both sides' canonical centroids are
+  /// concatenated and recompressed once. Deterministic in caller order.
+  void Merge(const TDigest& other);
+
+  [[nodiscard]] std::uint64_t Count() const { return count_; }
+  [[nodiscard]] double Min() const { return min_; }
+  [[nodiscard]] double Max() const { return max_; }
+  [[nodiscard]] double compression() const { return compression_; }
+
+  /// Value at quantile q in [0, 1]; piecewise-linear between centroid means
+  /// with exact min/max endpoints. Returns 0 on an empty digest.
+  [[nodiscard]] double Quantile(double q) const;
+
+  /// P(X <= x) estimate; inverse of Quantile's interpolation scheme.
+  [[nodiscard]] double Cdf(double x) const;
+
+  /// The canonical (fully compressed) centroid list. Const and pure: the
+  /// persistent state is never mutated by queries, so interleaving reads
+  /// with ingestion cannot perturb determinism.
+  [[nodiscard]] std::vector<Centroid> CanonicalCentroids() const;
+
+  [[nodiscard]] std::size_t MemoryBytes() const;
+
+ private:
+  void FlushBuffer();
+  static std::vector<Centroid> Compress(std::vector<Centroid> cs,
+                                        double compression);
+
+  double compression_;
+  std::size_t buffer_capacity_;
+  std::vector<Centroid> centroids_;
+  std::vector<Centroid> buffer_;
+  std::uint64_t count_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Fixed log10-geometry bins over [10^log10_lo, 10^log10_hi): per-bin exact
+/// counts and sums plus exact global min/max/total. Out-of-range values are
+/// clamped into the edge bins (per-bin sums stay exact, so clamping only
+/// coarsens the binning, never biases a mean). Merge requires identical
+/// geometry and is a per-bin integer/double add in caller order.
+class LogBins {
+ public:
+  LogBins(double log10_lo, double log10_hi, std::size_t bins);
+
+  /// Bin by x, accumulate x (count times).
+  void Add(double x, std::uint64_t count = 1) {
+    Add(x, x * static_cast<double>(count), count);
+  }
+
+  /// Bin by `bin_by`, but accumulate `accumulate` into the bin sum. Used by
+  /// the interval sketch: the bin index comes from the dequantization-
+  /// jittered gap while the sum accumulates the raw integer gap, keeping
+  /// per-bin sums exactly representable (and therefore order-independent
+  /// under merges).
+  void Add(double bin_by, double accumulate, std::uint64_t count);
+
+  void Merge(const LogBins& other);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double log10_lo() const { return log10_lo_; }
+  [[nodiscard]] double log10_hi() const { return log10_hi_; }
+  [[nodiscard]] double Log10Width() const { return width_; }
+  [[nodiscard]] double Log10Left(std::size_t i) const {
+    return log10_lo_ + static_cast<double>(i) * width_;
+  }
+  [[nodiscard]] double Log10Center(std::size_t i) const {
+    return Log10Left(i) + 0.5 * width_;
+  }
+  [[nodiscard]] std::uint64_t Count(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double Sum(std::size_t i) const { return sums_[i]; }
+  /// Exact mean of the values that landed in bin i (0 if empty).
+  [[nodiscard]] double Mean(std::size_t i) const {
+    return counts_[i] == 0 ? 0.0
+                           : sums_[i] / static_cast<double>(counts_[i]);
+  }
+  [[nodiscard]] std::uint64_t Total() const { return total_; }
+  [[nodiscard]] double Min() const { return min_; }
+  [[nodiscard]] double Max() const { return max_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
+    return counts_;
+  }
+  [[nodiscard]] const std::vector<double>& sums() const { return sums_; }
+  [[nodiscard]] std::size_t MemoryBytes() const;
+
+ private:
+  double log10_lo_;
+  double log10_hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<double> sums_;
+  std::uint64_t total_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Weighted streaming moments (count, mean, variance, min, max) via West's
+/// incremental update; mergeable with the parallel-variance combination.
+class StreamingMoments {
+ public:
+  void Add(double x, double weight = 1.0);
+  void Merge(const StreamingMoments& other);
+
+  [[nodiscard]] double WeightSum() const { return wsum_; }
+  [[nodiscard]] double Mean() const { return mean_; }
+  [[nodiscard]] double Variance() const {
+    return wsum_ > 0 ? m2_ / wsum_ : 0.0;
+  }
+  [[nodiscard]] double StdDev() const;
+  [[nodiscard]] double Min() const { return min_; }
+  [[nodiscard]] double Max() const { return max_; }
+
+ private:
+  double wsum_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace mcloud

@@ -12,6 +12,10 @@ int ResolveThreads(int requested) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+int ClampThreadsToHardware(int requested) {
+  return std::min(ResolveThreads(requested), ResolveThreads(0));
+}
+
 ThreadPool::ThreadPool(int threads) : threads_(ResolveThreads(threads)) {
   workers_.reserve(static_cast<std::size_t>(threads_ - 1));
   for (int i = 1; i < threads_; ++i)

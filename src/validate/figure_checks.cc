@@ -10,6 +10,7 @@
 #include "analysis/perf_analysis.h"
 #include "model/paper_params.h"
 #include "stats/chi_square.h"
+#include "stats/tdigest.h"
 #include "util/summary.h"
 #include "validate/gof.h"
 #include "validate/tolerance.h"
@@ -32,7 +33,7 @@ constexpr double kSessionSplitChiSlack = 9e-3;
 /// split across sessions, not from a direct Fig 5 sample (measured
 /// single-op share ~0.56 vs the paper's 0.40).
 constexpr double kOpCountShareSlack = 0.18;
-/// A²/n of the raw size samples against their own refit mixture.
+/// A²/n of the sketch-binned size samples against their own refit mixture.
 constexpr double kRefitAdSlack = 0.02;
 /// KS against the paper's Table 2 store mixture: the refit deliberately
 /// splits the dominant 1.5 MB component and the occasional-user sub-1 MB
@@ -70,6 +71,23 @@ std::string Fmt(const char* fmt, auto... args) {
 
 double Median(std::span<const double> xs) {
   return xs.empty() ? 0.0 : Percentile(xs, 50.0);
+}
+
+/// (bin mean, bin count) pairs of a sketch's occupied bins — the inputs of
+/// the grouped GoF statistics (see validate/gof.h).
+struct SketchGroups {
+  std::vector<double> values;
+  std::vector<std::uint64_t> counts;
+};
+
+SketchGroups GroupsOf(const LogBins& sketch) {
+  SketchGroups g;
+  for (std::size_t b = 0; b < sketch.bins(); ++b) {
+    if (sketch.Count(b) == 0) continue;
+    g.values.push_back(sketch.Mean(b));
+    g.counts.push_back(sketch.Count(b));
+  }
+  return g;
 }
 
 double ShareWhere(std::span<const double> xs, auto&& pred) {
@@ -208,7 +226,7 @@ CheckResult CheckFig03(const ValidationInputs& in) {
               im.inter_mean_seconds <= 4 * kDay,
           Fmt("inter-session gap mean %.2f d outside [0.25 d, 4 d] around "
               "the paper's ~1 d", im.inter_mean_seconds / kDay));
-  return v.Result(in.report.raw.intervals_s.size());
+  return v.Result(static_cast<std::size_t>(in.report.sketches.intervals.Total()));
 }
 
 CheckResult CheckFig04(const ValidationInputs& in) {
@@ -244,13 +262,16 @@ CheckResult CheckFig04(const ValidationInputs& in) {
 }
 
 CheckResult CheckFig05(const ValidationInputs& in) {
-  const auto& ops = in.report.raw.session_op_counts;
-  if (ops.empty()) return NoSample("mobile sessions");
-  const double p1 = ShareWhere(ops, [](double x) { return x == 1.0; });
-  const double p20 = ShareWhere(ops, [](double x) { return x > 20.0; });
+  const std::size_t n = in.report.session_split.total;
+  if (n == 0) return NoSample("mobile sessions");
+  const auto& sk = in.report.sketches;
+  const double p1 =
+      static_cast<double>(sk.single_op_sessions) / static_cast<double>(n);
+  const double p20 =
+      static_cast<double>(sk.over20_op_sessions) / static_cast<double>(n);
   CheckResult r;
   r.metric = "share dev";
-  r.n = ops.size();
+  r.n = n;
   r.statistic = std::max(std::abs(p1 - paper::kSingleOpSessionShare),
                          std::abs(p20 - paper::kOver20OpSessionShare));
   r.threshold =
@@ -263,15 +284,17 @@ CheckResult CheckFig05(const ValidationInputs& in) {
 }
 
 CheckResult CheckFig06(const ValidationInputs& in) {
-  const auto& store = in.report.raw.store_avg_mb;
-  const auto& retrieve = in.report.raw.retrieve_avg_mb;
-  if (store.empty() || retrieve.empty()) return NoSample("size samples");
+  const auto& sk = in.report.sketches;
+  if (sk.store_avg_mb.Total() == 0 || sk.retrieve_avg_mb.Total() == 0)
+    return NoSample("size samples");
   const auto& store_fit = in.report.store_size_model.selection.fit.mixture;
   const auto& ret_fit = in.report.retrieve_size_model.selection.fit.mixture;
-  const GofResult ad_s =
-      AndersonDarling(store, [&](double x) { return store_fit.Cdf(x); });
-  const GofResult ad_r =
-      AndersonDarling(retrieve, [&](double x) { return ret_fit.Cdf(x); });
+  const SketchGroups gs = GroupsOf(sk.store_avg_mb);
+  const SketchGroups gr = GroupsOf(sk.retrieve_avg_mb);
+  const GofResult ad_s = AndersonDarlingGrouped(
+      gs.values, gs.counts, [&](double x) { return store_fit.Cdf(x); });
+  const GofResult ad_r = AndersonDarlingGrouped(
+      gr.values, gr.counts, [&](double x) { return ret_fit.Cdf(x); });
   CheckResult r;
   r.metric = "AD A2/n";
   r.n = std::min(ad_s.n, ad_r.n);
@@ -291,11 +314,12 @@ CheckResult CheckFig06(const ValidationInputs& in) {
 }
 
 CheckResult CheckTab02Store(const ValidationInputs& in) {
-  const auto& sample = in.report.raw.store_avg_mb;
-  if (sample.empty()) return NoSample("store-only sessions");
+  const auto& sketch = in.report.sketches.store_avg_mb;
+  if (sketch.Total() == 0) return NoSample("store-only sessions");
   const MixtureExponential model = paper::StoreFileSizeModel();
+  const SketchGroups g = GroupsOf(sketch);
   const GofResult ks =
-      KsOneSample(sample, [&](double x) { return model.Cdf(x); });
+      KsGrouped(g.values, g.counts, [&](double x) { return model.Cdf(x); });
   CheckResult r;
   r.metric = "KS D";
   r.n = ks.n;
@@ -308,11 +332,12 @@ CheckResult CheckTab02Store(const ValidationInputs& in) {
 }
 
 CheckResult CheckTab02Retrieve(const ValidationInputs& in) {
-  const auto& sample = in.report.raw.retrieve_avg_mb;
-  if (sample.empty()) return NoSample("retrieve-only sessions");
+  const auto& sketch = in.report.sketches.retrieve_avg_mb;
+  if (sketch.Total() == 0) return NoSample("retrieve-only sessions");
   const MixtureExponential model = paper::RetrieveFileSizeModel();
+  const SketchGroups g = GroupsOf(sketch);
   const GofResult ks =
-      KsOneSample(sample, [&](double x) { return model.Cdf(x); });
+      KsGrouped(g.values, g.counts, [&](double x) { return model.Cdf(x); });
   CheckResult r;
   r.metric = "KS D";
   r.n = ks.n;
@@ -329,16 +354,18 @@ CheckResult CheckTab02Retrieve(const ValidationInputs& in) {
 // ---------------------------------------------------------------------------
 
 CheckResult CheckFig07(const ValidationInputs& in) {
-  const auto& ratios = in.report.raw.mobile_only_ratio_log10;
-  if (ratios.empty()) return NoSample("mobile-only ratio samples");
+  const auto& sk = in.report.sketches;
+  if (sk.ratio_sample_users == 0)
+    return NoSample("mobile-only ratio samples");
   // Fig 7a's signature shape: the CDF jumps at the saturated extremes and
   // only the mixed class (plus two-sided occasional users, absorbed in the
-  // slack) occupies the middle.
-  const double middle =
-      ShareWhere(ratios, [](double x) { return std::abs(x) < 5.0; });
+  // slack) occupies the middle. The pipeline counts the |log10 ratio| < 5
+  // middle band exactly (ReportSketches).
+  const double middle = static_cast<double>(sk.ratio_middle_users) /
+                        static_cast<double>(sk.ratio_sample_users);
   CheckResult r;
   r.metric = "share dev";
-  r.n = ratios.size();
+  r.n = static_cast<std::size_t>(sk.ratio_sample_users);
   r.statistic = std::abs(middle - paper::kMobileMixedShare);
   r.threshold = kRatioMiddleSlack +
                 SharePolicy{0}.Band(paper::kMobileMixedShare, r.n);
@@ -573,7 +600,7 @@ CheckResult CheckTab04(const ValidationInputs& in) {
   double total = 0;
   std::array<double, 24> by_hour{};
   for (const auto& h : ts.hours) {
-    const double vol = h.store_volume_gb + h.retrieve_volume_gb;
+    const double vol = h.StoreVolumeGb() + h.RetrieveVolumeGb();
     by_hour[static_cast<std::size_t>(h.hour % 24)] += vol;
     total += vol;
   }

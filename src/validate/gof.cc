@@ -16,6 +16,30 @@ std::vector<double> Sorted(std::span<const double> sample) {
   return s;
 }
 
+struct Group {
+  double value;
+  std::uint64_t count;
+};
+
+/// Non-empty groups in ascending value order, with the total count.
+std::pair<std::vector<Group>, std::uint64_t> SortedGroups(
+    std::span<const double> values, std::span<const std::uint64_t> counts) {
+  MCLOUD_REQUIRE(values.size() == counts.size(),
+                 "grouped GoF: values/counts size mismatch");
+  std::vector<Group> gs;
+  gs.reserve(values.size());
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (counts[i] == 0) continue;
+    gs.push_back({values[i], counts[i]});
+    n += counts[i];
+  }
+  MCLOUD_REQUIRE(n > 0, "grouped GoF needs a non-empty sample");
+  std::sort(gs.begin(), gs.end(),
+            [](const Group& a, const Group& b) { return a.value < b.value; });
+  return {std::move(gs), n};
+}
+
 }  // namespace
 
 GofResult KsOneSample(std::span<const double> sample,
@@ -84,6 +108,51 @@ GofResult AndersonDarling(std::span<const double> sample,
   GofResult r;
   r.statistic = -n - sum / n;
   r.n = s.size();
+  r.p_value = AndersonDarlingSurvival(r.statistic);
+  return r;
+}
+
+GofResult KsGrouped(std::span<const double> values,
+                    std::span<const std::uint64_t> counts,
+                    const std::function<double(double)>& model_cdf) {
+  const auto [gs, total] = SortedGroups(values, counts);
+  const auto n = static_cast<double>(total);
+  double d = 0;
+  std::uint64_t before = 0;
+  for (const Group& g : gs) {
+    const double f = model_cdf(g.value);
+    const double lo = static_cast<double>(before) / n;
+    const double hi = static_cast<double>(before + g.count) / n;
+    d = std::max({d, f - lo, hi - f});
+    before += g.count;
+  }
+  GofResult r;
+  r.statistic = d;
+  r.n = total;
+  const double sqrt_n = std::sqrt(n);
+  r.p_value = KolmogorovSurvival((sqrt_n + 0.12 + 0.11 / sqrt_n) * d);
+  return r;
+}
+
+GofResult AndersonDarlingGrouped(
+    std::span<const double> values, std::span<const std::uint64_t> counts,
+    const std::function<double(double)>& model_cdf) {
+  const auto [gs, total] = SortedGroups(values, counts);
+  const auto n = static_cast<double>(total);
+  constexpr double kEps = 1e-12;
+  double sum = 0;
+  std::uint64_t before = 0;
+  for (const Group& g : gs) {
+    const double f = std::clamp(model_cdf(g.value), kEps, 1.0 - kEps);
+    const auto a = static_cast<double>(before);
+    const auto c = static_cast<double>(g.count);
+    sum += c * (2.0 * a + c) * std::log(f) +
+           c * (2.0 * (n - a) - c) * std::log1p(-f);
+    before += g.count;
+  }
+  GofResult r;
+  r.statistic = -n - sum / n;
+  r.n = total;
   r.p_value = AndersonDarlingSurvival(r.statistic);
   return r;
 }

@@ -10,6 +10,7 @@
 // practically-irrelevant deviations.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <span>
 
@@ -41,6 +42,26 @@ struct GofResult {
 /// stable.
 [[nodiscard]] GofResult AndersonDarling(
     std::span<const double> sample,
+    const std::function<double(double)>& model_cdf);
+
+// Grouped variants for the sketch-backed online engine: the sample arrives
+// as (value, count) groups — e.g. a LogBins bin mean with its bin count —
+// instead of raw observations. Both are the exact closed forms of their raw
+// counterparts evaluated on a sample with `count` copies of each value
+// (rank sums collapse to arithmetic series), so a single-group-per-value
+// input reproduces the ungrouped statistic bit-for-bit. Groups need not be
+// pre-sorted. `n` in the result is the total count.
+
+/// Grouped one-sample KS: D = max over groups of
+/// max(F(v) - a/n, (a+c)/n - F(v)) with `a` the count before the group.
+[[nodiscard]] GofResult KsGrouped(
+    std::span<const double> values, std::span<const std::uint64_t> counts,
+    const std::function<double(double)>& model_cdf);
+
+/// Grouped one-sample Anderson–Darling:
+/// A² = -n - (1/n)[Σ c(2a+c)·ln F(v) + Σ c(2(n-a)-c)·ln(1-F(v))].
+[[nodiscard]] GofResult AndersonDarlingGrouped(
+    std::span<const double> values, std::span<const std::uint64_t> counts,
     const std::function<double(double)>& model_cdf);
 
 }  // namespace mcloud::validate

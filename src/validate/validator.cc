@@ -96,21 +96,23 @@ void AppendOutcome(std::string& out, const CheckOutcome& o) {
 
 void AppendRun(std::string& out, const ValidationRun& r) {
   Append(out, "{\n  \"users\": %zu,\n  \"seed\": %llu,\n"
-              "  \"out_of_core\": %s,\n"
+              "  \"out_of_core\": %s,\n  \"concurrent\": %s,\n"
               "  \"fleet_flows\": %zu,\n  \"checks\": %zu,\n"
               "  \"passed\": %zu,\n  \"all_passed\": %s,\n"
               "  \"fingerprint\": \"%016llx\",\n"
               "  \"timings_s\": {\"generate\": %.3f, \"analyze\": %.3f, "
               "\"fleet\": %.3f, \"checks\": %.3f, \"total\": %.3f,\n"
+              "    \"sketch_bytes\": %zu,\n"
               "    \"fleet_shards\": %zu, \"fleet_fingerprint\": \"%016llx\","
               " \"per_shard\": [",
          r.options.users, static_cast<unsigned long long>(r.options.seed),
          r.options.out_of_core ? "true" : "false",
+         r.options.concurrent ? "true" : "false",
          r.options.fleet_flows, r.outcomes.size(), r.Passed(),
          r.AllPassed() ? "true" : "false",
          static_cast<unsigned long long>(ManifestFingerprint(r)),
          r.generate_s, r.analyze_s, r.fleet_s, r.checks_s, r.total_s,
-         r.fleet_shards.size(),
+         r.sketch_bytes, r.fleet_shards.size(),
          static_cast<unsigned long long>(r.fleet_fingerprint));
   for (std::size_t i = 0; i < r.fleet_shards.size(); ++i) {
     const cloud::ShardTelemetry& t = r.fleet_shards[i];
@@ -156,8 +158,39 @@ ValidationInputs BuildValidationInputs(const ValidateOptions& options,
   const workload::WorkloadGenerator generator(cfg);
   core::PipelineOptions popts;
   popts.threads = options.threads;
-  popts.keep_raw_samples = true;
-  if (options.out_of_core) {
+  if (options.concurrent) {
+    // Analyze-while-generate: the spill slices feed the concurrent pipeline
+    // as they seal, so generation and analysis share one overlapped walk
+    // (generate_s stays 0 — there is no separate generation phase).
+    namespace fs = std::filesystem;
+    const bool owned = options.spill_dir.empty();
+    const fs::path dir =
+        owned ? fs::temp_directory_path() /
+                    ("mcloud-spill-" + std::to_string(::getpid()) + "-" +
+                     std::to_string(options.seed) + "-" +
+                     std::to_string(options.users))
+              : fs::path(options.spill_dir);
+    fs::create_directories(dir);
+    workload::SpillConfig spill;
+    spill.dir = dir;
+    // A third of the two-phase slice size: the overlapped pipeline keeps up
+    // to three slices in flight (producer buffer, queue slot, consumer), so
+    // this holds the resident total at the same budget.
+    spill.max_buffer_bytes =
+        std::max<std::size_t>(options.max_memory_mb, std::size_t{64}) *
+        (1024 * 1024 / 9);
+    popts.max_memory_mb = options.max_memory_mb;
+    const core::AnalysisPipeline pipeline(popts);
+    in.report = pipeline.RunConcurrent(
+        [&](const core::AnalysisPipeline::SliceConsumer& consume) {
+          (void)generator.GenerateToPartitions(spill, consume);
+        });
+    if (timings) timings->analyze_s = Since(t0);
+    if (owned) {
+      std::error_code ec;
+      fs::remove_all(dir, ec);
+    }
+  } else if (options.out_of_core) {
     // Bounded-memory path: spill the generation into a partitioned on-disk
     // trace, then stream it back through the out-of-core engine. Both
     // phases share options.max_memory_mb; generation gets a third of it as
@@ -197,6 +230,7 @@ ValidationInputs BuildValidationInputs(const ValidateOptions& options,
     in.report = core::AnalysisPipeline(popts).Run(workload.trace);
     if (timings) timings->analyze_s = Since(t0);
   }
+  if (timings) timings->sketch_bytes = in.report.sketches.MemoryBytes();
 
   t0 = Clock::now();
   cloud::FleetConfig fleet_cfg;
@@ -369,9 +403,10 @@ std::string RenderText(const ValidationRun& run) {
     if (!o.passed) Append(out, "    %s\n", o.result.detail.c_str());
   }
   Append(out, "--- %zu/%zu checks passed; generate %.1fs analyze %.1fs "
-              "fleet %.1fs checks %.1fs (total %.1fs)\n",
+              "fleet %.1fs checks %.1fs (total %.1fs); sketches %.1f KiB\n",
          run.Passed(), run.outcomes.size(), run.generate_s, run.analyze_s,
-         run.fleet_s, run.checks_s, run.total_s);
+         run.fleet_s, run.checks_s, run.total_s,
+         static_cast<double>(run.sketch_bytes) / 1024.0);
   if (!run.fleet_shards.empty()) {
     std::uint64_t events = 0, cancelled = 0;
     for (const cloud::ShardTelemetry& t : run.fleet_shards) {

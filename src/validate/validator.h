@@ -1,6 +1,7 @@
 // The validation driver behind `mcloudctl validate`: generate a trace
-// through the columnar path, run the fused analysis engine with raw samples
-// kept, execute the §4 fleet simulation, evaluate every FigureCheck, and
+// through the columnar path, run the fused analysis engine (the checks read
+// its streaming sketches), execute the §4 fleet simulation, evaluate every
+// FigureCheck, and
 // emit a machine-readable pass/fail manifest. A seed-sweep mode re-runs the
 // whole thing across seeds and bootstraps a pass-rate confidence interval,
 // which is how the tolerance slacks in figure_checks.cc are calibrated to a
@@ -36,6 +37,12 @@ struct ValidateOptions {
   /// ManifestFingerprint, and an out-of-core run fingerprints identically
   /// to the resident run it mirrors (the CI smoke job checks exactly that).
   bool out_of_core = false;
+  /// Analyze-while-generate mode: generation spills sealed slices into the
+  /// concurrent pipeline (AnalysisPipeline::RunConcurrent) instead of
+  /// running generation and analysis as two phases. Like `out_of_core`,
+  /// pure execution strategy — the manifest fingerprint is identical to the
+  /// resident run's.
+  bool concurrent = false;
   /// Approximate resident budget (MB) for out-of-core generation+analysis.
   std::size_t max_memory_mb = 2048;
   /// Spill directory for out-of-core mode; empty = a unique temp directory,
@@ -47,11 +54,15 @@ struct ValidateOptions {
 struct ValidationRun {
   ValidateOptions options;
   std::vector<CheckOutcome> outcomes;
-  double generate_s = 0;  ///< workload generation (columnar)
+  double generate_s = 0;  ///< workload generation (0 in concurrent mode —
+                          ///< generation overlaps analysis there)
   double analyze_s = 0;   ///< fused analysis engine
   double fleet_s = 0;     ///< §4 service simulation + Fig 13 flows
   double checks_s = 0;    ///< all FigureCheck evaluations
   double total_s = 0;
+  /// Resident bytes of the report's streaming sketches (ReportSketches) —
+  /// the whole validation-input footprint beyond the fitted summaries.
+  std::size_t sketch_bytes = 0;
   /// Per-shard event-core observability from the sharded fleet run.
   std::vector<cloud::ShardTelemetry> fleet_shards;
   /// FingerprintServiceResult of the merged fleet ServiceResult.

@@ -134,6 +134,11 @@ Workload WorkloadGenerator::GeneratePlansOnly() const {
 // the thread count.
 SpillSummary WorkloadGenerator::GenerateToPartitions(
     const SpillConfig& spill) const {
+  return GenerateToPartitions(spill, SliceSink{});
+}
+
+SpillSummary WorkloadGenerator::GenerateToPartitions(
+    const SpillConfig& spill, const SliceSink& slice_sink) const {
   ThreadPool pool(config_.threads);
   Rng rng(config_.seed);
 
@@ -164,8 +169,15 @@ SpillSummary WorkloadGenerator::GenerateToPartitions(
     std::stable_sort(buffer.begin(), buffer.end(), LogRecordTimeOrder);
     writer.WriteSortedSlice(buffer);
     ++sum.spills;
-    buffer.clear();
-    buffer.shrink_to_fit();
+    if (slice_sink) {
+      // Hand the sealed slice to the analysis side; a blocking sink is the
+      // backpressure that keeps generation at the analysis rate.
+      slice_sink(std::move(buffer));
+      buffer = std::vector<LogRecord>();
+    } else {
+      buffer.clear();
+      buffer.shrink_to_fit();
+    }
   };
 
   const std::size_t n_chunks =

@@ -386,7 +386,7 @@ TEST(Timeseries, BinsVolumeAndFiles) {
   const auto ts = BuildTimeseries(trace, kTraceStart, 1);
   ASSERT_EQ(ts.hours.size(), 24u);
   EXPECT_EQ(ts.hours[0].stored_files, 1u);
-  EXPECT_NEAR(ts.hours[0].store_volume_gb, 0.001, 1e-9);
+  EXPECT_NEAR(ts.hours[0].StoreVolumeGb(), 0.001, 1e-9);
   EXPECT_EQ(ts.hours[1].retrieved_files, 1u);
   EXPECT_NEAR(ts.TotalRetrieveGb(), 0.003, 1e-9);
 }

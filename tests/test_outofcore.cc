@@ -70,6 +70,78 @@ TEST(OutOfCore, SpilledGenerationMatchesResidentReport) {
   }
 }
 
+TEST(OutOfCore, RunStreamingMatchesResidentReport) {
+  const workload::WorkloadConfig cfg = SmallConfig();
+  const workload::ColumnarWorkload resident =
+      workload::WorkloadGenerator(cfg).GenerateColumnar();
+  const core::FullReport want =
+      core::AnalysisPipeline(core::PipelineOptions{}).Run(resident.trace);
+  const std::uint64_t want_fp = core::FingerprintReport(want);
+
+  const auto dir = SpillDir("mcloud_ooc_streaming_test");
+  workload::SpillConfig spill;
+  spill.dir = dir;
+  spill.max_buffer_bytes = 1;  // clamped to the 64k-record floor
+  spill.users_per_chunk = 64;
+  (void)workload::WorkloadGenerator(cfg).GenerateToPartitions(spill);
+  const PartitionedTrace trace = PartitionedTrace::Open(dir);
+
+  // The single-walk engine (one Scan feeding the row pass and the
+  // inline-mobility per-user pass together) must be bit-identical to the
+  // resident two-pass engine at every thread count and staging budget.
+  for (const int threads : {1, 3}) {
+    core::PipelineOptions opts;
+    opts.threads = threads;
+    opts.max_memory_mb = 1;  // minimum staging: many refills per day
+    core::StageTimings st;
+    const core::FullReport got =
+        core::AnalysisPipeline(opts).RunStreaming(trace, &st);
+    EXPECT_EQ(core::FingerprintReport(got), want_fp)
+        << "threads=" << threads;
+    EXPECT_GT(st.fits_s, 0.0);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(OutOfCore, RunConcurrentMatchesResidentReport) {
+  const workload::WorkloadConfig cfg = SmallConfig();
+  const workload::ColumnarWorkload resident =
+      workload::WorkloadGenerator(cfg).GenerateColumnar();
+  const core::FullReport want =
+      core::AnalysisPipeline(core::PipelineOptions{}).Run(resident.trace);
+  const std::uint64_t want_fp = core::FingerprintReport(want);
+
+  // Analyze-while-generate: generation spills sealed slices straight into
+  // the bounded queue; the overlapped walk must still produce the resident
+  // report bit-for-bit, independent of threads and slice boundaries.
+  for (const int threads : {1, 3}) {
+    const auto dir = SpillDir("mcloud_ooc_concurrent_test");
+    workload::SpillConfig spill;
+    spill.dir = dir;
+    spill.max_buffer_bytes = 1;  // clamped to the 64k-record floor
+    spill.users_per_chunk = 64;
+    workload::WorkloadConfig gen_cfg = cfg;
+    gen_cfg.threads = threads;
+
+    core::PipelineOptions opts;
+    opts.threads = threads;
+    core::StageTimings st;
+    workload::SpillSummary summary;
+    const core::FullReport got =
+        core::AnalysisPipeline(opts).RunConcurrent(
+            [&](const core::AnalysisPipeline::SliceConsumer& consume) {
+              summary = workload::WorkloadGenerator(gen_cfg)
+                            .GenerateToPartitions(spill, consume);
+            },
+            &st);
+    EXPECT_EQ(summary.records, resident.trace.rows());
+    EXPECT_GT(summary.spills, 1u) << "buffer too big to exercise slicing";
+    EXPECT_EQ(core::FingerprintReport(got), want_fp)
+        << "threads=" << threads;
+    std::filesystem::remove_all(dir);
+  }
+}
+
 TEST(OutOfCore, ValidatorFingerprintMatchesResident) {
   validate::ValidateOptions opt;
   opt.users = 800;
@@ -88,6 +160,16 @@ TEST(OutOfCore, ValidatorFingerprintMatchesResident) {
   // out-of-core run must fingerprint identically to the resident run.
   EXPECT_EQ(validate::ManifestFingerprint(ooc),
             validate::ManifestFingerprint(resident));
+
+  opt.out_of_core = false;
+  opt.concurrent = true;
+  validate::ValidationRun concurrent;
+  (void)validate::BuildValidationInputs(opt, &concurrent);
+  EXPECT_EQ(validate::ManifestFingerprint(concurrent),
+            validate::ManifestFingerprint(resident));
+  EXPECT_GT(concurrent.sketch_bytes, 0u);
+  EXPECT_EQ(concurrent.generate_s, 0.0)
+      << "generation should overlap analysis in concurrent mode";
 }
 
 TEST(OutOfCore, GenerateToPartitionsIsIdenticalAcrossThreadCounts) {

@@ -1,0 +1,290 @@
+// The streaming-sketch contracts behind the online analysis engine
+// (DESIGN.md §12): TDigest determinism under fixed ingestion + merge order,
+// quantile accuracy against exact CDFs, LogBins order-independent merging,
+// StreamingMoments merge correctness, and the grouped GoF statistics
+// matching their raw counterparts exactly on tied data.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "stats/tdigest.h"
+#include "util/rng.h"
+#include "validate/gof.h"
+
+namespace mcloud {
+namespace {
+
+std::vector<double> UniformSample(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.Uniform(0.0, 1.0));
+  return xs;
+}
+
+bool SameCentroids(const TDigest& a, const TDigest& b) {
+  const auto ca = a.CanonicalCentroids();
+  const auto cb = b.CanonicalCentroids();
+  if (ca.size() != cb.size()) return false;
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    if (ca[i].mean != cb[i].mean || ca[i].weight != cb[i].weight) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(TDigest, EmptyDigest) {
+  const TDigest d;
+  EXPECT_EQ(d.Count(), 0u);
+  EXPECT_EQ(d.Quantile(0.5), 0.0);
+  EXPECT_TRUE(d.CanonicalCentroids().empty());
+}
+
+TEST(TDigest, SameIngestionOrderIsByteIdentical) {
+  const std::vector<double> xs = UniformSample(20'000, 11);
+  TDigest a;
+  TDigest b;
+  for (double x : xs) {
+    a.Add(x);
+    b.Add(x);
+  }
+  EXPECT_EQ(a.Count(), xs.size());
+  EXPECT_TRUE(SameCentroids(a, b));
+  EXPECT_EQ(a.Quantile(0.5), b.Quantile(0.5));
+}
+
+TEST(TDigest, QueriesNeverPerturbState) {
+  // The determinism contract: interleaving quantile/CDF reads with
+  // ingestion must not change the final centroid state, because queries
+  // operate on a temporary canonical copy.
+  const std::vector<double> xs = UniformSample(10'000, 3);
+  TDigest quiet;
+  TDigest queried;
+  double sink = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    quiet.Add(xs[i]);
+    queried.Add(xs[i]);
+    if (i % 37 == 0) {
+      sink += queried.Quantile(0.9) + queried.Cdf(0.5);
+    }
+  }
+  EXPECT_TRUE(SameCentroids(quiet, queried)) << "query-order dependence";
+  EXPECT_TRUE(std::isfinite(sink));
+}
+
+TEST(TDigest, ShardedMergeIsDeterministic) {
+  // Production shards contiguously and merges in ascending shard order;
+  // repeating the identical shard+merge sequence must reproduce the digest
+  // byte-for-byte.
+  const std::vector<double> xs = UniformSample(30'000, 7);
+  const auto Build = [&xs](std::size_t shards) {
+    std::vector<TDigest> parts(shards);
+    const std::size_t per = xs.size() / shards;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::size_t lo = s * per;
+      const std::size_t hi = s + 1 == shards ? xs.size() : lo + per;
+      for (std::size_t i = lo; i < hi; ++i) parts[s].Add(xs[i]);
+    }
+    TDigest merged;
+    for (const TDigest& p : parts) merged.Merge(p);
+    return merged;
+  };
+  for (const std::size_t shards : {1u, 4u, 9u}) {
+    const TDigest once = Build(shards);
+    const TDigest twice = Build(shards);
+    EXPECT_EQ(once.Count(), xs.size());
+    EXPECT_TRUE(SameCentroids(once, twice)) << "shards=" << shards;
+  }
+}
+
+TEST(TDigest, QuantileAccuracyUniform) {
+  const std::size_t n = 200'000;
+  const std::vector<double> xs = UniformSample(n, 19);
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  for (const std::size_t shards : {1u, 8u}) {
+    std::vector<TDigest> parts(shards);
+    for (std::size_t i = 0; i < n; ++i) {
+      parts[i / ((n + shards - 1) / shards)].Add(xs[i]);
+    }
+    TDigest d;
+    for (const TDigest& p : parts) d.Merge(p);
+    for (const double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+      const double exact =
+          sorted[static_cast<std::size_t>(q * static_cast<double>(n - 1))];
+      // ~1e-3 absolute quantile error at compression 200 (tdigest.h); the
+      // empirical sample itself wanders O(1/sqrt(n)) from the true CDF.
+      EXPECT_NEAR(d.Quantile(q), exact, 5e-3)
+          << "q=" << q << " shards=" << shards;
+    }
+    EXPECT_EQ(d.Quantile(0.0), sorted.front());
+    EXPECT_EQ(d.Quantile(1.0), sorted.back());
+  }
+}
+
+TEST(TDigest, QuantileAccuracyExponential) {
+  Rng rng(23);
+  const std::size_t n = 200'000;
+  TDigest d;
+  std::vector<double> sorted;
+  sorted.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.ExponentialMean(1.0);
+    d.Add(x);
+    sorted.push_back(x);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double exact =
+        sorted[static_cast<std::size_t>(q * static_cast<double>(n - 1))];
+    // Relative error bound: the exponential's heavy right side stretches
+    // absolute gaps near q=0.99 (exact value ~4.6).
+    EXPECT_NEAR(d.Quantile(q), exact, 0.02 * std::max(1.0, exact))
+        << "q=" << q;
+  }
+  // CDF inverts Quantile's interpolation scheme to the same accuracy.
+  EXPECT_NEAR(d.Cdf(std::log(2.0)), 0.5, 5e-3);
+}
+
+TEST(TDigest, WeightedAddCarriesFullWeight) {
+  // Add(x, c) must weight x as c samples. Four equal-weight centroids sit
+  // at cumulative quantile positions 0.125/0.375/0.625/0.875, where the
+  // piecewise-linear Quantile returns the centroid means exactly. (This is
+  // *not* byte-equivalent to c repeated unit Adds — those cross buffer-
+  // flush boundaries at different points, which the determinism contract
+  // explicitly scopes to the exact ingestion sequence.)
+  TDigest d;
+  const std::vector<double> xs = {0.1, 0.5, 2.0, 7.5};
+  for (double x : xs) d.Add(x, 250);
+  EXPECT_EQ(d.Count(), 1000u);
+  EXPECT_DOUBLE_EQ(d.Min(), 0.1);
+  EXPECT_DOUBLE_EQ(d.Max(), 7.5);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(d.Quantile(0.125 + 0.25 * static_cast<double>(i)), xs[i],
+                1e-9)
+        << i;
+  }
+  // CDF midpoint between the second and third value groups: 500 of the
+  // 1000 samples lie below.
+  EXPECT_NEAR(d.Cdf(1.0), 0.5, 0.05);
+}
+
+TEST(LogBins, MergeIsOrderIndependent) {
+  // Integer values keep every per-bin sum exactly representable, so the
+  // shard merge commutes — the property the inter-op interval sketch
+  // relies on for --threads invariance.
+  Rng rng(31);
+  std::vector<LogBins> shards(5, LogBins(-0.35, 6.0, 1016));
+  for (int i = 0; i < 50'000; ++i) {
+    const double gap = std::floor(rng.Uniform(1.0, 1e6));
+    shards[static_cast<std::size_t>(i) % shards.size()].Add(
+        gap * (1.0 + 1e-7), gap, 1);
+  }
+  LogBins forward(-0.35, 6.0, 1016);
+  for (const LogBins& s : shards) forward.Merge(s);
+  LogBins backward(-0.35, 6.0, 1016);
+  for (auto it = shards.rbegin(); it != shards.rend(); ++it) {
+    backward.Merge(*it);
+  }
+  ASSERT_EQ(forward.Total(), backward.Total());
+  for (std::size_t b = 0; b < forward.bins(); ++b) {
+    EXPECT_EQ(forward.Count(b), backward.Count(b)) << b;
+    EXPECT_EQ(forward.Sum(b), backward.Sum(b)) << b;
+  }
+  EXPECT_EQ(forward.Min(), backward.Min());
+  EXPECT_EQ(forward.Max(), backward.Max());
+}
+
+TEST(LogBins, ClampsOutOfRangeIntoEdgeBinsWithExactSums) {
+  LogBins bins(0.0, 2.0, 4);  // [1, 100) in 4 half-decade bins
+  bins.Add(0.5);     // below range -> bin 0
+  bins.Add(1e9);     // above range -> last bin
+  bins.Add(10.0);    // exactly on an interior edge -> bin 2
+  EXPECT_EQ(bins.Total(), 3u);
+  EXPECT_EQ(bins.Count(0), 1u);
+  EXPECT_DOUBLE_EQ(bins.Mean(0), 0.5);  // sum stays exact despite the clamp
+  EXPECT_EQ(bins.Count(3), 1u);
+  EXPECT_DOUBLE_EQ(bins.Mean(3), 1e9);
+  EXPECT_EQ(bins.Count(2), 1u);
+  EXPECT_DOUBLE_EQ(bins.Min(), 0.5);
+  EXPECT_DOUBLE_EQ(bins.Max(), 1e9);
+}
+
+TEST(StreamingMoments, MergeMatchesSinglePass) {
+  Rng rng(41);
+  StreamingMoments whole;
+  StreamingMoments left;
+  StreamingMoments right;
+  for (int i = 0; i < 20'000; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    const double w = rng.Uniform(0.5, 2.0);
+    whole.Add(x, w);
+    (i % 2 == 0 ? left : right).Add(x, w);
+  }
+  StreamingMoments merged = left;
+  merged.Merge(right);
+  EXPECT_NEAR(merged.WeightSum(), whole.WeightSum(), 1e-9);
+  EXPECT_NEAR(merged.Mean(), whole.Mean(), 1e-9);
+  EXPECT_NEAR(merged.Variance(), whole.Variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(merged.Min(), whole.Min());
+  EXPECT_DOUBLE_EQ(merged.Max(), whole.Max());
+  EXPECT_NEAR(whole.Mean(), 3.0, 0.05);
+  EXPECT_NEAR(whole.StdDev(), 2.0, 0.05);
+}
+
+TEST(GroupedGof, MatchesRawStatisticsOnTiedData) {
+  // The grouped KS/AD forms are exact closed forms over (value, count)
+  // groups: expanding each group back into `count` raw copies must give
+  // the identical statistic, p-value, and n.
+  Rng rng(53);
+  std::vector<double> values;
+  std::vector<std::uint64_t> counts;
+  std::vector<double> raw;
+  for (int g = 0; g < 40; ++g) {
+    const double v = rng.Uniform(0.05, 0.95);
+    const auto c = static_cast<std::uint64_t>(1 + (g * 7) % 13);
+    values.push_back(v);
+    counts.push_back(c);
+    for (std::uint64_t i = 0; i < c; ++i) raw.push_back(v);
+  }
+  const std::function<double(double)> uniform_cdf = [](double x) {
+    return std::clamp(x, 0.0, 1.0);
+  };
+  const validate::GofResult ks_raw = validate::KsOneSample(raw, uniform_cdf);
+  const validate::GofResult ks_grouped =
+      validate::KsGrouped(values, counts, uniform_cdf);
+  EXPECT_EQ(ks_grouped.n, raw.size());
+  EXPECT_NEAR(ks_grouped.statistic, ks_raw.statistic, 1e-12);
+  EXPECT_NEAR(ks_grouped.p_value, ks_raw.p_value, 1e-12);
+
+  const validate::GofResult ad_raw =
+      validate::AndersonDarling(raw, uniform_cdf);
+  const validate::GofResult ad_grouped =
+      validate::AndersonDarlingGrouped(values, counts, uniform_cdf);
+  EXPECT_EQ(ad_grouped.n, raw.size());
+  EXPECT_NEAR(ad_grouped.statistic, ad_raw.statistic, 1e-9);
+  EXPECT_NEAR(ad_grouped.p_value, ad_raw.p_value, 1e-9);
+}
+
+TEST(GroupedGof, SingletonGroupsReproduceRawExactly) {
+  Rng rng(61);
+  std::vector<double> sample;
+  for (int i = 0; i < 500; ++i) sample.push_back(rng.ExponentialMean(1.0));
+  const std::function<double(double)> exp_cdf = [](double x) {
+    return x <= 0 ? 0.0 : 1.0 - std::exp(-x);
+  };
+  std::vector<std::uint64_t> ones(sample.size(), 1);
+  const validate::GofResult raw = validate::KsOneSample(sample, exp_cdf);
+  const validate::GofResult grouped =
+      validate::KsGrouped(sample, ones, exp_cdf);
+  EXPECT_EQ(grouped.statistic, raw.statistic);
+  EXPECT_EQ(grouped.p_value, raw.p_value);
+}
+
+}  // namespace
+}  // namespace mcloud

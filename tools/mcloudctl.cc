@@ -4,8 +4,10 @@
 //                       [--anonymize KEY] [--faults] [--fail-rate R]
 //                       [--loss-burst R] [--degraded R] [--hedge]
 //                       [--out-of-core [--max-memory-mb M]] OUT
+//   mcloudctl grow      --users N [--pc N] [--seed S] [--threads N]
+//                       [--max-memory-mb M] [--analyze-while-generate] OUT
 //   mcloudctl analyze   TRACE [--tau SECONDS|auto] [--threads N]
-//                       [--max-memory-mb M]
+//                       [--max-memory-mb M] [--streaming]
 //   mcloudctl sessions  TRACE [--tau SECONDS] [--top N]
 //   mcloudctl convert   IN OUT
 //   mcloudctl anonymize IN OUT --key KEY
@@ -16,7 +18,8 @@
 //                       [--threads N] [--shards K]
 //   mcloudctl validate  [--users N] [--seed S] [--seeds K] [--threads N]
 //                       [--flows N] [--shards K] [--json FILE]
-//                       [--out-of-core] [--max-memory-mb M] [--spill-dir D]
+//                       [--out-of-core | --concurrent] [--max-memory-mb M]
+//                       [--spill-dir D]
 //   mcloudctl help
 //
 // Trace files are CSV (.csv), the columnar v2 binary format (.v2), or the
@@ -34,6 +37,16 @@
 // trace/partitioned_trace.h) under a bounded emission buffer, and `analyze`
 // and `validate` stream such a directory through the out-of-core engine —
 // same reports/fingerprints as the resident paths, at any --max-memory-mb.
+//
+// Online mode: `grow OUT` generates a partitioned trace *and* produces the
+// findings report in one command — two-phase by default (spill, then the
+// single-walk streaming engine), or fully overlapped with
+// --analyze-while-generate (each sealed spill slice is analyzed while the
+// next one is generated; see AnalysisPipeline::RunConcurrent). `analyze
+// --streaming` runs the single-walk engine on an existing partition
+// directory and prints the stage timing block with the sketch footprint;
+// `validate --concurrent` validates through the overlapped pipeline and
+// fingerprints identically to the resident run.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -100,7 +113,9 @@ Args Parse(int argc, char** argv, int first) {
   // Flags that never take a value, so a following positional (e.g. the
   // output path after `--faults`) is not swallowed as their argument.
   static const std::set<std::string> kBooleanFlags = {
-      "no-ssai", "pace", "faults", "hedge", "no-retry", "out-of-core"};
+      "no-ssai", "pace",      "faults",    "hedge",
+      "no-retry", "out-of-core", "streaming", "analyze-while-generate",
+      "concurrent"};
   Args args;
   for (int i = first; i < argc; ++i) {
     const std::string_view a = argv[i];
@@ -146,8 +161,10 @@ int Usage() {
       "            [--anonymize KEY] [--faults] [--fail-rate R]\n"
       "            [--loss-burst R] [--degraded R] [--hedge]\n"
       "            [--out-of-core [--max-memory-mb M]] OUT\n"
+      "  grow      --users N [--pc N] [--seed S] [--threads N]\n"
+      "            [--max-memory-mb M] [--analyze-while-generate] OUT\n"
       "  analyze   TRACE [--tau SECONDS|auto] [--threads N]\n"
-      "            [--max-memory-mb M]\n"
+      "            [--max-memory-mb M] [--streaming]\n"
       "  sessions  TRACE [--tau SECONDS] [--top N]\n"
       "  convert   IN OUT\n"
       "  anonymize IN OUT --key KEY\n"
@@ -158,14 +175,20 @@ int Usage() {
       "            [--shards K]\n"
       "  validate  [--users N] [--seed S] [--seeds K] [--threads N]\n"
       "            [--flows N] [--shards K] [--json FILE]\n"
-      "            [--out-of-core] [--max-memory-mb M] [--spill-dir D]\n"
+      "            [--out-of-core | --concurrent] [--max-memory-mb M]\n"
+      "            [--spill-dir D]\n"
       "Trace format: .csv is CSV, .v2 is the columnar binary format,\n"
       "anything else is the row-wise v1 binary format (reads also sniff\n"
       "the v2 magic). With --out-of-core, generate's OUT (and analyze's\n"
       "TRACE) is a partitioned trace *directory*; --max-memory-mb bounds\n"
-      "the resident footprint. --threads 0 (the default) uses all hardware\n"
-      "threads; output is identical for every thread count and memory\n"
-      "budget.\n",
+      "the resident footprint. grow writes a partitioned directory AND\n"
+      "prints the findings report — two disk phases by default, one\n"
+      "overlapped walk with --analyze-while-generate. analyze --streaming\n"
+      "runs the single-walk engine on a partition directory and prints the\n"
+      "stage timings with the sketch footprint; validate --concurrent\n"
+      "validates through the overlapped pipeline. --threads 0 (the\n"
+      "default) uses all hardware threads; output is identical for every\n"
+      "thread count, memory budget, and execution strategy.\n",
       stderr);
   return 2;
 }
@@ -232,31 +255,119 @@ int CmdGenerate(const Args& args) {
   return 0;
 }
 
+void PrintStageTimings(const core::StageTimings& st,
+                       const core::FullReport& report) {
+  std::fprintf(stderr,
+               "timings: scan %.2fs sessionize %.2fs per-user %.2fs "
+               "fits %.2fs (total %.2fs); sketches %.1f KiB\n",
+               st.scan_s, st.sessionize_s, st.per_user_s, st.fits_s,
+               st.total_s,
+               static_cast<double>(report.sketches.MemoryBytes()) / 1024.0);
+}
+
 int CmdAnalyze(const Args& args) {
   if (args.positional.size() != 1) return Usage();
+  const bool streaming = args.Has("streaming");
   core::PipelineOptions opts;
   const std::string tau = args.Get("tau", "3600");
   opts.session_tau = tau == "auto" ? 0 : std::strtod(tau.c_str(), nullptr);
   opts.threads = static_cast<int>(args.GetU64("threads", 0));
+  if (streaming && opts.session_tau <= 0) {
+    std::fprintf(stderr, "mcloudctl: --streaming needs a fixed --tau (the "
+                         "single-walk engine cannot derive it)\n");
+    return 2;
+  }
   const core::AnalysisPipeline pipeline(opts);
 
   const std::filesystem::path path = args.positional[0];
   core::FullReport report;
+  core::StageTimings st;
   if (std::filesystem::is_directory(path)) {
     // Partitioned trace directory: stream it through the out-of-core
-    // engine under the requested budget.
+    // engine under the requested budget — one walk with --streaming, two
+    // without.
     opts.max_memory_mb =
         static_cast<std::size_t>(args.GetU64("max-memory-mb", 0));
-    report = core::AnalysisPipeline(opts).RunOutOfCore(
-        PartitionedTrace::Open(path));
+    const core::AnalysisPipeline streamer(opts);
+    const PartitionedTrace part = PartitionedTrace::Open(path);
+    report = streaming ? streamer.RunStreaming(part, &st)
+                       : streamer.RunOutOfCore(part, &st);
   } else if (!IsCsv(path) && IsColumnarTrace(path)) {
     // Columnar fast path: load only the columns the pipeline touches and
     // feed the store directly — no LogRecord vector is ever built.
-    report = pipeline.Run(ReadColumnarTrace(path, kAnalysisColumns));
+    report = pipeline.Run(ReadColumnarTrace(path, kAnalysisColumns), &st);
   } else {
-    report = pipeline.Run(ReadTrace(path));
+    report = pipeline.Run(ReadTrace(path), &st);
   }
   std::fputs(core::RenderFindings(report).c_str(), stdout);
+  if (streaming) PrintStageTimings(st, report);
+  return 0;
+}
+
+/// Generate a partitioned trace directory AND produce its findings report.
+/// Two-phase by default (spill everything, then the single-walk streaming
+/// engine); with --analyze-while-generate each sealed spill slice feeds the
+/// concurrent pipeline while the next slice is generated, so the report is
+/// ready moments after the last record is written.
+int CmdGrow(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  workload::WorkloadConfig cfg;
+  cfg.population.mobile_users = args.GetU64("users", 6000);
+  cfg.population.pc_only_users =
+      args.GetU64("pc", cfg.population.mobile_users / 3);
+  cfg.seed = args.GetU64("seed", 42);
+  cfg.threads = static_cast<int>(args.GetU64("threads", 0));
+
+  std::filesystem::create_directories(args.positional[0]);
+  const std::uint64_t budget_mb =
+      std::max<std::uint64_t>(args.GetU64("max-memory-mb", 2048), 64);
+  workload::SpillConfig spill;
+  spill.dir = args.positional[0];
+  spill.max_buffer_bytes = budget_mb * (1024 * 1024 / 3);
+
+  core::PipelineOptions popts;
+  popts.session_tau = std::strtod(args.Get("tau", "3600").c_str(), nullptr);
+  popts.threads = cfg.threads;
+  popts.max_memory_mb = static_cast<std::size_t>(budget_mb);
+  if (popts.session_tau <= 0) {
+    std::fprintf(stderr, "mcloudctl: grow needs a fixed --tau\n");
+    return 2;
+  }
+  const core::AnalysisPipeline pipeline(popts);
+  const workload::WorkloadGenerator generator(cfg);
+
+  const bool overlapped = args.Has("analyze-while-generate");
+  std::fprintf(stderr,
+               "growing %s: %zu mobile users, %zu PC-only, seed %llu (%s)\n",
+               args.positional[0].c_str(), cfg.population.mobile_users,
+               cfg.population.pc_only_users,
+               static_cast<unsigned long long>(cfg.seed),
+               overlapped ? "analyze-while-generate" : "two-phase");
+
+  core::FullReport report;
+  core::StageTimings st;
+  workload::SpillSummary sum;
+  if (overlapped) {
+    // A third of the two-phase slice size: the overlapped pipeline keeps
+    // up to three slices in flight (producer buffer, queue slot, consumer)
+    // at the same total budget.
+    spill.max_buffer_bytes = budget_mb * (1024 * 1024 / 9);
+    report = pipeline.RunConcurrent(
+        [&](const core::AnalysisPipeline::SliceConsumer& consume) {
+          sum = generator.GenerateToPartitions(spill, consume);
+        },
+        &st);
+  } else {
+    sum = generator.GenerateToPartitions(spill);
+    report =
+        pipeline.RunStreaming(PartitionedTrace::Open(spill.dir), &st);
+  }
+  std::fprintf(stderr,
+               "wrote %llu records to %s (%zu spills, %zu run files)\n",
+               static_cast<unsigned long long>(sum.records),
+               args.positional[0].c_str(), sum.spills, sum.run_files);
+  std::fputs(core::RenderFindings(report).c_str(), stdout);
+  PrintStageTimings(st, report);
   return 0;
 }
 
@@ -404,6 +515,7 @@ int CmdValidate(const Args& args) {
   opts.fleet_shards =
       static_cast<std::uint32_t>(args.GetU64("shards", opts.fleet_shards));
   opts.out_of_core = args.Has("out-of-core");
+  opts.concurrent = args.Has("concurrent");
   opts.max_memory_mb = static_cast<std::size_t>(
       args.GetU64("max-memory-mb", opts.max_memory_mb));
   opts.spill_dir = args.Get("spill-dir");
@@ -454,6 +566,7 @@ int main(int argc, char** argv) {
   const Args args = Parse(argc, argv, 2);
   try {
     if (cmd == "generate") return CmdGenerate(args);
+    if (cmd == "grow") return CmdGrow(args);
     if (cmd == "analyze") return CmdAnalyze(args);
     if (cmd == "sessions") return CmdSessions(args);
     if (cmd == "convert") return CmdConvert(args);
