@@ -1,0 +1,672 @@
+#include "scenario/workload_spec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "util/error.h"
+
+namespace mcloud::scenario {
+
+namespace {
+
+/// Mixture weights must sum to 1 within this tolerance.
+constexpr double kWeightSumTol = 1e-6;
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+bool IsIdentifier(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+/// Shortest decimal form that parses back to exactly the same double, so
+/// ParseSpec(ToText(s)) round-trips bit for bit without 17-digit noise.
+std::string FmtDouble(double v) {
+  char buf[64];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+/// Line-oriented parser for the spec grammar. All errors carry
+/// `source:line: [section].key: message`.
+class Parser {
+ public:
+  Parser(std::string_view text, std::string source)
+      : text_(text), source_(std::move(source)) {}
+
+  WorkloadSpec Run() {
+    std::istringstream in{std::string(text_)};
+    std::string raw;
+    while (std::getline(in, raw)) {
+      ++line_;
+      if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+      HandleLine(raw);
+    }
+    Finish();
+    return spec_;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& msg) const {
+    std::string out = source_ + ":" + std::to_string(line_) + ": ";
+    if (!key_.empty()) {
+      if (!section_.empty()) out += "[" + section_ + "].";
+      out += key_ + ": ";
+    } else if (!section_.empty()) {
+      out += "[" + section_ + "]: ";
+    }
+    throw ParseError(out + msg);
+  }
+
+  void HandleLine(std::string_view raw) {
+    key_.clear();
+    // Strip the comment: the first '#' outside double quotes.
+    bool quoted = false;
+    std::size_t cut = raw.size();
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] == '"') quoted = !quoted;
+      if (raw[i] == '#' && !quoted) {
+        cut = i;
+        break;
+      }
+    }
+    const std::string_view body = Trim(raw.substr(0, cut));
+    if (body.empty()) return;
+
+    if (body.front() == '[') {
+      if (body.back() != ']')
+        Fail("section header does not end with ']'");
+      const std::string_view name = Trim(body.substr(1, body.size() - 2));
+      if (!IsIdentifier(name)) Fail("malformed section name");
+      section_ = std::string(name);
+      if (!kSections.count(section_))
+        Fail("unknown section [" + section_ + "]");
+      if (!open_sections_.insert(section_).second)
+        Fail("section [" + section_ + "] opened twice");
+      return;
+    }
+
+    const std::size_t eq = body.find('=');
+    if (eq == std::string_view::npos)
+      Fail("expected `key = value` or `[section]`");
+    const std::string_view key = Trim(body.substr(0, eq));
+    const std::string_view value = Trim(body.substr(eq + 1));
+    if (!IsIdentifier(key)) Fail("malformed key");
+    key_ = std::string(key);
+    if (value.empty()) Fail("missing value");
+
+    const std::string full = section_ + "." + key_;
+    if (!lines_.emplace(full, line_).second) Fail("duplicate key");
+    Assign(std::string(value));
+  }
+
+  // ---- typed value extractors (all validate and Fail with context) ----
+
+  double Num(const std::string& v) const {
+    char* end = nullptr;
+    const double d = std::strtod(v.c_str(), &end);
+    if (end != v.c_str() + v.size() || v.empty())
+      Fail("expected a number, got `" + v + "`");
+    if (!std::isfinite(d)) Fail("number is not finite");
+    return d;
+  }
+
+  double Share(const std::string& v) const {
+    const double d = Num(v);
+    if (d < 0.0 || d > 1.0)
+      Fail("share " + FmtDouble(d) + " out of range [0, 1]");
+    return d;
+  }
+
+  double Pos(const std::string& v) const {
+    const double d = Num(v);
+    if (d <= 0.0) Fail("value must be > 0");
+    return d;
+  }
+
+  double NonNeg(const std::string& v) const {
+    const double d = Num(v);
+    if (d < 0.0) Fail("value must be >= 0");
+    return d;
+  }
+
+  long Int(const std::string& v, long min, long max) const {
+    char* end = nullptr;
+    const long n = std::strtol(v.c_str(), &end, 10);
+    if (end != v.c_str() + v.size() || v.empty())
+      Fail("expected an integer, got `" + v + "`");
+    if (n < min || n > max)
+      Fail("value " + std::to_string(n) + " out of range [" +
+           std::to_string(min) + ", " + std::to_string(max) + "]");
+    return n;
+  }
+
+  std::string Str(const std::string& v) const {
+    if (v.size() < 2 || v.front() != '"' || v.back() != '"')
+      Fail("expected a quoted string");
+    const std::string s = v.substr(1, v.size() - 2);
+    if (s.find('"') != std::string::npos)
+      Fail("embedded '\"' is not supported");
+    return s;
+  }
+
+  std::vector<double> Arr(const std::string& v, std::size_t arity) const {
+    if (v.size() < 2 || v.front() != '[' || v.back() != ']')
+      Fail("expected an array `[a, b, ...]`");
+    std::vector<double> out;
+    std::string_view body = Trim(std::string_view(v).substr(1, v.size() - 2));
+    while (!body.empty()) {
+      const std::size_t comma = body.find(',');
+      const std::string_view tok = Trim(body.substr(0, comma));
+      if (tok.empty()) Fail("empty array element");
+      out.push_back(Num(std::string(tok)));
+      if (comma == std::string_view::npos) break;
+      body = Trim(body.substr(comma + 1));
+      if (body.empty()) Fail("trailing comma in array");
+    }
+    if (out.size() != arity)
+      Fail("expected " + std::to_string(arity) + " elements, got " +
+           std::to_string(out.size()));
+    return out;
+  }
+
+  /// Mixture weights: each >= 0, summing to 1 within kWeightSumTol.
+  template <std::size_t N>
+  std::array<double, N> Weights(const std::string& v) const {
+    const std::vector<double> raw = Arr(v, N);
+    double sum = 0;
+    std::array<double, N> out{};
+    for (std::size_t i = 0; i < N; ++i) {
+      if (raw[i] < 0) Fail("weight must be >= 0");
+      out[i] = raw[i];
+      sum += raw[i];
+    }
+    if (std::abs(sum - 1.0) > kWeightSumTol)
+      Fail("mixture weights sum to " + FmtDouble(sum) + ", expected 1");
+    return out;
+  }
+
+  /// Class shares: each in [0, 1], sum <= 1 (remainder is implicit).
+  template <std::size_t N>
+  std::array<double, N> Shares(const std::string& v) const {
+    const std::vector<double> raw = Arr(v, N);
+    double sum = 0;
+    std::array<double, N> out{};
+    for (std::size_t i = 0; i < N; ++i) {
+      if (raw[i] < 0 || raw[i] > 1)
+        Fail("share " + FmtDouble(raw[i]) + " out of range [0, 1]");
+      out[i] = raw[i];
+      sum += raw[i];
+    }
+    if (sum > 1.0 + kWeightSumTol)
+      Fail("shares sum to " + FmtDouble(sum) + ", exceeding 1");
+    return out;
+  }
+
+  /// Relative intensities: each >= 0, at least one > 0.
+  template <std::size_t N>
+  std::array<double, N> Intensities(const std::string& v) const {
+    const std::vector<double> raw = Arr(v, N);
+    double sum = 0;
+    std::array<double, N> out{};
+    for (std::size_t i = 0; i < N; ++i) {
+      if (raw[i] < 0) Fail("intensity must be >= 0");
+      out[i] = raw[i];
+      sum += raw[i];
+    }
+    if (sum <= 0) Fail("all intensities are zero");
+    return out;
+  }
+
+  template <std::size_t N>
+  std::array<double, N> PosArr(const std::string& v) const {
+    const std::vector<double> raw = Arr(v, N);
+    std::array<double, N> out{};
+    for (std::size_t i = 0; i < N; ++i) {
+      if (raw[i] <= 0) Fail("value must be > 0");
+      out[i] = raw[i];
+    }
+    return out;
+  }
+
+  // ---- the closed (section, key) dispatch ----
+
+  void Assign(const std::string& v) {
+    workload::ModelParams& m = spec_.model;
+    SpecTargets& t = spec_.targets;
+    const std::string& k = key_;
+    if (section_.empty()) {
+      if (k == "name") {
+        spec_.name = Str(v);
+        if (spec_.name.empty()) Fail("name must be non-empty");
+        for (char c : spec_.name) {
+          if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' &&
+              c != '_' && c != '.')
+            Fail("name may only contain [A-Za-z0-9._-]");
+        }
+      } else if (k == "description") {
+        spec_.description = Str(v);
+      } else {
+        Fail("unknown top-level key (did you forget a [section] header?)");
+      }
+    } else if (section_ == "population") {
+      if (k == "mobile_users")
+        spec_.mobile_users = static_cast<std::size_t>(Int(v, 1, 100'000'000));
+      else if (k == "pc_only_users")
+        spec_.pc_only_users = static_cast<std::size_t>(Int(v, 0, 100'000'000));
+      else if (k == "days")
+        spec_.days = static_cast<int>(Int(v, 1, 366));
+      else if (k == "android_share")
+        spec_.android_share = Share(v);
+      else if (k == "mobile_and_pc_share")
+        spec_.mobile_and_pc_share = Share(v);
+      else
+        Fail("unknown key");
+    } else if (section_ == "devices") {
+      if (k == "count_weights")
+        m.device_count_weights = Weights<3>(v);
+      else if (k == "multi_upload_shift")
+        m.multi_device_upload_shift = Share(v);
+      else if (k == "multi_to_download")
+        m.multi_device_to_download = Share(v);
+      else
+        Fail("unknown key");
+    } else if (section_ == "classes") {
+      if (k == "mobile_only")
+        m.input_shares_mobile_only = Shares<3>(v);
+      else if (k == "mobile_pc")
+        m.input_shares_mobile_pc = Shares<3>(v);
+      else if (k == "pc_only")
+        m.input_shares_pc_only = Shares<3>(v);
+      else
+        Fail("unknown key");
+    } else if (section_ == "activity") {
+      if (k == "store_x0")
+        m.store_activity_x0 = Pos(v);
+      else if (k == "store_c")
+        m.store_activity_c = Pos(v);
+      else if (k == "retrieve_x0")
+        m.retrieve_activity_x0 = Pos(v);
+      else if (k == "retrieve_c")
+        m.retrieve_activity_c = Pos(v);
+      else
+        Fail("unknown key");
+    } else if (section_ == "engagement") {
+      if (k == "single_device")
+        m.engaged_single_device = Share(v);
+      else if (k == "multi_device")
+        m.engaged_multi_device = Share(v);
+      else if (k == "mobile_pc")
+        m.engaged_mobile_pc = Share(v);
+      else if (k == "daily_active")
+        m.engaged_daily_active = Share(v);
+      else if (k == "daily_decay")
+        m.engaged_daily_decay = Share(v);
+      else if (k == "pc_sync_after_upload")
+        m.pc_sync_after_upload = Share(v);
+      else
+        Fail("unknown key");
+    } else if (section_ == "sessions") {
+      if (k == "single_op_share")
+        m.single_op_share = Share(v);
+      else if (k == "few_ops_share")
+        m.few_ops_share = Share(v);
+      else if (k == "few_ops_mean")
+        m.few_ops_mean = Pos(v);
+      else if (k == "many_ops_tail_mean")
+        m.many_ops_tail_mean = Pos(v);
+      else if (k == "retrieve_single_op_share")
+        m.retrieve_single_op_share = Share(v);
+      else if (k == "retrieve_few_ops_share")
+        m.retrieve_few_ops_share = Share(v);
+      else if (k == "mixed_session_probability")
+        m.mixed_session_probability = Share(v);
+      else
+        Fail("unknown key");
+    } else if (section_ == "store_size") {
+      if (k == "weights")
+        m.store_file_size.weights = Weights<3>(v);
+      else if (k == "means_mb")
+        m.store_file_size.means_mb = PosArr<3>(v);
+      else if (k == "single_op_weights")
+        m.store_size_weights_single = Weights<3>(v);
+      else if (k == "multi_op_weights")
+        m.store_size_weights_multi = Weights<3>(v);
+      else
+        Fail("unknown key");
+    } else if (section_ == "retrieve_size") {
+      if (k == "weights")
+        m.retrieve_file_size.weights = Weights<3>(v);
+      else if (k == "means_mb")
+        m.retrieve_file_size.means_mb = PosArr<3>(v);
+      else if (k == "by_count_1_2")
+        m.retrieve_size_weights_by_count[0] = Weights<3>(v);
+      else if (k == "by_count_3_9")
+        m.retrieve_size_weights_by_count[1] = Weights<3>(v);
+      else if (k == "by_count_10_plus")
+        m.retrieve_size_weights_by_count[2] = Weights<3>(v);
+      else
+        Fail("unknown key");
+    } else if (section_ == "gaps") {
+      if (k == "quick_share")
+        m.quick_gap_share = Share(v);
+      else if (k == "quick_mean_log10")
+        m.quick_gap_mean_log10 = Num(v);
+      else if (k == "quick_stddev_log10")
+        m.quick_gap_stddev_log10 = NonNeg(v);
+      else if (k == "think_mean_log10")
+        m.think_gap_mean_log10 = Num(v);
+      else if (k == "think_stddev_log10")
+        m.think_gap_stddev_log10 = NonNeg(v);
+      else if (k == "batch_mean_log10")
+        m.batch_gap_mean_log10 = Num(v);
+      else if (k == "batch_stddev_log10")
+        m.batch_gap_stddev_log10 = NonNeg(v);
+      else
+        Fail("unknown key");
+    } else if (section_ == "diurnal") {
+      if (k == "hour_weights")
+        m.hour_weights = Intensities<24>(v);
+      else if (k == "day_weights")
+        m.day_weights = Intensities<7>(v);
+      else
+        Fail("unknown key");
+    } else if (section_ == "targets") {
+      if (k == "store_share")
+        t.store_share = Share(v);
+      else if (k == "retrieve_share")
+        t.retrieve_share = Share(v);
+      else if (k == "mixed_share")
+        t.mixed_share = Share(v);
+      else if (k == "session_share_slack")
+        t.session_share_slack = Share(v);
+      else if (k == "mixed_share_slack")
+        t.mixed_share_slack = Share(v);
+      else if (k == "single_op_share")
+        t.single_op_share = Share(v);
+      else if (k == "single_op_slack")
+        t.single_op_slack = Share(v);
+      else if (k == "peak_hour")
+        t.peak_hour = static_cast<int>(Int(v, 0, 23));
+      else if (k == "peak_hour_tolerance")
+        t.peak_hour_tolerance = static_cast<int>(Int(v, 0, 12));
+      else if (k == "android_share")
+        t.android_share = Share(v);
+      else if (k == "android_share_slack")
+        t.android_share_slack = Share(v);
+      else if (k == "store_size_ks_slack")
+        t.store_size_ks_slack = Share(v);
+      else if (k == "retrieve_size_ks_slack")
+        t.retrieve_size_ks_slack = Share(v);
+      else
+        Fail("unknown key");
+    } else {
+      // Unreachable: section names are checked at the header.
+      Fail("unknown section");
+    }
+  }
+
+  /// Cross-key constraints, reported against the line of the involved key.
+  void Finish() {
+    section_.clear();
+    key_.clear();
+    if (spec_.name.empty()) {
+      line_ = 1;
+      key_ = "name";
+      Fail("spec does not declare a name");
+    }
+    CheckPairSum("sessions", "single_op_share", "few_ops_share",
+                 spec_.model.single_op_share, spec_.model.few_ops_share);
+    CheckPairSum("sessions", "retrieve_single_op_share",
+                 "retrieve_few_ops_share",
+                 spec_.model.retrieve_single_op_share,
+                 spec_.model.retrieve_few_ops_share);
+  }
+
+  void CheckPairSum(const std::string& section, const std::string& a,
+                    const std::string& b, double va, double vb) {
+    if (va + vb <= 1.0 + kWeightSumTol) return;
+    // Blame whichever of the pair the spec actually set, latest first.
+    const auto ia = lines_.find(section + "." + a);
+    const auto ib = lines_.find(section + "." + b);
+    section_ = section;
+    if (ib != lines_.end() && (ia == lines_.end() || ib->second > ia->second)) {
+      line_ = ib->second;
+      key_ = b;
+    } else if (ia != lines_.end()) {
+      line_ = ia->second;
+      key_ = a;
+    }
+    Fail(a + " + " + b + " = " + FmtDouble(va + vb) + ", exceeding 1");
+  }
+
+  static const std::set<std::string> kSections;
+
+  std::string_view text_;
+  std::string source_;
+  WorkloadSpec spec_;
+  std::string section_;
+  std::string key_;
+  int line_ = 0;
+  std::set<std::string> open_sections_;
+  std::map<std::string, int> lines_;
+};
+
+const std::set<std::string> Parser::kSections = {
+    "population", "devices",       "classes", "activity", "engagement",
+    "sessions",   "store_size",    "gaps",    "diurnal",  "retrieve_size",
+    "targets"};
+
+void EmitArr(std::string& out, const char* key, const double* v,
+             std::size_t n) {
+  out += key;
+  out += " = [";
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i) out += ", ";
+    out += FmtDouble(v[i]);
+  }
+  out += "]\n";
+}
+
+void EmitNum(std::string& out, const char* key, double v) {
+  out += key;
+  out += " = ";
+  out += FmtDouble(v);
+  out += '\n';
+}
+
+void EmitInt(std::string& out, const char* key, long v) {
+  out += key;
+  out += " = ";
+  out += std::to_string(v);
+  out += '\n';
+}
+
+}  // namespace
+
+WorkloadSpec ParseSpec(std::string_view text, const std::string& source_name) {
+  return Parser(text, source_name).Run();
+}
+
+WorkloadSpec LoadSpecFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open spec file: " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseSpec(buf.str(), path.string());
+}
+
+std::string ToText(const WorkloadSpec& spec) {
+  const workload::ModelParams& m = spec.model;
+  const SpecTargets& t = spec.targets;
+  std::string o;
+  o.reserve(2048);
+  o += "# mcloud workload spec (canonical form)\n";
+  o += "name = \"" + spec.name + "\"\n";
+  o += "description = \"" + spec.description + "\"\n";
+
+  o += "\n[population]\n";
+  EmitInt(o, "mobile_users", static_cast<long>(spec.mobile_users));
+  EmitInt(o, "pc_only_users", static_cast<long>(spec.pc_only_users));
+  EmitInt(o, "days", spec.days);
+  EmitNum(o, "android_share", spec.android_share);
+  EmitNum(o, "mobile_and_pc_share", spec.mobile_and_pc_share);
+
+  o += "\n[devices]\n";
+  EmitArr(o, "count_weights", m.device_count_weights.data(), 3);
+  EmitNum(o, "multi_upload_shift", m.multi_device_upload_shift);
+  EmitNum(o, "multi_to_download", m.multi_device_to_download);
+
+  o += "\n[classes]\n";
+  EmitArr(o, "mobile_only", m.input_shares_mobile_only.data(), 3);
+  EmitArr(o, "mobile_pc", m.input_shares_mobile_pc.data(), 3);
+  EmitArr(o, "pc_only", m.input_shares_pc_only.data(), 3);
+
+  o += "\n[activity]\n";
+  EmitNum(o, "store_x0", m.store_activity_x0);
+  EmitNum(o, "store_c", m.store_activity_c);
+  EmitNum(o, "retrieve_x0", m.retrieve_activity_x0);
+  EmitNum(o, "retrieve_c", m.retrieve_activity_c);
+
+  o += "\n[engagement]\n";
+  EmitNum(o, "single_device", m.engaged_single_device);
+  EmitNum(o, "multi_device", m.engaged_multi_device);
+  EmitNum(o, "mobile_pc", m.engaged_mobile_pc);
+  EmitNum(o, "daily_active", m.engaged_daily_active);
+  EmitNum(o, "daily_decay", m.engaged_daily_decay);
+  EmitNum(o, "pc_sync_after_upload", m.pc_sync_after_upload);
+
+  o += "\n[sessions]\n";
+  EmitNum(o, "single_op_share", m.single_op_share);
+  EmitNum(o, "few_ops_share", m.few_ops_share);
+  EmitNum(o, "few_ops_mean", m.few_ops_mean);
+  EmitNum(o, "many_ops_tail_mean", m.many_ops_tail_mean);
+  EmitNum(o, "retrieve_single_op_share", m.retrieve_single_op_share);
+  EmitNum(o, "retrieve_few_ops_share", m.retrieve_few_ops_share);
+  EmitNum(o, "mixed_session_probability", m.mixed_session_probability);
+
+  o += "\n[store_size]\n";
+  EmitArr(o, "weights", m.store_file_size.weights.data(), 3);
+  EmitArr(o, "means_mb", m.store_file_size.means_mb.data(), 3);
+  EmitArr(o, "single_op_weights", m.store_size_weights_single.data(), 3);
+  EmitArr(o, "multi_op_weights", m.store_size_weights_multi.data(), 3);
+
+  o += "\n[retrieve_size]\n";
+  EmitArr(o, "weights", m.retrieve_file_size.weights.data(), 3);
+  EmitArr(o, "means_mb", m.retrieve_file_size.means_mb.data(), 3);
+  EmitArr(o, "by_count_1_2", m.retrieve_size_weights_by_count[0].data(), 3);
+  EmitArr(o, "by_count_3_9", m.retrieve_size_weights_by_count[1].data(), 3);
+  EmitArr(o, "by_count_10_plus", m.retrieve_size_weights_by_count[2].data(),
+          3);
+
+  o += "\n[gaps]\n";
+  EmitNum(o, "quick_share", m.quick_gap_share);
+  EmitNum(o, "quick_mean_log10", m.quick_gap_mean_log10);
+  EmitNum(o, "quick_stddev_log10", m.quick_gap_stddev_log10);
+  EmitNum(o, "think_mean_log10", m.think_gap_mean_log10);
+  EmitNum(o, "think_stddev_log10", m.think_gap_stddev_log10);
+  EmitNum(o, "batch_mean_log10", m.batch_gap_mean_log10);
+  EmitNum(o, "batch_stddev_log10", m.batch_gap_stddev_log10);
+
+  o += "\n[diurnal]\n";
+  EmitArr(o, "hour_weights", m.hour_weights.data(), 24);
+  EmitArr(o, "day_weights", m.day_weights.data(), 7);
+
+  o += "\n[targets]\n";
+  if (t.store_share) EmitNum(o, "store_share", *t.store_share);
+  if (t.retrieve_share) EmitNum(o, "retrieve_share", *t.retrieve_share);
+  if (t.mixed_share) EmitNum(o, "mixed_share", *t.mixed_share);
+  EmitNum(o, "session_share_slack", t.session_share_slack);
+  EmitNum(o, "mixed_share_slack", t.mixed_share_slack);
+  if (t.single_op_share) EmitNum(o, "single_op_share", *t.single_op_share);
+  EmitNum(o, "single_op_slack", t.single_op_slack);
+  if (t.peak_hour) EmitInt(o, "peak_hour", *t.peak_hour);
+  EmitInt(o, "peak_hour_tolerance", t.peak_hour_tolerance);
+  if (t.android_share) EmitNum(o, "android_share", *t.android_share);
+  EmitNum(o, "android_share_slack", t.android_share_slack);
+  if (t.store_size_ks_slack)
+    EmitNum(o, "store_size_ks_slack", *t.store_size_ks_slack);
+  if (t.retrieve_size_ks_slack)
+    EmitNum(o, "retrieve_size_ks_slack", *t.retrieve_size_ks_slack);
+  return o;
+}
+
+workload::WorkloadConfig Compile(const WorkloadSpec& spec, std::uint64_t seed,
+                                 int threads) {
+  workload::WorkloadConfig cfg;
+  cfg.seed = seed;
+  cfg.threads = threads;
+  cfg.population.mobile_users = spec.mobile_users;
+  cfg.population.pc_only_users = spec.pc_only_users;
+  cfg.population.days = spec.days;
+  cfg.population.android_share = spec.android_share;
+  cfg.population.mobile_and_pc_share = spec.mobile_and_pc_share;
+  cfg.model = spec.model;
+  return cfg;
+}
+
+std::filesystem::path DefaultSpecsDir() {
+  if (const char* env = std::getenv("MCLOUD_SPECS_DIR")) return env;
+#ifdef MCLOUD_SPECS_DIR
+  return MCLOUD_SPECS_DIR;
+#else
+  return "specs";
+#endif
+}
+
+std::vector<std::string> ListSpecs(const std::string& specs_dir) {
+  const std::filesystem::path dir =
+      specs_dir.empty() ? DefaultSpecsDir() : std::filesystem::path(specs_dir);
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".spec")
+      names.push_back(entry.path().stem().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::filesystem::path ResolveSpecPath(const std::string& name_or_path,
+                                      const std::string& specs_dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fs::is_regular_file(name_or_path, ec)) return name_or_path;
+  const fs::path dir =
+      specs_dir.empty() ? DefaultSpecsDir() : fs::path(specs_dir);
+  for (const fs::path& cand :
+       {dir / (name_or_path + ".spec"), dir / name_or_path}) {
+    if (fs::is_regular_file(cand, ec)) return cand;
+  }
+  std::string msg = "unknown spec `" + name_or_path + "` (searched " +
+                    dir.string() + "); available:";
+  for (const std::string& n : ListSpecs(dir.string())) msg += " " + n;
+  throw Error(msg);
+}
+
+WorkloadSpec LoadSpec(const std::string& name_or_path,
+                      const std::string& specs_dir) {
+  return LoadSpecFile(ResolveSpecPath(name_or_path, specs_dir));
+}
+
+}  // namespace mcloud::scenario

@@ -1,0 +1,125 @@
+// Declarative workload specifications (the scenario lab, DESIGN.md §13).
+//
+// A WorkloadSpec is a small text file describing one *world*: the
+// population and device mix, the session mixture, the upload/retrieve size
+// mixtures, the diurnal (and day-of-week) curve, the burstiness parameters,
+// and — crucially — the statistical targets the world promises to exhibit.
+// Specs compile into the existing WorkloadConfig/ModelParams, so the
+// generator's hot path never sees them; the conformance runner
+// (scenario/conformance.h) then checks each spec's *own* declared targets
+// with the validate-layer GoF machinery (self-conformance, not
+// paper-conformance).
+//
+// Text format: a deliberately tiny TOML subset —
+//
+//     # comment
+//     name = "paper2016"
+//     [population]
+//     mobile_users = 20000
+//     android_share = 0.784
+//     [store_size]
+//     weights = [0.91, 0.07, 0.02]
+//
+// Sections/keys are a closed set; unknown sections, unknown keys, duplicate
+// keys, wrong arities, out-of-range shares, and mixture weights that do not
+// sum to 1 are all rejected at parse time with a `source:line: [section].key:
+// message` ParseError, so a typo fails loudly instead of silently running
+// the default world.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workload/generator.h"
+#include "workload/model_params.h"
+
+namespace mcloud::scenario {
+
+// Default slacks for spec-declared session-share targets. These moved here
+// from validate/tolerance.h: the 0.04 band is a property of the τ-based
+// re-sessionization systematic of *one particular world* (the paper's), so
+// it is declared per spec (`[targets] session_share_slack`) instead of being
+// a validate-layer constant every session mix silently inherits. paper2016
+// declares exactly these values; contrasting worlds calibrate their own.
+inline constexpr double kDefaultSessionShareSlack = 0.04;
+inline constexpr double kDefaultMixedShareSlack = 0.005;
+
+/// Statistical targets a spec declares about its own output. Every engaged
+/// field (non-nullopt) becomes one conformance check; slacks feed the same
+/// sample-size-aware tolerance policies the paper validator uses.
+struct SpecTargets {
+  std::optional<double> store_share;     ///< store-only session share
+  std::optional<double> retrieve_share;  ///< retrieve-only session share
+  std::optional<double> mixed_share;     ///< mixed session share
+  double session_share_slack = kDefaultSessionShareSlack;
+  double mixed_share_slack = kDefaultMixedShareSlack;
+  std::optional<double> single_op_share;  ///< sessions with exactly one op
+  double single_op_slack = 0.18;
+  std::optional<int> peak_hour;  ///< busiest hour of day, 0-23
+  int peak_hour_tolerance = 1;
+  std::optional<double> android_share;  ///< of mobile accesses
+  double android_share_slack = 0.03;
+  /// KS gates of the measured per-session average-size sketches against the
+  /// spec's own declared mixtures; presence of the slack enables the check.
+  std::optional<double> store_size_ks_slack;
+  std::optional<double> retrieve_size_ks_slack;
+};
+
+struct WorkloadSpec {
+  std::string name;
+  std::string description;
+  // Population (compiles into PopulationConfig).
+  std::size_t mobile_users = 20'000;
+  std::size_t pc_only_users = 8'000;
+  int days = 7;
+  double android_share = 0.784;
+  double mobile_and_pc_share = 0.143;
+  /// Everything else about the generating process (compiles into
+  /// WorkloadConfig::model). Defaults = the paper calibration.
+  workload::ModelParams model{};
+  SpecTargets targets{};
+};
+
+/// Parse a spec from text. `source_name` labels error messages (a file path
+/// or e.g. "<inline>"). Throws ParseError with `source:line: [section].key:
+/// message` on any malformed input.
+[[nodiscard]] WorkloadSpec ParseSpec(std::string_view text,
+                                     const std::string& source_name);
+
+/// Read + parse a spec file.
+[[nodiscard]] WorkloadSpec LoadSpecFile(const std::filesystem::path& path);
+
+/// Canonical text form: ParseSpec(ToText(s)) reproduces `s` exactly
+/// (doubles rendered with round-trip precision). The round-trip golden of
+/// test_scenario pins this.
+[[nodiscard]] std::string ToText(const WorkloadSpec& spec);
+
+/// Compile a spec into the generator's config. The spec never touches the
+/// generator's hot path — it only fills the existing config structs.
+[[nodiscard]] workload::WorkloadConfig Compile(const WorkloadSpec& spec,
+                                               std::uint64_t seed = 42,
+                                               int threads = 0);
+
+/// Directory the shipped specs live in: $MCLOUD_SPECS_DIR if set in the
+/// environment, else the build-time source `specs/` directory.
+[[nodiscard]] std::filesystem::path DefaultSpecsDir();
+
+/// Resolve a spec argument: an existing file path is used as-is; a bare
+/// name resolves to `<specs_dir>/<name>.spec` (specs_dir empty =
+/// DefaultSpecsDir()). Throws Error when nothing matches, listing the specs
+/// that exist.
+[[nodiscard]] std::filesystem::path ResolveSpecPath(
+    const std::string& name_or_path, const std::string& specs_dir = "");
+
+/// Resolve + load in one step.
+[[nodiscard]] WorkloadSpec LoadSpec(const std::string& name_or_path,
+                                    const std::string& specs_dir = "");
+
+/// Names (without extension) of every .spec file in the specs directory.
+[[nodiscard]] std::vector<std::string> ListSpecs(
+    const std::string& specs_dir = "");
+
+}  // namespace mcloud::scenario

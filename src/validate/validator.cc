@@ -153,7 +153,10 @@ ValidationInputs BuildValidationInputs(const ValidateOptions& options,
   workload::WorkloadConfig cfg;
   cfg.seed = options.seed;
   cfg.population.mobile_users = options.users;
-  cfg.population.pc_only_users = options.users / 3;
+  cfg.population.pc_only_users = options.pc_users == ValidateOptions::kPcUsersAuto
+                                     ? options.users / 3
+                                     : options.pc_users;
+  cfg.model = options.model;
   cfg.threads = options.threads;
   const workload::WorkloadGenerator generator(cfg);
   core::PipelineOptions popts;

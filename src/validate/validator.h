@@ -16,12 +16,25 @@
 #include "stats/bootstrap.h"
 #include "util/units.h"
 #include "validate/figure_checks.h"
+#include "workload/model_params.h"
 
 namespace mcloud::validate {
 
 struct ValidateOptions {
-  std::size_t users = 20'000;       ///< mobile users; PC-only = users/3
+  /// Sentinel for `pc_users`: derive the PC-only population as users/3.
+  static constexpr std::size_t kPcUsersAuto = static_cast<std::size_t>(-1);
+
+  std::size_t users = 20'000;       ///< mobile users
+  /// PC-only users; kPcUsersAuto = users/3 (the legacy derivation). Not
+  /// part of ManifestFingerprint: the scenario layer passes the spec's
+  /// explicit population here, and a spec that declares the derived values
+  /// (paper2016) must fingerprint identically to the default run.
+  std::size_t pc_users = kPcUsersAuto;
   std::uint64_t seed = 42;
+  /// Runtime generator model; the default reproduces the compile-time
+  /// calibration byte for byte. Filled by `validate --spec`; excluded from
+  /// ManifestFingerprint for the same reason as `pc_users`.
+  workload::ModelParams model{};
   int threads = 0;                  ///< 0 = hardware concurrency
   /// §4 fleet: single-file sessions through the full service stack
   /// (the packet-trace stand-in, ~78% android as in the paper).

@@ -35,16 +35,17 @@ Workload WorkloadGenerator::PlanAndEmit(
   Rng rng(config_.seed);
 
   Workload w;
-  PopulationBuilder population(config_.population);
+  PopulationBuilder population(config_.population, config_.model);
   w.users = population.Build(rng, &pool);
   // Root key of all per-user session streams. Drawn after the population's
   // root so the two stream families never collide.
   const std::uint64_t session_root = rng.NextU64();
 
-  const DiurnalPattern diurnal(cal::kHourOfDayWeights);
+  const DiurnalPattern diurnal(config_.model.hour_weights);
   SessionModelConfig smc;
   smc.trace_start = config_.trace_start;
   smc.days = config_.population.days;
+  smc.model = config_.model;
   const SessionModel session_model(smc, diurnal);
   const FastLogEmitter emitter;
 
@@ -142,14 +143,15 @@ SpillSummary WorkloadGenerator::GenerateToPartitions(
   ThreadPool pool(config_.threads);
   Rng rng(config_.seed);
 
-  PopulationBuilder population(config_.population);
+  PopulationBuilder population(config_.population, config_.model);
   const std::vector<UserProfile> users = population.Build(rng, &pool);
   const std::uint64_t session_root = rng.NextU64();
 
-  const DiurnalPattern diurnal(cal::kHourOfDayWeights);
+  const DiurnalPattern diurnal(config_.model.hour_weights);
   SessionModelConfig smc;
   smc.trace_start = config_.trace_start;
   smc.days = config_.population.days;
+  smc.model = config_.model;
   const SessionModel session_model(smc, diurnal);
   const FastLogEmitter emitter;
 

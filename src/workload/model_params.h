@@ -1,0 +1,102 @@
+// Runtime model parameters for the workload generator.
+//
+// Historically every knob of the generating process was a compile-time
+// constant (workload/calibration.h for judgement calls, model/paper_params.h
+// for published numbers). The scenario layer (src/scenario/) needs to swap
+// whole worlds in at runtime — a photo-backup-heavy population, an
+// enterprise weekday diurnal — without recompiling, so the knobs a
+// WorkloadSpec may override live here as a plain struct whose default member
+// initializers are *exactly* the calibration constants.
+//
+// Byte-identity contract: `ModelParams{}` reproduces the historical trace
+// bit for bit. Every sampling site reads these fields the same way it read
+// the constants (same draw counts, same arithmetic), and the one genuinely
+// new axis — day-of-week weighting — is guarded so the uniform default takes
+// the exact legacy code path (see PopulationBuilder::BuildOne and
+// SessionModel::ActiveDays).
+#pragma once
+
+#include <array>
+
+#include "model/paper_params.h"
+#include "workload/calibration.h"
+
+namespace mcloud::workload {
+
+struct ModelParams {
+  // --- Device mix (Fig 7b / Fig 8) ---
+  std::array<double, 3> device_count_weights = cal::kMobileDeviceCountWeights;
+  double multi_device_upload_shift = cal::kMultiDeviceUploadShift;
+  double multi_device_to_download = cal::kMultiDeviceToDownload;
+
+  // --- Usage-class intent shares {occasional, upload, download} per device
+  // profile (Table 3 inputs) ---
+  std::array<double, 3> input_shares_mobile_only = cal::kInputSharesMobileOnly;
+  std::array<double, 3> input_shares_mobile_pc = cal::kInputSharesMobilePc;
+  std::array<double, 3> input_shares_pc_only = cal::kInputSharesPcOnly;
+
+  // --- Weekly activity laws (Fig 10 / Table 3) ---
+  double store_activity_x0 = cal::kStoreActivityX0;
+  double store_activity_c = cal::kStoreActivityC;
+  double retrieve_activity_x0 = cal::kRetrieveActivityX0;
+  double retrieve_activity_c = cal::kRetrieveActivityC;
+
+  // --- Engagement (Fig 8 / Fig 9) ---
+  double engaged_single_device = cal::kEngagedSingleDevice;
+  double engaged_multi_device = cal::kEngagedMultiDevice;
+  double engaged_mobile_pc = cal::kEngagedMobilePc;
+  double engaged_daily_active = cal::kEngagedDailyActive;
+  double engaged_daily_decay = cal::kEngagedDailyDecay;
+  double pc_sync_after_upload = cal::kPcSyncAfterUpload;
+
+  // --- Session op-count mixture (Fig 5a) ---
+  double single_op_share = cal::kSingleOpShare;
+  double few_ops_share = cal::kFewOpsShare;
+  double few_ops_mean = cal::kFewOpsMean;
+  double many_ops_tail_mean = cal::kManyOpsTailMean;
+  double retrieve_single_op_share = cal::kRetrieveSingleOpShare;
+  double retrieve_few_ops_share = cal::kRetrieveFewOpsShare;
+  double mixed_session_probability = cal::kMixedSessionProbability;
+
+  // --- Per-session average file-size mixtures (Table 2) and the
+  // count-conditioned component weights (Fig 5b/5c) ---
+  paper::MixtureExpParams store_file_size = paper::kStoreFileSizeParams;
+  paper::MixtureExpParams retrieve_file_size = paper::kRetrieveFileSizeParams;
+  std::array<double, 3> store_size_weights_single =
+      cal::kStoreSizeWeightsSingle;
+  std::array<double, 3> store_size_weights_multi = cal::kStoreSizeWeightsMulti;
+  std::array<std::array<double, 3>, 3> retrieve_size_weights_by_count =
+      cal::kRetrieveSizeWeightsByCount;
+
+  // --- Intra-session burstiness (Fig 3 / Fig 4), log10 seconds ---
+  double quick_gap_share = cal::kQuickGapShare;
+  double quick_gap_mean_log10 = cal::kQuickGapMeanLog10;
+  double quick_gap_stddev_log10 = cal::kQuickGapStddevLog10;
+  double think_gap_mean_log10 = cal::kThinkGapMeanLog10;
+  double think_gap_stddev_log10 = cal::kThinkGapStddevLog10;
+  double batch_gap_mean_log10 = cal::kBatchGapMeanLog10;
+  double batch_gap_stddev_log10 = cal::kBatchGapStddevLog10;
+
+  // --- Diurnal shape (Fig 1) ---
+  std::array<double, 24> hour_weights = cal::kHourOfDayWeights;
+  /// Relative session weight per day of week, indexed day_of_trace % 7.
+  /// Uniform by default; a weekday-diurnal spec (enterprise-sync) lowers the
+  /// weekend entries. Uniform weights take the legacy sampling path exactly.
+  std::array<double, 7> day_weights = {1, 1, 1, 1, 1, 1, 1};
+
+  /// True when every day carries the same weight — the guard that keeps the
+  /// default draw sequence identical to the pre-spec generator.
+  [[nodiscard]] bool UniformDayWeights() const {
+    for (double w : day_weights) {
+      if (w != day_weights[0]) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] double MaxDayWeight() const {
+    double m = day_weights[0];
+    for (double w : day_weights) m = w > m ? w : m;
+    return m;
+  }
+};
+
+}  // namespace mcloud::workload

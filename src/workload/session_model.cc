@@ -11,34 +11,36 @@ namespace mcloud::workload {
 namespace {
 
 /// Sample an intra-session gap (seconds) given the session's op count.
-Seconds SampleOpGap(Rng& rng, std::size_t session_ops) {
+Seconds SampleOpGap(Rng& rng, std::size_t session_ops,
+                    const ModelParams& model) {
   double log10_gap;
   if (session_ops > cal::kBatchGapOpsThreshold) {
     // Batch backup: the app issues operation requests programmatically.
-    log10_gap = rng.Normal(cal::kBatchGapMeanLog10,
-                           cal::kBatchGapStddevLog10);
-  } else if (rng.Bernoulli(cal::kQuickGapShare)) {
+    log10_gap = rng.Normal(model.batch_gap_mean_log10,
+                           model.batch_gap_stddev_log10);
+  } else if (rng.Bernoulli(model.quick_gap_share)) {
     // Multi-select: several files chosen in one gesture.
     log10_gap =
-        rng.Normal(cal::kQuickGapMeanLog10, cal::kQuickGapStddevLog10);
+        rng.Normal(model.quick_gap_mean_log10, model.quick_gap_stddev_log10);
   } else {
     // Think time between separate gestures.
     log10_gap =
-        rng.Normal(cal::kThinkGapMeanLog10, cal::kThinkGapStddevLog10);
+        rng.Normal(model.think_gap_mean_log10, model.think_gap_stddev_log10);
   }
   return std::min(std::pow(10.0, log10_gap), cal::kMaxIntraSessionGap);
 }
 
 /// Pick the Table 2 size component for a session.
 std::size_t SampleSizeComponent(Rng& rng, Direction direction,
-                                std::size_t op_count) {
+                                std::size_t op_count,
+                                const ModelParams& model) {
   if (direction == Direction::kStore) {
-    const auto& w = (op_count == 1) ? cal::kStoreSizeWeightsSingle
-                                    : cal::kStoreSizeWeightsMulti;
+    const auto& w = (op_count == 1) ? model.store_size_weights_single
+                                    : model.store_size_weights_multi;
     return rng.PickWeighted(w);
   }
   const std::size_t row = (op_count <= 2) ? 0 : (op_count <= 9) ? 1 : 2;
-  return rng.PickWeighted(cal::kRetrieveSizeWeightsByCount[row]);
+  return rng.PickWeighted(model.retrieve_size_weights_by_count[row]);
 }
 
 }  // namespace
@@ -49,10 +51,12 @@ SessionModel::SessionModel(const SessionModelConfig& config,
   MCLOUD_REQUIRE(config.days >= 1, "need at least one day");
 }
 
-std::size_t SessionModel::SampleOpCount(Rng& rng, Direction direction) {
+std::size_t SessionModel::SampleOpCount(Rng& rng, Direction direction,
+                                        const ModelParams& model) {
   const bool store = direction == Direction::kStore;
-  const double single = store ? cal::kSingleOpShare : cal::kRetrieveSingleOpShare;
-  const double few = store ? cal::kFewOpsShare : cal::kRetrieveFewOpsShare;
+  const double single =
+      store ? model.single_op_share : model.retrieve_single_op_share;
+  const double few = store ? model.few_ops_share : model.retrieve_few_ops_share;
   const std::array<double, 3> weights = {
       single, few, 1.0 - single - few};
   switch (rng.PickWeighted(weights)) {
@@ -60,37 +64,54 @@ std::size_t SessionModel::SampleOpCount(Rng& rng, Direction direction) {
       return 1;
     case 1: {
       // 2 + geometric-ish spread up to ~15 files.
-      const double extra = rng.ExponentialMean(cal::kFewOpsMean);
+      const double extra = rng.ExponentialMean(model.few_ops_mean);
       return 2 + static_cast<std::size_t>(std::min(extra, 16.0));
     }
     default: {
-      const double extra = rng.ExponentialMean(cal::kManyOpsTailMean);
+      const double extra = rng.ExponentialMean(model.many_ops_tail_mean);
       return cal::kBatchOpsThreshold +
              static_cast<std::size_t>(std::min(extra, 200.0));
     }
   }
 }
 
+std::size_t SessionModel::SampleOpCount(Rng& rng, Direction direction) {
+  static const ModelParams kDefault{};
+  return SampleOpCount(rng, direction, kDefault);
+}
+
 Bytes SessionModel::SampleSessionAvgFileSize(Rng& rng, Direction direction,
-                                             std::size_t op_count) {
+                                             std::size_t op_count,
+                                             const ModelParams& model) {
   const auto& params = (direction == Direction::kStore)
-                           ? paper::kStoreFileSizeParams
-                           : paper::kRetrieveFileSizeParams;
-  const std::size_t comp = SampleSizeComponent(rng, direction, op_count);
+                           ? model.store_file_size
+                           : model.retrieve_file_size;
+  const std::size_t comp = SampleSizeComponent(rng, direction, op_count, model);
   const double mb = rng.ExponentialMean(params.means_mb[comp]);
   // Files below ~50 KB are unrealistic for the photo/video content the
   // service carries; floor the draw.
   return FromMB(std::max(mb, 0.05));
 }
 
+Bytes SessionModel::SampleSessionAvgFileSize(Rng& rng, Direction direction,
+                                             std::size_t op_count) {
+  static const ModelParams kDefault{};
+  return SampleSessionAvgFileSize(rng, direction, op_count, kDefault);
+}
+
 std::vector<int> SessionModel::ActiveDays(const UserProfile& user,
                                           Rng& rng) const {
   std::vector<int> days = {user.first_active_day};
   if (user.engaged) {
-    double p = cal::kEngagedDailyActive;
+    // Day-of-week scaling: w[d]/max(w) == 1.0 exactly when weights are
+    // uniform, and Bernoulli consumes one draw regardless of p, so the
+    // default ModelParams keeps the legacy stream byte for byte.
+    const double max_w = config_.model.MaxDayWeight();
+    double p = config_.model.engaged_daily_active;
     for (int d = user.first_active_day + 1; d < config_.days; ++d) {
-      if (rng.Bernoulli(p)) days.push_back(d);
-      p *= cal::kEngagedDailyDecay;
+      const double scale = config_.model.day_weights[d % 7] / max_w;
+      if (rng.Bernoulli(p * scale)) days.push_back(d);
+      p *= config_.model.engaged_daily_decay;
     }
   }
   return days;
@@ -118,17 +139,18 @@ void SessionModel::FillOps(SessionPlan& session, Direction direction,
     const double lo = std::min(cal::kOccasionalMinFileMB, hi / 2.0);
     double mb = 0;
     do {
-      mb = rng.ExponentialMean(paper::kStoreFileSizeParams.means_mb[0]);
+      mb = rng.ExponentialMean(config_.model.store_file_size.means_mb[0]);
     } while (mb < lo || mb > hi);
     avg = FromMB(mb);
     max_file_size = FromMB(hi);
   } else {
-    avg = SampleSessionAvgFileSize(rng, direction, count);
+    avg = SampleSessionAvgFileSize(rng, direction, count, config_.model);
   }
-  Seconds offset = session.ops.empty()
-                       ? 0.0
-                       : session.ops.back().offset +
-                             SampleOpGap(rng, count + session.ops.size());
+  Seconds offset =
+      session.ops.empty()
+          ? 0.0
+          : session.ops.back().offset +
+                SampleOpGap(rng, count + session.ops.size(), config_.model);
   for (std::size_t i = 0; i < count; ++i) {
     FileOp op;
     op.direction = direction;
@@ -140,7 +162,7 @@ void SessionModel::FillOps(SessionPlan& session, Direction direction,
     op.size = std::min(op.size, max_file_size);
     op.offset = offset;
     session.ops.push_back(op);
-    offset += SampleOpGap(rng, count + session.ops.size());
+    offset += SampleOpGap(rng, count + session.ops.size(), config_.model);
   }
 }
 
@@ -195,13 +217,15 @@ std::vector<SessionPlan> SessionModel::PlanUser(const UserProfile& user,
         (descriptors.size() + 1 >= max_descriptors)
             ? store_left
             : std::min<std::uint64_t>(
-                  {SampleOpCount(rng, Direction::kStore), store_left,
+                  {SampleOpCount(rng, Direction::kStore, config_.model),
+                   store_left,
                    cap_for_spread(store_left, descriptors.size())});
     store_left -= d.store_ops;
     if (mixed_user && retrieve_left > 0 &&
-        rng.Bernoulli(cal::kMixedSessionProbability)) {
+        rng.Bernoulli(config_.model.mixed_session_probability)) {
       d.retrieve_ops = std::min<std::uint64_t>(
-          SampleOpCount(rng, Direction::kRetrieve), retrieve_left);
+          SampleOpCount(rng, Direction::kRetrieve, config_.model),
+          retrieve_left);
       retrieve_left -= d.retrieve_ops;
     }
     descriptors.push_back(d);
@@ -212,7 +236,8 @@ std::vector<SessionPlan> SessionModel::PlanUser(const UserProfile& user,
         (descriptors.size() + 1 >= max_descriptors)
             ? retrieve_left
             : std::min<std::uint64_t>(
-                  {SampleOpCount(rng, Direction::kRetrieve), retrieve_left,
+                  {SampleOpCount(rng, Direction::kRetrieve, config_.model),
+                   retrieve_left,
                    cap_for_spread(retrieve_left, descriptors.size())});
     retrieve_left -= d.retrieve_ops;
     descriptors.push_back(d);
@@ -235,7 +260,8 @@ std::vector<SessionPlan> SessionModel::PlanUser(const UserProfile& user,
     if (retrieve_total > 0) {
       Descriptor first;
       first.retrieve_ops = std::min<std::uint64_t>(
-          SampleOpCount(rng, Direction::kRetrieve), retrieve_total);
+          SampleOpCount(rng, Direction::kRetrieve, config_.model),
+          retrieve_total);
       descriptors.push_back(first);
       if (retrieve_total > first.retrieve_ops) {
         Descriptor rest;
@@ -316,7 +342,7 @@ std::vector<SessionPlan> SessionModel::PlanUser(const UserProfile& user,
         !use_pc && d.store_ops > 0 && user.uses_pc && has_mobile &&
         user.retrieve_files > 0;
     sessions.push_back(std::move(s));
-    if (mobile_store && rng.Bernoulli(cal::kPcSyncAfterUpload)) {
+    if (mobile_store && rng.Bernoulli(config_.model.pc_sync_after_upload)) {
       const SessionPlan& up = sessions.back();
       SessionPlan sync;
       sync.user_id = user.user_id;
@@ -334,7 +360,7 @@ std::vector<SessionPlan> SessionModel::PlanUser(const UserProfile& user,
         op.direction = Direction::kRetrieve;
         op.size = up.ops[i].size;
         op.offset = offset;
-        offset += SampleOpGap(rng, n + i);
+        offset += SampleOpGap(rng, n + i, config_.model);
         sync.ops.push_back(op);
       }
       sessions.push_back(std::move(sync));

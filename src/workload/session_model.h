@@ -8,6 +8,7 @@
 
 #include "util/rng.h"
 #include "workload/diurnal.h"
+#include "workload/model_params.h"
 #include "workload/session_plan.h"
 #include "workload/user_model.h"
 
@@ -16,6 +17,9 @@ namespace mcloud::workload {
 struct SessionModelConfig {
   UnixSeconds trace_start = 0;
   int days = 7;
+  /// Runtime model parameters; the default reproduces the legacy
+  /// compile-time calibration byte for byte.
+  ModelParams model{};
 };
 
 class SessionModel {
@@ -29,12 +33,17 @@ class SessionModel {
 
   /// Number of file operations for one session of the given direction
   /// (Fig 5a: ~40% single-op, ~10% above 20 ops).
+  [[nodiscard]] static std::size_t SampleOpCount(Rng& rng, Direction direction,
+                                                 const ModelParams& model);
   [[nodiscard]] static std::size_t SampleOpCount(Rng& rng,
                                                  Direction direction);
 
   /// Per-session average file size in bytes, conditioned on session
   /// direction and op count (Table 2 + the Fig 5b/5c size–count
   /// correlations).
+  [[nodiscard]] static Bytes SampleSessionAvgFileSize(
+      Rng& rng, Direction direction, std::size_t op_count,
+      const ModelParams& model);
   [[nodiscard]] static Bytes SampleSessionAvgFileSize(Rng& rng,
                                                       Direction direction,
                                                       std::size_t op_count);

@@ -9,8 +9,9 @@
 
 namespace mcloud::workload {
 
-PopulationBuilder::PopulationBuilder(const PopulationConfig& config)
-    : config_(config) {
+PopulationBuilder::PopulationBuilder(const PopulationConfig& config,
+                                     const ModelParams& model)
+    : config_(config), model_(model) {
   MCLOUD_REQUIRE(config.mobile_users > 0, "need at least one mobile user");
   MCLOUD_REQUIRE(config.days >= 1, "need at least one day");
   MCLOUD_REQUIRE(config.android_share >= 0 && config.android_share <= 1,
@@ -36,9 +37,9 @@ paper::UserClass PopulationBuilder::SampleClass(
   // mobile&PC (mobile user that also uses a PC), PC-only (no mobile device).
   const bool mobile_and_pc = !mobile_only && mobile_devices > 0;
   (void)uses_pc;
-  const auto& shares = mobile_only     ? cal::kInputSharesMobileOnly
-                       : mobile_and_pc ? cal::kInputSharesMobilePc
-                                       : cal::kInputSharesPcOnly;
+  const auto& shares = mobile_only     ? model_.input_shares_mobile_only
+                       : mobile_and_pc ? model_.input_shares_mobile_pc
+                                       : model_.input_shares_pc_only;
   double occasional = shares[0];
   double upload = shares[1];
   double download = shares[2];
@@ -46,8 +47,8 @@ paper::UserClass PopulationBuilder::SampleClass(
     // Cross-device synchronization pulls multi-device users away from the
     // pure-upload pattern (Fig 7b); the freed mass lands on mixed (via the
     // 1-minus-sum below) and download.
-    upload -= cal::kMultiDeviceUploadShift;
-    download += cal::kMultiDeviceToDownload;
+    upload -= model_.multi_device_upload_shift;
+    download += model_.multi_device_to_download;
   }
   const double mixed = 1.0 - upload - download - occasional;
   const std::array<double, 4> weights = {occasional, upload, download, mixed};
@@ -74,7 +75,7 @@ void PopulationBuilder::BuildOne(std::uint64_t population_root, std::size_t i,
 
   if (is_mobile) {
     const std::size_t devices =
-        rng.PickWeighted(cal::kMobileDeviceCountWeights) + 1;
+        rng.PickWeighted(model_.device_count_weights) + 1;
     for (std::size_t d = 0; d < devices; ++d) {
       DeviceInfo dev;
       // Placeholder id; Build assigns dense ids in a serial pass.
@@ -93,29 +94,29 @@ void PopulationBuilder::BuildOne(std::uint64_t population_root, std::size_t i,
 
   switch (u.usage_class) {
     case paper::UserClass::kUploadOnly:
-      u.store_files = SampleActivityAtLeastOne(rng, cal::kStoreActivityX0,
-                                               cal::kStoreActivityC);
+      u.store_files = SampleActivityAtLeastOne(rng, model_.store_activity_x0,
+                                               model_.store_activity_c);
       break;
     case paper::UserClass::kDownloadOnly:
       u.retrieve_files = SampleActivityAtLeastOne(
-          rng, cal::kRetrieveActivityX0, cal::kRetrieveActivityC);
+          rng, model_.retrieve_activity_x0, model_.retrieve_activity_c);
       break;
     case paper::UserClass::kMixed:
-      u.store_files = SampleActivityAtLeastOne(rng, cal::kStoreActivityX0,
-                                               cal::kStoreActivityC);
+      u.store_files = SampleActivityAtLeastOne(rng, model_.store_activity_x0,
+                                               model_.store_activity_c);
       u.retrieve_files = SampleActivityAtLeastOne(
-          rng, cal::kRetrieveActivityX0 * cal::kMixedRetrieveScale,
-          cal::kRetrieveActivityC);
+          rng, model_.retrieve_activity_x0 * cal::kMixedRetrieveScale,
+          model_.retrieve_activity_c);
       break;
     case paper::UserClass::kOccasional:
       // Occasional is a *volume* class (< 1 MB total): operation counts
       // follow the same SE laws as everyone else — only payloads differ —
       // keeping the population's Fig 10 rank curve one clean SE law.
-      u.store_files = SampleActivityAtLeastOne(rng, cal::kStoreActivityX0,
-                                               cal::kStoreActivityC);
+      u.store_files = SampleActivityAtLeastOne(rng, model_.store_activity_x0,
+                                               model_.store_activity_c);
       if (rng.Bernoulli(cal::kOccasionalRetrieveProb)) {
         u.retrieve_files = SampleActivityAtLeastOne(
-            rng, cal::kRetrieveActivityX0, cal::kRetrieveActivityC);
+            rng, model_.retrieve_activity_x0, model_.retrieve_activity_c);
       }
       break;
   }
@@ -129,15 +130,25 @@ void PopulationBuilder::BuildOne(std::uint64_t population_root, std::size_t i,
   // near-certain returns.
   double engaged_p;
   if (u.uses_pc && u.IsMobileUser()) {
-    engaged_p = cal::kEngagedMobilePc;
+    engaged_p = model_.engaged_mobile_pc;
   } else if (u.mobile_devices.size() > 1) {
-    engaged_p = cal::kEngagedMultiDevice;
+    engaged_p = model_.engaged_multi_device;
   } else {
-    engaged_p = cal::kEngagedSingleDevice;
+    engaged_p = model_.engaged_single_device;
   }
   u.engaged = heavy || rng.Bernoulli(engaged_p);
-  u.first_active_day = static_cast<int>(
-      rng.UniformInt(static_cast<std::uint64_t>(config_.days)));
+  if (model_.UniformDayWeights()) {
+    // Legacy path — must stay UniformInt (one raw u64, Lemire) so the
+    // default ModelParams reproduces the historical stream exactly.
+    u.first_active_day = static_cast<int>(
+        rng.UniformInt(static_cast<std::uint64_t>(config_.days)));
+  } else {
+    // Weighted first-active day: cycle the 7-entry week over the trace days.
+    std::vector<double> w(static_cast<std::size_t>(config_.days));
+    for (std::size_t d = 0; d < w.size(); ++d)
+      w[d] = model_.day_weights[d % 7];
+    u.first_active_day = static_cast<int>(rng.PickWeighted(w));
+  }
 }
 
 std::vector<UserProfile> PopulationBuilder::Build(Rng& rng,

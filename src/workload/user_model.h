@@ -17,6 +17,7 @@
 #include "trace/log_record.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "workload/model_params.h"
 
 namespace mcloud::workload {
 
@@ -60,7 +61,10 @@ struct PopulationConfig {
 /// sampling can be sharded across a thread pool with no change in output.
 class PopulationBuilder {
  public:
-  explicit PopulationBuilder(const PopulationConfig& config);
+  /// `model` — runtime model parameters; the default reproduces the legacy
+  /// compile-time calibration byte for byte.
+  explicit PopulationBuilder(const PopulationConfig& config,
+                             const ModelParams& model = ModelParams{});
 
   /// `pool` — optional thread pool for sharding profile sampling; the
   /// result is identical with any pool size (and with no pool at all).
@@ -83,6 +87,7 @@ class PopulationBuilder {
                 UserProfile& u) const;
 
   PopulationConfig config_;
+  ModelParams model_;
 };
 
 }  // namespace mcloud::workload

@@ -7,6 +7,7 @@
 #include "analysis/perf_analysis.h"
 #include "core/pipeline.h"
 #include "model/paper_params.h"
+#include "scenario/workload_spec.h"
 #include "util/summary.h"
 #include "validate/tolerance.h"
 #include "workload/generator.h"
@@ -43,20 +44,24 @@ TEST(Faithfulness, WorkloadShape) {
 
 TEST(Faithfulness, SessionTypeSplit) {
   const auto& r = Report();
-  // §3.1.1: store-only ~68%, retrieve-only ~30%, mixed ~2%. The tolerance
-  // is the validator's sample-size policy (slack + z·binomial band at this
-  // run's session count), so this suite and `mcloudctl validate` gate the
-  // same re-sessionization systematic with the same numbers.
+  // §3.1.1: store-only ~68%, retrieve-only ~30%, mixed ~2%. Targets and
+  // the re-sessionization systematic slacks come from the paper2016 spec's
+  // declared [targets] (the spec-aware home of those numbers since the
+  // scenario lab), so this suite, `mcloudctl validate`, and
+  // `mcloudctl conform paper2016` gate the same values and cannot drift.
+  const scenario::WorkloadSpec spec = scenario::LoadSpec("paper2016");
+  ASSERT_TRUE(spec.targets.store_share && spec.targets.retrieve_share &&
+              spec.targets.mixed_share);
+  EXPECT_DOUBLE_EQ(*spec.targets.store_share, paper::kStoreOnlySessionShare);
   const std::size_t n = r.session_split.total;
-  const validate::SharePolicy major{validate::kSessionShareSlack};
-  const validate::SharePolicy mixed{validate::kSessionMixedShareSlack};
-  EXPECT_NEAR(r.session_split.StoreShare(), paper::kStoreOnlySessionShare,
-              major.Band(paper::kStoreOnlySessionShare, n));
-  EXPECT_NEAR(r.session_split.RetrieveShare(),
-              paper::kRetrieveOnlySessionShare,
-              major.Band(paper::kRetrieveOnlySessionShare, n));
-  EXPECT_NEAR(r.session_split.MixedShare(), paper::kMixedSessionShare,
-              mixed.Band(paper::kMixedSessionShare, n));
+  const validate::SharePolicy major{spec.targets.session_share_slack};
+  const validate::SharePolicy mixed{spec.targets.mixed_share_slack};
+  EXPECT_NEAR(r.session_split.StoreShare(), *spec.targets.store_share,
+              major.Band(*spec.targets.store_share, n));
+  EXPECT_NEAR(r.session_split.RetrieveShare(), *spec.targets.retrieve_share,
+              major.Band(*spec.targets.retrieve_share, n));
+  EXPECT_NEAR(r.session_split.MixedShare(), *spec.targets.mixed_share,
+              mixed.Band(*spec.targets.mixed_share, n));
 }
 
 TEST(Faithfulness, IntervalModelStructure) {

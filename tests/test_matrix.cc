@@ -1,0 +1,117 @@
+// Matrix-runner tests (DESIGN.md §13): the what-if sweep is byte-identical
+// at every thread count, the axis presets reject unknown names, a one-cell
+// smoke stays inside the ctest budget, and every shipped spec passes its
+// own declared targets (self-conformance) at the 4k-user test scale.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/conformance.h"
+#include "scenario/matrix.h"
+#include "scenario/workload_spec.h"
+#include "util/error.h"
+
+namespace mcloud {
+namespace {
+
+scenario::MatrixReport ZeroWallClock(scenario::MatrixReport r) {
+  for (auto& cell : r.cells) cell.wall_s = 0;
+  return r;
+}
+
+TEST(Matrix, ReportIsByteIdenticalAcrossThreadCounts) {
+  scenario::MatrixOptions opts;
+  opts.specs = {"paper2016", "flash-crowd-restore"};
+  opts.faults = {"none", "frontend-flaky"};
+  opts.connections = {"baseline", "no-ssai"};
+  opts.users = 400;  // small fleet: 8 cells must fit the ctest budget
+  opts.threads = 1;
+  const auto one = ZeroWallClock(scenario::RunMatrix(opts));
+  opts.threads = 4;
+  const auto four = ZeroWallClock(scenario::RunMatrix(opts));
+
+  ASSERT_EQ(one.cells.size(), 8u);
+  EXPECT_EQ(one.fingerprint, four.fingerprint);
+  // Golden: with the (unfingerprinted) wall clocks zeroed, the whole JSON
+  // report is byte-identical — the property the CI matrix-smoke job diffs.
+  EXPECT_EQ(scenario::ToJson(one), scenario::ToJson(four));
+}
+
+TEST(Matrix, CellsVaryWhereTheyShould) {
+  scenario::MatrixOptions opts;
+  opts.specs = {"paper2016"};
+  opts.faults = {"none", "frontend-flaky"};
+  opts.connections = {"baseline", "no-ssai"};
+  opts.users = 400;
+  const auto report = scenario::RunMatrix(opts);
+  ASSERT_EQ(report.cells.size(), 4u);
+  // Same spec → same session plans in every cell.
+  for (const auto& cell : report.cells)
+    EXPECT_EQ(cell.sessions, report.cells[0].sessions);
+  // SSAI off removes every slow-start restart; baseline has many.
+  const auto& baseline = report.cells[0];
+  const auto& no_ssai = report.cells[1];
+  EXPECT_GT(baseline.slow_start_restarts, 0u);
+  EXPECT_EQ(no_ssai.slow_start_restarts, 0u);
+  EXPECT_LT(no_ssai.median_ttran_s, baseline.median_ttran_s);
+  // Fault injection hurts availability but retries keep most sessions.
+  const auto& flaky = report.cells[2];
+  EXPECT_GT(flaky.wasted_mb, baseline.wasted_mb);
+  EXPECT_GE(baseline.session_success_rate, flaky.session_success_rate);
+  EXPECT_GT(flaky.session_success_rate, 0.95);
+}
+
+TEST(Matrix, OneCellSmoke) {
+  scenario::MatrixOptions opts;
+  opts.specs = {"photo-backup-heavy"};
+  opts.faults = {"lossy-cell"};
+  opts.connections = {"paced"};
+  opts.chunk_policies = {"chunk2m"};
+  opts.users = 200;
+  const auto report = scenario::RunMatrix(opts);
+  ASSERT_EQ(report.cells.size(), 1u);
+  const auto& cell = report.cells[0];
+  EXPECT_EQ(cell.spec, "photo-backup-heavy");
+  EXPECT_GT(cell.sessions, 0u);
+  EXPECT_GT(cell.ops, 0u);
+  EXPECT_GT(cell.goodput_mb, 0.0);
+  EXPECT_NE(cell.fingerprint, 0u);
+  const std::string json = scenario::ToJson(report);
+  EXPECT_NE(json.find("\"fingerprint\""), std::string::npos);
+  EXPECT_NE(json.find("lossy-cell"), std::string::npos);
+}
+
+TEST(Matrix, UnknownAxisNamesAreRejectedUpFront) {
+  EXPECT_THROW((void)scenario::FaultGrid("frontend-flakey"), Error);
+  cloud::ServiceConfig cfg;
+  EXPECT_THROW(scenario::ApplyConnectionStrategy(cfg, "nossai"), Error);
+  EXPECT_THROW(scenario::ApplyChunkPolicy(cfg, "huge"), Error);
+  scenario::MatrixOptions opts;
+  opts.specs = {"paper2016"};
+  opts.faults = {"none", "frontend-flakey"};
+  opts.users = 100;
+  EXPECT_THROW((void)scenario::RunMatrix(opts), Error);
+}
+
+// Self-conformance: every spec shipped in specs/ passes its own declared
+// [targets] at the 4k-user test scale. This is the suite-level guarantee
+// that a contributed spec's promises actually hold.
+TEST(Conformance, EveryShippedSpecPassesItsOwnTargets) {
+  const auto names = scenario::ListSpecs();
+  ASSERT_GE(names.size(), 4u);
+  for (const auto& name : names) {
+    SCOPED_TRACE(name);
+    const scenario::WorkloadSpec spec = scenario::LoadSpec(name);
+    EXPECT_FALSE(spec.targets.store_share == std::nullopt &&
+                 spec.targets.retrieve_share == std::nullopt)
+        << "shipped specs must declare session-mix targets";
+    scenario::ConformanceOptions opts;
+    opts.users_override = 4000;
+    const scenario::ConformanceRun run = scenario::RunConformance(spec, opts);
+    EXPECT_GE(run.outcomes.size(), 5u);
+    EXPECT_TRUE(run.AllPassed()) << scenario::RenderText(run);
+  }
+}
+
+}  // namespace
+}  // namespace mcloud

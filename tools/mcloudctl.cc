@@ -19,8 +19,22 @@
 //   mcloudctl validate  [--users N] [--seed S] [--seeds K] [--threads N]
 //                       [--flows N] [--shards K] [--json FILE]
 //                       [--out-of-core | --concurrent] [--max-memory-mb M]
-//                       [--spill-dir D]
+//                       [--spill-dir D] [--spec NAME] [--specs-dir D]
+//   mcloudctl specs     [--specs-dir D]
+//   mcloudctl conform   SPEC [--users N] [--seed S] [--threads N]
+//                       [--out-of-core [--spill-dir D]] [--json FILE]
+//   mcloudctl matrix    SPEC... [--grids A,B] [--connections A,B]
+//                       [--chunks A,B] [--users N] [--seed S] [--threads N]
+//                       [--shards K] [--json FILE]
 //   mcloudctl help
+//
+// The scenario lab (DESIGN.md §13): `specs` lists the declarative workload
+// specs shipped in specs/; `generate --spec` / `validate --spec` compile a
+// spec into the generator instead of the default calibration; `conform`
+// checks a spec against its own declared [targets]; `matrix` sweeps
+// spec × fault grid × connection strategy × chunk policy through the
+// sharded fleet and emits one JSON report whose per-cell fingerprints are
+// byte-identical at every --threads.
 //
 // Trace files are CSV (.csv), the columnar v2 binary format (.v2), or the
 // row-wise v1 binary format (anything else); writes pick the format by
@@ -64,6 +78,9 @@
 #include "core/pipeline.h"
 #include "trace/anonymizer.h"
 #include "trace/log_io.h"
+#include "scenario/conformance.h"
+#include "scenario/matrix.h"
+#include "scenario/workload_spec.h"
 #include "trace/partitioned_trace.h"
 #include "validate/validator.h"
 #include "workload/generator.h"
@@ -134,6 +151,20 @@ Args Parse(int argc, char** argv, int first) {
   return args;
 }
 
+/// Comma-separated axis lists for `matrix` (e.g. --grids none,frontend-flaky).
+std::vector<std::string> SplitList(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
 bool IsCsv(const std::filesystem::path& p) { return p.extension() == ".csv"; }
 bool IsV2(const std::filesystem::path& p) { return p.extension() == ".v2"; }
 
@@ -158,6 +189,7 @@ int Usage() {
   std::fputs(
       "usage: mcloudctl COMMAND ...\n"
       "  generate  --users N [--pc N] [--seed S] [--threads N]\n"
+      "            [--spec NAME] [--specs-dir D]\n"
       "            [--anonymize KEY] [--faults] [--fail-rate R]\n"
       "            [--loss-burst R] [--degraded R] [--hedge]\n"
       "            [--out-of-core [--max-memory-mb M]] OUT\n"
@@ -176,7 +208,21 @@ int Usage() {
       "  validate  [--users N] [--seed S] [--seeds K] [--threads N]\n"
       "            [--flows N] [--shards K] [--json FILE]\n"
       "            [--out-of-core | --concurrent] [--max-memory-mb M]\n"
-      "            [--spill-dir D]\n"
+      "            [--spill-dir D] [--spec NAME] [--specs-dir D]\n"
+      "  specs     [--specs-dir D]\n"
+      "  conform   SPEC [--users N] [--seed S] [--threads N]\n"
+      "            [--out-of-core [--spill-dir D] [--max-memory-mb M]]\n"
+      "            [--specs-dir D] [--json FILE]\n"
+      "  matrix    SPEC... [--grids A,B] [--connections A,B] [--chunks A,B]\n"
+      "            [--users N] [--seed S] [--threads N] [--shards K]\n"
+      "            [--specs-dir D] [--json FILE]\n"
+      "Scenario lab: SPEC is a name resolved in the specs directory\n"
+      "(--specs-dir, $MCLOUD_SPECS_DIR, or the shipped specs/) or a path to\n"
+      "a .spec file. `conform` checks a spec against its own declared\n"
+      "[targets] and exits non-zero when any check fails; `matrix` sweeps\n"
+      "spec x fault grid x connection strategy x chunk policy through the\n"
+      "sharded fleet and writes one JSON report whose fingerprints are\n"
+      "byte-identical at every --threads.\n"
       "Trace format: .csv is CSV, .v2 is the columnar binary format,\n"
       "anything else is the row-wise v1 binary format (reads also sniff\n"
       "the v2 magic). With --out-of-core, generate's OUT (and analyze's\n"
@@ -196,11 +242,24 @@ int Usage() {
 int CmdGenerate(const Args& args) {
   if (args.positional.size() != 1) return Usage();
   workload::WorkloadConfig cfg;
-  cfg.population.mobile_users = args.GetU64("users", 6000);
-  cfg.population.pc_only_users =
-      args.GetU64("pc", cfg.population.mobile_users / 3);
-  cfg.seed = args.GetU64("seed", 42);
-  cfg.threads = static_cast<int>(args.GetU64("threads", 0));
+  if (args.Has("spec")) {
+    // Compile a declarative scenario spec; --users/--pc still override the
+    // spec's population (the model parameters come from the spec).
+    const scenario::WorkloadSpec spec =
+        scenario::LoadSpec(args.Get("spec"), args.Get("specs-dir"));
+    cfg = scenario::Compile(spec, args.GetU64("seed", 42),
+                            static_cast<int>(args.GetU64("threads", 0)));
+    cfg.population.mobile_users =
+        args.GetU64("users", cfg.population.mobile_users);
+    cfg.population.pc_only_users =
+        args.GetU64("pc", cfg.population.pc_only_users);
+  } else {
+    cfg.population.mobile_users = args.GetU64("users", 6000);
+    cfg.population.pc_only_users =
+        args.GetU64("pc", cfg.population.mobile_users / 3);
+    cfg.seed = args.GetU64("seed", 42);
+    cfg.threads = static_cast<int>(args.GetU64("threads", 0));
+  }
 
   std::fprintf(stderr,
                "generating: %zu mobile users, %zu PC-only, seed %llu...\n",
@@ -502,13 +561,110 @@ int CmdSimulate(const Args& args) {
   return 0;
 }
 
+/// Shared --json writer for the scenario-lab commands.
+void WriteJsonFile(const std::string& path, const std::string& json) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
+/// List the specs visible in the resolved specs directory.
+int CmdSpecs(const Args& args) {
+  const std::string dir = args.Get("specs-dir");
+  const auto names = scenario::ListSpecs(dir);
+  if (names.empty()) {
+    const std::string where =
+        dir.empty() ? std::string(scenario::DefaultSpecsDir()) : dir;
+    std::fprintf(stderr, "no specs found in %s\n", where.c_str());
+    return 1;
+  }
+  for (const auto& name : names) {
+    const scenario::WorkloadSpec spec = scenario::LoadSpec(name, dir);
+    std::printf("%-24s %zu mobile + %zu PC users, %d days — %s\n",
+                name.c_str(), spec.mobile_users, spec.pc_only_users,
+                static_cast<int>(spec.days), spec.description.c_str());
+  }
+  return 0;
+}
+
+/// Self-conformance: run a spec's workload through the analysis pipeline
+/// and gate its declared [targets] with the GoF tolerance machinery. Exit 0
+/// iff every declared target passes.
+int CmdConform(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  const scenario::WorkloadSpec spec =
+      scenario::LoadSpec(args.positional[0], args.Get("specs-dir"));
+  scenario::ConformanceOptions opts;
+  opts.seed = args.GetU64("seed", opts.seed);
+  opts.threads = static_cast<int>(args.GetU64("threads", 0));
+  opts.users_override = args.GetU64("users", 0);
+  opts.out_of_core = args.Has("out-of-core");
+  opts.spill_dir = args.Get("spill-dir");
+  opts.max_memory_mb = static_cast<std::size_t>(
+      args.GetU64("max-memory-mb", opts.max_memory_mb));
+  std::filesystem::path owned_spill;
+  if (opts.out_of_core && opts.spill_dir.empty()) {
+    owned_spill = std::filesystem::temp_directory_path() /
+                  ("mcloud-conform-" + spec.name + "-" +
+                   std::to_string(opts.seed));
+    std::filesystem::remove_all(owned_spill);
+    std::filesystem::create_directories(owned_spill);
+    opts.spill_dir = owned_spill.string();
+  }
+  const scenario::ConformanceRun run = scenario::RunConformance(spec, opts);
+  if (!owned_spill.empty()) std::filesystem::remove_all(owned_spill);
+  std::fputs(scenario::RenderText(run).c_str(), stdout);
+  WriteJsonFile(args.Get("json"), scenario::ToJson(run));
+  return run.AllPassed() ? 0 : 1;
+}
+
+/// What-if matrix: sweep spec x fault grid x connection strategy x chunk
+/// policy through the sharded fleet; one JSON report, byte-identical at
+/// every --threads.
+int CmdMatrix(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  scenario::MatrixOptions opts;
+  opts.specs = args.positional;
+  if (args.Has("grids")) opts.faults = SplitList(args.Get("grids"));
+  if (args.Has("connections"))
+    opts.connections = SplitList(args.Get("connections"));
+  if (args.Has("chunks")) opts.chunk_policies = SplitList(args.Get("chunks"));
+  opts.users = args.GetU64("users", 0);
+  opts.seed = args.GetU64("seed", opts.seed);
+  opts.threads = static_cast<int>(args.GetU64("threads", 0));
+  opts.shards = static_cast<std::uint32_t>(args.GetU64("shards", opts.shards));
+  opts.specs_dir = args.Get("specs-dir");
+  const scenario::MatrixReport report = scenario::RunMatrix(opts);
+  std::fputs(scenario::RenderText(report).c_str(), stdout);
+  WriteJsonFile(args.Get("json"), scenario::ToJson(report));
+  return 0;
+}
+
 /// Paper-fidelity validation: generate → analyze → fleet-simulate → run
 /// every FigureCheck. Exit 0 iff all checks pass (single run) or the
 /// run-level pass rate is >= 95% (--seeds sweep). --json writes the
 /// machine-readable manifest CI archives.
 int CmdValidate(const Args& args) {
   validate::ValidateOptions opts;
-  opts.users = args.GetU64("users", opts.users);
+  if (args.Has("spec")) {
+    // Validate against a scenario spec's model: the spec supplies the
+    // population and parameters; --users still scales the population down
+    // (PC-only users shrink proportionally, so paper2016 at --users 4000
+    // fingerprints identically to the default 4000-user run).
+    const scenario::WorkloadSpec spec =
+        scenario::LoadSpec(args.Get("spec"), args.Get("specs-dir"));
+    opts.users = args.GetU64("users", spec.mobile_users);
+    opts.pc_users = spec.pc_only_users * opts.users / spec.mobile_users;
+    opts.model = spec.model;
+  } else {
+    opts.users = args.GetU64("users", opts.users);
+  }
   opts.seed = args.GetU64("seed", opts.seed);
   opts.threads = static_cast<int>(args.GetU64("threads", 0));
   opts.fleet_flows = args.GetU64("flows", opts.fleet_flows);
@@ -572,6 +728,9 @@ int main(int argc, char** argv) {
     if (cmd == "convert") return CmdConvert(args);
     if (cmd == "anonymize") return CmdAnonymize(args);
     if (cmd == "simulate") return CmdSimulate(args);
+    if (cmd == "specs") return CmdSpecs(args);
+    if (cmd == "conform") return CmdConform(args);
+    if (cmd == "matrix") return CmdMatrix(args);
     if (cmd == "validate") return CmdValidate(args);
     if (cmd == "help" || cmd == "--help") {
       Usage();
