@@ -448,10 +448,11 @@ FullReport AnalysisPipeline::RunStreaming(const PartitionedTrace& trace,
 }
 
 // The analyze-while-generate engine. The producer (typically
-// GenerateToPartitions' spill path) hands over sealed slices through a
-// depth-1 bounded queue; a consumer thread transposes each slice into lean
-// analysis columns and drives the same streaming cores RunStreaming uses
-// while the producer builds the next one. Because every
+// GenerateToPartitions' spill path) hands over sealed columnar slices
+// through a depth-1 bounded queue; a consumer thread drives the same
+// streaming cores RunStreaming uses directly over the slice's columns
+// (no transpose — the producer already emits SoA) while the producer
+// builds the next one. Because every
 // slice is time-sorted and carries a contiguous ascending user range's
 // complete history, per-slice results are already in canonical order and
 // concatenate (sessions/usage) or sum (hour bins, interval sketch, counts)
@@ -480,7 +481,7 @@ FullReport AnalysisPipeline::RunConcurrent(
   // resident data to two slices and pacing generation to analysis.
   std::mutex mu;
   std::condition_variable cv;
-  std::vector<LogRecord> slot;
+  RecordColumns slot;
   bool full = false;
   bool done = false;
 
@@ -488,21 +489,13 @@ FullReport AnalysisPipeline::RunConcurrent(
     // Finish's canonical sorts run inline here: ThreadPool::Run must not be
     // entered from two threads, and the caller owns the real pool.
     ThreadPool slice_pool(1);
-    // Slice staging, reused across slices: the seven analysis columns plus
-    // the slice-local user table. No TraceStore is built — the slice feeds
-    // the same streaming cores RunStreaming drives, so the only per-slice
-    // overhead on top of the analysis itself is this one lean transpose.
-    std::vector<std::int64_t> ts;
-    std::vector<std::uint8_t> dev;
-    std::vector<std::uint64_t> dev_id;
+    // The slice already is structure-of-arrays — its columns feed the
+    // streaming cores directly. The only per-slice staging is the dense
+    // user remap (reused across slices).
     std::vector<std::uint32_t> users;
-    std::vector<std::uint8_t> req;
-    std::vector<std::uint8_t> dir;
-    std::vector<std::uint64_t> vol;
-    std::vector<std::uint64_t> raw_users;
     std::vector<std::uint64_t> user_ids;
     for (;;) {
-      std::vector<LogRecord> slice;
+      RecordColumns slice;
       {
         std::unique_lock<std::mutex> lock(mu);
         cv.wait(lock, [&] { return full || done; });
@@ -517,35 +510,17 @@ FullReport AnalysisPipeline::RunConcurrent(
       try {
         auto t0 = Clock::now();
         const std::size_t n = slice.size();
-        ts.resize(n);
-        dev.resize(n);
-        dev_id.resize(n);
-        users.resize(n);
-        req.resize(n);
-        dir.resize(n);
-        vol.resize(n);
-        raw_users.resize(n);
-        for (std::size_t i = 0; i < n; ++i) {
-          const LogRecord& rec = slice[i];
-          ts[i] = rec.timestamp;
-          dev[i] = static_cast<std::uint8_t>(rec.device_type);
-          dev_id[i] = rec.device_id;
-          raw_users[i] = rec.user_id;
-          req[i] = static_cast<std::uint8_t>(rec.request_type);
-          dir[i] = static_cast<std::uint8_t>(rec.direction);
-          vol[i] = rec.data_volume;
-        }
-        slice = std::vector<LogRecord>();  // release before analysis peaks
         // Slice-local dense user remap (ascending original ids) — the same
         // remap TraceStore would build, scoped to this slice's users.
-        user_ids = raw_users;
+        user_ids = slice.user_ids;
         std::sort(user_ids.begin(), user_ids.end());
         user_ids.erase(std::unique(user_ids.begin(), user_ids.end()),
                        user_ids.end());
+        users.resize(n);
         for (std::size_t i = 0; i < n; ++i) {
           users[i] = static_cast<std::uint32_t>(
               std::lower_bound(user_ids.begin(), user_ids.end(),
-                               raw_users[i]) -
+                               slice.user_ids[i]) -
               user_ids.begin());
         }
 
@@ -560,6 +535,7 @@ FullReport AnalysisPipeline::RunConcurrent(
           const std::int64_t rel = t - options_.trace_start;
           return rel >= 0 ? rel / kDay : -((-rel + kDay - 1) / kDay);
         };
+        const std::span<const std::int64_t> ts = slice.timestamps;
         std::size_t begin = 0;
         while (begin < n) {
           const std::int64_t day = day_of(ts[begin]);
@@ -567,17 +543,23 @@ FullReport AnalysisPipeline::RunConcurrent(
           while (end < n && day_of(ts[end]) == day) ++end;
           const std::size_t len = end - begin;
           const TraceRowBlock block{
-              std::span(ts).subspan(begin, len),
-              std::span(dev).subspan(begin, len),
-              std::span(dev_id).subspan(begin, len),
-              std::span(users).subspan(begin, len),
-              std::span(req).subspan(begin, len),
-              std::span(dir).subspan(begin, len),
-              std::span(vol).subspan(begin, len)};
+              ts.subspan(begin, len),
+              std::span<const std::uint8_t>(slice.device_types)
+                  .subspan(begin, len),
+              std::span<const std::uint64_t>(slice.device_ids)
+                  .subspan(begin, len),
+              std::span<const std::uint32_t>(users).subspan(begin, len),
+              std::span<const std::uint8_t>(slice.request_types)
+                  .subspan(begin, len),
+              std::span<const std::uint8_t>(slice.directions)
+                  .subspan(begin, len),
+              std::span<const std::uint64_t>(slice.data_volumes)
+                  .subspan(begin, len)};
           row_pass.Consume(day, block);
           per_user_pass.Consume(block);
           begin = end;
         }
+        slice = RecordColumns();  // release before Finish's sorts peak
         analysis::FusedRowPassResult r = row_pass.TakeResult();
         slice_scan_s += Since(t0);
         t0 = Clock::now();
@@ -620,7 +602,7 @@ FullReport AnalysisPipeline::RunConcurrent(
     }
   });
 
-  const SliceConsumer sink = [&](std::vector<LogRecord>&& slice) {
+  const SliceConsumer sink = [&](RecordColumns&& slice) {
     std::unique_lock<std::mutex> lock(mu);
     cv.wait(lock, [&] { return !full; });
     slot = std::move(slice);

@@ -21,6 +21,7 @@
 #include "core/report.h"
 #include "trace/log_record.h"
 #include "trace/partitioned_trace.h"
+#include "trace/record_columns.h"
 #include "trace/trace_store.h"
 
 namespace mcloud::core {
@@ -94,9 +95,11 @@ class AnalysisPipeline {
                                         StageTimings* timings = nullptr) const;
 
   /// Sink for RunConcurrent's producer: hand over one sealed, time-sorted
-  /// trace slice. Blocks while the analysis side is busy (bounded queue,
-  /// depth 1), which backpressures generation to the analysis rate.
-  using SliceConsumer = std::function<void(std::vector<LogRecord>&&)>;
+  /// trace slice in columnar (SoA) form — the generator fast path's native
+  /// layout, so no transpose happens on the analysis side. Blocks while the
+  /// analysis side is busy (bounded queue, depth 1), which backpressures
+  /// generation to the analysis rate.
+  using SliceConsumer = std::function<void(RecordColumns&&)>;
 
   /// Analyze-while-generate engine: `produce` emits sealed trace slices into
   /// a bounded queue; a consumer thread analyzes each slice with the fused

@@ -1,9 +1,11 @@
 #include "trace/log_io.h"
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <type_traits>
 
 #include "util/csv.h"
 #include "util/error.h"
@@ -339,6 +341,66 @@ void WriteColumnarTrace(const std::filesystem::path& path,
       case kColProxied: WriteColumn(out, store.proxied()); break;
     }
   }
+  if (!out) throw Error("write failed: " + path.string());
+}
+
+void WriteColumnarRun(const std::filesystem::path& path,
+                      const RecordColumns& cols, std::size_t begin,
+                      std::size_t end, UnixSeconds day_base,
+                      V2RunScratch& scratch) {
+  const std::size_t n = end - begin;
+  // Per-run user table: sorted unique raw ids; dense ids are ascending-id
+  // ranks — the exact remap TraceStore::FromRecords would assign.
+  auto& table = scratch.user_table;
+  table.assign(cols.user_ids.begin() + static_cast<std::ptrdiff_t>(begin),
+               cols.user_ids.begin() + static_cast<std::ptrdiff_t>(end));
+  std::sort(table.begin(), table.end());
+  table.erase(std::unique(table.begin(), table.end()), table.end());
+  auto& dense = scratch.dense_users;
+  dense.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dense[i] = static_cast<std::uint32_t>(
+        std::lower_bound(table.begin(), table.end(),
+                         cols.user_ids[begin + i]) -
+        table.begin());
+  }
+
+  std::ofstream out = OpenForWrite(path, /*binary=*/true);
+  out.write(kMagicV2.data(), kMagicV2.size());
+  const std::uint64_t n_rows = n;
+  const std::uint64_t n_users = table.size();
+  const std::int64_t base = day_base;
+  const std::uint32_t mask = kAllColumns;
+  const std::uint32_t reserved = 0;
+  WriteRaw(out, &n_rows, sizeof(n_rows));
+  WriteRaw(out, &n_users, sizeof(n_users));
+  WriteRaw(out, &base, sizeof(base));
+  WriteRaw(out, &mask, sizeof(mask));
+  WriteRaw(out, &reserved, sizeof(reserved));
+  WriteColumn<std::uint64_t>(out, table);
+
+  // Column payloads in the fixed kV2Columns order.
+  const auto sub = [&](const auto& col) {
+    using T = typename std::remove_reference_t<decltype(col)>::value_type;
+    return std::span<const T>(col).subspan(begin, n);
+  };
+  const auto write_micros = [&](const std::vector<double>& col) {
+    scratch.micros.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      scratch.micros[i] = detail::ToMicros(col[begin + i]);
+    WriteColumn<std::int64_t>(out, scratch.micros);
+  };
+  WriteColumn<std::int64_t>(out, sub(cols.timestamps));
+  WriteColumn<std::uint8_t>(out, sub(cols.device_types));
+  WriteColumn<std::uint64_t>(out, sub(cols.device_ids));
+  WriteColumn<std::uint32_t>(out, dense);
+  WriteColumn<std::uint8_t>(out, sub(cols.request_types));
+  WriteColumn<std::uint8_t>(out, sub(cols.directions));
+  WriteColumn<std::uint64_t>(out, sub(cols.data_volumes));
+  write_micros(cols.processing_times);
+  write_micros(cols.server_times);
+  write_micros(cols.avg_rtts);
+  WriteColumn<std::uint8_t>(out, sub(cols.proxied));
   if (!out) throw Error("write failed: " + path.string());
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "trace/log_record.h"
+#include "trace/record_columns.h"
 #include "trace/trace_store.h"
 #include "util/error.h"
 
@@ -161,6 +162,25 @@ std::size_t ScanBinaryTrace(const std::filesystem::path& path,
 /// Overwrites `path`.
 void WriteColumnarTrace(const std::filesystem::path& path,
                         const TraceStore& store);
+
+/// Reusable buffers for WriteColumnarRun: the per-run user table, the dense
+/// user column, and the microsecond staging of the time columns.
+struct V2RunScratch {
+  std::vector<std::uint64_t> user_table;
+  std::vector<std::uint32_t> dense_users;
+  std::vector<std::int64_t> micros;
+};
+
+/// Write rows [begin, end) of a time-sorted columnar record buffer as one
+/// all-columns v2 file — byte-identical to WriteColumnarTrace(path,
+/// TraceStore::FromRecords(<those rows>, day_base)) without materializing
+/// the records or the store (the run's user table is the sorted unique raw
+/// ids of the range; dense ids are the ascending-id ranks, exactly the
+/// remap TraceStore assigns).
+void WriteColumnarRun(const std::filesystem::path& path,
+                      const RecordColumns& cols, std::size_t begin,
+                      std::size_t end, UnixSeconds day_base,
+                      V2RunScratch& scratch);
 
 /// Read a v2 columnar trace, loading only the columns in `want` (skipped
 /// columns cost one seek each; the timestamp and user columns are always

@@ -75,6 +75,28 @@ void PartitionedTraceWriter::WriteSortedSlice(
   }
 }
 
+void PartitionedTraceWriter::WriteSortedSlice(const RecordColumns& slice) {
+  if (finished_)
+    throw Error("partitioned trace already sealed: " + dir_.string());
+  // Timestamps are non-decreasing within the slice, so equal-day segments
+  // are contiguous; each becomes one run file.
+  std::size_t begin = 0;
+  while (begin < slice.size()) {
+    const std::int64_t day =
+        FloorDayIndex(slice.timestamps[begin] - day_base_);
+    std::size_t end = begin + 1;
+    while (end < slice.size() &&
+           FloorDayIndex(slice.timestamps[end] - day_base_) == day)
+      ++end;
+    char name[32];
+    std::snprintf(name, sizeof(name), "run-%06zu.v2", runs_.size());
+    WriteColumnarRun(dir_ / name, slice, begin, end, day_base_, run_scratch_);
+    runs_.push_back({day, static_cast<std::uint64_t>(end - begin), name});
+    records_ += end - begin;
+    begin = end;
+  }
+}
+
 void PartitionedTraceWriter::Finish() {
   if (finished_) return;
   const std::filesystem::path path = dir_ / kManifestName;

@@ -30,7 +30,9 @@
 #include <string>
 #include <vector>
 
+#include "trace/log_io.h"
 #include "trace/log_record.h"
+#include "trace/record_columns.h"
 #include "trace/trace_store.h"
 
 namespace mcloud {
@@ -69,6 +71,11 @@ class PartitionedTraceWriter {
   /// MCLOGv02 run file. Empty slices are no-ops.
   void WriteSortedSlice(std::span<const LogRecord> slice);
 
+  /// Columnar twin: identical run files from a time-sorted SoA slice (the
+  /// generator fast path), without materializing records or per-run
+  /// TraceStores.
+  void WriteSortedSlice(const RecordColumns& slice);
+
   /// Write the MANIFEST. No further WriteSortedSlice calls afterwards.
   void Finish();
 
@@ -86,6 +93,7 @@ class PartitionedTraceWriter {
   UnixSeconds day_base_;
   std::uint64_t records_ = 0;
   std::vector<RunEntry> runs_;
+  V2RunScratch run_scratch_;  ///< reused across columnar runs
   bool finished_ = false;
 };
 

@@ -1,0 +1,251 @@
+// Stable LSD radix permutation sort over multi-component 64-bit keys.
+//
+// The workload generator's hot path sorts multi-million-record runs by
+// (timestamp, user, device) and session runs by (start, user). Comparison
+// sorting pays O(n log n) comparator calls, each touching a ~100-byte
+// record; this sorter instead computes the *stable ascending permutation*
+// of the rows from packed 16-byte (key, index) pairs in O(n) counting-sort
+// passes, and the caller applies it with one gather per column. The result
+// is provably the std::stable_sort order: every counting-sort pass is
+// stable, components are processed least-significant first (classic LSD),
+// and ties keep the input order because the pair index rides along.
+//
+// Three twists keep the pass count low without changing the order:
+//   * Varying-bit compression. Before sorting a component, one scan computes
+//     the OR and AND aggregates of its values; bit positions where all
+//     values agree cannot influence the order, so only the varying bit
+//     ranges are extracted (shift/mask, preserving significance order) into
+//     a compact key. A one-week timestamp column collapses to ~20 bits (2
+//     passes); a device-id column whose values straddle the PC range bit
+//     (1<<48) collapses to its few populated ranges instead of 49 bits.
+//     Extracting identical bit positions from every value is order-
+//     preserving exactly because the dropped bits are equal everywhere.
+//   * Key fusion. When the varying bits of ALL components fit in 64 —
+//     always true for generator traces (≈20 ts + ≈17 user + ≈20 device) —
+//     the components are packed into a single compressed key, most
+//     significant component highest, and sorted in one run of digit
+//     passes. Lexicographic order on the component tuple equals numeric
+//     order on the fused key because the fields occupy disjoint bit
+//     ranges in significance order; one pack loop and ~4 counting passes
+//     replace the per-component pack + passes.
+//   * Small-run cutoff. Below kSmallN rows the counting tables dwarf the
+//     data; the sorter falls back to std::stable_sort on the permutation
+//     with a lexicographic key comparator — the same order by definition.
+//
+// All scratch (pair buffers, counting tables, permutation) lives in the
+// sorter object and is reused across calls, so steady-state sorting
+// allocates nothing once high-water capacity is reached.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace mcloud {
+
+/// One key component: a borrowed view of n unsigned or signed 64-bit
+/// values. Signed values are mapped through a sign-flip bias so unsigned
+/// digit comparison reproduces signed order.
+struct RadixKey {
+  const std::uint64_t* u64 = nullptr;
+  const std::int64_t* i64 = nullptr;
+
+  [[nodiscard]] static RadixKey U64(std::span<const std::uint64_t> c) {
+    RadixKey k;
+    k.u64 = c.data();
+    return k;
+  }
+  [[nodiscard]] static RadixKey I64(std::span<const std::int64_t> c) {
+    RadixKey k;
+    k.i64 = c.data();
+    return k;
+  }
+
+  [[nodiscard]] std::uint64_t at(std::size_t i) const {
+    return u64 ? u64[i]
+               : static_cast<std::uint64_t>(i64[i]) ^ (1ULL << 63);
+  }
+};
+
+class StableRadixSorter {
+ public:
+  /// Rows below this go through std::stable_sort on the permutation (same
+  /// order, no counting-table overhead). Exposed for the property tests.
+  static constexpr std::size_t kSmallN = 128;
+
+  /// Compute the stable ascending permutation of rows [0, n) under the
+  /// lexicographic key (keys[0], keys[1], ...), keys[0] most significant.
+  /// The returned span is owned by the sorter and valid until the next
+  /// Sort call. perm[j] = index of the row ranked j.
+  std::span<const std::uint32_t> Sort(std::size_t n,
+                                      std::span<const RadixKey> keys) {
+    MCLOUD_REQUIRE(n <= UINT32_MAX, "radix sort permutation is 32-bit");
+    perm_.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      perm_[i] = static_cast<std::uint32_t>(i);
+    if (n < 2 || keys.empty()) return perm_;
+
+    if (n < kSmallN) {
+      std::stable_sort(perm_.begin(), perm_.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         for (const RadixKey& k : keys) {
+                           const std::uint64_t x = k.at(a);
+                           const std::uint64_t y = k.at(b);
+                           if (x != y) return x < y;
+                         }
+                         return false;
+                       });
+      return perm_;
+    }
+
+    // Plan every component up front: one aggregate scan each, yielding the
+    // varying-bit extraction runs and the compressed width.
+    plans_.clear();
+    runs_.clear();
+    int total_bits = 0;
+    for (const RadixKey& key : keys) {
+      const ComponentPlan plan = PlanComponent(n, key);
+      total_bits += plan.bits;
+      plans_.push_back(plan);
+    }
+    if (total_bits == 0) return perm_;  // all rows equal: stable no-op
+
+    if (total_bits <= 64) {
+      FusedPass(n, keys, total_bits);
+    } else {
+      // LSD over components: least-significant component first; each
+      // component pass is a stable sort of the current permutation.
+      for (std::size_t c = keys.size(); c-- > 0;)
+        if (plans_[c].bits > 0) ComponentPass(n, keys[c], plans_[c]);
+    }
+    return perm_;
+  }
+
+  /// Last permutation computed (same lifetime rules as Sort's result).
+  [[nodiscard]] std::span<const std::uint32_t> perm() const { return perm_; }
+
+ private:
+  struct Pair {
+    std::uint64_t key;
+    std::uint32_t idx;
+  };
+  /// A contiguous run of varying bits: extract (v >> shift_in) & mask and
+  /// place it at shift_out in the compressed key.
+  struct BitRun {
+    int shift_in;
+    int shift_out;
+    std::uint64_t mask;
+  };
+  /// One component's extraction plan: its BitRuns live in runs_[run_begin,
+  /// run_end) and produce a `bits`-wide compressed value.
+  struct ComponentPlan {
+    std::size_t run_begin = 0;
+    std::size_t run_end = 0;
+    int bits = 0;
+  };
+
+  ComponentPlan PlanComponent(std::size_t n, const RadixKey& key) {
+    // Aggregate scan: bit positions where every value agrees are constant
+    // and cannot affect the order.
+    std::uint64_t all_or = 0;
+    std::uint64_t all_and = ~0ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t v = key.at(i);
+      all_or |= v;
+      all_and &= v;
+    }
+    const std::uint64_t varying = all_or & ~all_and;
+
+    ComponentPlan plan;
+    plan.run_begin = runs_.size();
+    int out_pos = 0;
+    std::uint64_t rest = varying;
+    while (rest != 0) {
+      const int lo = std::countr_zero(rest);
+      const std::uint64_t aligned = rest >> lo;
+      const int len = std::countr_one(aligned);
+      const std::uint64_t mask = len >= 64 ? ~0ULL : ((1ULL << len) - 1);
+      runs_.push_back({lo, out_pos, mask});
+      out_pos += len;
+      rest &= ~(mask << lo);
+    }
+    plan.run_end = runs_.size();
+    plan.bits = out_pos;
+    return plan;
+  }
+
+  [[nodiscard]] std::uint64_t Compress(const RadixKey& key,
+                                       const ComponentPlan& plan,
+                                       std::uint32_t idx) const {
+    const std::uint64_t v = key.at(idx);
+    std::uint64_t ck = 0;
+    for (std::size_t r = plan.run_begin; r < plan.run_end; ++r)
+      ck |= ((v >> runs_[r].shift_in) & runs_[r].mask) << runs_[r].shift_out;
+    return ck;
+  }
+
+  /// All components in one go: pack component c's compressed value above
+  /// the combined width of the less-significant components c+1.., then run
+  /// the digit passes once over the fused key.
+  void FusedPass(std::size_t n, std::span<const RadixKey> keys,
+                 int total_bits) {
+    pairs_a_.resize(n);
+    pairs_b_.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint32_t idx = perm_[j];
+      std::uint64_t fused = 0;
+      for (std::size_t c = 0; c < keys.size(); ++c) {
+        fused <<= plans_[c].bits;
+        fused |= Compress(keys[c], plans_[c], idx);
+      }
+      pairs_a_[j] = {fused, idx};
+    }
+    CountingPasses(n, total_bits);
+  }
+
+  void ComponentPass(std::size_t n, const RadixKey& key,
+                     const ComponentPlan& plan) {
+    // Pack pairs in current permutation order; the index carries stability.
+    pairs_a_.resize(n);
+    pairs_b_.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint32_t idx = perm_[j];
+      pairs_a_[j] = {Compress(key, plan, idx), idx};
+    }
+    CountingPasses(n, plan.bits);
+  }
+
+  /// 16-bit-digit counting-sort passes over pairs_a_, ping-ponging between
+  /// the buffers; writes the final order back into perm_.
+  void CountingPasses(std::size_t n, int total_bits) {
+    Pair* cur = pairs_a_.data();
+    Pair* nxt = pairs_b_.data();
+    for (int shift = 0; shift < total_bits; shift += 16) {
+      const int digit_bits = std::min(16, total_bits - shift);
+      const std::size_t buckets = std::size_t{1} << digit_bits;
+      const std::uint64_t digit_mask = buckets - 1;
+      count_.assign(buckets + 1, 0);
+      for (std::size_t j = 0; j < n; ++j)
+        ++count_[((cur[j].key >> shift) & digit_mask) + 1];
+      for (std::size_t b = 1; b <= buckets; ++b) count_[b] += count_[b - 1];
+      for (std::size_t j = 0; j < n; ++j)
+        nxt[count_[(cur[j].key >> shift) & digit_mask]++] = cur[j];
+      std::swap(cur, nxt);
+    }
+    for (std::size_t j = 0; j < n; ++j) perm_[j] = cur[j].idx;
+  }
+
+  std::vector<std::uint32_t> perm_;
+  std::vector<Pair> pairs_a_;
+  std::vector<Pair> pairs_b_;
+  std::vector<std::uint32_t> count_;
+  std::vector<BitRun> runs_;
+  std::vector<ComponentPlan> plans_;
+};
+
+}  // namespace mcloud

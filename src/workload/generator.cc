@@ -1,11 +1,12 @@
 #include "workload/generator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "trace/partitioned_trace.h"
-#include "util/merge.h"
 #include "util/parallel.h"
+#include "util/radix_sort.h"
 #include "workload/calibration.h"
 #include "workload/diurnal.h"
 #include "workload/log_emitter.h"
@@ -15,12 +16,33 @@ namespace mcloud::workload {
 
 namespace {
 
-/// Session order of the final workload: chronological, ties by user. Within
-/// one (start, user_id) pair the per-user planning order is preserved by
-/// stable sorting + stable merging.
-bool SessionStartOrder(const SessionPlan& a, const SessionPlan& b) {
-  if (a.start != b.start) return a.start < b.start;
-  return a.user_id < b.user_id;
+using Clock = std::chrono::steady_clock;
+
+double Since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Sort sessions by (start, user_id), ties in current order — the session
+/// order of the final workload. A stable radix permutation over the two
+/// keys plus one move-gather: identical order to std::stable_sort with the
+/// old SessionStartOrder comparator.
+void SortSessionsByStart(std::vector<SessionPlan>& sessions) {
+  const std::size_t n = sessions.size();
+  if (n < 2) return;
+  std::vector<std::int64_t> starts(n);
+  std::vector<std::uint64_t> users(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    starts[i] = sessions[i].start;
+    users[i] = sessions[i].user_id;
+  }
+  StableRadixSorter sorter;
+  const RadixKey keys[2] = {RadixKey::I64(starts), RadixKey::U64(users)};
+  const std::span<const std::uint32_t> perm = sorter.Sort(n, keys);
+  std::vector<SessionPlan> sorted;
+  sorted.reserve(n);
+  for (std::size_t j = 0; j < n; ++j)
+    sorted.push_back(std::move(sessions[perm[j]]));
+  sessions = std::move(sorted);
 }
 
 }  // namespace
@@ -28,15 +50,18 @@ bool SessionStartOrder(const SessionPlan& a, const SessionPlan& b) {
 WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config)
     : config_(config) {}
 
-Workload WorkloadGenerator::PlanAndEmit(
-    std::vector<std::vector<LogRecord>>* trace_runs) const {
-  const bool emit_logs = trace_runs != nullptr;
+Workload WorkloadGenerator::PlanAndEmit(RecordColumns* trace,
+                                        GenTimings* timings,
+                                        bool sort_trace) const {
+  const bool emit_logs = trace != nullptr;
   ThreadPool pool(config_.threads);
   Rng rng(config_.seed);
 
+  auto t0 = Clock::now();
   Workload w;
   PopulationBuilder population(config_.population, config_.model);
   w.users = population.Build(rng, &pool);
+  if (timings) timings->plan_s += Since(t0);
   // Root key of all per-user session streams. Drawn after the population's
   // root so the two stream families never collide.
   const std::uint64_t session_root = rng.NextU64();
@@ -52,75 +77,143 @@ Workload WorkloadGenerator::PlanAndEmit(
   // Shard users across the pool. Each user's sessions and records are drawn
   // from Rng::ForStream(session_root, user_id) — a pure function of the
   // seed and the user id — so the shard a user lands on cannot perturb any
-  // stream. Every shard sorts its own run; a stable k-way merge then yields
-  // exactly the stable sort of the user-ordered concatenation, independent
-  // of the shard count.
+  // stream. Shards cover contiguous ascending user ranges, so concatenating
+  // shard runs in shard order is the user-ordered emission; ONE global
+  // stable radix sort of that concatenation equals the stable sort the old
+  // per-shard sort + stable k-way merge computed, independent of the shard
+  // count.
   const std::size_t shards = ShardCount(pool, w.users.size());
   std::vector<std::vector<SessionPlan>> session_runs(shards);
-  std::vector<std::vector<LogRecord>> local_runs(shards);
+  std::vector<RecordColumns> cols_runs(emit_logs ? shards : 0);
+  std::vector<double> shard_plan_s(shards, 0.0);
+  std::vector<double> shard_emit_s(shards, 0.0);
+  std::vector<std::size_t> shard_slot_allocs(shards, 0);
+  std::vector<std::size_t> shard_growths(shards, 0);
+  const bool want_timing = timings != nullptr;
 
   ParallelForShards(
       pool, w.users.size(),
       [&](std::size_t shard, std::size_t begin, std::size_t end) {
         std::vector<SessionPlan>& sessions = session_runs[shard];
-        std::vector<LogRecord>& trace = local_runs[shard];
+        RecordColumns* cols = emit_logs ? &cols_runs[shard] : nullptr;
+        PlanScratch plan_scratch;
+        EmitScratch emit_scratch;
         for (std::size_t i = begin; i < end; ++i) {
           const UserProfile& user = w.users[i];
           // Independent per-user stream: adding users or re-sharding never
           // perturbs the randomness of existing ones.
           Rng user_rng = Rng::ForStream(session_root, user.user_id);
-          std::vector<SessionPlan> planned =
-              session_model.PlanUser(user, user_rng);
-          if (emit_logs) {
-            for (const SessionPlan& s : planned)
-              emitter.EmitSession(s, user_rng, trace);
+          Clock::time_point u0;
+          if (want_timing) u0 = Clock::now();
+          session_model.PlanUserInto(user, user_rng, plan_scratch);
+          if (want_timing) {
+            const auto u1 = Clock::now();
+            shard_plan_s[shard] +=
+                std::chrono::duration<double>(u1 - u0).count();
+            u0 = u1;
           }
-          sessions.insert(sessions.end(),
-                          std::make_move_iterator(planned.begin()),
-                          std::make_move_iterator(planned.end()));
+          if (emit_logs) {
+            const std::size_t cap = cols->capacity();
+            for (const SessionPlan& s : plan_scratch.sessions())
+              emitter.EmitSessionColumnar(s, user_rng, *cols, emit_scratch);
+            if (cols->capacity() != cap) ++shard_growths[shard];
+            if (want_timing) shard_emit_s[shard] += Since(u0);
+          }
+          // The plans survive into the workload result: move them out of
+          // the pool (slots re-grow their ops storage on the next user).
+          for (std::size_t k = 0; k < plan_scratch.used; ++k)
+            sessions.push_back(std::move(plan_scratch.pool[k]));
         }
-        std::stable_sort(sessions.begin(), sessions.end(),
-                         SessionStartOrder);
-        if (emit_logs)
-          std::stable_sort(trace.begin(), trace.end(), LogRecordTimeOrder);
+        shard_slot_allocs[shard] = plan_scratch.slot_growth;
       });
 
-  w.sessions = MergeSortedRuns(std::move(session_runs), SessionStartOrder);
-  if (emit_logs) *trace_runs = std::move(local_runs);
+  t0 = Clock::now();
+  // User-ordered concatenation of the shard runs, then one global sort.
+  std::size_t n_sessions = 0;
+  for (const auto& run : session_runs) n_sessions += run.size();
+  w.sessions.reserve(n_sessions);
+  for (auto& run : session_runs) {
+    w.sessions.insert(w.sessions.end(), std::make_move_iterator(run.begin()),
+                      std::make_move_iterator(run.end()));
+    run = std::vector<SessionPlan>();
+  }
+  SortSessionsByStart(w.sessions);
+
+  if (emit_logs) {
+    std::size_t n_records = 0;
+    for (const auto& run : cols_runs) n_records += run.size();
+    trace->reserve(n_records);
+    for (auto& run : cols_runs) {
+      trace->AppendAll(std::move(run));
+      run = RecordColumns();
+    }
+    if (sort_trace) {
+      RecordColumnsScratch sort_scratch;
+      trace->SortByTimeOrder(sort_scratch);
+    }
+  }
+  if (timings) {
+    timings->sort_s += Since(t0);
+    for (std::size_t s = 0; s < shards; ++s) {
+      timings->plan_s += shard_plan_s[s];
+      timings->emit_s += shard_emit_s[s];
+      timings->plan_slot_allocs += shard_slot_allocs[s];
+      timings->record_buffer_growths += shard_growths[s];
+    }
+  }
   return w;
 }
 
-Workload WorkloadGenerator::Generate() const {
-  std::vector<std::vector<LogRecord>> trace_runs;
-  Workload w = PlanAndEmit(&trace_runs);
-  w.trace = MergeSortedRuns(std::move(trace_runs), LogRecordTimeOrder);
+Workload WorkloadGenerator::Generate(GenTimings* timings) const {
+  const auto t0 = Clock::now();
+  RecordColumns cols;
+  Workload w = PlanAndEmit(&cols, timings, /*sort_trace=*/false);
+  // Fuse the time-order sort with the AoS transpose: gather straight from
+  // the unsorted columns through the stable permutation. Identical bytes to
+  // sorting the columns first and transposing row by row, one full
+  // materialization pass cheaper.
+  const auto s0 = Clock::now();
+  RecordColumnsScratch sort_scratch;
+  w.trace = cols.ToRecords(cols.TimeOrderPerm(sort_scratch));
+  if (timings) {
+    timings->sort_s += Since(s0);
+    timings->total_s += Since(t0);
+  }
   return w;
 }
 
-ColumnarWorkload WorkloadGenerator::GenerateColumnar() const {
-  std::vector<std::vector<LogRecord>> trace_runs;
-  Workload w = PlanAndEmit(&trace_runs);
+ColumnarWorkload WorkloadGenerator::GenerateColumnar(
+    GenTimings* timings) const {
+  const auto t0 = Clock::now();
+  RecordColumns cols;
+  Workload w = PlanAndEmit(&cols, timings);
 
-  std::size_t total = 0;
-  for (const auto& run : trace_runs) total += run.size();
+  // The sorted columns move straight into the store builder — no
+  // record-by-record append, no AoS copy.
   TraceStore::Builder b;
   b.day_base = config_.trace_start;
-  b.Reserve(total);
-  // The stable k-way merge feeds the builder record-by-record; run storage
-  // frees as runs drain, so peak memory is the columns + unexhausted tails
-  // instead of two full AoS copies.
-  MergeSortedRunsInto(std::move(trace_runs), LogRecordTimeOrder,
-                      [&b](LogRecord&& r) { b.Append(r); });
+  b.timestamps = std::move(cols.timestamps);
+  b.device_types = std::move(cols.device_types);
+  b.device_ids = std::move(cols.device_ids);
+  b.raw_users = std::move(cols.user_ids);
+  b.request_types = std::move(cols.request_types);
+  b.directions = std::move(cols.directions);
+  b.data_volumes = std::move(cols.data_volumes);
+  b.processing_times = std::move(cols.processing_times);
+  b.server_times = std::move(cols.server_times);
+  b.avg_rtts = std::move(cols.avg_rtts);
+  b.proxied = std::move(cols.proxied);
 
   ColumnarWorkload out;
   out.users = std::move(w.users);
   out.sessions = std::move(w.sessions);
   out.trace = std::move(b).Build();
+  if (timings) timings->total_s += Since(t0);
   return out;
 }
 
 Workload WorkloadGenerator::GeneratePlansOnly() const {
-  return PlanAndEmit(nullptr);
+  return PlanAndEmit(nullptr, nullptr);
 }
 
 // Bounded-memory twin of PlanAndEmit + GenerateColumnar. The RNG sequence
@@ -134,17 +227,21 @@ Workload WorkloadGenerator::GeneratePlansOnly() const {
 // Chunk boundaries and flush points depend only on the config, never on
 // the thread count.
 SpillSummary WorkloadGenerator::GenerateToPartitions(
-    const SpillConfig& spill) const {
-  return GenerateToPartitions(spill, SliceSink{});
+    const SpillConfig& spill, GenTimings* timings) const {
+  return GenerateToPartitions(spill, SliceSink{}, timings);
 }
 
 SpillSummary WorkloadGenerator::GenerateToPartitions(
-    const SpillConfig& spill, const SliceSink& slice_sink) const {
+    const SpillConfig& spill, const SliceSink& slice_sink,
+    GenTimings* timings) const {
+  const auto t_total = Clock::now();
   ThreadPool pool(config_.threads);
   Rng rng(config_.seed);
 
+  auto t0 = Clock::now();
   PopulationBuilder population(config_.population, config_.model);
   const std::vector<UserProfile> users = population.Build(rng, &pool);
+  if (timings) timings->plan_s += Since(t0);
   const std::uint64_t session_root = rng.NextU64();
 
   const DiurnalPattern diurnal(config_.model.hour_weights);
@@ -157,6 +254,9 @@ SpillSummary WorkloadGenerator::GenerateToPartitions(
 
   PartitionedTraceWriter writer(spill.dir, config_.trace_start);
 
+  // Still accounted in AoS LogRecord bytes: flush boundaries are part of
+  // the deterministic spill layout and must not shift with the emitter's
+  // in-memory representation.
   const std::size_t budget_records = std::max<std::size_t>(
       spill.max_buffer_bytes / sizeof(LogRecord), std::size_t{64} * 1024);
   const std::size_t users_per_chunk =
@@ -165,64 +265,109 @@ SpillSummary WorkloadGenerator::GenerateToPartitions(
   SpillSummary sum;
   sum.users = users.size();
 
-  std::vector<LogRecord> buffer;
-  const auto flush = [&] {
-    if (buffer.empty()) return;
-    std::stable_sort(buffer.begin(), buffer.end(), LogRecordTimeOrder);
-    writer.WriteSortedSlice(buffer);
-    ++sum.spills;
-    if (slice_sink) {
-      // Hand the sealed slice to the analysis side; a blocking sink is the
-      // backpressure that keeps generation at the analysis rate.
-      slice_sink(std::move(buffer));
-      buffer = std::vector<LogRecord>();
-    } else {
-      buffer.clear();
-      buffer.shrink_to_fit();
-    }
+  // Pooled per-window-slot scratch: plan pool, batched-normal buffer, and
+  // the chunk's record columns. Slots are reused every batch, so
+  // steady-state chunk emission allocates nothing.
+  struct ChunkScratch {
+    PlanScratch plan;
+    EmitScratch emit;
+    RecordColumns cols;
+    double plan_s = 0;
+    double emit_s = 0;
+    std::size_t growths = 0;
   };
 
   const std::size_t n_chunks =
       (users.size() + users_per_chunk - 1) / users_per_chunk;
   const std::size_t window =
       std::max<std::size_t>(static_cast<std::size_t>(pool.threads()), 1) * 2;
-  const auto emit_chunk = [&](std::size_t chunk) {
+  std::vector<ChunkScratch> slots(std::min(window, n_chunks));
+  const bool want_timing = timings != nullptr;
+
+  const auto fill_chunk = [&](std::size_t chunk, ChunkScratch& s) {
+    s.cols.clear();
+    const std::size_t cap = s.cols.capacity();
     const std::size_t begin = chunk * users_per_chunk;
     const std::size_t end =
         std::min(begin + users_per_chunk, users.size());
-    std::vector<LogRecord> out;
     for (std::size_t i = begin; i < end; ++i) {
       const UserProfile& user = users[i];
       Rng user_rng = Rng::ForStream(session_root, user.user_id);
-      // Plans are emitted and dropped — only the records survive.
-      const std::vector<SessionPlan> planned =
-          session_model.PlanUser(user, user_rng);
-      for (const SessionPlan& s : planned)
-        emitter.EmitSession(s, user_rng, out);
+      Clock::time_point u0;
+      if (want_timing) u0 = Clock::now();
+      // Plans live only in the pooled scratch — emitted and overwritten.
+      session_model.PlanUserInto(user, user_rng, s.plan);
+      if (want_timing) {
+        const auto u1 = Clock::now();
+        s.plan_s += std::chrono::duration<double>(u1 - u0).count();
+        u0 = u1;
+      }
+      for (const SessionPlan& sp : s.plan.sessions())
+        emitter.EmitSessionColumnar(sp, user_rng, s.cols, s.emit);
+      if (want_timing) s.emit_s += Since(u0);
     }
-    return out;
+    if (s.cols.capacity() != cap) ++s.growths;
+  };
+
+  RecordColumns buffer;
+  RecordColumnsScratch sort_scratch;
+  std::size_t buffer_growths = 0;
+  const auto flush = [&] {
+    if (buffer.empty()) return;
+    auto f0 = Clock::now();
+    buffer.SortByTimeOrder(sort_scratch);
+    if (timings) {
+      const auto f1 = Clock::now();
+      timings->sort_s += std::chrono::duration<double>(f1 - f0).count();
+      f0 = f1;
+    }
+    writer.WriteSortedSlice(buffer);
+    if (timings) timings->write_s += Since(f0);
+    ++sum.spills;
+    if (slice_sink) {
+      // Hand the sealed slice to the analysis side; a blocking sink is the
+      // backpressure that keeps generation at the analysis rate.
+      slice_sink(std::move(buffer));
+      buffer = RecordColumns();
+    } else {
+      // Pooled: keep the capacity for the next fill cycle.
+      buffer.clear();
+    }
   };
 
   for (std::size_t next = 0; next < n_chunks; next += window) {
     const std::size_t batch = std::min(window, n_chunks - next);
-    std::vector<std::vector<LogRecord>> emitted =
-        ParallelMap<std::vector<LogRecord>>(
-            pool, batch, [&](std::size_t i) { return emit_chunk(next + i); });
-    for (auto& chunk : emitted) {
+    ParallelFor(pool, batch,
+                [&](std::size_t i) { fill_chunk(next + i, slots[i]); });
+    for (std::size_t i = 0; i < batch; ++i) {
+      const RecordColumns& chunk = slots[i].cols;
       // Flush *before* appending, so the buffer never reallocates past the
       // budget mid-append (the doubling growth of push_back would briefly
       // double the footprint otherwise).
       if (!buffer.empty() && buffer.size() + chunk.size() > budget_records)
         flush();
       sum.records += chunk.size();
-      buffer.insert(buffer.end(), std::make_move_iterator(chunk.begin()),
-                    std::make_move_iterator(chunk.end()));
-      chunk = std::vector<LogRecord>();
+      const std::size_t cap = buffer.capacity();
+      // Copy so the slot keeps its capacity for the next batch.
+      buffer.AppendCopy(chunk);
+      if (buffer.capacity() != cap) ++buffer_growths;
     }
   }
   flush();
+  t0 = Clock::now();
   writer.Finish();
   sum.run_files = writer.run_files();
+  if (timings) {
+    timings->write_s += Since(t0);
+    for (const ChunkScratch& s : slots) {
+      timings->plan_s += s.plan_s;
+      timings->emit_s += s.emit_s;
+      timings->plan_slot_allocs += s.plan.slot_growth;
+      timings->record_buffer_growths += s.growths;
+    }
+    timings->record_buffer_growths += buffer_growths;
+    timings->total_s += Since(t_total);
+  }
   return sum;
 }
 

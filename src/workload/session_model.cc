@@ -1,7 +1,6 @@
 #include "workload/session_model.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <cmath>
 
 #include "util/error.h"
@@ -41,6 +40,18 @@ std::size_t SampleSizeComponent(Rng& rng, Direction direction,
   }
   const std::size_t row = (op_count <= 2) ? 0 : (op_count <= 9) ? 1 : 2;
   return rng.PickWeighted(model.retrieve_size_weights_by_count[row]);
+}
+
+/// Claim the next pooled SessionPlan slot: ops cleared (capacity kept), POD
+/// fields left stale — every caller assigns them all.
+SessionPlan& NextSlot(PlanScratch& scratch) {
+  if (scratch.used == scratch.pool.size()) {
+    scratch.pool.emplace_back();
+    ++scratch.slot_growth;
+  }
+  SessionPlan& slot = scratch.pool[scratch.used++];
+  slot.ops.clear();
+  return slot;
 }
 
 }  // namespace
@@ -99,9 +110,10 @@ Bytes SessionModel::SampleSessionAvgFileSize(Rng& rng, Direction direction,
   return SampleSessionAvgFileSize(rng, direction, op_count, kDefault);
 }
 
-std::vector<int> SessionModel::ActiveDays(const UserProfile& user,
-                                          Rng& rng) const {
-  std::vector<int> days = {user.first_active_day};
+void SessionModel::ActiveDaysInto(const UserProfile& user, Rng& rng,
+                                  std::vector<int>& days) const {
+  days.clear();
+  days.push_back(user.first_active_day);
   if (user.engaged) {
     // Day-of-week scaling: w[d]/max(w) == 1.0 exactly when weights are
     // uniform, and Bernoulli consumes one draw regardless of p, so the
@@ -114,7 +126,6 @@ std::vector<int> SessionModel::ActiveDays(const UserProfile& user,
       p *= config_.model.engaged_daily_decay;
     }
   }
-  return days;
 }
 
 UnixSeconds SessionModel::SampleSessionStart(int day, Rng& rng) const {
@@ -166,10 +177,11 @@ void SessionModel::FillOps(SessionPlan& session, Direction direction,
   }
 }
 
-std::vector<SessionPlan> SessionModel::PlanUser(const UserProfile& user,
-                                                Rng& rng) const {
-  std::vector<SessionPlan> sessions;
-  const std::vector<int> active_days = ActiveDays(user, rng);
+void SessionModel::PlanUserInto(const UserProfile& user, Rng& rng,
+                                PlanScratch& scratch) const {
+  scratch.used = 0;
+  ActiveDaysInto(user, rng, scratch.active_days);
+  const std::vector<int>& active_days = scratch.active_days;
 
   const bool occasional =
       user.usage_class == paper::UserClass::kOccasional;
@@ -183,11 +195,8 @@ std::vector<SessionPlan> SessionModel::PlanUser(const UserProfile& user,
                  : 0;
 
   // Split the weekly budgets into per-session op counts.
-  struct Descriptor {
-    std::size_t store_ops = 0;
-    std::size_t retrieve_ops = 0;
-  };
-  std::vector<Descriptor> descriptors;
+  std::vector<SessionDescriptor>& descriptors = scratch.descriptors;
+  descriptors.clear();
 
   std::uint64_t store_left = user.store_files;
   std::uint64_t retrieve_left = user.retrieve_files;
@@ -212,7 +221,7 @@ std::vector<SessionPlan> SessionModel::PlanUser(const UserProfile& user,
   const std::size_t max_descriptors = 2 * active_days.size() + 1;
 
   while (store_left > 0) {
-    Descriptor d;
+    SessionDescriptor d;
     d.store_ops =
         (descriptors.size() + 1 >= max_descriptors)
             ? store_left
@@ -231,7 +240,7 @@ std::vector<SessionPlan> SessionModel::PlanUser(const UserProfile& user,
     descriptors.push_back(d);
   }
   while (retrieve_left > 0) {
-    Descriptor d;
+    SessionDescriptor d;
     d.retrieve_ops =
         (descriptors.size() + 1 >= max_descriptors)
             ? retrieve_left
@@ -249,22 +258,22 @@ std::vector<SessionPlan> SessionModel::PlanUser(const UserProfile& user,
   // photo looked up now, another later the same day), and collapsing them
   // to one session under-counts the 29.9% retrieve-only session share.
   if (!user.engaged && descriptors.size() > 2) {
-    Descriptor store_all;
+    SessionDescriptor store_all;
     std::uint64_t retrieve_total = 0;
-    for (const Descriptor& d : descriptors) {
+    for (const SessionDescriptor& d : descriptors) {
       store_all.store_ops += d.store_ops;
       retrieve_total += d.retrieve_ops;
     }
     descriptors.clear();
     if (store_all.store_ops > 0) descriptors.push_back(store_all);
     if (retrieve_total > 0) {
-      Descriptor first;
+      SessionDescriptor first;
       first.retrieve_ops = std::min<std::uint64_t>(
           SampleOpCount(rng, Direction::kRetrieve, config_.model),
           retrieve_total);
       descriptors.push_back(first);
       if (retrieve_total > first.retrieve_ops) {
-        Descriptor rest;
+        SessionDescriptor rest;
         rest.retrieve_ops = retrieve_total - first.retrieve_ops;
         descriptors.push_back(rest);
       }
@@ -275,13 +284,15 @@ std::vector<SessionPlan> SessionModel::PlanUser(const UserProfile& user,
   // Same-user sessions on one day must not land within τ of each other, or
   // the analysis would (correctly) merge them; people also do not start a
   // fresh backup minutes after finishing one. Track per-day start times and
-  // keep a minimum spacing.
-  std::unordered_map<int, std::vector<Seconds>> day_slots;
+  // keep a minimum spacing. Flat (day, second) pairs: users place a handful
+  // of sessions, so a linear scan beats a per-user hash map.
+  std::vector<std::pair<int, Seconds>>& day_slots = scratch.day_slots;
+  day_slots.clear();
   const Seconds min_spacing = 3.0 * kHour;
 
   for (std::size_t di = 0; di < descriptors.size(); ++di) {
-    const Descriptor& d = descriptors[di];
-    SessionPlan s;
+    const SessionDescriptor& d = descriptors[di];
+    SessionPlan& s = NextSlot(scratch);
     s.user_id = user.user_id;
 
     // Device assignment: stores originate on the phone, retrievals are
@@ -311,20 +322,20 @@ std::vector<SessionPlan> SessionModel::PlanUser(const UserProfile& user,
     // so every active day actually carries a session — engagement analyses
     // define "active" as having a session that day.
     const int day = active_days[di % active_days.size()];
-    auto& slots = day_slots[day];
     Seconds second_of_day = 0;
     for (int attempt = 0; attempt < 12; ++attempt) {
       second_of_day = diurnal_.SampleSecondOfDay(rng);
       bool clear = true;
-      for (Seconds used : slots) {
-        if (std::abs(used - second_of_day) < min_spacing) {
+      for (const auto& [used_day, used_second] : day_slots) {
+        if (used_day == day &&
+            std::abs(used_second - second_of_day) < min_spacing) {
           clear = false;
           break;
         }
       }
       if (clear) break;
     }
-    slots.push_back(second_of_day);
+    day_slots.emplace_back(day, second_of_day);
     s.start = config_.trace_start +
               static_cast<UnixSeconds>(day) * static_cast<UnixSeconds>(kDay) +
               static_cast<UnixSeconds>(second_of_day);
@@ -341,10 +352,12 @@ std::vector<SessionPlan> SessionModel::PlanUser(const UserProfile& user,
     const bool mobile_store =
         !use_pc && d.store_ops > 0 && user.uses_pc && has_mobile &&
         user.retrieve_files > 0;
-    sessions.push_back(std::move(s));
     if (mobile_store && rng.Bernoulli(config_.model.pc_sync_after_upload)) {
-      const SessionPlan& up = sessions.back();
-      SessionPlan sync;
+      // Claim the sync slot first: NextSlot may grow the pool, so the
+      // upload reference must be taken afterwards (by index).
+      const std::size_t up_index = scratch.used - 1;
+      SessionPlan& sync = NextSlot(scratch);
+      const SessionPlan& up = scratch.pool[up_index];
       sync.user_id = user.user_id;
       sync.device_type = DeviceType::kPc;
       sync.device_id = (1ULL << 48) + user.user_id;
@@ -363,14 +376,37 @@ std::vector<SessionPlan> SessionModel::PlanUser(const UserProfile& user,
         offset += SampleOpGap(rng, n + i, config_.model);
         sync.ops.push_back(op);
       }
-      sessions.push_back(std::move(sync));
     }
   }
 
-  std::sort(sessions.begin(), sessions.end(),
-            [](const SessionPlan& a, const SessionPlan& b) {
-              return a.start < b.start;
-            });
+  // Chronological order, ties in insertion order — the radix permutation
+  // over start keys reproduces std::stable_sort exactly. Slots are swapped
+  // (not move-assigned) into the gather pool so no ops capacity is freed;
+  // the two pools ping-pong across users.
+  const std::size_t n = scratch.used;
+  if (n < 2) return;
+  scratch.starts.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scratch.starts[i] = scratch.pool[i].start;
+  const RadixKey key[1] = {RadixKey::I64(scratch.starts)};
+  const std::span<const std::uint32_t> perm = scratch.sorter.Sort(n, key);
+  if (scratch.pool2.size() < scratch.pool.size()) {
+    scratch.slot_growth += scratch.pool.size() - scratch.pool2.size();
+    scratch.pool2.resize(scratch.pool.size());
+  }
+  for (std::size_t j = 0; j < n; ++j)
+    std::swap(scratch.pool2[j], scratch.pool[perm[j]]);
+  scratch.pool.swap(scratch.pool2);
+}
+
+std::vector<SessionPlan> SessionModel::PlanUser(const UserProfile& user,
+                                                Rng& rng) const {
+  PlanScratch scratch;
+  PlanUserInto(user, rng, scratch);
+  std::vector<SessionPlan> sessions;
+  sessions.reserve(scratch.used);
+  for (std::size_t i = 0; i < scratch.used; ++i)
+    sessions.push_back(std::move(scratch.pool[i]));
   return sessions;
 }
 

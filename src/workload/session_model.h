@@ -4,8 +4,12 @@
 // the session.
 #pragma once
 
+#include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
+#include "util/radix_sort.h"
 #include "util/rng.h"
 #include "workload/diurnal.h"
 #include "workload/model_params.h"
@@ -22,6 +26,41 @@ struct SessionModelConfig {
   ModelParams model{};
 };
 
+/// Per-session op budget before device/day/timing assignment.
+struct SessionDescriptor {
+  std::size_t store_ops = 0;
+  std::size_t retrieve_ops = 0;
+};
+
+/// Reusable planning scratch: pooled SessionPlan slots plus every transient
+/// container PlanUser needs. Keep one per shard/worker and steady-state
+/// planning allocates nothing — slots (and their ops vectors) are recycled
+/// across users with capacity intact.
+struct PlanScratch {
+  /// Slot pool; the first `used` entries are the current user's sessions,
+  /// in chronological order after PlanUserInto returns.
+  std::vector<SessionPlan> pool;
+  std::size_t used = 0;
+  /// Gather target of the final start-order sort (ping-pongs with `pool`).
+  std::vector<SessionPlan> pool2;
+
+  std::vector<int> active_days;
+  std::vector<SessionDescriptor> descriptors;
+  /// (day, second-of-day) of already-placed sessions — flat replacement for
+  /// the per-day hash map.
+  std::vector<std::pair<int, Seconds>> day_slots;
+  std::vector<std::int64_t> starts;
+  StableRadixSorter sorter;
+
+  /// Diagnostic: SessionPlan slots allocated over this scratch's lifetime
+  /// (steady state should stop growing after warm-up).
+  std::size_t slot_growth = 0;
+
+  [[nodiscard]] std::span<const SessionPlan> sessions() const {
+    return {pool.data(), used};
+  }
+};
+
 class SessionModel {
  public:
   SessionModel(const SessionModelConfig& config,
@@ -30,6 +69,12 @@ class SessionModel {
   /// All sessions of one user for the week, in chronological order.
   [[nodiscard]] std::vector<SessionPlan> PlanUser(const UserProfile& user,
                                                   Rng& rng) const;
+
+  /// Allocation-free twin of PlanUser: plans into scratch.pool[0..used),
+  /// chronological order, identical plans and RNG stream. Overwrites
+  /// whatever the scratch held before.
+  void PlanUserInto(const UserProfile& user, Rng& rng,
+                    PlanScratch& scratch) const;
 
   /// Number of file operations for one session of the given direction
   /// (Fig 5a: ~40% single-op, ~10% above 20 ops).
@@ -49,8 +94,8 @@ class SessionModel {
                                                       std::size_t op_count);
 
  private:
-  [[nodiscard]] std::vector<int> ActiveDays(const UserProfile& user,
-                                            Rng& rng) const;
+  void ActiveDaysInto(const UserProfile& user, Rng& rng,
+                      std::vector<int>& days) const;
   [[nodiscard]] UnixSeconds SampleSessionStart(int day, Rng& rng) const;
   /// `occasional_cap` — 0 for regular users; for occasional-intent users,
   /// the per-file ceiling derived from their total op budget (so the weekly

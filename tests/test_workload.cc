@@ -2,8 +2,12 @@
 // diurnal pattern, and the fast log emitter.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <unordered_set>
+#include <vector>
 
+#include "trace/record_columns.h"
+#include "trace/trace_store.h"
 #include "workload/calibration.h"
 #include "workload/diurnal.h"
 #include "workload/generator.h"
@@ -356,6 +360,112 @@ TEST(LogEmitter, ThroughputOrdering) {
                                            Direction::kStore),
             FastLogEmitter::BaseThroughput(DeviceType::kPc,
                                            Direction::kStore));
+}
+
+TEST(LogEmitter, ColumnarMatchesScalarFieldExact) {
+  // The fast path (batched normals, SoA output) must reproduce the scalar
+  // emitter bit for bit — every field, every record, same RNG stream out.
+  const DiurnalPattern diurnal(cal::kHourOfDayWeights);
+  const SessionModel model(WeekConfig(), diurnal);
+  Rng plan_rng(77);
+  const FastLogEmitter emitter;
+  EmitScratch scratch;
+  std::size_t sessions_checked = 0;
+  for (int u = 0; u < 40; ++u) {
+    UserProfile profile;
+    profile.user_id = 1000 + static_cast<std::uint64_t>(u);
+    profile.mobile_devices = {{profile.user_id * 2, u % 2 == 0
+                                                        ? DeviceType::kAndroid
+                                                        : DeviceType::kIos}};
+    profile.uses_pc = u % 3 == 0;
+    profile.usage_class = u % 4 == 0 ? paper::UserClass::kOccasional
+                                     : paper::UserClass::kMixed;
+    profile.store_files = 1 + static_cast<std::uint64_t>(u) % 40;
+    profile.retrieve_files = static_cast<std::uint64_t>(u) % 13;
+    profile.engaged = u % 2 == 1;
+    profile.first_active_day = u % 5;
+    for (const SessionPlan& s : model.PlanUser(profile, plan_rng)) {
+      Rng scalar_rng(500 + sessions_checked);
+      Rng columnar_rng(500 + sessions_checked);
+      std::vector<LogRecord> want;
+      emitter.EmitSession(s, scalar_rng, want);
+      RecordColumns cols;
+      emitter.EmitSessionColumnar(s, columnar_rng, cols, scratch);
+      ASSERT_EQ(cols.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        const LogRecord got = cols.RecordAt(i);
+        ASSERT_EQ(got.timestamp, want[i].timestamp);
+        ASSERT_EQ(got.device_type, want[i].device_type);
+        ASSERT_EQ(got.device_id, want[i].device_id);
+        ASSERT_EQ(got.user_id, want[i].user_id);
+        ASSERT_EQ(got.request_type, want[i].request_type);
+        ASSERT_EQ(got.direction, want[i].direction);
+        ASSERT_EQ(got.data_volume, want[i].data_volume);
+        ASSERT_EQ(got.processing_time, want[i].processing_time);  // bit-exact
+        ASSERT_EQ(got.server_time, want[i].server_time);
+        ASSERT_EQ(got.avg_rtt, want[i].avg_rtt);
+        ASSERT_EQ(got.proxied, want[i].proxied);
+      }
+      // Both paths consumed the engine identically.
+      ASSERT_EQ(scalar_rng.NextU64(), columnar_rng.NextU64());
+      ++sessions_checked;
+    }
+  }
+  EXPECT_GT(sessions_checked, 100u);
+}
+
+TEST(SessionModel, PlanUserIntoMatchesPlanUser) {
+  // Pooled planning must replicate the allocating path draw for draw,
+  // including the final chronological order, across reused scratch state.
+  const DiurnalPattern diurnal(cal::kHourOfDayWeights);
+  const SessionModel model(WeekConfig(), diurnal);
+  PlanScratch scratch;
+  for (int u = 0; u < 60; ++u) {
+    UserProfile profile;
+    profile.user_id = 5000 + static_cast<std::uint64_t>(u);
+    profile.mobile_devices = {{profile.user_id * 2, DeviceType::kAndroid}};
+    profile.uses_pc = u % 2 == 0;
+    profile.usage_class =
+        u % 3 == 0 ? paper::UserClass::kOccasional : paper::UserClass::kMixed;
+    profile.store_files = 1 + static_cast<std::uint64_t>(u * 7) % 60;
+    profile.retrieve_files = static_cast<std::uint64_t>(u * 3) % 20;
+    profile.engaged = u % 2 == 0;
+    profile.first_active_day = u % 6;
+
+    Rng rng_a(900 + u);
+    Rng rng_b(900 + u);
+    const std::vector<SessionPlan> want = model.PlanUser(profile, rng_a);
+    model.PlanUserInto(profile, rng_b, scratch);  // scratch reused across users
+    const std::span<const SessionPlan> got = scratch.sessions();
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i].user_id, want[i].user_id);
+      ASSERT_EQ(got[i].device_id, want[i].device_id);
+      ASSERT_EQ(got[i].device_type, want[i].device_type);
+      ASSERT_EQ(got[i].start, want[i].start);
+      ASSERT_EQ(got[i].ops.size(), want[i].ops.size());
+      for (std::size_t k = 0; k < want[i].ops.size(); ++k) {
+        ASSERT_EQ(got[i].ops[k].direction, want[i].ops[k].direction);
+        ASSERT_EQ(got[i].ops[k].size, want[i].ops[k].size);
+        ASSERT_EQ(got[i].ops[k].offset, want[i].ops[k].offset);  // bit-exact
+      }
+    }
+    ASSERT_EQ(rng_a.NextU64(), rng_b.NextU64());
+  }
+}
+
+TEST(Generator, ColumnarFingerprintMatchesRecords) {
+  // The representation-independent fingerprint agrees between the AoS
+  // records and the columnar store the fast path builds.
+  WorkloadConfig cfg;
+  cfg.population.mobile_users = 150;
+  cfg.population.pc_only_users = 50;
+  cfg.seed = 7;
+  const auto w = WorkloadGenerator(cfg).Generate();
+  const ColumnarWorkload cw = WorkloadGenerator(cfg).GenerateColumnar();
+  ASSERT_EQ(cw.trace.rows(), w.trace.size());
+  EXPECT_EQ(TraceFingerprint(std::span<const LogRecord>(w.trace)),
+            TraceFingerprint(cw.trace));
 }
 
 TEST(Generator, DeterministicForSeed) {

@@ -78,6 +78,7 @@
 #include "core/pipeline.h"
 #include "trace/anonymizer.h"
 #include "trace/log_io.h"
+#include "trace/record_columns.h"
 #include "scenario/conformance.h"
 #include "scenario/matrix.h"
 #include "scenario/workload_spec.h"
@@ -239,6 +240,23 @@ int Usage() {
   return 2;
 }
 
+/// Per-stage generation breakdown (the generator fast path's bench view).
+/// plan/emit are CPU seconds summed over workers; sort/write are wall
+/// seconds of the serial stages, so the fields need not sum to total.
+void PrintGenTimings(const workload::GenTimings& gt) {
+  std::fprintf(stderr,
+               "gen timings: plan %.2fs emit %.2fs sort %.2fs write %.2fs "
+               "(total %.2fs)\n",
+               gt.plan_s, gt.emit_s, gt.sort_s, gt.write_s, gt.total_s);
+#ifndef NDEBUG
+  // Pooled-scratch health: steady-state generation should stop growing
+  // after warm-up, so these stay near the session/record high-water marks.
+  std::fprintf(stderr,
+               "gen allocs: %zu plan slots, %zu record buffer growths\n",
+               gt.plan_slot_allocs, gt.record_buffer_growths);
+#endif
+}
+
 int CmdGenerate(const Args& args) {
   if (args.positional.size() != 1) return Usage();
   workload::WorkloadConfig cfg;
@@ -277,12 +295,14 @@ int CmdGenerate(const Args& args) {
     spill.max_buffer_bytes =
         std::max<std::uint64_t>(args.GetU64("max-memory-mb", 2048),
                                 64) * (1024 * 1024 / 3);
+    workload::GenTimings gt;
     const workload::SpillSummary s =
-        workload::WorkloadGenerator(cfg).GenerateToPartitions(spill);
+        workload::WorkloadGenerator(cfg).GenerateToPartitions(spill, &gt);
     std::fprintf(stderr,
                  "wrote %llu records to %s (%zu spills, %zu run files)\n",
                  static_cast<unsigned long long>(s.records),
                  args.positional[0].c_str(), s.spills, s.run_files);
+    PrintGenTimings(gt);
     return 0;
   }
   workload::Workload w;
@@ -303,7 +323,9 @@ int CmdGenerate(const Args& args) {
         stderr);
     w.trace = std::move(result.logs);
   } else {
-    w = workload::WorkloadGenerator(cfg).Generate();
+    workload::GenTimings gt;
+    w = workload::WorkloadGenerator(cfg).Generate(&gt);
+    PrintGenTimings(gt);
   }
   if (args.Has("anonymize")) {
     w.trace = Anonymizer(args.Get("anonymize")).Apply(w.trace);
@@ -311,6 +333,10 @@ int CmdGenerate(const Args& args) {
   WriteTrace(args.positional[0], w.trace);
   std::fprintf(stderr, "wrote %zu records to %s\n", w.trace.size(),
                args.positional[0].c_str());
+  // The fleet-determinism CI check diffs this line across thread counts.
+  std::fprintf(stderr, "trace fingerprint: %016llx\n",
+               static_cast<unsigned long long>(
+                   TraceFingerprint(std::span<const LogRecord>(w.trace))));
   return 0;
 }
 
@@ -406,6 +432,7 @@ int CmdGrow(const Args& args) {
   core::FullReport report;
   core::StageTimings st;
   workload::SpillSummary sum;
+  workload::GenTimings gt;
   if (overlapped) {
     // A third of the two-phase slice size: the overlapped pipeline keeps
     // up to three slices in flight (producer buffer, queue slot, consumer)
@@ -413,11 +440,11 @@ int CmdGrow(const Args& args) {
     spill.max_buffer_bytes = budget_mb * (1024 * 1024 / 9);
     report = pipeline.RunConcurrent(
         [&](const core::AnalysisPipeline::SliceConsumer& consume) {
-          sum = generator.GenerateToPartitions(spill, consume);
+          sum = generator.GenerateToPartitions(spill, consume, &gt);
         },
         &st);
   } else {
-    sum = generator.GenerateToPartitions(spill);
+    sum = generator.GenerateToPartitions(spill, &gt);
     report =
         pipeline.RunStreaming(PartitionedTrace::Open(spill.dir), &st);
   }
@@ -426,6 +453,7 @@ int CmdGrow(const Args& args) {
                static_cast<unsigned long long>(sum.records),
                args.positional[0].c_str(), sum.spills, sum.run_files);
   std::fputs(core::RenderFindings(report).c_str(), stdout);
+  PrintGenTimings(gt);
   PrintStageTimings(st, report);
   return 0;
 }
